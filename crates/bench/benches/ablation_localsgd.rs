@@ -1,0 +1,87 @@
+//! **Ablation** — the Local-SGD(τ) frontier vs FDA's dynamic schedule.
+//!
+//! The related-work framing of the paper: fixed-period averaging forces a
+//! guess of τ, and no single τ is right throughout training. This bench
+//! traces the (communication, computation) frontier of Local-SGD over a τ
+//! grid and places LinearFDA's points (over a Θ grid) against it.
+//! Expected shape: FDA's points sit on or inside the Local-SGD frontier —
+//! dynamic triggering matches the *best* fixed τ without knowing it in
+//! advance.
+
+use fda_bench::report::Table;
+use fda_bench::scale::Scale;
+use fda_core::harness::RunConfig;
+use fda_core::sweeps::{run_grid, Algo, GridSpec};
+use fda_data::synth;
+use fda_data::Partition;
+use fda_nn::zoo::ModelId;
+use fda_optim::OptimizerKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    let task = synth::synth_mnist();
+    let target = scale.pick(0.75f32, 0.85, 0.88);
+    let max_steps = scale.pick(800u64, 2_000, 3_000);
+    let taus: Vec<u64> = scale.pick(vec![4, 32], vec![2, 8, 32, 128], vec![2, 4, 8, 16, 32, 64, 128]);
+    let thetas: Vec<f32> = scale.pick(vec![0.05], vec![0.01, 0.05, 0.2], vec![0.01, 0.02, 0.05, 0.1, 0.2]);
+
+    let mut algos: Vec<Algo> = taus.iter().map(|&t| Algo::LocalSgd(t)).collect();
+    algos.push(Algo::LinearFda);
+    let grid = GridSpec {
+        model: ModelId::Lenet5,
+        optimizer: OptimizerKind::paper_adam(),
+        batch_size: 32,
+        partition: Partition::Iid,
+        ks: vec![4],
+        thetas,
+        algos,
+        run: RunConfig {
+            eval_every: 20,
+            eval_batch: 256,
+            ..RunConfig::to_target(target, max_steps)
+        },
+        seed: 0xAB4,
+    };
+    let points = run_grid(&grid, &task);
+
+    let mut t = Table::new(
+        &format!("Ablation: Local-SGD(tau) frontier vs LinearFDA (LeNet-5, K = 4, target {target})"),
+        &["algorithm", "theta", "reached", "steps", "syncs", "comm_bytes"],
+    );
+    for p in &points {
+        t.row(&[
+            p.algo.clone(),
+            if p.algo.starts_with("LocalSGD") {
+                "-".into()
+            } else {
+                format!("{}", p.theta)
+            },
+            p.result.reached.to_string(),
+            p.result.steps.to_string(),
+            p.result.syncs.to_string(),
+            p.result.comm_bytes.to_string(),
+        ]);
+    }
+    t.print();
+    let _ = t.write_csv("ablation_localsgd_frontier");
+
+    // Frontier check: the best FDA point should not be dominated by any
+    // Local-SGD point (dominated = worse or equal on both axes).
+    let fda_best = points
+        .iter()
+        .filter(|p| p.algo == "LinearFDA" && p.result.reached)
+        .min_by_key(|p| p.result.comm_bytes);
+    if let Some(best) = fda_best {
+        let dominated = points.iter().any(|p| {
+            p.algo.starts_with("LocalSGD")
+                && p.result.reached
+                && p.result.comm_bytes <= best.result.comm_bytes
+                && p.result.steps <= best.result.steps
+        });
+        println!(
+            "\nshape check — best LinearFDA point (theta = {}, {} bytes, {} steps) \
+             dominated by a fixed tau: {dominated}",
+            best.theta, best.result.comm_bytes, best.result.steps
+        );
+    }
+}

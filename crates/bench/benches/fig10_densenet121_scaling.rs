@@ -1,0 +1,35 @@
+//! **Figure 10** — DenseNet121 on CIFAR-10: K sweep (top) and Θ sweep
+//! (bottom). On the deeper CIFAR models the paper observes the "expected"
+//! scaling behaviour emerging: more workers reduce computation while
+//! communication grows for everything except Synchronous; raising Θ cuts
+//! communication with almost no computation penalty.
+
+use fda_bench::figures::run_scaling_figure;
+use fda_bench::scale::Scale;
+use fda_core::experiments::spec_for;
+use fda_core::harness::RunConfig;
+use fda_nn::zoo::ModelId;
+
+fn main() {
+    let scale = Scale::from_env();
+    let spec = spec_for(ModelId::DenseNet121);
+    let task = spec.make_task();
+    let run = RunConfig {
+        eval_every: 25,
+        eval_batch: 256,
+        ..RunConfig::to_target(scale.pick(0.60, 0.74, 0.78), scale.pick(500, 1_500, 3_000))
+    };
+    run_scaling_figure(
+        "Fig 10",
+        spec.model,
+        spec.optimizer,
+        spec.batch,
+        &spec.algos,
+        &task,
+        &scale.pick(vec![2usize], vec![2, 4], vec![2, 4, 6, 8]),
+        1.0,
+        &scale.pick(vec![0.5f32], vec![0.5, 1.0, 2.0], spec.thetas.clone()),
+        scale.pick(2usize, 3, 4),
+        run,
+    );
+}

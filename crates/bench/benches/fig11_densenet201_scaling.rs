@@ -1,0 +1,33 @@
+//! **Figure 11** — DenseNet201 on CIFAR-10: the Figure-10 panels on the
+//! largest CIFAR model, where synchronization payloads (and hence FDA's
+//! absolute savings) are largest.
+
+use fda_bench::figures::run_scaling_figure;
+use fda_bench::scale::Scale;
+use fda_core::experiments::spec_for;
+use fda_core::harness::RunConfig;
+use fda_nn::zoo::ModelId;
+
+fn main() {
+    let scale = Scale::from_env();
+    let spec = spec_for(ModelId::DenseNet201);
+    let task = spec.make_task();
+    let run = RunConfig {
+        eval_every: 25,
+        eval_batch: 256,
+        ..RunConfig::to_target(scale.pick(0.60, 0.74, 0.78), scale.pick(500, 1_500, 3_000))
+    };
+    run_scaling_figure(
+        "Fig 11",
+        spec.model,
+        spec.optimizer,
+        spec.batch,
+        &spec.algos,
+        &task,
+        &scale.pick(vec![2usize], vec![2, 3], vec![2, 4, 6, 8]),
+        1.2,
+        &scale.pick(vec![0.6f32], vec![0.6, 1.2, 2.5], spec.thetas.clone()),
+        scale.pick(2usize, 3, 4),
+        run,
+    );
+}

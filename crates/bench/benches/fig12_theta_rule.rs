@@ -1,0 +1,150 @@
+//! **Figure 12** — empirical estimation of the variance threshold:
+//! Θ* ≈ c·d with one slope per deployment regime.
+//!
+//! The paper sweeps Θ per learning task, translates (communication,
+//! computation) into wall-time under three environments — FL (shared
+//! 0.5 Gbps), Balanced, ARIS-HPC (InfiniBand) — picks the wall-time
+//! minimizing Θ*, and fits Θ* ≈ c·d, reporting
+//! `c_FL = 4.91e-5 > c_B = 3.89e-5 > c_HPC = 2.74e-5`.
+//!
+//! Our substrate is a scaled simulator, so the absolute slopes differ; the
+//! shape to preserve is the **ordering** c_FL ≥ c_B ≥ c_HPC (bandwidth-
+//! starved regimes favour larger thresholds). One Θ sweep per model serves
+//! all three environments (wall-time is a post-hoc model).
+
+use fda_bench::report::Table;
+use fda_bench::scale::Scale;
+use fda_core::experiments::spec_for;
+use fda_core::harness::RunConfig;
+use fda_core::sweeps::Algo;
+use fda_core::theta::{best_theta, calibrate, paper_slope};
+use fda_core::cluster::ClusterConfig;
+use fda_comm::Environment;
+use fda_data::Partition;
+use fda_nn::zoo::ModelId;
+use fda_tensor::stats::fit_through_origin;
+
+fn main() {
+    let scale = Scale::from_env();
+    let models = match scale {
+        Scale::Tiny => vec![ModelId::Lenet5, ModelId::TransferHead],
+        Scale::Small => vec![ModelId::Lenet5, ModelId::Vgg16Star, ModelId::TransferHead],
+        Scale::Full => ModelId::ALL.to_vec(),
+    };
+
+    let mut t = Table::new(
+        "Fig 12 — wall-time per Θ and environment",
+        &["model", "d", "theta", "reached", "steps", "comm_bytes", "t_FL", "t_Bal", "t_HPC"],
+    );
+    // Per environment: the (d, Θ*) points used for the c fit.
+    let envs = Environment::all();
+    let mut fit_points: Vec<Vec<(f64, f64)>> = vec![Vec::new(); envs.len()];
+
+    for model in &models {
+        let spec = spec_for(*model);
+        let task = spec.make_task();
+        let d = model.build(0, 0).param_count();
+        let k = scale.pick(2usize, 3, 4);
+        let target = match model {
+            ModelId::Lenet5 => scale.pick(0.75f32, 0.85, 0.88),
+            ModelId::Vgg16Star => scale.pick(0.72, 0.85, 0.90),
+            ModelId::DenseNet121 | ModelId::DenseNet201 => scale.pick(0.60, 0.74, 0.78),
+            ModelId::TransferHead => scale.pick(0.60, 0.72, 0.76),
+        };
+        let run = RunConfig {
+            eval_every: 20,
+            eval_batch: 256,
+            ..RunConfig::to_target(target, scale.pick(600, 1_800, 3_000))
+        };
+        let thetas: Vec<f32> = if matches!(scale, Scale::Tiny) {
+            spec.thetas.iter().step_by(2).copied().collect()
+        } else {
+            spec.thetas.clone()
+        };
+        let mut make = |algo: Algo, theta: f32| {
+            let cc = ClusterConfig {
+                model: *model,
+                workers: k,
+                batch_size: spec.batch,
+                optimizer: spec.optimizer,
+                partition: Partition::Iid,
+                seed: 0xF16C,
+            };
+            algo.build(theta, cc, &task)
+        };
+        // The environment passed to `calibrate` only affects the wall-time
+        // column we recompute below per env, so calibrate once under FL.
+        let points = calibrate(Algo::LinearFda, &thetas, &envs[0], &mut make, &task, &run);
+        for p in &points {
+            let per_worker = p.result.comm_bytes / k as u64;
+            let msgs = p.result.steps + p.result.syncs;
+            let times: Vec<f64> = envs
+                .iter()
+                .map(|e| {
+                    if p.result.reached {
+                        e.wall_time(per_worker, p.result.steps, msgs)
+                    } else {
+                        f64::INFINITY
+                    }
+                })
+                .collect();
+            t.row(&[
+                model.name().to_string(),
+                d.to_string(),
+                format!("{}", p.theta),
+                p.result.reached.to_string(),
+                p.result.steps.to_string(),
+                p.result.comm_bytes.to_string(),
+                format!("{:.2}", times[0]),
+                format!("{:.2}", times[1]),
+                format!("{:.2}", times[2]),
+            ]);
+        }
+        // Θ* per environment for the c fit.
+        for (e_idx, env) in envs.iter().enumerate() {
+            let rescored: Vec<_> = points
+                .iter()
+                .map(|p| {
+                    let mut q = p.clone();
+                    let per_worker = p.result.comm_bytes / k as u64;
+                    let msgs = p.result.steps + p.result.syncs;
+                    q.wall_time = if p.result.reached {
+                        env.wall_time(per_worker, p.result.steps, msgs)
+                    } else {
+                        f64::INFINITY
+                    };
+                    q
+                })
+                .collect();
+            if let Some(best) = best_theta(&rescored) {
+                fit_points[e_idx].push((d as f64, best as f64));
+            }
+        }
+    }
+    t.print();
+    let _ = t.write_csv("fig12_theta_walltimes");
+
+    let mut fits = Table::new(
+        "Fig 12 — fitted Θ* ≈ c·d per environment",
+        &["environment", "c (ours)", "c (paper)", "points"],
+    );
+    let mut cs = Vec::new();
+    for (env, pts) in envs.iter().zip(&fit_points) {
+        let xs: Vec<f64> = pts.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
+        let c = fit_through_origin(&xs, &ys);
+        cs.push(c);
+        fits.row(&[
+            env.name.to_string(),
+            format!("{c:.3e}"),
+            format!("{:.2e}", paper_slope(env.name)),
+            format!("{pts:?}"),
+        ]);
+    }
+    fits.print();
+    let _ = fits.write_csv("fig12_fits");
+    println!(
+        "\nshape check — slope ordering c_FL >= c_B >= c_HPC: {}",
+        cs.windows(2).all(|w| w[0] >= w[1] - 1e-12)
+    );
+}

@@ -1,0 +1,97 @@
+//! **Figure 4** — VGG16* on MNIST: six panels (two accuracy targets ×
+//! three heterogeneity settings). The paper's point here is *diminishing
+//! returns*: the last sliver of accuracy costs FedAdam/Synchronous several
+//! times more communication and computation, while the FDA variants barely
+//! move.
+//!
+//! We run each grid cell once to the **higher** target and read the cost
+//! of the lower target off the evaluation trace, then print both panels'
+//! clouds and the cost-inflation ratios between targets.
+
+use fda_bench::figures::{clouds_at_target, print_clouds, print_shape_checks, print_sweep};
+use fda_bench::scale::Scale;
+use fda_core::experiments::spec_for;
+use fda_core::harness::RunConfig;
+use fda_core::sweeps::{run_grid, GridSpec};
+use fda_data::Partition;
+use fda_nn::zoo::ModelId;
+
+fn main() {
+    let scale = Scale::from_env();
+    let spec = spec_for(ModelId::Vgg16Star);
+    let task = spec.make_task();
+
+    let partitions: Vec<Partition> = match scale {
+        Scale::Tiny => vec![Partition::Iid],
+        Scale::Small => vec![Partition::Iid, Partition::NonIidLabel(0)],
+        Scale::Full => vec![
+            Partition::Iid,
+            Partition::NonIidLabel(0),
+            Partition::NonIidLabel(8),
+        ],
+    };
+    let (target_lo, target_hi) = match scale {
+        Scale::Tiny => (0.70f32, 0.78),
+        Scale::Small => (0.84, 0.88),
+        Scale::Full => (0.88, 0.91),
+    };
+    let max_steps = scale.pick(600u64, 1_600, 2_600);
+    let ks = scale.pick(vec![2usize], vec![3], vec![3, 6]);
+    let thetas = match scale {
+        Scale::Tiny => vec![0.2f32],
+        _ => vec![0.1, 0.5],
+    };
+
+    for partition in partitions {
+        let grid = GridSpec {
+            model: spec.model,
+            optimizer: spec.optimizer,
+            batch_size: spec.batch,
+            partition,
+            ks: ks.clone(),
+            thetas: thetas.clone(),
+            algos: spec.algos.clone(),
+            run: RunConfig {
+                eval_every: 20,
+                eval_batch: 256,
+                ..RunConfig::to_target(target_hi, max_steps)
+            },
+            seed: 0xF164,
+        };
+        let points = run_grid(&grid, &task);
+        let label = partition.label().replace([' ', ':', '"', '%'], "_");
+        print_sweep(
+            &format!("Fig 4 raw sweep — VGG16* / synth-mnist, {}", partition.label()),
+            &points,
+            &format!("fig4_raw_{label}"),
+        );
+        for target in [target_lo, target_hi] {
+            let clouds = clouds_at_target(&points, target);
+            print_clouds(
+                &format!(
+                    "Fig 4 — VGG16* / synth-mnist, {}, Accuracy Target {target}",
+                    partition.label()
+                ),
+                &clouds,
+                &format!("fig4_clouds_{label}_t{}", (target * 100.0) as u32),
+            );
+            print_shape_checks(&clouds);
+        }
+        // Diminishing-returns ratios: cost(target_hi) / cost(target_lo).
+        println!("\ndiminishing returns (cost inflation from {target_lo} to {target_hi}):");
+        let lo = clouds_at_target(&points, target_lo);
+        let hi = clouds_at_target(&points, target_hi);
+        for (c_lo, c_hi) in lo.iter().zip(&hi) {
+            if c_lo.comm.is_empty() || c_hi.comm.is_empty() {
+                println!("  {:<12} (insufficient reached runs)", c_lo.algo);
+                continue;
+            }
+            println!(
+                "  {:<12} comm x{:<6.2} steps x{:<6.2}",
+                c_lo.algo,
+                c_hi.gm_comm() / c_lo.gm_comm(),
+                c_hi.gm_steps() / c_lo.gm_steps()
+            );
+        }
+    }
+}

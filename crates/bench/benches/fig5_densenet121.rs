@@ -1,0 +1,44 @@
+//! **Figure 5** — DenseNet121 on CIFAR-10 (IID): (comm, steps) clouds at
+//! two accuracy targets. Expected shape: Synchronous bottom-right (cheap
+//! compute, enormous communication), FedAvgM reduces communication at a
+//! steep computation price, FDA variants bottom-left on both axes; the
+//! step from the lower to the higher target inflates FedAvgM/Synchronous
+//! costs by about half an order of magnitude while FDA barely moves.
+
+use fda_bench::figures::run_iid_cloud_figure;
+use fda_bench::scale::Scale;
+use fda_core::experiments::spec_for;
+use fda_core::harness::RunConfig;
+use fda_core::sweeps::GridSpec;
+use fda_data::Partition;
+use fda_nn::zoo::ModelId;
+
+fn main() {
+    let scale = Scale::from_env();
+    let spec = spec_for(ModelId::DenseNet121);
+    let task = spec.make_task();
+    let (target_lo, target_hi) = match scale {
+        Scale::Tiny => (0.55f32, 0.65),
+        Scale::Small => (0.72, 0.76),
+        Scale::Full => (0.78, 0.81),
+    };
+    let grid = GridSpec {
+        model: spec.model,
+        optimizer: spec.optimizer,
+        batch_size: spec.batch,
+        partition: Partition::Iid,
+        ks: scale.pick(vec![2usize], vec![3], vec![4, 6]),
+        thetas: match scale {
+            Scale::Tiny => vec![1.0f32],
+            _ => vec![0.5, 2.0],
+        },
+        algos: spec.algos.clone(),
+        run: RunConfig {
+            eval_every: 25,
+            eval_batch: 256,
+            ..RunConfig::to_target(target_hi, scale.pick(500, 1_800, 3_500))
+        },
+        seed: 0xF165,
+    };
+    run_iid_cloud_figure("Fig 5", &grid, &task, &[target_lo, target_hi]);
+}

@@ -1,0 +1,41 @@
+//! **Figure 6** — DenseNet201 on CIFAR-10 (IID): the same panel structure
+//! as Figure 5 on the larger model, where synchronization payloads are
+//! ~2× DenseNet121's and FDA's savings grow accordingly.
+
+use fda_bench::figures::run_iid_cloud_figure;
+use fda_bench::scale::Scale;
+use fda_core::experiments::spec_for;
+use fda_core::harness::RunConfig;
+use fda_core::sweeps::GridSpec;
+use fda_data::Partition;
+use fda_nn::zoo::ModelId;
+
+fn main() {
+    let scale = Scale::from_env();
+    let spec = spec_for(ModelId::DenseNet201);
+    let task = spec.make_task();
+    let (target_lo, target_hi) = match scale {
+        Scale::Tiny => (0.55f32, 0.65),
+        Scale::Small => (0.72, 0.76),
+        Scale::Full => (0.78, 0.80),
+    };
+    let grid = GridSpec {
+        model: spec.model,
+        optimizer: spec.optimizer,
+        batch_size: spec.batch,
+        partition: Partition::Iid,
+        ks: scale.pick(vec![2usize], vec![3], vec![4, 6]),
+        thetas: match scale {
+            Scale::Tiny => vec![1.2f32],
+            _ => vec![0.6, 2.5],
+        },
+        algos: spec.algos.clone(),
+        run: RunConfig {
+            eval_every: 25,
+            eval_batch: 256,
+            ..RunConfig::to_target(target_hi, scale.pick(500, 1_800, 3_500))
+        },
+        seed: 0xF166,
+    };
+    run_iid_cloud_figure("Fig 6", &grid, &task, &[target_lo, target_hi]);
+}

@@ -1,0 +1,38 @@
+//! **Figure 8** — LeNet-5 on MNIST: communication and computation as a
+//! function of the number of workers K (top, fixed Θ) and of the variance
+//! threshold Θ (bottom, fixed K), at a fixed accuracy target.
+//!
+//! Paper shapes to preserve: scaling K up does not reduce computation for
+//! this small model but inflates everyone's communication except
+//! Synchronous's (constant, but orders of magnitude above FDA); larger Θ
+//! trades communication down for a mild computation increase.
+
+use fda_bench::figures::run_scaling_figure;
+use fda_bench::scale::Scale;
+use fda_core::experiments::spec_for;
+use fda_core::harness::RunConfig;
+use fda_nn::zoo::ModelId;
+
+fn main() {
+    let scale = Scale::from_env();
+    let spec = spec_for(ModelId::Lenet5);
+    let task = spec.make_task();
+    let run = RunConfig {
+        eval_every: 20,
+        eval_batch: 256,
+        ..RunConfig::to_target(scale.pick(0.75, 0.85, 0.88), scale.pick(800, 2_000, 3_000))
+    };
+    run_scaling_figure(
+        "Fig 8",
+        spec.model,
+        spec.optimizer,
+        spec.batch,
+        &spec.algos,
+        &task,
+        &scale.pick(vec![2usize, 3], vec![2, 4, 6], vec![2, 4, 6, 8, 10, 12]),
+        0.05,
+        &scale.pick(vec![0.02f32, 0.1], vec![0.01, 0.05, 0.2], spec.thetas.clone()),
+        scale.pick(3usize, 4, 6),
+        run,
+    );
+}

@@ -1,0 +1,32 @@
+//! **Figure 9** — VGG16* on MNIST: the Figure-8 panels on the larger
+//! MNIST model (K sweep at fixed Θ on top, Θ sweep at fixed K below).
+
+use fda_bench::figures::run_scaling_figure;
+use fda_bench::scale::Scale;
+use fda_core::experiments::spec_for;
+use fda_core::harness::RunConfig;
+use fda_nn::zoo::ModelId;
+
+fn main() {
+    let scale = Scale::from_env();
+    let spec = spec_for(ModelId::Vgg16Star);
+    let task = spec.make_task();
+    let run = RunConfig {
+        eval_every: 20,
+        eval_batch: 256,
+        ..RunConfig::to_target(scale.pick(0.72, 0.85, 0.90), scale.pick(600, 1_500, 2_600))
+    };
+    run_scaling_figure(
+        "Fig 9",
+        spec.model,
+        spec.optimizer,
+        spec.batch,
+        &spec.algos,
+        &task,
+        &scale.pick(vec![2usize], vec![2, 4], vec![2, 4, 6, 8]),
+        0.2,
+        &scale.pick(vec![0.1f32], vec![0.1, 0.5], spec.thetas.clone()),
+        scale.pick(2usize, 3, 6),
+        run,
+    );
+}

@@ -1,0 +1,47 @@
+//! Micro-benchmarks for the communication substrate: the simulated
+//! AllReduce arithmetic at model scale, and the real threaded rendezvous
+//! AllReduce.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fda_comm::{SimNetwork, ThreadedReducer};
+use std::time::Duration;
+
+fn bench_comm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("comm");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    for &(k, n) in &[(4usize, 16_384usize), (8, 16_384), (8, 131_072)] {
+        g.bench_function(format!("sim_allreduce_k{k}_n{n}"), |b| {
+            let mut net = SimNetwork::new(k);
+            let bufs: Vec<Vec<f32>> = (0..k).map(|i| vec![i as f32; n]).collect();
+            b.iter(|| {
+                let mut local = bufs.clone();
+                net.allreduce_mean(black_box(&mut local));
+                black_box(local);
+            })
+        });
+    }
+    g.bench_function("threaded_allreduce_k4_n16384", |b| {
+        b.iter(|| {
+            let r = ThreadedReducer::new(4);
+            let outs: Vec<Vec<f32>> = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = (0..4)
+                    .map(|id| {
+                        let r = r.clone();
+                        scope.spawn(move |_| {
+                            let mut buf = vec![id as f32; 16_384];
+                            r.allreduce(&mut buf);
+                            buf
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+            .unwrap();
+            black_box(outs);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_comm);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Micro-benchmarks for the AMS sketch (the per-step cost SketchFDA adds
+//! at every worker): sketching a drift vector, estimating ‖·‖², and the
+//! linear combination performed by the state AllReduce.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fda_sketch::{AmsSketch, SketchConfig};
+use fda_tensor::Rng;
+use std::time::Duration;
+
+fn bench_sketch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sketch");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    for &dim in &[4_096usize, 44_000] {
+        let config = SketchConfig::paper_default();
+        let plan = config.build_plan(dim);
+        let mut v = vec![0.0f32; dim];
+        Rng::new(1).fill_normal(&mut v, 0.0, 1.0);
+        let mut out = AmsSketch::zeros(config.rows, config.cols);
+        g.bench_function(format!("update_d{dim}"), |b| {
+            b.iter(|| plan.sketch_into(black_box(&v), &mut out))
+        });
+        let sk = plan.sketch(&v);
+        g.bench_function(format!("estimate_d{dim}"), |b| {
+            b.iter(|| black_box(sk.estimate_sq_norm()))
+        });
+    }
+    // The AllReduce arithmetic on sketches (K = 8 averaging).
+    let config = SketchConfig::paper_default();
+    let plan = config.build_plan(10_000);
+    let sketches: Vec<AmsSketch> = (0..8)
+        .map(|i| {
+            let mut v = vec![0.0f32; 10_000];
+            Rng::new(i).fill_normal(&mut v, 0.0, 1.0);
+            plan.sketch(&v)
+        })
+        .collect();
+    let refs: Vec<&AmsSketch> = sketches.iter().collect();
+    g.bench_function("average_k8", |b| {
+        b.iter(|| black_box(AmsSketch::average(black_box(&refs))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sketch);
+criterion_main!(benches);

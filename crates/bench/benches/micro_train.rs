@@ -1,0 +1,52 @@
+//! Micro-benchmarks for the training substrate: one in-parallel cluster
+//! step per zoo model (forward + backward + optimizer on every worker) and
+//! one full FDA step (local step + state AllReduce + monitor estimate).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fda_core::cluster::{Cluster, ClusterConfig};
+use fda_core::experiments::spec_for;
+use fda_core::fda::{Fda, FdaConfig};
+use fda_core::strategy::Strategy;
+use fda_data::Partition;
+use fda_nn::zoo::ModelId;
+use std::time::Duration;
+
+fn cluster_for(model: ModelId, k: usize) -> (Cluster, fda_data::TaskData) {
+    let spec = spec_for(model);
+    let task = spec.make_task();
+    let cc = ClusterConfig {
+        model,
+        workers: k,
+        batch_size: spec.batch,
+        optimizer: spec.optimizer,
+        partition: Partition::Iid,
+        seed: 3,
+    };
+    (Cluster::new(cc, &task), task)
+}
+
+fn bench_train(c: &mut Criterion) {
+    let mut g = c.benchmark_group("train");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for model in [ModelId::Lenet5, ModelId::DenseNet121, ModelId::TransferHead] {
+        let (mut cluster, _task) = cluster_for(model, 4);
+        g.bench_function(format!("local_step_k4_{}", model.name()), |b| {
+            b.iter(|| black_box(cluster.local_step()))
+        });
+    }
+    // Full FDA steps: the marginal cost of monitoring over plain training.
+    for (tag, cfg) in [
+        ("linear", FdaConfig::linear(f32::MAX)),
+        ("sketch", FdaConfig::sketch_auto(f32::MAX)),
+    ] {
+        let (cluster, _task) = cluster_for(ModelId::Lenet5, 4);
+        let mut fda = Fda::over_cluster(cfg, cluster);
+        g.bench_function(format!("fda_step_k4_lenet_{tag}"), |b| {
+            b.iter(|| black_box(fda.step()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_train);
+criterion_main!(benches);

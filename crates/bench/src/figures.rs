@@ -1,0 +1,355 @@
+//! Shared plumbing for the figure benches: cloud summaries, paper-style
+//! tables, and the qualitative shape checks each figure must preserve.
+
+use crate::report::{fmt_bytes, Table};
+use fda_core::harness::TracePoint;
+use fda_core::sweeps::SweepPoint;
+use fda_tensor::stats::{geometric_mean, Summary};
+
+/// The (communication, computation) cloud of one algorithm at one target —
+/// the numeric content of the paper's KDE plots (Figures 3–6).
+#[derive(Debug, Clone)]
+pub struct Cloud {
+    /// Algorithm display name.
+    pub algo: String,
+    /// Communication samples in bytes (one per reached grid cell).
+    pub comm: Vec<f64>,
+    /// Computation samples in in-parallel steps.
+    pub steps: Vec<f64>,
+}
+
+impl Cloud {
+    /// Geometric-mean communication (bytes); 0 when empty.
+    pub fn gm_comm(&self) -> f64 {
+        geometric_mean(&self.comm)
+    }
+
+    /// Geometric-mean steps; 0 when empty.
+    pub fn gm_steps(&self) -> f64 {
+        geometric_mean(&self.steps)
+    }
+}
+
+/// Extracts per-algorithm clouds at a given accuracy target from sweep
+/// points (using each run's trace, so one sweep serves several targets).
+pub fn clouds_at_target(points: &[SweepPoint], target: f32) -> Vec<Cloud> {
+    let mut order: Vec<String> = Vec::new();
+    for p in points {
+        if !order.contains(&p.algo) {
+            order.push(p.algo.clone());
+        }
+    }
+    order
+        .into_iter()
+        .map(|algo| {
+            let mut comm = Vec::new();
+            let mut steps = Vec::new();
+            for p in points.iter().filter(|p| p.algo == algo) {
+                if let Some(tp) = p.result.cost_at(target) {
+                    comm.push(tp.comm_bytes as f64);
+                    steps.push(tp.step as f64);
+                }
+            }
+            Cloud { algo, comm, steps }
+        })
+        .collect()
+}
+
+/// Prints the KDE-cloud numerics for one panel: per algorithm, the
+/// quartiles of communication and steps at the target.
+pub fn print_clouds(title: &str, clouds: &[Cloud], csv_name: &str) {
+    let mut t = Table::new(
+        title,
+        &[
+            "algorithm", "runs", "comm_q1", "comm_median", "comm_q3", "steps_q1", "steps_median",
+            "steps_q3",
+        ],
+    );
+    for c in clouds {
+        let sc = Summary::of(&c.comm);
+        let ss = Summary::of(&c.steps);
+        t.row(&[
+            c.algo.clone(),
+            format!("{}", sc.n),
+            fmt_bytes(sc.q1),
+            fmt_bytes(sc.median),
+            fmt_bytes(sc.q3),
+            format!("{:.0}", ss.q1),
+            format!("{:.0}", ss.median),
+            format!("{:.0}", ss.q3),
+        ]);
+    }
+    t.print();
+    if let Err(e) = t.write_csv(csv_name) {
+        eprintln!("(csv write failed: {e})");
+    }
+}
+
+/// Prints one row per grid cell (the raw sweep), CSV included.
+pub fn print_sweep(title: &str, points: &[SweepPoint], csv_name: &str) {
+    let mut t = Table::new(
+        title,
+        &[
+            "algorithm",
+            "K",
+            "theta",
+            "distribution",
+            "reached",
+            "steps",
+            "syncs",
+            "comm_bytes",
+            "best_acc",
+        ],
+    );
+    for p in points {
+        t.row(&[
+            p.algo.clone(),
+            p.k.to_string(),
+            format!("{}", p.theta),
+            p.partition.clone(),
+            p.result.reached.to_string(),
+            p.result.steps.to_string(),
+            p.result.syncs.to_string(),
+            p.result.comm_bytes.to_string(),
+            format!("{:.4}", p.result.best_test_acc),
+        ]);
+    }
+    t.print();
+    if let Err(e) = t.write_csv(csv_name) {
+        eprintln!("(csv write failed: {e})");
+    }
+}
+
+/// Prints the qualitative verdicts the paper's figure supports: FDA's
+/// communication advantage over each baseline at comparable computation.
+pub fn print_shape_checks(clouds: &[Cloud]) {
+    let find = |name: &str| clouds.iter().find(|c| c.algo == name);
+    let fda_best = ["LinearFDA", "SketchFDA"]
+        .iter()
+        .filter_map(|n| find(n))
+        .filter(|c| !c.comm.is_empty())
+        .min_by(|a, b| a.gm_comm().partial_cmp(&b.gm_comm()).expect("no NaN"));
+    let Some(fda) = fda_best else {
+        println!("shape-check: no FDA runs reached the target");
+        return;
+    };
+    println!("\nshape checks (geometric means across the grid):");
+    for baseline in ["Synchronous", "FedAdam", "FedAvgM", "FedAvg"] {
+        if let Some(b) = find(baseline) {
+            if b.comm.is_empty() {
+                println!("  vs {baseline:<12} - baseline never reached the target");
+                continue;
+            }
+            let comm_ratio = b.gm_comm() / fda.gm_comm();
+            let steps_ratio = b.gm_steps() / fda.gm_steps();
+            println!(
+                "  vs {baseline:<12} comm x{comm_ratio:<8.1} steps x{steps_ratio:<6.2}  ({} wins comm: {})",
+                fda.algo,
+                comm_ratio > 1.0
+            );
+        }
+    }
+}
+
+/// Prints a Figure-7-style accuracy progression table from one trace.
+pub fn print_trace(title: &str, algo: &str, trace: &[TracePoint], csv_name: &str) {
+    let mut t = Table::new(
+        title,
+        &["algorithm", "step", "train_acc", "test_acc", "comm_bytes", "syncs"],
+    );
+    for p in trace {
+        t.row(&[
+            algo.to_string(),
+            p.step.to_string(),
+            format!("{:.4}", p.train_acc),
+            format!("{:.4}", p.test_acc),
+            p.comm_bytes.to_string(),
+            p.syncs.to_string(),
+        ]);
+    }
+    t.print();
+    if let Err(e) = t.write_csv(csv_name) {
+        eprintln!("(csv write failed: {e})");
+    }
+}
+
+/// Runs one IID grid and prints cloud panels for several accuracy targets
+/// — the shared skeleton of Figures 5 and 6 (DenseNets on CIFAR-10).
+///
+/// Each grid cell runs once to the highest target; lower targets are read
+/// off the evaluation traces.
+pub fn run_iid_cloud_figure(
+    fig: &str,
+    grid: &fda_core::sweeps::GridSpec,
+    task: &fda_data::TaskData,
+    targets: &[f32],
+) {
+    let points = fda_core::sweeps::run_grid(grid, task);
+    print_sweep(
+        &format!("{fig} raw sweep — {} / {}", grid.model.name(), task.name),
+        &points,
+        &format!("{}_raw", fig.to_lowercase().replace(' ', "")),
+    );
+    for &target in targets {
+        let clouds = clouds_at_target(&points, target);
+        print_clouds(
+            &format!(
+                "{fig} — {} / {}, IID, Accuracy Target {target}",
+                grid.model.name(),
+                task.name
+            ),
+            &clouds,
+            &format!(
+                "{}_clouds_t{}",
+                fig.to_lowercase().replace(' ', ""),
+                (target * 100.0) as u32
+            ),
+        );
+        print_shape_checks(&clouds);
+    }
+}
+
+/// The shared skeleton of Figures 8–11: for one model,
+///
+/// * **top panels** — sweep K at a fixed Θ and report communication and
+///   steps per algorithm (Synchronous communication should stay constant
+///   in K under the paper's accounting; FDA communication grows mildly);
+/// * **bottom panels** — sweep Θ at a fixed K for the two FDA variants
+///   (communication falls with Θ; computation rises mildly).
+#[allow(clippy::too_many_arguments)]
+pub fn run_scaling_figure(
+    fig: &str,
+    model: fda_nn::zoo::ModelId,
+    optimizer: fda_optim::OptimizerKind,
+    batch: usize,
+    algos: &[fda_core::sweeps::Algo],
+    task: &fda_data::TaskData,
+    ks: &[usize],
+    fixed_theta: f32,
+    thetas: &[f32],
+    fixed_k: usize,
+    run: fda_core::harness::RunConfig,
+) {
+    use fda_core::sweeps::{run_grid, Algo, GridSpec};
+    let tag = fig.to_lowercase().replace(' ', "");
+
+    // Top: K sweep at fixed Θ.
+    let top = GridSpec {
+        model,
+        optimizer,
+        batch_size: batch,
+        partition: fda_data::Partition::Iid,
+        ks: ks.to_vec(),
+        thetas: vec![fixed_theta],
+        algos: algos.to_vec(),
+        run,
+        seed: 0xF168,
+    };
+    let top_points = run_grid(&top, task);
+    print_sweep(
+        &format!("{fig} (top) — {} , IID , theta = {fixed_theta}, K sweep", model.name()),
+        &top_points,
+        &format!("{tag}_k_sweep"),
+    );
+    // Constant-in-K check for Synchronous communication.
+    let sync_comm: Vec<u64> = top_points
+        .iter()
+        .filter(|p| p.algo == "Synchronous" && p.result.reached)
+        .map(|p| p.result.comm_bytes)
+        .collect();
+    if sync_comm.len() >= 2 {
+        let spread = *sync_comm.iter().max().unwrap() as f64
+            / *sync_comm.iter().min().unwrap() as f64;
+        println!(
+            "\nSynchronous comm across K: {sync_comm:?} (max/min = {spread:.2} — \
+             grows only through convergence-length changes, paper: ~constant)"
+        );
+    }
+
+    // Bottom: Θ sweep at fixed K for the FDA variants.
+    let bottom = GridSpec {
+        model,
+        optimizer,
+        batch_size: batch,
+        partition: fda_data::Partition::Iid,
+        ks: vec![fixed_k],
+        thetas: thetas.to_vec(),
+        algos: vec![Algo::LinearFda, Algo::SketchFda],
+        run,
+        seed: 0xF169,
+    };
+    let bottom_points = run_grid(&bottom, task);
+    print_sweep(
+        &format!("{fig} (bottom) — {} , IID , K = {fixed_k}, theta sweep", model.name()),
+        &bottom_points,
+        &format!("{tag}_theta_sweep"),
+    );
+    // Monotonicity note: communication should fall as Θ rises.
+    for variant in ["LinearFDA", "SketchFDA"] {
+        let series: Vec<(f32, u64)> = bottom_points
+            .iter()
+            .filter(|p| p.algo == variant && p.result.reached)
+            .map(|p| (p.theta, p.result.comm_bytes))
+            .collect();
+        let falling = series.windows(2).filter(|w| w[1].1 <= w[0].1).count();
+        println!(
+            "{variant}: comm vs theta {series:?} — non-increasing on {falling}/{} adjacent pairs",
+            series.len().saturating_sub(1)
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fda_core::harness::RunResult;
+
+    fn point(algo: &str, reached: bool, acc: f32, bytes: u64, step: u64) -> SweepPoint {
+        SweepPoint {
+            algo: algo.into(),
+            k: 2,
+            theta: 0.1,
+            partition: "IID".into(),
+            result: RunResult {
+                strategy: algo.into(),
+                reached,
+                steps: step,
+                comm_bytes: bytes,
+                syncs: 1,
+                best_test_acc: acc,
+                trace: vec![TracePoint {
+                    step,
+                    comm_bytes: bytes,
+                    syncs: 1,
+                    test_acc: acc,
+                    train_acc: f32::NAN,
+                }],
+            },
+        }
+    }
+
+    #[test]
+    fn clouds_filter_by_target() {
+        let points = vec![
+            point("A", true, 0.9, 100, 10),
+            point("A", true, 0.5, 50, 5),
+            point("B", true, 0.95, 1000, 8),
+        ];
+        let clouds = clouds_at_target(&points, 0.8);
+        let a = clouds.iter().find(|c| c.algo == "A").unwrap();
+        assert_eq!(a.comm, vec![100.0]);
+        let b = clouds.iter().find(|c| c.algo == "B").unwrap();
+        assert_eq!(b.steps, vec![8.0]);
+    }
+
+    #[test]
+    fn cloud_geometric_means() {
+        let c = Cloud {
+            algo: "A".into(),
+            comm: vec![10.0, 1000.0],
+            steps: vec![4.0, 16.0],
+        };
+        assert!((c.gm_comm() - 100.0).abs() < 1e-9);
+        assert!((c.gm_steps() - 8.0).abs() < 1e-9);
+    }
+}

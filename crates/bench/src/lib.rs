@@ -1,0 +1,10 @@
+//! # fda-bench
+//!
+//! Shared utilities for the benchmark harnesses that regenerate every table
+//! and figure of the FDA paper. The actual experiments live in
+//! `benches/` (one file per paper artifact, `harness = false` so each
+//! prints paper-style rows under `cargo bench`).
+
+pub mod figures;
+pub mod report;
+pub mod scale;

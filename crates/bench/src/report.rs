@@ -1,0 +1,163 @@
+//! Plain-text tables and CSV emission for the figure/table harnesses.
+//!
+//! Every bench prints the same rows/series the paper reports and also
+//! writes a CSV under `target/fda-results/` so the figures can be replotted
+//! offline. CSV writing is hand-rolled (no serde): values are numeric or
+//! simple identifiers, so quoting rules are trivial.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// A simple column-aligned text table printed to stdout.
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "table row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n=== {} ===\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                line.push_str(&format!("{:>width$}  ", c, width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Writes the table as CSV into `target/fda-results/<name>.csv`.
+    pub fn write_csv(&self, name: &str) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut f = fs::File::create(&path)?;
+        writeln!(f, "{}", self.header.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(path)
+    }
+}
+
+/// The directory where benches drop CSV artifacts:
+/// `<workspace target dir>/fda-results`.
+pub fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
+        return PathBuf::from(dir).join("fda-results");
+    }
+    // Bench binaries run with CWD = the bench crate; walk up to the
+    // workspace root (the directory holding Cargo.lock) so artifacts land
+    // in the top-level target/ no matter which crate invoked us.
+    let mut cur = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if cur.join("Cargo.lock").exists() {
+            return cur.join("target").join("fda-results");
+        }
+        if !cur.pop() {
+            return PathBuf::from("target").join("fda-results");
+        }
+    }
+}
+
+/// Formats a byte count the way the paper's axes do (GB with 3 significant
+/// digits, falling back to MB/KB for small values).
+pub fn fmt_bytes(bytes: f64) -> String {
+    const KB: f64 = 1e3;
+    const MB: f64 = 1e6;
+    const GB: f64 = 1e9;
+    if bytes >= GB {
+        format!("{:.3} GB", bytes / GB)
+    } else if bytes >= MB {
+        format!("{:.3} MB", bytes / MB)
+    } else if bytes >= KB {
+        format!("{:.3} KB", bytes / KB)
+    } else {
+        format!("{bytes:.0} B")
+    }
+}
+
+/// Formats a ratio as `N.N×`.
+pub fn fmt_ratio(r: f64) -> String {
+    if r >= 100.0 {
+        format!("{r:.0}x")
+    } else {
+        format!("{r:.1}x")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["a", "bbbb"]);
+        t.row(&["1".into(), "2".into()]);
+        t.row(&["333".into(), "4".into()]);
+        let s = t.render();
+        assert!(s.contains("=== demo ==="));
+        assert!(s.contains("333"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = Table::new("demo", &["a"]);
+        t.row(&["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn bytes_formatting() {
+        assert_eq!(fmt_bytes(500.0), "500 B");
+        assert_eq!(fmt_bytes(2_000.0), "2.000 KB");
+        assert_eq!(fmt_bytes(3_500_000.0), "3.500 MB");
+        assert_eq!(fmt_bytes(1.25e9), "1.250 GB");
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(fmt_ratio(2.5), "2.5x");
+        assert_eq!(fmt_ratio(150.0), "150x");
+    }
+}

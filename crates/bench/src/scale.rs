@@ -1,0 +1,57 @@
+//! Benchmark scale control.
+//!
+//! The paper's full grid is >1000 training runs on an HPC cluster. The
+//! `FDA_SCALE` environment variable selects how much of that grid the
+//! benches sweep locally:
+//!
+//! * `tiny`  — smoke-test sweeps (seconds; CI-friendly).
+//! * `small` — default; reproduces every qualitative shape in minutes.
+//! * `full`  — widest local sweep (more K and Θ values, more seeds).
+
+/// Sweep breadth selected via the `FDA_SCALE` environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Smoke-test scale.
+    Tiny,
+    /// Default scale.
+    Small,
+    /// Widest local scale.
+    Full,
+}
+
+impl Scale {
+    /// Reads `FDA_SCALE` (defaults to [`Scale::Small`]; unknown values fall
+    /// back to the default with a note on stderr).
+    pub fn from_env() -> Scale {
+        match std::env::var("FDA_SCALE").as_deref() {
+            Ok("tiny") => Scale::Tiny,
+            Ok("full") => Scale::Full,
+            Ok("small") | Err(_) => Scale::Small,
+            Ok(other) => {
+                eprintln!("FDA_SCALE={other} not recognized; using 'small'");
+                Scale::Small
+            }
+        }
+    }
+
+    /// Picks one of three values by scale (consumes all three).
+    pub fn pick<T>(self, tiny: T, small: T, full: T) -> T {
+        match self {
+            Scale::Tiny => tiny,
+            Scale::Small => small,
+            Scale::Full => full,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pick_selects_by_scale() {
+        assert_eq!(Scale::Tiny.pick(1, 2, 3), 1);
+        assert_eq!(Scale::Small.pick(1, 2, 3), 2);
+        assert_eq!(Scale::Full.pick(1, 2, 3), 3);
+    }
+}

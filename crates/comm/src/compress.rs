@@ -1,0 +1,262 @@
+//! Payload compression codecs.
+//!
+//! The paper (§2, "Compression") emphasizes that FDA is *orthogonal* to
+//! message-size reduction: FDA decides **when** to synchronize; codecs
+//! shrink **what** is transmitted, and any technique effective under
+//! BSP/Local-SGD transfers unchanged. This module provides the two
+//! standard families so that composition can be demonstrated and measured:
+//!
+//! * [`Uniform8Bit`] — linear quantization of each chunk to `u8` with a
+//!   per-chunk scale (4× smaller payloads, bounded per-element error);
+//! * [`TopK`] — magnitude sparsification keeping the `k` largest entries
+//!   as (index, value) pairs.
+//!
+//! Codecs report their exact wire size so the byte accounting stays
+//! honest when a synchronization payload is compressed.
+
+/// A lossy vector codec with exact wire-size accounting.
+pub trait Codec: Send {
+    /// Codec name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Encoded size in bytes for a vector of length `n`.
+    fn encoded_bytes(&self, n: usize) -> u64;
+
+    /// Encodes and immediately decodes (the simulator never materializes
+    /// byte buffers for payloads; fidelity loss and size are what matter).
+    /// Returns the reconstruction.
+    fn roundtrip(&self, v: &[f32]) -> Vec<f32>;
+}
+
+/// The identity codec: full-precision `f32` payloads.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Dense32;
+
+impl Codec for Dense32 {
+    fn name(&self) -> &'static str {
+        "dense-f32"
+    }
+
+    fn encoded_bytes(&self, n: usize) -> u64 {
+        n as u64 * 4
+    }
+
+    fn roundtrip(&self, v: &[f32]) -> Vec<f32> {
+        v.to_vec()
+    }
+}
+
+/// Linear 8-bit quantization with per-chunk min/max scaling.
+///
+/// Each chunk of `chunk` values is mapped to `u8` levels over its own
+/// `[min, max]` range; wire cost is `n` bytes plus 8 bytes (two `f32`) per
+/// chunk. Maximum per-element error is `(max − min)/510` per chunk.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform8Bit {
+    chunk: usize,
+}
+
+impl Uniform8Bit {
+    /// Creates the codec with the given chunk length.
+    ///
+    /// # Panics
+    /// Panics if `chunk == 0`.
+    pub fn new(chunk: usize) -> Uniform8Bit {
+        assert!(chunk >= 1, "quantizer: chunk must be positive");
+        Uniform8Bit { chunk }
+    }
+}
+
+impl Default for Uniform8Bit {
+    fn default() -> Self {
+        Uniform8Bit::new(1024)
+    }
+}
+
+impl Codec for Uniform8Bit {
+    fn name(&self) -> &'static str {
+        "uniform-8bit"
+    }
+
+    fn encoded_bytes(&self, n: usize) -> u64 {
+        let chunks = n.div_ceil(self.chunk) as u64;
+        n as u64 + chunks * 8
+    }
+
+    fn roundtrip(&self, v: &[f32]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(v.len());
+        for chunk in v.chunks(self.chunk) {
+            let mut lo = f32::INFINITY;
+            let mut hi = f32::NEG_INFINITY;
+            for &x in chunk {
+                lo = lo.min(x);
+                hi = hi.max(x);
+            }
+            if !lo.is_finite() || !hi.is_finite() || hi <= lo {
+                // Constant (or degenerate) chunk: transmit the midpoint.
+                out.extend(chunk.iter().map(|_| if hi <= lo { lo } else { 0.0 }));
+                continue;
+            }
+            let scale = (hi - lo) / 255.0;
+            for &x in chunk {
+                let q = ((x - lo) / scale).round().clamp(0.0, 255.0) as u8;
+                out.push(lo + q as f32 * scale);
+            }
+        }
+        out
+    }
+}
+
+/// Magnitude top-k sparsification: keeps the `k` largest-|·| entries,
+/// zeroing the rest. Wire cost is `k` (index, value) pairs of 8 bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct TopK {
+    k: usize,
+}
+
+impl TopK {
+    /// Creates the codec keeping `k` entries.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> TopK {
+        assert!(k >= 1, "top-k: k must be positive");
+        TopK { k }
+    }
+
+    /// Keeps a fixed fraction of the entries (at least 1).
+    pub fn fraction(n: usize, frac: f64) -> TopK {
+        assert!((0.0..=1.0).contains(&frac), "top-k: fraction in [0, 1]");
+        TopK::new(((n as f64 * frac) as usize).max(1))
+    }
+}
+
+impl Codec for TopK {
+    fn name(&self) -> &'static str {
+        "top-k"
+    }
+
+    fn encoded_bytes(&self, n: usize) -> u64 {
+        (self.k.min(n) as u64) * 8
+    }
+
+    fn roundtrip(&self, v: &[f32]) -> Vec<f32> {
+        if self.k >= v.len() {
+            return v.to_vec();
+        }
+        // Select the k-th largest magnitude without a full sort.
+        let mut mags: Vec<f32> = v.iter().map(|x| x.abs()).collect();
+        let idx = mags.len() - self.k;
+        mags.select_nth_unstable_by(idx, |a, b| a.partial_cmp(b).expect("finite magnitudes"));
+        let threshold = mags[idx];
+        let mut kept = 0usize;
+        let mut out = vec![0.0f32; v.len()];
+        // Keep strictly-above first, then fill ties up to k deterministically.
+        for (o, &x) in out.iter_mut().zip(v) {
+            if x.abs() > threshold {
+                *o = x;
+                kept += 1;
+            }
+        }
+        if kept < self.k {
+            for (o, &x) in out.iter_mut().zip(v) {
+                if kept == self.k {
+                    break;
+                }
+                if *o == 0.0 && x.abs() == threshold && x != 0.0 {
+                    *o = x;
+                    kept += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = fda_tensor::Rng::new(seed);
+        let mut v = vec![0.0f32; n];
+        rng.fill_normal(&mut v, 0.0, 1.0);
+        v
+    }
+
+    #[test]
+    fn dense_is_lossless() {
+        let v = sample(100, 1);
+        assert_eq!(Dense32.roundtrip(&v), v);
+        assert_eq!(Dense32.encoded_bytes(100), 400);
+    }
+
+    #[test]
+    fn quantizer_error_bounded() {
+        let v = sample(5_000, 2);
+        let codec = Uniform8Bit::new(512);
+        let r = codec.roundtrip(&v);
+        assert_eq!(r.len(), v.len());
+        // Per-chunk bound: (hi − lo)/255/2; normal data stays within ~8σ,
+        // so |err| ≤ 16/510 ≈ 0.032 with slack.
+        for (a, b) in v.iter().zip(&r) {
+            assert!((a - b).abs() < 0.05, "quantization error too large: {a} vs {b}");
+        }
+        // 4×-ish compression.
+        assert!(codec.encoded_bytes(5_000) < Dense32.encoded_bytes(5_000) / 3);
+    }
+
+    #[test]
+    fn quantizer_handles_constant_chunks() {
+        let v = vec![3.25f32; 100];
+        let r = Uniform8Bit::new(32).roundtrip(&v);
+        assert_eq!(r, v, "constant chunks must be exact");
+    }
+
+    #[test]
+    fn topk_keeps_exactly_k_nonzeros() {
+        let v = sample(1_000, 3);
+        let codec = TopK::new(50);
+        let r = codec.roundtrip(&v);
+        let nonzero = r.iter().filter(|&&x| x != 0.0).count();
+        assert_eq!(nonzero, 50);
+        // Every kept value is one of the originals.
+        for (a, b) in v.iter().zip(&r) {
+            assert!(*b == 0.0 || a == b);
+        }
+    }
+
+    #[test]
+    fn topk_keeps_the_largest() {
+        let v = vec![0.1f32, -5.0, 0.2, 4.0, -0.3];
+        let r = TopK::new(2).roundtrip(&v);
+        assert_eq!(r, vec![0.0, -5.0, 0.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn topk_fraction_and_bytes() {
+        let codec = TopK::fraction(10_000, 0.01);
+        assert_eq!(codec.encoded_bytes(10_000), 100 * 8);
+        let full = TopK::new(20);
+        assert_eq!(full.roundtrip(&[1.0, 2.0]), vec![1.0, 2.0], "k >= n is lossless");
+    }
+
+    #[test]
+    fn composition_with_averaging_preserves_mean_roughly() {
+        // The FDA composition argument: quantize each worker's payload,
+        // average the reconstructions — the result stays close to the true
+        // average (error does not blow up across workers).
+        let k = 8;
+        let n = 2_000;
+        let codec = Uniform8Bit::default();
+        let workers: Vec<Vec<f32>> = (0..k).map(|i| sample(n, 100 + i as u64)).collect();
+        let refs: Vec<&[f32]> = workers.iter().map(|w| w.as_slice()).collect();
+        let true_mean = fda_tensor::vector::mean(&refs);
+        let recon: Vec<Vec<f32>> = workers.iter().map(|w| codec.roundtrip(w)).collect();
+        let rrefs: Vec<&[f32]> = recon.iter().map(|w| w.as_slice()).collect();
+        let approx_mean = fda_tensor::vector::mean(&rrefs);
+        for (a, b) in true_mean.iter().zip(&approx_mean) {
+            assert!((a - b).abs() < 0.02, "averaged quantization error too large");
+        }
+    }
+}

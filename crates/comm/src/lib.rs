@@ -1,0 +1,28 @@
+//! # fda-comm
+//!
+//! The communication substrate for the FDA reproduction.
+//!
+//! The paper measures communication as "the total data (in bytes)
+//! transmitted by all workers" (§4.1), explicitly agnostic to the cluster
+//! fabric. This crate therefore provides:
+//!
+//! * [`sim::SimNetwork`] — an in-process AllReduce over worker buffers with
+//!   exact per-worker byte accounting under two accounting modes
+//!   ([`cost::AccountingMode`]): the paper's per-worker-payload convention
+//!   and a ring-allreduce convention.
+//! * [`cost::Environment`] — wall-time models for the three deployment
+//!   regimes of Figure 12 (FL at 0.5 Gbps, Balanced, ARIS-HPC InfiniBand),
+//!   used to translate (bytes, steps) into time and pick Θ.
+//! * [`threaded::ThreadedReducer`] — a real rendezvous AllReduce across OS
+//!   threads (crossbeam scope + parking_lot), proving the protocol works
+//!   under true concurrency; tests cross-validate it against the simulator.
+
+pub mod compress;
+pub mod cost;
+pub mod sim;
+pub mod threaded;
+
+pub use compress::{Codec, Dense32, TopK, Uniform8Bit};
+pub use cost::{AccountingMode, Environment};
+pub use sim::SimNetwork;
+pub use threaded::ThreadedReducer;

@@ -1,0 +1,208 @@
+//! In-process simulated cluster network with exact byte accounting.
+//!
+//! `SimNetwork` performs the *arithmetic* of AllReduce (element-wise mean
+//! across worker buffers, result visible to all workers — §3 Notation) and
+//! *charges* each worker the bytes the chosen [`AccountingMode`] dictates.
+//! The simulation executes the identical numerics a real fabric would, so
+//! byte counts are exact and results are deterministic.
+
+use crate::cost::AccountingMode;
+
+/// Per-worker traffic counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Bytes transmitted by this worker.
+    pub bytes: u64,
+    /// AllReduce operations this worker participated in.
+    pub messages: u64,
+}
+
+/// A simulated `K`-worker collective-communication fabric.
+#[derive(Debug, Clone)]
+pub struct SimNetwork {
+    k: usize,
+    mode: AccountingMode,
+    per_worker: Vec<TrafficStats>,
+}
+
+impl SimNetwork {
+    /// Creates a fabric for `k` workers with the paper's per-worker-payload
+    /// accounting.
+    pub fn new(k: usize) -> SimNetwork {
+        SimNetwork::with_mode(k, AccountingMode::PerWorkerPayload)
+    }
+
+    /// Creates a fabric with an explicit accounting mode.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn with_mode(k: usize, mode: AccountingMode) -> SimNetwork {
+        assert!(k >= 1, "network: need at least one worker");
+        SimNetwork {
+            k,
+            mode,
+            per_worker: vec![TrafficStats::default(); k],
+        }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.k
+    }
+
+    /// The configured accounting mode.
+    pub fn mode(&self) -> AccountingMode {
+        self.mode
+    }
+
+    /// AllReduce-average over one equal-length `f32` buffer per worker:
+    /// every buffer is replaced by the element-wise mean.
+    ///
+    /// # Panics
+    /// Panics if the number of buffers differs from `K` or lengths are
+    /// ragged.
+    pub fn allreduce_mean(&mut self, buffers: &mut [Vec<f32>]) {
+        assert_eq!(buffers.len(), self.k, "allreduce: buffer count != K");
+        let n = buffers[0].len();
+        assert!(
+            buffers.iter().all(|b| b.len() == n),
+            "allreduce: ragged buffers"
+        );
+        // Sum into the first buffer, then scale and broadcast.
+        let inv_k = 1.0 / self.k as f32;
+        let (first, rest) = buffers.split_first_mut().expect("k >= 1");
+        for b in rest.iter() {
+            fda_tensor::vector::add_assign(first, b);
+        }
+        fda_tensor::vector::scale(first, inv_k);
+        let mean = first.clone();
+        for b in rest.iter_mut() {
+            b.copy_from_slice(&mean);
+        }
+        self.charge_all(n as u64 * 4);
+    }
+
+    /// AllReduce-average over one scalar per worker; returns the mean and
+    /// stores it back into every slot.
+    pub fn allreduce_scalar(&mut self, values: &mut [f32]) -> f32 {
+        assert_eq!(values.len(), self.k, "allreduce: scalar count != K");
+        let mean = values.iter().sum::<f32>() / self.k as f32;
+        values.iter_mut().for_each(|v| *v = mean);
+        self.charge_all(4);
+        mean
+    }
+
+    /// Charges every worker for an AllReduce with the given payload,
+    /// without performing arithmetic (used when the caller fuses payloads —
+    /// e.g. FDA's state = sketch ‖ scalar — but wants one traffic entry).
+    pub fn charge_allreduce(&mut self, payload_bytes: u64) {
+        self.charge_all(payload_bytes);
+    }
+
+    fn charge_all(&mut self, payload_bytes: u64) {
+        let per = self.mode.per_worker_bytes(payload_bytes, self.k);
+        for s in &mut self.per_worker {
+            s.bytes += per;
+            s.messages += 1;
+        }
+    }
+
+    /// Total bytes transmitted by all workers — the paper's communication
+    /// metric.
+    pub fn total_bytes(&self) -> u64 {
+        self.per_worker.iter().map(|s| s.bytes).sum()
+    }
+
+    /// Total AllReduce participations summed over workers.
+    pub fn total_messages(&self) -> u64 {
+        self.per_worker.iter().map(|s| s.messages).sum()
+    }
+
+    /// Traffic of a single worker.
+    pub fn worker_stats(&self, k: usize) -> &TrafficStats {
+        &self.per_worker[k]
+    }
+
+    /// Resets the counters.
+    pub fn reset(&mut self) {
+        self.per_worker = vec![TrafficStats::default(); self.k];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allreduce_mean_averages_and_broadcasts() {
+        let mut net = SimNetwork::new(3);
+        let mut bufs = vec![vec![1.0f32, 4.0], vec![2.0, 5.0], vec![3.0, 6.0]];
+        net.allreduce_mean(&mut bufs);
+        for b in &bufs {
+            assert_eq!(b, &vec![2.0, 5.0]);
+        }
+    }
+
+    #[test]
+    fn bytes_charged_per_worker_payload() {
+        let mut net = SimNetwork::new(4);
+        let mut bufs = vec![vec![0.0f32; 100]; 4];
+        net.allreduce_mean(&mut bufs);
+        // 100 f32 = 400 bytes per worker, 4 workers.
+        assert_eq!(net.total_bytes(), 1_600);
+        assert_eq!(net.total_messages(), 4);
+        assert_eq!(net.worker_stats(2).bytes, 400);
+    }
+
+    #[test]
+    fn ring_mode_charges_less_per_worker() {
+        let mut a = SimNetwork::with_mode(8, AccountingMode::PerWorkerPayload);
+        let mut b = SimNetwork::with_mode(8, AccountingMode::RingAllReduce);
+        let mut bufs_a = vec![vec![0.0f32; 1000]; 8];
+        let mut bufs_b = bufs_a.clone();
+        a.allreduce_mean(&mut bufs_a);
+        b.allreduce_mean(&mut bufs_b);
+        // Ring: 2·7/8 = 1.75× < 2× but per-worker-payload charges 1×...
+        // actually ring charges MORE per worker here (1.75×·payload versus
+        // 1×·payload): what matters is both are exact for their convention.
+        assert_eq!(a.worker_stats(0).bytes, 4_000);
+        assert_eq!(b.worker_stats(0).bytes, 7_000);
+    }
+
+    #[test]
+    fn scalar_allreduce() {
+        let mut net = SimNetwork::new(5);
+        let mut vals = vec![1.0f32, 2.0, 3.0, 4.0, 5.0];
+        let mean = net.allreduce_scalar(&mut vals);
+        assert_eq!(mean, 3.0);
+        assert!(vals.iter().all(|&v| v == 3.0));
+        assert_eq!(net.total_bytes(), 5 * 4);
+    }
+
+    #[test]
+    fn single_worker_free() {
+        let mut net = SimNetwork::new(1);
+        let mut bufs = vec![vec![7.0f32; 10]];
+        net.allreduce_mean(&mut bufs);
+        assert_eq!(bufs[0], vec![7.0f32; 10]);
+        assert_eq!(net.total_bytes(), 0);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut net = SimNetwork::new(2);
+        net.charge_allreduce(1000);
+        assert!(net.total_bytes() > 0);
+        net.reset();
+        assert_eq!(net.total_bytes(), 0);
+        assert_eq!(net.total_messages(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_buffers_panic() {
+        let mut net = SimNetwork::new(2);
+        let mut bufs = vec![vec![0.0f32; 3], vec![0.0f32; 4]];
+        net.allreduce_mean(&mut bufs);
+    }
+}

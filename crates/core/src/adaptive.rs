@@ -1,0 +1,240 @@
+//! Adaptive-Θ control (the paper's future-work direction, §5).
+//!
+//! > "An interesting direction for future work is whether the value of Θ
+//! > can be dynamically adjusted in order to achieve (or not to exceed) a
+//! > target average bandwidth consumption. Since the expected behavior is
+//! > that the communication cost decreases when Θ increases, such an
+//! > approach seems feasible (i.e., increasing Θ when the bandwidth
+//! > consumption is higher than what is desired)."
+//!
+//! This module implements exactly that controller: a multiplicative
+//! update on Θ driven by the gap between the observed average bandwidth
+//! (bytes per worker per step, over a sliding window) and a budget. The
+//! controller only consumes quantities every worker already knows (the
+//! deterministic byte accounting of the protocol), so all workers compute
+//! the same Θ without extra communication.
+
+use crate::fda::Fda;
+use crate::strategy::{StepOutcome, Strategy};
+use crate::cluster::Cluster;
+
+/// Multiplicative-increase / multiplicative-decrease Θ controller.
+#[derive(Debug, Clone, Copy)]
+pub struct ThetaController {
+    /// Target average bandwidth in bytes per worker per step.
+    pub budget_bytes_per_step: f64,
+    /// Multiplicative step (e.g. 0.05 ⇒ ±5% per adjustment window).
+    pub gain: f64,
+    /// Steps per adjustment window.
+    pub window: u64,
+    /// Θ bounds (the workable range; outside it training degenerates).
+    pub theta_min: f32,
+    /// Upper bound of the workable Θ range.
+    pub theta_max: f32,
+}
+
+impl ThetaController {
+    /// A controller with ±`gain` adjustments every `window` steps.
+    ///
+    /// # Panics
+    /// Panics on non-positive budget/gain/window or an empty Θ range.
+    pub fn new(
+        budget_bytes_per_step: f64,
+        gain: f64,
+        window: u64,
+        theta_min: f32,
+        theta_max: f32,
+    ) -> ThetaController {
+        assert!(budget_bytes_per_step > 0.0, "adaptive: budget must be positive");
+        assert!(gain > 0.0 && gain < 1.0, "adaptive: gain must be in (0, 1)");
+        assert!(window >= 1, "adaptive: window must be positive");
+        assert!(
+            theta_min > 0.0 && theta_min < theta_max,
+            "adaptive: need 0 < theta_min < theta_max"
+        );
+        ThetaController {
+            budget_bytes_per_step,
+            gain,
+            window,
+            theta_min,
+            theta_max,
+        }
+    }
+
+    /// The new Θ given the observed per-worker bytes over the last window.
+    fn adjust(&self, theta: f32, observed_bytes_per_step: f64) -> f32 {
+        let next = if observed_bytes_per_step > self.budget_bytes_per_step {
+            // Over budget ⇒ loosen the trigger (sync less).
+            theta * (1.0 + self.gain) as f32
+        } else {
+            // Under budget ⇒ tighten (spend the allowance on model quality).
+            theta * (1.0 - self.gain) as f32
+        };
+        next.clamp(self.theta_min, self.theta_max)
+    }
+}
+
+/// FDA with the adaptive-Θ controller wrapped around it.
+pub struct AdaptiveFda {
+    inner: Fda,
+    controller: ThetaController,
+    window_start_bytes: u64,
+    window_steps: u64,
+    theta_history: Vec<f32>,
+}
+
+impl AdaptiveFda {
+    /// Wraps an existing FDA strategy; Θ starts at the inner value.
+    pub fn new(inner: Fda, controller: ThetaController) -> AdaptiveFda {
+        let theta0 = inner.theta();
+        AdaptiveFda {
+            inner,
+            controller,
+            window_start_bytes: 0,
+            window_steps: 0,
+            theta_history: vec![theta0],
+        }
+    }
+
+    /// The Θ trajectory (one entry per adjustment window, plus the start).
+    pub fn theta_history(&self) -> &[f32] {
+        &self.theta_history
+    }
+
+    /// The current threshold.
+    pub fn theta(&self) -> f32 {
+        self.inner.theta()
+    }
+
+    /// Observed average bytes per worker per step since the run began.
+    pub fn avg_bytes_per_step(&self) -> f64 {
+        let steps = self.inner.steps().max(1);
+        let workers = self.inner.cluster().workers().max(1) as u64;
+        self.inner.comm_bytes() as f64 / (steps * workers) as f64
+    }
+}
+
+impl Strategy for AdaptiveFda {
+    fn name(&self) -> String {
+        format!("Adaptive{}", self.inner.name())
+    }
+
+    fn step(&mut self) -> StepOutcome {
+        let out = self.inner.step();
+        self.window_steps += 1;
+        if self.window_steps >= self.controller.window {
+            let workers = self.inner.cluster().workers().max(1) as u64;
+            let bytes = self.inner.comm_bytes() - self.window_start_bytes;
+            let per_step = bytes as f64 / (self.window_steps * workers) as f64;
+            let new_theta = self.controller.adjust(self.inner.theta(), per_step);
+            self.inner.set_theta(new_theta);
+            self.theta_history.push(new_theta);
+            self.window_start_bytes = self.inner.comm_bytes();
+            self.window_steps = 0;
+        }
+        out
+    }
+
+    fn cluster(&self) -> &Cluster {
+        self.inner.cluster()
+    }
+
+    fn cluster_mut(&mut self) -> &mut Cluster {
+        self.inner.cluster_mut()
+    }
+
+    fn syncs(&self) -> u64 {
+        self.inner.syncs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use crate::fda::FdaConfig;
+    use fda_data::synth::SynthSpec;
+    use fda_data::TaskData;
+
+    fn tiny_task() -> TaskData {
+        SynthSpec {
+            n_train: 300,
+            n_test: 100,
+            ..SynthSpec::synth_mnist()
+        }
+        .generate("tiny")
+    }
+
+    fn adaptive(theta0: f32, budget: f64) -> AdaptiveFda {
+        let task = tiny_task();
+        let inner = Fda::new(
+            FdaConfig::linear(theta0),
+            ClusterConfig::small_test(4),
+            &task,
+        );
+        AdaptiveFda::new(inner, ThetaController::new(budget, 0.25, 5, 1e-4, 100.0))
+    }
+
+    #[test]
+    fn tight_budget_raises_theta() {
+        // A starving budget (1 byte/step) forces the controller to loosen
+        // the trigger monotonically toward theta_max.
+        let mut a = adaptive(0.01, 1.0);
+        for _ in 0..60 {
+            a.step();
+        }
+        let hist = a.theta_history();
+        assert!(
+            *hist.last().unwrap() > hist[0] * 2.0,
+            "Θ should grow under a starving budget: {hist:?}"
+        );
+    }
+
+    #[test]
+    fn generous_budget_lowers_theta() {
+        // An enormous budget lets the controller tighten toward theta_min.
+        let mut a = adaptive(5.0, 1e12);
+        for _ in 0..60 {
+            a.step();
+        }
+        let hist = a.theta_history();
+        assert!(
+            *hist.last().unwrap() < hist[0],
+            "Θ should shrink under a generous budget: {hist:?}"
+        );
+    }
+
+    #[test]
+    fn controller_meets_budget_within_factor() {
+        // Budget set between the two extremes: after convergence the
+        // observed bandwidth should be within an order of magnitude of the
+        // budget (the controller is MIMD, not exact).
+        let budget = 2_000.0; // bytes per worker per step
+        let mut a = adaptive(0.5, budget);
+        for _ in 0..400 {
+            a.step();
+        }
+        let observed = a.avg_bytes_per_step();
+        assert!(
+            observed < budget * 10.0,
+            "bandwidth {observed} should be pulled toward the budget {budget}"
+        );
+    }
+
+    #[test]
+    fn theta_stays_in_bounds() {
+        let mut a = adaptive(0.01, 1.0);
+        for _ in 0..200 {
+            a.step();
+        }
+        for &t in a.theta_history() {
+            assert!((1e-4..=100.0).contains(&t));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gain must be in")]
+    fn invalid_gain_panics() {
+        let _ = ThetaController::new(1.0, 1.5, 5, 0.1, 1.0);
+    }
+}

@@ -1,0 +1,399 @@
+//! The simulated worker cluster.
+//!
+//! A [`Cluster`] holds `K` workers — each with its own model replica,
+//! optimizer state and data-shard sampler — plus the byte-accounted
+//! network. Every strategy in this crate (FDA and all baselines) drives the
+//! same cluster API, so their communication/computation costs are measured
+//! on identical footing.
+
+use fda_comm::SimNetwork;
+use fda_data::batch::BatchSampler;
+use fda_data::{Dataset, Partition, TaskData};
+use fda_nn::zoo::ModelId;
+use fda_nn::Sequential;
+use fda_optim::{Optimizer, OptimizerKind};
+use fda_tensor::Rng;
+use std::sync::Arc;
+
+/// Configuration of a cluster: who trains what, on which data, how split.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Which zoo model every worker replicates.
+    pub model: ModelId,
+    /// Number of workers `K`.
+    pub workers: usize,
+    /// Mini-batch size `b` (paper uses 32 everywhere).
+    pub batch_size: usize,
+    /// Local optimizer (the paper's `Optimize(w, B)`).
+    pub optimizer: OptimizerKind,
+    /// Data-heterogeneity scheme.
+    pub partition: Partition,
+    /// Master seed: controls init, shard split and batch order.
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// A small, fast configuration used by tests and examples.
+    pub fn small_test(workers: usize) -> ClusterConfig {
+        ClusterConfig {
+            model: ModelId::Lenet5,
+            workers,
+            batch_size: 16,
+            optimizer: OptimizerKind::paper_adam(),
+            partition: Partition::Iid,
+            seed: 7,
+        }
+    }
+}
+
+/// One worker: model replica + optimizer + shard sampler + scratch buffers.
+pub struct Worker {
+    model: Sequential,
+    optimizer: Box<dyn Optimizer>,
+    sampler: BatchSampler,
+    // Scratch to avoid per-step allocation of two d-sized vectors.
+    params_buf: Vec<f32>,
+    grads_buf: Vec<f32>,
+}
+
+impl Worker {
+    /// The worker's model (mutable; used for evaluation plumbing).
+    pub fn model_mut(&mut self) -> &mut Sequential {
+        &mut self.model
+    }
+
+    /// Immutable model access.
+    pub fn model(&self) -> &Sequential {
+        &self.model
+    }
+
+    /// Mini-batch steps in one epoch of this worker's shard.
+    pub fn batches_per_epoch(&self) -> usize {
+        self.sampler.batches_per_epoch()
+    }
+
+    /// Flat parameters of this worker's model.
+    pub fn params(&self) -> Vec<f32> {
+        self.model.params_flat()
+    }
+}
+
+/// Per-step training telemetry summed across workers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StepStats {
+    /// Mean (across workers) of the mini-batch training loss.
+    pub mean_loss: f32,
+    /// Mini-batch training accuracy pooled across workers.
+    pub batch_accuracy: f32,
+}
+
+/// `K` workers and the fabric that connects them.
+pub struct Cluster {
+    config: ClusterConfig,
+    dataset: Arc<Dataset>,
+    workers: Vec<Worker>,
+    net: SimNetwork,
+    dim: usize,
+    steps: u64,
+}
+
+impl Cluster {
+    /// Builds the cluster: replicate the model (`w_0` identical everywhere,
+    /// Algorithm 1 line 1), partition the training set, seed per-worker
+    /// batch streams.
+    ///
+    /// # Panics
+    /// Panics on inconsistent configs (e.g. dataset/model dim mismatch).
+    pub fn new(config: ClusterConfig, task: &TaskData) -> Cluster {
+        let dataset = Arc::new(task.train.clone());
+        let shards = config
+            .partition
+            .shards(&dataset, config.workers, config.seed ^ 0x5AAD);
+        let template = config.model.build(config.seed, 0);
+        assert_eq!(
+            template.in_dim(),
+            dataset.dim(),
+            "cluster: model input ({}) != dataset dim ({})",
+            template.in_dim(),
+            dataset.dim()
+        );
+        let dim = template.param_count();
+        let w0 = template.params_flat();
+        let workers: Vec<Worker> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(k, shard)| {
+                // Each worker gets its own dropout stream but the same w0.
+                let mut model = config.model.build(config.seed, config.seed ^ (k as u64 + 1));
+                model.load_params(&w0);
+                let sampler = BatchSampler::new(
+                    shard,
+                    config.batch_size,
+                    Rng::new(config.seed ^ 0xBA7C4).split(k as u64),
+                );
+                Worker {
+                    model,
+                    optimizer: config.optimizer.build(dim),
+                    sampler,
+                    params_buf: vec![0.0; dim],
+                    grads_buf: vec![0.0; dim],
+                }
+            })
+            .collect();
+        Cluster {
+            net: SimNetwork::new(config.workers),
+            config,
+            dataset,
+            workers,
+            dim,
+            steps: 0,
+        }
+    }
+
+    /// The configuration this cluster was built with.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Number of workers `K`.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Model dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// In-parallel learning steps performed so far (the paper's
+    /// computation metric: steps per worker, not multiplied by K).
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Total bytes transmitted by all workers (the paper's communication
+    /// metric).
+    pub fn comm_bytes(&self) -> u64 {
+        self.net.total_bytes()
+    }
+
+    /// Mutable access to the fabric (strategies charge their traffic here).
+    pub fn net_mut(&mut self) -> &mut SimNetwork {
+        &mut self.net
+    }
+
+    /// Worker accessor.
+    pub fn worker(&self, k: usize) -> &Worker {
+        &self.workers[k]
+    }
+
+    /// Mutable worker accessor.
+    pub fn worker_mut(&mut self, k: usize) -> &mut Worker {
+        &mut self.workers[k]
+    }
+
+    /// Mini-batch steps per epoch, defined (as in the paper's figures) by
+    /// the shard size; workers have near-equal shards, so take the max.
+    pub fn steps_per_epoch(&self) -> usize {
+        self.workers
+            .iter()
+            .map(|w| w.batches_per_epoch())
+            .max()
+            .expect("cluster has workers")
+    }
+
+    /// One *in-parallel* local step: every worker samples a batch from its
+    /// shard and applies its local optimizer (Algorithm 1 lines 4–5).
+    pub fn local_step(&mut self) -> StepStats {
+        let mut loss_sum = 0.0f32;
+        let mut correct_sum = 0usize;
+        let mut sample_sum = 0usize;
+        for w in &mut self.workers {
+            let (x, y) = w.sampler.sample(&self.dataset);
+            let (loss, correct) = w.model.compute_gradients(&x, &y);
+            w.model.copy_params_to(&mut w.params_buf);
+            w.model.copy_grads_to(&mut w.grads_buf);
+            w.optimizer.step(&mut w.params_buf, &w.grads_buf);
+            w.model.load_params(&w.params_buf);
+            loss_sum += loss;
+            correct_sum += correct;
+            sample_sum += y.len();
+        }
+        self.steps += 1;
+        StepStats {
+            mean_loss: loss_sum / self.workers.len() as f32,
+            batch_accuracy: correct_sum as f32 / sample_sum.max(1) as f32,
+        }
+    }
+
+    /// Loads the same parameter vector into every worker — e.g. a
+    /// pre-trained model for fine-tuning scenarios (Figure 13). This is a
+    /// (re-)initialization, not training traffic: no bytes are charged,
+    /// matching the paper's convention that dataset/base-model staging is
+    /// outside the training communication budget.
+    ///
+    /// # Panics
+    /// Panics if the vector length differs from the model dimension.
+    pub fn load_global(&mut self, params: &[f32]) {
+        assert_eq!(params.len(), self.dim, "load_global: dimension mismatch");
+        for w in &mut self.workers {
+            w.model.load_params(params);
+        }
+    }
+
+    /// One local step for a **single** worker (used by the asynchronous
+    /// variant, where workers progress at their own pace). Does not bump
+    /// the in-parallel step counter — async progress is per-worker.
+    pub fn single_worker_step(&mut self, k: usize) -> StepStats {
+        let w = &mut self.workers[k];
+        let (x, y) = w.sampler.sample(&self.dataset);
+        let (loss, correct) = w.model.compute_gradients(&x, &y);
+        w.model.copy_params_to(&mut w.params_buf);
+        w.model.copy_grads_to(&mut w.grads_buf);
+        w.optimizer.step(&mut w.params_buf, &w.grads_buf);
+        w.model.load_params(&w.params_buf);
+        StepStats {
+            mean_loss: loss,
+            batch_accuracy: correct as f32 / y.len().max(1) as f32,
+        }
+    }
+
+    /// Synchronizes all models to their average via AllReduce, charging
+    /// `d·4` bytes per worker. Returns the new global model.
+    pub fn allreduce_models(&mut self) -> Vec<f32> {
+        let mut bufs: Vec<Vec<f32>> = self
+            .workers
+            .iter()
+            .map(|w| w.model.params_flat())
+            .collect();
+        self.net.allreduce_mean(&mut bufs);
+        for (w, buf) in self.workers.iter_mut().zip(&bufs) {
+            w.model.load_params(buf);
+        }
+        bufs.into_iter().next().expect("k >= 1")
+    }
+
+    /// The average of the current worker models **without** any
+    /// communication charge — used only for evaluation, mirroring the
+    /// paper's convention that accuracy is measured on the (conceptual)
+    /// global model and is not part of the training traffic.
+    pub fn average_params(&self) -> Vec<f32> {
+        let mut acc = vec![0.0f32; self.dim];
+        let mut scratch = vec![0.0f32; self.dim];
+        for w in &self.workers {
+            w.model.copy_params_to(&mut scratch);
+            fda_tensor::vector::add_assign(&mut acc, &scratch);
+        }
+        fda_tensor::vector::scale(&mut acc, 1.0 / self.workers.len() as f32);
+        acc
+    }
+
+    /// True iff every worker currently holds exactly the same parameters.
+    pub fn models_identical(&self) -> bool {
+        let first = self.workers[0].model.params_flat();
+        self.workers
+            .iter()
+            .skip(1)
+            .all(|w| w.model.params_flat() == first)
+    }
+
+    /// The exact model variance across workers (Eq. 2) — evaluation/test
+    /// helper; a real cluster could not compute this cheaply.
+    pub fn exact_variance(&self) -> f32 {
+        let params: Vec<Vec<f32>> = self.workers.iter().map(|w| w.model.params_flat()).collect();
+        let refs: Vec<&[f32]> = params.iter().map(|p| p.as_slice()).collect();
+        fda_tensor::vector::variance_of(&refs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fda_data::synth::SynthSpec;
+
+    fn tiny_task() -> TaskData {
+        SynthSpec {
+            n_train: 300,
+            n_test: 100,
+            ..SynthSpec::synth_mnist()
+        }
+        .generate("tiny")
+    }
+
+    #[test]
+    fn workers_start_from_common_model() {
+        let task = tiny_task();
+        let cluster = Cluster::new(ClusterConfig::small_test(4), &task);
+        assert!(cluster.models_identical());
+        assert!(cluster.exact_variance() < 1e-12);
+    }
+
+    #[test]
+    fn local_steps_diverge_models() {
+        let task = tiny_task();
+        let mut cluster = Cluster::new(ClusterConfig::small_test(4), &task);
+        for _ in 0..3 {
+            cluster.local_step();
+        }
+        assert!(!cluster.models_identical());
+        assert!(cluster.exact_variance() > 0.0);
+        assert_eq!(cluster.steps(), 3);
+        // Local training alone transmits nothing.
+        assert_eq!(cluster.comm_bytes(), 0);
+    }
+
+    #[test]
+    fn allreduce_restores_consensus_and_charges() {
+        let task = tiny_task();
+        let mut cluster = Cluster::new(ClusterConfig::small_test(3), &task);
+        cluster.local_step();
+        let d = cluster.dim() as u64;
+        let global = cluster.allreduce_models();
+        assert!(cluster.models_identical());
+        assert!(cluster.exact_variance() < 1e-9);
+        assert_eq!(cluster.comm_bytes(), 3 * d * 4);
+        assert_eq!(global.len(), d as usize);
+    }
+
+    #[test]
+    fn average_params_is_free_and_correct() {
+        let task = tiny_task();
+        let mut cluster = Cluster::new(ClusterConfig::small_test(3), &task);
+        cluster.local_step();
+        let before = cluster.comm_bytes();
+        let avg = cluster.average_params();
+        assert_eq!(cluster.comm_bytes(), before, "evaluation must be free");
+        // Cross-check against an explicit mean.
+        let expect = {
+            let ps: Vec<Vec<f32>> = (0..3).map(|k| cluster.worker(k).params()).collect();
+            let refs: Vec<&[f32]> = ps.iter().map(|p| p.as_slice()).collect();
+            fda_tensor::vector::mean(&refs)
+        };
+        for (a, b) in avg.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let task = tiny_task();
+        let mut a = Cluster::new(ClusterConfig::small_test(2), &task);
+        let mut b = Cluster::new(ClusterConfig::small_test(2), &task);
+        for _ in 0..3 {
+            a.local_step();
+            b.local_step();
+        }
+        assert_eq!(a.worker(0).params(), b.worker(0).params());
+        assert_eq!(a.worker(1).params(), b.worker(1).params());
+    }
+
+    #[test]
+    fn different_workers_see_different_batches() {
+        let task = tiny_task();
+        let mut cluster = Cluster::new(ClusterConfig::small_test(2), &task);
+        cluster.local_step();
+        // After one step from identical inits, models differ iff batches
+        // (or dropout) differ.
+        assert_ne!(cluster.worker(0).params(), cluster.worker(1).params());
+    }
+}

@@ -1,0 +1,409 @@
+//! Algorithm 1: Federated Dynamic Averaging.
+//!
+//! Per step `t` (paper, Algorithm 1):
+//!
+//! 1. every worker trains locally — `w_t^(k) ← Optimize(w_{t−1}^(k), B)`;
+//! 2. every worker updates its local state `S_t^(k)` from its drift
+//!    `u_t^(k) = w_t^(k) − w_t0`;
+//! 3. the small states are AllReduced into `S̄_t` (cheap);
+//! 4. if `H(S̄_t) > Θ` the models themselves are AllReduced (expensive) —
+//!    otherwise the Round Invariant `Var(w_t) ≤ Θ` is certified and
+//!    training continues locally.
+//!
+//! After each synchronization, `w_t0` becomes the fresh consensus model
+//! and the model variance drops to exactly zero.
+
+use crate::cluster::{Cluster, ClusterConfig};
+use crate::monitor::{ExactMonitor, LinearMonitor, LocalState, SketchMonitor, VarianceMonitor};
+use crate::strategy::{StepOutcome, Strategy};
+use fda_data::TaskData;
+use fda_sketch::SketchConfig;
+use fda_tensor::vector;
+
+/// Which FDA variant to run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FdaVariant {
+    /// SketchFDA with the given AMS sketch configuration (§3.1).
+    Sketch(SketchConfig),
+    /// SketchFDA with the sketch sized relative to the model dimension
+    /// (`SketchConfig::scaled_for(d)`), preserving the paper's
+    /// sketch-to-model cost ratio on our scaled zoo.
+    SketchAuto,
+    /// LinearFDA with the heuristic ξ (§3.2).
+    Linear,
+    /// Oracle monitor shipping full drifts — for tests/ablations only.
+    Exact,
+}
+
+impl FdaVariant {
+    /// Paper-style display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FdaVariant::Sketch(_) | FdaVariant::SketchAuto => "SketchFDA",
+            FdaVariant::Linear => "LinearFDA",
+            FdaVariant::Exact => "ExactFDA",
+        }
+    }
+}
+
+/// FDA configuration: the variant and the variance threshold Θ.
+#[derive(Debug, Clone, Copy)]
+pub struct FdaConfig {
+    /// The monitor variant.
+    pub variant: FdaVariant,
+    /// The model-variance threshold Θ (Algorithm 1 input).
+    pub theta: f32,
+}
+
+impl FdaConfig {
+    /// SketchFDA with the paper's default sketch size (5 kB).
+    pub fn sketch(theta: f32) -> FdaConfig {
+        FdaConfig {
+            variant: FdaVariant::Sketch(SketchConfig::paper_default()),
+            theta,
+        }
+    }
+
+    /// SketchFDA with the model-scaled sketch size.
+    pub fn sketch_auto(theta: f32) -> FdaConfig {
+        FdaConfig {
+            variant: FdaVariant::SketchAuto,
+            theta,
+        }
+    }
+
+    /// LinearFDA.
+    pub fn linear(theta: f32) -> FdaConfig {
+        FdaConfig {
+            variant: FdaVariant::Linear,
+            theta,
+        }
+    }
+}
+
+/// The FDA strategy (Algorithm 1) over a simulated cluster.
+pub struct Fda {
+    cluster: Cluster,
+    monitor: Box<dyn VarianceMonitor>,
+    theta: f32,
+    variant_name: &'static str,
+    /// `w_t0`: the model right after the most recent synchronization.
+    w_sync: Vec<f32>,
+    syncs: u64,
+    // Scratch drift buffer reused across steps and workers.
+    drift_buf: Vec<f32>,
+}
+
+impl Fda {
+    /// Builds FDA over a fresh cluster.
+    ///
+    /// # Panics
+    /// Panics if `theta < 0` (Θ = 0 is allowed and behaves like
+    /// Synchronous plus monitoring traffic).
+    pub fn new(config: FdaConfig, cluster_config: ClusterConfig, task: &TaskData) -> Fda {
+        assert!(config.theta >= 0.0, "fda: Θ must be non-negative");
+        let cluster = Cluster::new(cluster_config, task);
+        Fda::over_cluster(config, cluster)
+    }
+
+    /// Builds FDA with a caller-supplied monitor — the extension point for
+    /// custom variance estimators (used by the ξ-choice ablation bench).
+    pub fn with_monitor(monitor: Box<dyn VarianceMonitor>, theta: f32, cluster: Cluster) -> Fda {
+        assert!(theta >= 0.0, "fda: Θ must be non-negative");
+        let dim = cluster.dim();
+        let w_sync = cluster.worker(0).params();
+        let variant_name = monitor.name();
+        Fda {
+            cluster,
+            monitor,
+            theta,
+            variant_name,
+            w_sync,
+            syncs: 0,
+            drift_buf: vec![0.0; dim],
+        }
+    }
+
+    /// Builds FDA over an existing cluster (used by sweeps that pre-build
+    /// clusters).
+    pub fn over_cluster(config: FdaConfig, cluster: Cluster) -> Fda {
+        let dim = cluster.dim();
+        let monitor: Box<dyn VarianceMonitor> = match config.variant {
+            FdaVariant::Sketch(sk) => Box::new(SketchMonitor::new(sk, dim)),
+            FdaVariant::SketchAuto => {
+                Box::new(SketchMonitor::new(SketchConfig::scaled_for(dim), dim))
+            }
+            FdaVariant::Linear => Box::new(LinearMonitor::new()),
+            FdaVariant::Exact => Box::new(ExactMonitor::new(dim)),
+        };
+        let w_sync = cluster.worker(0).params();
+        Fda {
+            cluster,
+            monitor,
+            theta: config.theta,
+            variant_name: config.variant.name(),
+            w_sync,
+            syncs: 0,
+            drift_buf: vec![0.0; dim],
+        }
+    }
+
+    /// The variance threshold Θ.
+    pub fn theta(&self) -> f32 {
+        self.theta
+    }
+
+    /// Replaces Θ (used by the adaptive controller of [`crate::adaptive`];
+    /// all workers can apply the same deterministic update without extra
+    /// communication).
+    ///
+    /// # Panics
+    /// Panics if `theta < 0`.
+    pub fn set_theta(&mut self, theta: f32) {
+        assert!(theta >= 0.0, "fda: Θ must be non-negative");
+        self.theta = theta;
+    }
+
+    /// The monitor in use.
+    pub fn monitor(&self) -> &dyn VarianceMonitor {
+        self.monitor.as_ref()
+    }
+
+    /// The model at the last synchronization (`w_t0`).
+    pub fn sync_model(&self) -> &[f32] {
+        &self.w_sync
+    }
+
+    /// Computes all workers' local states (Algorithm 1 line 6).
+    fn local_states(&mut self) -> Vec<LocalState> {
+        let k = self.cluster.workers();
+        let mut states = Vec::with_capacity(k);
+        for i in 0..k {
+            let dim = self.drift_buf.len();
+            // drift = w^(k) − w_t0, computed without allocating.
+            {
+                let mut scratch = std::mem::take(&mut self.drift_buf);
+                debug_assert_eq!(scratch.len(), dim);
+                self.cluster
+                    .worker_mut(i)
+                    .model_mut()
+                    .copy_params_to(&mut scratch);
+                vector::sub_assign(&mut scratch, &self.w_sync);
+                states.push(self.monitor.local_state(&scratch));
+                self.drift_buf = scratch;
+            }
+        }
+        states
+    }
+}
+
+impl Strategy for Fda {
+    fn name(&self) -> String {
+        self.variant_name.to_string()
+    }
+
+    fn step(&mut self) -> StepOutcome {
+        // (1) Local training on every worker.
+        let stats = self.cluster.local_step();
+
+        // (2) Local states from drifts.
+        let states = self.local_states();
+
+        // (3) AllReduce of the states — charged at the monitor's state
+        //     size. The arithmetic is the component-wise average.
+        let avg = LocalState::average(&states);
+        let state_bytes = self.monitor.state_bytes();
+        self.cluster.net_mut().charge_allreduce(state_bytes);
+
+        // (4) The conditional synchronization.
+        let estimate = self.monitor.estimate(&avg);
+        let mut synced = false;
+        if estimate > self.theta {
+            let w_prev = std::mem::take(&mut self.w_sync);
+            let w_new = self.cluster.allreduce_models();
+            self.monitor.on_sync(&w_new, &w_prev);
+            self.w_sync = w_new;
+            self.syncs += 1;
+            synced = true;
+        }
+        StepOutcome {
+            stats,
+            synced,
+            variance_estimate: Some(estimate),
+        }
+    }
+
+    fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    fn cluster_mut(&mut self) -> &mut Cluster {
+        &mut self.cluster
+    }
+
+    fn syncs(&self) -> u64 {
+        self.syncs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fda_data::synth::SynthSpec;
+    use fda_data::TaskData;
+
+    fn tiny_task() -> TaskData {
+        SynthSpec {
+            n_train: 240,
+            n_test: 80,
+            ..SynthSpec::synth_mnist()
+        }
+        .generate("tiny")
+    }
+
+    fn tiny_cluster_config(k: usize) -> ClusterConfig {
+        ClusterConfig::small_test(k)
+    }
+
+    #[test]
+    fn variance_zero_after_every_sync() {
+        let task = tiny_task();
+        let mut fda = Fda::new(FdaConfig::linear(0.05), tiny_cluster_config(4), &task);
+        let mut saw_sync = false;
+        for _ in 0..30 {
+            let out = fda.step();
+            if out.synced {
+                saw_sync = true;
+                assert!(
+                    fda.cluster().exact_variance() < 1e-9,
+                    "variance must be exactly zero right after a sync"
+                );
+                assert!(fda.cluster().models_identical());
+            }
+        }
+        assert!(saw_sync, "Θ small enough that syncs must happen");
+    }
+
+    #[test]
+    fn round_invariant_certified_when_no_sync() {
+        // With the exact monitor, H(S̄) = Var, so "no sync" must mean the
+        // true variance is ≤ Θ at every step (the RI, Eq. 3).
+        let task = tiny_task();
+        let theta = 0.5;
+        let mut fda = Fda::new(
+            FdaConfig {
+                variant: FdaVariant::Exact,
+                theta,
+            },
+            tiny_cluster_config(4),
+            &task,
+        );
+        for _ in 0..40 {
+            let out = fda.step();
+            if !out.synced {
+                let v = fda.cluster().exact_variance();
+                assert!(
+                    v <= theta * 1.01 + 1e-6,
+                    "RI violated without sync: Var = {v} > Θ = {theta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn linear_estimate_overestimates_true_variance() {
+        let task = tiny_task();
+        let mut fda = Fda::new(FdaConfig::linear(1e9), tiny_cluster_config(3), &task);
+        for _ in 0..25 {
+            let out = fda.step();
+            let est = out.variance_estimate.expect("fda reports estimates");
+            let truth = fda.cluster().exact_variance();
+            assert!(
+                est >= truth - 1e-3 * (1.0 + truth),
+                "Theorem 3.2 violated: H = {est} < Var = {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn theta_zero_syncs_every_step() {
+        let task = tiny_task();
+        let mut fda = Fda::new(FdaConfig::linear(0.0), tiny_cluster_config(3), &task);
+        for _ in 0..10 {
+            let out = fda.step();
+            assert!(out.synced, "Θ = 0 must behave like Synchronous");
+        }
+        assert_eq!(fda.syncs(), 10);
+    }
+
+    #[test]
+    fn huge_theta_never_syncs_and_communicates_only_states() {
+        let task = tiny_task();
+        let mut fda = Fda::new(FdaConfig::linear(f32::MAX), tiny_cluster_config(3), &task);
+        for _ in 0..20 {
+            let out = fda.step();
+            assert!(!out.synced);
+        }
+        assert_eq!(fda.syncs(), 0);
+        // 20 steps × 3 workers × 8-byte linear state.
+        assert_eq!(fda.comm_bytes(), 20 * 3 * 8);
+    }
+
+    #[test]
+    fn sketch_state_costs_dominate_linear_but_not_models() {
+        let task = tiny_task();
+        let k = 3;
+        let mut sketch = Fda::new(
+            FdaConfig::sketch(f32::MAX),
+            tiny_cluster_config(k),
+            &task,
+        );
+        for _ in 0..5 {
+            sketch.step();
+        }
+        let per_step_per_worker = 5_004u64; // paper's 5 kB + scalar
+        assert_eq!(sketch.comm_bytes(), 5 * k as u64 * per_step_per_worker);
+        // Still far below one model payload per step.
+        let model_bytes = sketch.cluster().dim() as u64 * 4;
+        assert!(per_step_per_worker < model_bytes);
+    }
+
+    #[test]
+    fn higher_theta_means_fewer_syncs() {
+        let task = tiny_task();
+        let mut counts = Vec::new();
+        for theta in [0.02f32, 0.2, 2.0] {
+            let mut fda = Fda::new(FdaConfig::linear(theta), tiny_cluster_config(4), &task);
+            for _ in 0..40 {
+                fda.step();
+            }
+            counts.push(fda.syncs());
+        }
+        assert!(
+            counts[0] >= counts[1] && counts[1] >= counts[2],
+            "syncs must fall as Θ rises: {counts:?}"
+        );
+        assert!(counts[0] > counts[2], "sweep should actually differentiate");
+    }
+
+    #[test]
+    fn xi_refreshes_after_second_sync() {
+        let task = tiny_task();
+        let mut fda = Fda::new(FdaConfig::linear(0.01), tiny_cluster_config(3), &task);
+        let mut syncs_seen = 0;
+        for _ in 0..60 {
+            if fda.step().synced {
+                syncs_seen += 1;
+                if syncs_seen >= 2 {
+                    break;
+                }
+            }
+        }
+        assert!(syncs_seen >= 2, "need two syncs to form ξ");
+        // After ≥ 1 sync the monitor has a ξ; estimates must remain valid
+        // over-estimates (checked implicitly by the RI test above), and the
+        // estimate should now be able to drop below mean‖u‖².
+        let out = fda.step();
+        assert!(out.variance_estimate.is_some());
+    }
+}

@@ -1,0 +1,56 @@
+//! # fda-core — Federated Dynamic Averaging
+//!
+//! The paper's contribution: a distributed deep-learning strategy that
+//! triggers the expensive model synchronization **dynamically**, based on a
+//! communication-efficient over-estimate of the *model variance*
+//!
+//! ```text
+//! Var(w_t) = (1/K) Σ_k ‖u_t^(k)‖²  −  ‖ū_t‖²,    u_t^(k) = w_t^(k) − w_t0
+//! ```
+//!
+//! (Eq. 4 of the paper). Each training step every worker ships a tiny
+//! *local state* `S_t^(k)`; an AllReduce produces the average state `S̄_t`;
+//! a variant-specific function `H(S̄_t)` over-estimates `Var(w_t)`; models
+//! are synchronized only when `H(S̄_t) > Θ` — otherwise the Round Invariant
+//! `Var(w_t) ≤ Θ` is certified (deterministically for
+//! [`monitor::LinearMonitor`], with probability ≥ 1 − δ for
+//! [`monitor::SketchMonitor`]).
+//!
+//! ## Layout
+//!
+//! * [`cluster`] — K simulated workers (model, optimizer, shard sampler)
+//!   over a byte-accounted [`fda_comm::SimNetwork`].
+//! * [`monitor`] — the three variance monitors (Sketch / Linear / Exact
+//!   oracle) and the local-state algebra.
+//! * [`fda`] — Algorithm 1: the [`fda::Fda`] strategy.
+//! * [`baselines`] — Synchronous (BSP), Local-SGD(τ), FedAvg / FedAvgM /
+//!   FedAdam (FedOpt with server optimizers).
+//! * [`strategy`] — the common [`strategy::Strategy`] trait the harness
+//!   drives.
+//! * [`harness`] — training runs to an accuracy target, producing the
+//!   paper's two metrics (communication bytes, in-parallel steps).
+//! * [`theta`] — the Θ ≈ c·d guideline (Figure 12) and calibration sweeps.
+//! * [`experiments`] — the Table 2 experiment grid.
+//! * [`sweeps`] — (K, Θ) grid runners behind Figures 3–6 and 8–11.
+//! * [`async_fda`] — the coordinator-based asynchronous variant sketched
+//!   in §3.3.
+
+pub mod adaptive;
+pub mod async_fda;
+pub mod baselines;
+pub mod cluster;
+pub mod experiments;
+pub mod fda;
+pub mod harness;
+pub mod monitor;
+pub mod strategy;
+pub mod sweeps;
+pub mod theta;
+pub mod threaded;
+pub mod wire;
+
+pub use cluster::{Cluster, ClusterConfig};
+pub use fda::{Fda, FdaConfig, FdaVariant};
+pub use harness::{RunConfig, RunResult};
+pub use monitor::{ExactMonitor, LinearMonitor, SketchMonitor, VarianceMonitor};
+pub use strategy::Strategy;

@@ -1,0 +1,228 @@
+//! (K, Θ, algorithm) grid runners — the machinery behind Figures 3–6 and
+//! 8–11, where each figure aggregates many training runs.
+
+use crate::baselines::{FedOpt, LocalSgd, Synchronous};
+use crate::cluster::ClusterConfig;
+use crate::fda::{Fda, FdaConfig, FdaVariant};
+use crate::harness::{run_to_target, RunConfig, RunResult};
+use crate::strategy::Strategy;
+use fda_data::{Partition, TaskData};
+use fda_nn::zoo::ModelId;
+use fda_optim::OptimizerKind;
+
+/// Algorithm selector for sweeps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Algo {
+    /// LinearFDA (needs Θ).
+    LinearFda,
+    /// SketchFDA with the paper's default sketch (needs Θ).
+    SketchFda,
+    /// Oracle-monitor FDA (ablations; needs Θ).
+    ExactFda,
+    /// Bulk-synchronous baseline.
+    Synchronous,
+    /// Local-SGD with fixed period τ.
+    LocalSgd(u64),
+    /// FedAvg with E = 1.
+    FedAvg,
+    /// FedAvgM with E = 1 (paper §4.1).
+    FedAvgM,
+    /// FedAdam with E = 1 (paper §4.1).
+    FedAdam,
+}
+
+impl Algo {
+    /// Display name used in tables (matches the paper's legends).
+    pub fn name(&self) -> String {
+        match self {
+            Algo::LinearFda => "LinearFDA".into(),
+            Algo::SketchFda => "SketchFDA".into(),
+            Algo::ExactFda => "ExactFDA".into(),
+            Algo::Synchronous => "Synchronous".into(),
+            Algo::LocalSgd(tau) => format!("LocalSGD(tau={tau})"),
+            Algo::FedAvg => "FedAvg".into(),
+            Algo::FedAvgM => "FedAvgM".into(),
+            Algo::FedAdam => "FedAdam".into(),
+        }
+    }
+
+    /// True iff the algorithm consumes a Θ threshold.
+    pub fn uses_theta(&self) -> bool {
+        matches!(self, Algo::LinearFda | Algo::SketchFda | Algo::ExactFda)
+    }
+
+    /// Instantiates the strategy over a fresh cluster.
+    pub fn build(
+        &self,
+        theta: f32,
+        cluster_config: ClusterConfig,
+        task: &TaskData,
+    ) -> Box<dyn Strategy> {
+        match self {
+            Algo::LinearFda => Box::new(Fda::new(FdaConfig::linear(theta), cluster_config, task)),
+            Algo::SketchFda => Box::new(Fda::new(
+                FdaConfig::sketch_auto(theta),
+                cluster_config,
+                task,
+            )),
+            Algo::ExactFda => Box::new(Fda::new(
+                FdaConfig {
+                    variant: FdaVariant::Exact,
+                    theta,
+                },
+                cluster_config,
+                task,
+            )),
+            Algo::Synchronous => Box::new(Synchronous::new(cluster_config, task)),
+            Algo::LocalSgd(tau) => Box::new(LocalSgd::new(*tau, cluster_config, task)),
+            Algo::FedAvg => Box::new(FedOpt::fedavg(1, cluster_config, task)),
+            Algo::FedAvgM => Box::new(FedOpt::fedavgm(1, cluster_config, task)),
+            Algo::FedAdam => Box::new(FedOpt::fedadam(1, cluster_config, task)),
+        }
+    }
+}
+
+/// One completed grid cell.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Algorithm display name.
+    pub algo: String,
+    /// Number of workers.
+    pub k: usize,
+    /// Θ used (0 for algorithms that ignore it).
+    pub theta: f32,
+    /// Heterogeneity label.
+    pub partition: String,
+    /// The run outcome.
+    pub result: RunResult,
+}
+
+/// Grid specification shared by the figure benches.
+#[derive(Clone)]
+pub struct GridSpec {
+    /// Model under training.
+    pub model: ModelId,
+    /// Local optimizer.
+    pub optimizer: OptimizerKind,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Data distribution.
+    pub partition: Partition,
+    /// Worker counts to sweep.
+    pub ks: Vec<usize>,
+    /// Θ values to sweep (FDA algorithms only; others run once per K).
+    pub thetas: Vec<f32>,
+    /// Algorithms to run.
+    pub algos: Vec<Algo>,
+    /// Run stopping rule.
+    pub run: RunConfig,
+    /// Base seed.
+    pub seed: u64,
+}
+
+/// Runs the full grid: FDA algorithms get every (K, Θ) pair; baselines run
+/// once per K (they have no Θ).
+pub fn run_grid(spec: &GridSpec, task: &TaskData) -> Vec<SweepPoint> {
+    let mut out = Vec::new();
+    for &k in &spec.ks {
+        for algo in &spec.algos {
+            let thetas: &[f32] = if algo.uses_theta() {
+                &spec.thetas
+            } else {
+                &[0.0]
+            };
+            for &theta in thetas {
+                let cc = ClusterConfig {
+                    model: spec.model,
+                    workers: k,
+                    batch_size: spec.batch_size,
+                    optimizer: spec.optimizer,
+                    partition: spec.partition,
+                    seed: spec.seed ^ (k as u64).wrapping_mul(0x9E37_79B9),
+                };
+                let mut strategy = algo.build(theta, cc, task);
+                let result = run_to_target(strategy.as_mut(), task, &spec.run);
+                out.push(SweepPoint {
+                    algo: algo.name(),
+                    k,
+                    theta,
+                    partition: spec.partition.label(),
+                    result,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Filters reached runs of one algorithm out of a sweep.
+pub fn reached_of<'a>(points: &'a [SweepPoint], algo: &str) -> Vec<&'a SweepPoint> {
+    points
+        .iter()
+        .filter(|p| p.algo == algo && p.result.reached)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fda_data::synth::SynthSpec;
+
+    fn tiny_task() -> TaskData {
+        SynthSpec {
+            n_train: 240,
+            n_test: 80,
+            ..SynthSpec::synth_mnist()
+        }
+        .generate("tiny")
+    }
+
+    #[test]
+    fn grid_runs_all_cells() {
+        let task = tiny_task();
+        let spec = GridSpec {
+            model: ModelId::Lenet5,
+            optimizer: OptimizerKind::paper_adam(),
+            batch_size: 16,
+            partition: Partition::Iid,
+            ks: vec![2, 3],
+            thetas: vec![0.2, 1.0],
+            algos: vec![Algo::LinearFda, Algo::Synchronous],
+            run: RunConfig::to_target(0.5, 120),
+            seed: 11,
+        };
+        let points = run_grid(&spec, &task);
+        // LinearFda: 2 K × 2 Θ = 4; Synchronous: 2 K × 1 = 2.
+        assert_eq!(points.len(), 6);
+        assert_eq!(points.iter().filter(|p| p.algo == "LinearFDA").count(), 4);
+        assert_eq!(points.iter().filter(|p| p.algo == "Synchronous").count(), 2);
+    }
+
+    #[test]
+    fn algo_names_and_theta_usage() {
+        assert!(Algo::LinearFda.uses_theta());
+        assert!(Algo::SketchFda.uses_theta());
+        assert!(!Algo::Synchronous.uses_theta());
+        assert!(!Algo::FedAdam.uses_theta());
+        assert_eq!(Algo::LocalSgd(16).name(), "LocalSGD(tau=16)");
+    }
+
+    #[test]
+    fn reached_of_filters() {
+        let task = tiny_task();
+        let spec = GridSpec {
+            model: ModelId::Lenet5,
+            optimizer: OptimizerKind::paper_adam(),
+            batch_size: 16,
+            partition: Partition::Iid,
+            ks: vec![2],
+            thetas: vec![0.5],
+            algos: vec![Algo::LinearFda],
+            run: RunConfig::to_target(0.35, 200),
+            seed: 3,
+        };
+        let points = run_grid(&spec, &task);
+        let reached = reached_of(&points, "LinearFDA");
+        assert!(reached.len() <= points.len());
+    }
+}

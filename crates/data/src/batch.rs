@@ -1,0 +1,165 @@
+//! Mini-batch sampling over a worker's shard.
+//!
+//! Two modes are used by the training strategies:
+//!
+//! * **Per-step sampling** ([`BatchSampler::sample`]) — Algorithm 1 line 4:
+//!   "sample a batch of size b from D_k" at every step. Sampling is
+//!   without replacement within an epoch (reshuffled between epochs),
+//!   which matches the framework semantics the paper builds on.
+//! * **Epoch iteration** ([`BatchSampler::epoch_batches`]) — the FedOpt
+//!   baselines run `E` full local epochs between rounds.
+
+use crate::dataset::Dataset;
+use fda_tensor::{Matrix, Rng};
+
+/// A shuffling mini-batch sampler over a fixed index shard.
+#[derive(Debug, Clone)]
+pub struct BatchSampler {
+    indices: Vec<usize>,
+    cursor: usize,
+    batch: usize,
+    rng: Rng,
+}
+
+impl BatchSampler {
+    /// Creates a sampler over `shard` with the given batch size.
+    ///
+    /// # Panics
+    /// Panics if the shard is empty or the batch size is zero.
+    pub fn new(shard: Vec<usize>, batch: usize, rng: Rng) -> BatchSampler {
+        assert!(!shard.is_empty(), "sampler: empty shard");
+        assert!(batch >= 1, "sampler: zero batch size");
+        let mut s = BatchSampler {
+            indices: shard,
+            cursor: 0,
+            batch,
+            rng,
+        };
+        s.reshuffle();
+        s
+    }
+
+    /// Number of samples in the shard.
+    pub fn shard_len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Configured batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch
+    }
+
+    /// Mini-batches per epoch (ceiling division; the paper's "steps per
+    /// epoch" for a worker).
+    pub fn batches_per_epoch(&self) -> usize {
+        self.indices.len().div_ceil(self.batch)
+    }
+
+    fn reshuffle(&mut self) {
+        self.rng.shuffle(&mut self.indices);
+        self.cursor = 0;
+    }
+
+    /// Draws the next mini-batch (wrapping and reshuffling at epoch end).
+    pub fn sample(&mut self, dataset: &Dataset) -> (Matrix, Vec<usize>) {
+        let n = self.indices.len();
+        let take = self.batch.min(n);
+        if self.cursor + take > n {
+            self.reshuffle();
+        }
+        let slice = &self.indices[self.cursor..self.cursor + take];
+        let out = dataset.gather(slice);
+        self.cursor += take;
+        out
+    }
+
+    /// Returns all batch index-ranges of one fresh epoch (shuffled).
+    /// The final batch may be smaller than `batch`.
+    pub fn epoch_batches(&mut self) -> Vec<Vec<usize>> {
+        self.reshuffle();
+        self.indices
+            .chunks(self.batch)
+            .map(|c| c.to_vec())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(n: usize) -> Dataset {
+        let x = Matrix::from_vec(n, 1, (0..n).map(|i| i as f32).collect());
+        let y: Vec<usize> = (0..n).map(|i| i % 2).collect();
+        Dataset::new(x, y, 2)
+    }
+
+    #[test]
+    fn batches_have_requested_size() {
+        let d = dataset(50);
+        let mut s = BatchSampler::new((0..50).collect(), 8, Rng::new(1));
+        for _ in 0..20 {
+            let (x, y) = s.sample(&d);
+            assert_eq!(x.rows(), 8);
+            assert_eq!(y.len(), 8);
+        }
+    }
+
+    #[test]
+    fn epoch_covers_shard_exactly_once() {
+        let d = dataset(23);
+        let shard: Vec<usize> = (0..23).collect();
+        let mut s = BatchSampler::new(shard, 5, Rng::new(2));
+        let batches = s.epoch_batches();
+        assert_eq!(batches.len(), 5); // ceil(23/5)
+        let mut seen: Vec<usize> = batches.into_iter().flatten().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..23).collect::<Vec<_>>());
+        let _ = d;
+    }
+
+    #[test]
+    fn within_epoch_sampling_has_no_repeats() {
+        let d = dataset(40);
+        let mut s = BatchSampler::new((0..40).collect(), 10, Rng::new(3));
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            let (x, _) = s.sample(&d);
+            for r in 0..x.rows() {
+                seen.push(x.row(r)[0] as usize);
+            }
+        }
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 40, "one epoch of sampling covers the shard");
+    }
+
+    #[test]
+    fn batch_larger_than_shard_clamps() {
+        let d = dataset(3);
+        let mut s = BatchSampler::new(vec![0, 1, 2], 32, Rng::new(4));
+        let (x, y) = s.sample(&d);
+        assert_eq!(x.rows(), 3);
+        assert_eq!(y.len(), 3);
+        assert_eq!(s.batches_per_epoch(), 1);
+    }
+
+    #[test]
+    fn deterministic_given_rng_seed() {
+        let d = dataset(30);
+        let mut a = BatchSampler::new((0..30).collect(), 4, Rng::new(9));
+        let mut b = BatchSampler::new((0..30).collect(), 4, Rng::new(9));
+        for _ in 0..10 {
+            let (xa, ya) = a.sample(&d);
+            let (xb, yb) = b.sample(&d);
+            assert_eq!(xa.as_slice(), xb.as_slice());
+            assert_eq!(ya, yb);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty shard")]
+    fn empty_shard_panics() {
+        let _ = BatchSampler::new(vec![], 4, Rng::new(0));
+    }
+}

@@ -1,0 +1,151 @@
+//! Dataset containers.
+
+use fda_tensor::Matrix;
+
+/// A labelled dataset: one flattened sample per row of `x`.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    x: Matrix,
+    y: Vec<usize>,
+    classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset.
+    ///
+    /// # Panics
+    /// Panics if row counts mismatch or any label is out of range.
+    pub fn new(x: Matrix, y: Vec<usize>, classes: usize) -> Dataset {
+        assert_eq!(x.rows(), y.len(), "dataset: x/y size mismatch");
+        assert!(classes >= 2, "dataset: need at least two classes");
+        assert!(
+            y.iter().all(|&label| label < classes),
+            "dataset: label out of range"
+        );
+        Dataset { x, y, classes }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// True iff the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Feature dimension per sample.
+    pub fn dim(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Features of sample `i`.
+    pub fn sample(&self, i: usize) -> &[f32] {
+        self.x.row(i)
+    }
+
+    /// Label of sample `i`.
+    pub fn label(&self, i: usize) -> usize {
+        self.y[i]
+    }
+
+    /// The full feature matrix.
+    pub fn features(&self) -> &Matrix {
+        &self.x
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.y
+    }
+
+    /// Gathers the given sample indices into a dense batch.
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds or `indices` is empty.
+    pub fn gather(&self, indices: &[usize]) -> (Matrix, Vec<usize>) {
+        assert!(!indices.is_empty(), "gather: empty index set");
+        let mut xb = Matrix::zeros(indices.len(), self.dim());
+        let mut yb = Vec::with_capacity(indices.len());
+        for (row, &i) in indices.iter().enumerate() {
+            xb.row_mut(row).copy_from_slice(self.x.row(i));
+            yb.push(self.y[i]);
+        }
+        (xb, yb)
+    }
+
+    /// Per-class sample counts.
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.classes];
+        for &label in &self.y {
+            h[label] += 1;
+        }
+        h
+    }
+}
+
+/// A train/test pair produced by the synthetic generators.
+#[derive(Debug, Clone)]
+pub struct TaskData {
+    /// Training split.
+    pub train: Dataset,
+    /// Held-out test split (drives the paper's Accuracy Target criterion).
+    pub test: Dataset,
+    /// Short task identifier (e.g. `synth-mnist`).
+    pub name: String,
+}
+
+impl TaskData {
+    /// Feature dimension (identical across splits).
+    pub fn dim(&self) -> usize {
+        self.train.dim()
+    }
+
+    /// Number of classes (identical across splits).
+    pub fn classes(&self) -> usize {
+        self.train.classes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let x = Matrix::from_vec(4, 2, vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0]);
+        Dataset::new(x, vec![0, 1, 0, 1], 2)
+    }
+
+    #[test]
+    fn accessors() {
+        let d = toy();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.classes(), 2);
+        assert_eq!(d.sample(2), &[2.0, 2.0]);
+        assert_eq!(d.label(3), 1);
+        assert_eq!(d.class_histogram(), vec![2, 2]);
+    }
+
+    #[test]
+    fn gather_builds_batches() {
+        let d = toy();
+        let (xb, yb) = d.gather(&[3, 0]);
+        assert_eq!(xb.row(0), &[3.0, 3.0]);
+        assert_eq!(xb.row(1), &[0.0, 0.0]);
+        assert_eq!(yb, vec![1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn bad_label_panics() {
+        let x = Matrix::zeros(1, 1);
+        let _ = Dataset::new(x, vec![5], 2);
+    }
+}

@@ -1,0 +1,28 @@
+//! # fda-data
+//!
+//! Datasets and partitioners for the FDA reproduction.
+//!
+//! The paper trains on MNIST, CIFAR-10 and CIFAR-100 features. Those
+//! datasets are not available in this offline environment, so this crate
+//! generates **synthetic classification tasks** with the same shape:
+//! multi-class, multi-modal, noisy, with controllable difficulty and a
+//! train/test split (see `DESIGN.md` §4 for the substitution argument:
+//! FDA's synchronization decisions depend on the drift geometry induced by
+//! SGD over heterogeneous shards, not on pixel semantics).
+//!
+//! Heterogeneity follows the paper's §4.1 "Data Distribution" exactly:
+//!
+//! 1. **IID** — shuffle and split equally.
+//! 2. **Non-IID X%** — a fraction X% is sorted by label and dealt
+//!    sequentially to workers; the rest is IID.
+//! 3. **Non-IID Label Y** — all samples of label Y go to a few workers,
+//!    the rest IID.
+
+pub mod batch;
+pub mod dataset;
+pub mod partition;
+pub mod synth;
+
+pub use dataset::{Dataset, TaskData};
+pub use partition::Partition;
+pub use synth::SynthSpec;

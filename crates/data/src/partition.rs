@@ -1,0 +1,255 @@
+//! Data-heterogeneity partitioners (§4.1 "Data Distribution").
+//!
+//! All three schemes divide the training set into `K` near-equal shards;
+//! they differ in how label-skewed those shards are:
+//!
+//! * [`Partition::Iid`] — uniform random split.
+//! * [`Partition::NonIidPercent`] — `X%` of the data is sorted by label and
+//!   dealt sequentially to workers (so some workers see long runs of one
+//!   label); the remaining `(100−X)%` is spread IID.
+//! * [`Partition::NonIidLabel`] — every sample of label `Y` is concentrated
+//!   on a few workers; the rest is IID.
+
+use crate::dataset::Dataset;
+use fda_tensor::Rng;
+
+/// A data-distribution scheme across `K` workers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Partition {
+    /// Independent and identically distributed shards.
+    Iid,
+    /// `fraction` ∈ (0, 1]: that portion is sorted by label and dealt
+    /// sequentially; the rest is IID. (The paper's "Non-IID: X%".)
+    NonIidPercent(f32),
+    /// All samples of the given label go to a small group of workers
+    /// (the paper's "Non-IID: Label Y").
+    NonIidLabel(usize),
+}
+
+impl Partition {
+    /// Short display name matching the paper's figure captions.
+    pub fn label(&self) -> String {
+        match self {
+            Partition::Iid => "IID".to_string(),
+            Partition::NonIidPercent(f) => format!("Non-IID: {:.0}%", f * 100.0),
+            Partition::NonIidLabel(y) => format!("Non-IID: Label \"{y}\""),
+        }
+    }
+
+    /// Splits `dataset` into `k` shards of sample indices.
+    ///
+    /// Every shard is non-empty and the shards exactly cover the dataset
+    /// (sizes differ by at most the skew the scheme demands).
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, `k > dataset.len()`, or the scheme is
+    /// ill-configured (fraction outside (0,1], label out of range).
+    pub fn shards(&self, dataset: &Dataset, k: usize, seed: u64) -> Vec<Vec<usize>> {
+        assert!(k >= 1, "partition: need at least one worker");
+        assert!(
+            k <= dataset.len(),
+            "partition: more workers ({k}) than samples ({})",
+            dataset.len()
+        );
+        let mut rng = Rng::new(seed);
+        let shards = match self {
+            Partition::Iid => {
+                let mut idx: Vec<usize> = (0..dataset.len()).collect();
+                rng.shuffle(&mut idx);
+                deal_round_robin(&idx, k)
+            }
+            Partition::NonIidPercent(fraction) => {
+                assert!(
+                    *fraction > 0.0 && *fraction <= 1.0,
+                    "partition: fraction must be in (0, 1], got {fraction}"
+                );
+                let mut idx: Vec<usize> = (0..dataset.len()).collect();
+                rng.shuffle(&mut idx);
+                let n_sorted = ((dataset.len() as f32) * fraction).round() as usize;
+                let (sorted_part, iid_part) = idx.split_at(n_sorted.min(idx.len()));
+                // Sort the skewed portion by label, then deal it in
+                // contiguous blocks so each worker receives label runs.
+                let mut sorted: Vec<usize> = sorted_part.to_vec();
+                sorted.sort_by_key(|&i| dataset.label(i));
+                let mut shards = deal_contiguous(&sorted, k);
+                // Spread the remainder IID (round-robin after shuffle).
+                for (j, &i) in iid_part.iter().enumerate() {
+                    shards[j % k].push(i);
+                }
+                shards
+            }
+            Partition::NonIidLabel(y) => {
+                assert!(
+                    *y < dataset.classes(),
+                    "partition: label {y} out of range {}",
+                    dataset.classes()
+                );
+                let mut label_idx = Vec::new();
+                let mut rest_idx = Vec::new();
+                for i in 0..dataset.len() {
+                    if dataset.label(i) == *y {
+                        label_idx.push(i);
+                    } else {
+                        rest_idx.push(i);
+                    }
+                }
+                rng.shuffle(&mut rest_idx);
+                // "Assigned to a few workers": concentrate label Y on
+                // max(1, K/10) workers, matching the paper's description.
+                let few = (k / 10).max(1);
+                let mut shards = vec![Vec::new(); k];
+                for (j, &i) in label_idx.iter().enumerate() {
+                    shards[j % few].push(i);
+                }
+                for (j, &i) in rest_idx.iter().enumerate() {
+                    shards[j % k].push(i);
+                }
+                shards
+            }
+        };
+        debug_assert_eq!(shards.len(), k);
+        assert!(
+            shards.iter().all(|s| !s.is_empty()),
+            "partition produced an empty shard (k too large for scheme?)"
+        );
+        shards
+    }
+}
+
+/// Deals indices round-robin into `k` shards (balanced to within 1).
+fn deal_round_robin(idx: &[usize], k: usize) -> Vec<Vec<usize>> {
+    let mut shards = vec![Vec::with_capacity(idx.len() / k + 1); k];
+    for (j, &i) in idx.iter().enumerate() {
+        shards[j % k].push(i);
+    }
+    shards
+}
+
+/// Deals indices as contiguous blocks into `k` shards (balanced to within 1).
+fn deal_contiguous(idx: &[usize], k: usize) -> Vec<Vec<usize>> {
+    let n = idx.len();
+    let base = n / k;
+    let extra = n % k;
+    let mut shards = Vec::with_capacity(k);
+    let mut start = 0usize;
+    for j in 0..k {
+        let size = base + usize::from(j < extra);
+        shards.push(idx[start..start + size].to_vec());
+        start += size;
+    }
+    shards
+}
+
+/// A label-skew score in `[0, 1]`: mean over shards of
+/// `(max class share − uniform share) / (1 − uniform share)`.
+/// 0 ⇒ perfectly mixed shards, 1 ⇒ each shard single-label.
+pub fn label_skew(dataset: &Dataset, shards: &[Vec<usize>]) -> f64 {
+    let classes = dataset.classes();
+    let uniform = 1.0 / classes as f64;
+    let mut total = 0.0;
+    for shard in shards {
+        let mut hist = vec![0usize; classes];
+        for &i in shard {
+            hist[dataset.label(i)] += 1;
+        }
+        let max_share = hist.iter().copied().max().unwrap_or(0) as f64 / shard.len().max(1) as f64;
+        total += (max_share - uniform) / (1.0 - uniform);
+    }
+    (total / shards.len() as f64).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fda_tensor::Matrix;
+
+    fn labelled_dataset(n: usize, classes: usize) -> Dataset {
+        let x = Matrix::zeros(n, 2);
+        let y: Vec<usize> = (0..n).map(|i| i % classes).collect();
+        Dataset::new(x, y, classes)
+    }
+
+    fn assert_exact_cover(n: usize, shards: &[Vec<usize>]) {
+        let mut all: Vec<usize> = shards.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..n).collect::<Vec<_>>(), "shards must cover exactly");
+    }
+
+    #[test]
+    fn iid_cover_and_balance() {
+        let d = labelled_dataset(103, 10);
+        let shards = Partition::Iid.shards(&d, 7, 1);
+        assert_exact_cover(103, &shards);
+        let sizes: Vec<usize> = shards.iter().map(Vec::len).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn percent_partition_covers_and_skews() {
+        let d = labelled_dataset(1000, 10);
+        let iid = Partition::Iid.shards(&d, 10, 2);
+        let skewed = Partition::NonIidPercent(0.6).shards(&d, 10, 2);
+        assert_exact_cover(1000, &skewed);
+        let s_iid = label_skew(&d, &iid);
+        let s_skew = label_skew(&d, &skewed);
+        assert!(
+            s_skew > s_iid + 0.1,
+            "60% sorted should be measurably more skewed: {s_iid} vs {s_skew}"
+        );
+    }
+
+    #[test]
+    fn full_sort_is_maximally_skewed() {
+        let d = labelled_dataset(1000, 10);
+        let shards = Partition::NonIidPercent(1.0).shards(&d, 10, 3);
+        assert_exact_cover(1000, &shards);
+        let skew = label_skew(&d, &shards);
+        assert!(skew > 0.9, "fully sorted deal should be near single-label: {skew}");
+    }
+
+    #[test]
+    fn label_partition_concentrates_label() {
+        let d = labelled_dataset(1000, 10);
+        let k = 20;
+        let shards = Partition::NonIidLabel(0).shards(&d, k, 4);
+        assert_exact_cover(1000, &shards);
+        let few = (k / 10).max(1);
+        // All the label-0 samples must sit on the first `few` shards.
+        for (j, shard) in shards.iter().enumerate() {
+            let zero_count = shard.iter().filter(|&&i| d.label(i) == 0).count();
+            if j >= few {
+                assert_eq!(zero_count, 0, "shard {j} should hold no label-0 samples");
+            }
+        }
+        let total_zero: usize = shards
+            .iter()
+            .take(few)
+            .map(|s| s.iter().filter(|&&i| d.label(i) == 0).count())
+            .sum();
+        assert_eq!(total_zero, 100);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = labelled_dataset(200, 5);
+        let a = Partition::NonIidPercent(0.5).shards(&d, 4, 42);
+        let b = Partition::NonIidPercent(0.5).shards(&d, 4, 42);
+        assert_eq!(a, b);
+        let c = Partition::NonIidPercent(0.5).shards(&d, 4, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn labels_render_like_paper_captions() {
+        assert_eq!(Partition::Iid.label(), "IID");
+        assert_eq!(Partition::NonIidPercent(0.6).label(), "Non-IID: 60%");
+        assert_eq!(Partition::NonIidLabel(0).label(), "Non-IID: Label \"0\"");
+    }
+
+    #[test]
+    #[should_panic(expected = "more workers")]
+    fn too_many_workers_panics() {
+        let d = labelled_dataset(3, 2);
+        let _ = Partition::Iid.shards(&d, 5, 0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Element-wise activation layers.
+
+use crate::layer::Layer;
+use fda_tensor::Matrix;
+
+/// Rectified linear unit `y = max(0, x)`.
+#[derive(Default)]
+pub struct Relu {
+    // Cache of the forward input sign: true where x > 0.
+    mask: Vec<bool>,
+    cols: usize,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu::default()
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+
+    fn forward(&mut self, x: &Matrix, _train: bool) -> Matrix {
+        self.cols = x.cols();
+        self.mask.clear();
+        self.mask.reserve(x.len());
+        let mut y = x.clone();
+        for v in y.as_mut_slice() {
+            let active = *v > 0.0;
+            self.mask.push(active);
+            if !active {
+                *v = 0.0;
+            }
+        }
+        y
+    }
+
+    fn backward(&mut self, dy: &Matrix) -> Matrix {
+        assert_eq!(
+            dy.len(),
+            self.mask.len(),
+            "relu: backward without matching forward"
+        );
+        let mut dx = dy.clone();
+        for (v, &m) in dx.as_mut_slice().iter_mut().zip(&self.mask) {
+            if !m {
+                *v = 0.0;
+            }
+        }
+        dx
+    }
+
+    fn out_dim(&self, in_dim: usize) -> usize {
+        in_dim
+    }
+}
+
+/// Hyperbolic tangent activation.
+#[derive(Default)]
+pub struct Tanh {
+    // Cache of the forward output (tanh'(x) = 1 − y²).
+    y: Vec<f32>,
+}
+
+impl Tanh {
+    /// Creates a Tanh layer.
+    pub fn new() -> Self {
+        Tanh::default()
+    }
+}
+
+impl Layer for Tanh {
+    fn name(&self) -> &'static str {
+        "tanh"
+    }
+
+    fn forward(&mut self, x: &Matrix, _train: bool) -> Matrix {
+        let mut y = x.clone();
+        for v in y.as_mut_slice() {
+            *v = v.tanh();
+        }
+        self.y = y.as_slice().to_vec();
+        y
+    }
+
+    fn backward(&mut self, dy: &Matrix) -> Matrix {
+        assert_eq!(
+            dy.len(),
+            self.y.len(),
+            "tanh: backward without matching forward"
+        );
+        let mut dx = dy.clone();
+        for (v, &yv) in dx.as_mut_slice().iter_mut().zip(&self.y) {
+            *v *= 1.0 - yv * yv;
+        }
+        dx
+    }
+
+    fn out_dim(&self, in_dim: usize) -> usize {
+        in_dim
+    }
+}
+
+/// Leaky ReLU `y = x if x > 0 else α·x`.
+pub struct LeakyRelu {
+    alpha: f32,
+    mask: Vec<bool>,
+}
+
+impl LeakyRelu {
+    /// Creates a Leaky ReLU with the given negative slope.
+    pub fn new(alpha: f32) -> Self {
+        LeakyRelu {
+            alpha,
+            mask: Vec::new(),
+        }
+    }
+}
+
+impl Layer for LeakyRelu {
+    fn name(&self) -> &'static str {
+        "leaky_relu"
+    }
+
+    fn forward(&mut self, x: &Matrix, _train: bool) -> Matrix {
+        self.mask.clear();
+        self.mask.reserve(x.len());
+        let mut y = x.clone();
+        for v in y.as_mut_slice() {
+            let active = *v > 0.0;
+            self.mask.push(active);
+            if !active {
+                *v *= self.alpha;
+            }
+        }
+        y
+    }
+
+    fn backward(&mut self, dy: &Matrix) -> Matrix {
+        assert_eq!(
+            dy.len(),
+            self.mask.len(),
+            "leaky_relu: backward without matching forward"
+        );
+        let mut dx = dy.clone();
+        for (v, &m) in dx.as_mut_slice().iter_mut().zip(&self.mask) {
+            if !m {
+                *v *= self.alpha;
+            }
+        }
+        dx
+    }
+
+    fn out_dim(&self, in_dim: usize) -> usize {
+        in_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_forward_backward() {
+        let mut layer = Relu::new();
+        let x = Matrix::from_vec(1, 4, vec![-1.0, 0.0, 2.0, -3.0]);
+        let y = layer.forward(&x, true);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0, 0.0]);
+        let dy = Matrix::from_vec(1, 4, vec![1.0, 1.0, 1.0, 1.0]);
+        let dx = layer.backward(&dy);
+        assert_eq!(dx.as_slice(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn tanh_gradient_at_zero_is_one() {
+        let mut layer = Tanh::new();
+        let x = Matrix::from_vec(1, 1, vec![0.0]);
+        let _ = layer.forward(&x, true);
+        let dx = layer.backward(&Matrix::from_vec(1, 1, vec![1.0]));
+        assert!((dx.as_slice()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn leaky_relu_negative_slope() {
+        let mut layer = LeakyRelu::new(0.1);
+        let x = Matrix::from_vec(1, 2, vec![-10.0, 10.0]);
+        let y = layer.forward(&x, true);
+        assert_eq!(y.as_slice(), &[-1.0, 10.0]);
+        let dx = layer.backward(&Matrix::from_vec(1, 2, vec![1.0, 1.0]));
+        assert!((dx.as_slice()[0] - 0.1).abs() < 1e-7);
+        assert_eq!(dx.as_slice()[1], 1.0);
+    }
+
+    #[test]
+    fn relu_preserves_shape() {
+        let mut layer = Relu::new();
+        let x = Matrix::zeros(3, 5);
+        let y = layer.forward(&x, false);
+        assert_eq!((y.rows(), y.cols()), (3, 5));
+        assert_eq!(layer.out_dim(5), 5);
+    }
+}

@@ -1,0 +1,298 @@
+//! 2-D convolution via im2col.
+//!
+//! The paper's models (LeNet-5, VGG16*, DenseNets) are convolutional; this
+//! layer provides the same computational structure at CPU scale. The
+//! implementation lowers each sample to a column matrix
+//! (`in_c·kh·kw × out_h·out_w`), turning convolution into GEMM — the
+//! standard trick that keeps hot loops in cache-friendly matrix code.
+
+use crate::init::Init;
+use crate::layer::{Layer, Shape3};
+use fda_tensor::{matrix, Matrix, Rng};
+
+/// A 2-D convolution with square stride-1 kernels and symmetric zero
+/// padding.
+///
+/// Activations arrive as flattened rows (`c·h·w` per sample); the layer
+/// knows its input [`Shape3`] from construction.
+pub struct Conv2d {
+    in_shape: Shape3,
+    out_shape: Shape3,
+    k: usize,
+    pad: usize,
+    /// Weights as `out_c × (in_c·k·k)`.
+    w: Matrix,
+    b: Vec<f32>,
+    dw: Matrix,
+    db: Vec<f32>,
+    // Cached per-sample column matrices from the last forward.
+    cols: Vec<Matrix>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer.
+    ///
+    /// `pad` is applied on all four sides; output spatial size is
+    /// `h + 2·pad − k + 1` (stride 1).
+    ///
+    /// # Panics
+    /// Panics if the kernel is larger than the padded input.
+    pub fn new(in_shape: Shape3, out_c: usize, k: usize, pad: usize, init: Init, rng: &mut Rng) -> Self {
+        let oh = in_shape.h + 2 * pad + 1;
+        assert!(oh > k, "conv: kernel {k} too large for input {in_shape:?} with pad {pad}");
+        let out_h = in_shape.h + 2 * pad - k + 1;
+        let out_w = in_shape.w + 2 * pad - k + 1;
+        let fan_in = in_shape.c * k * k;
+        let fan_out = out_c * k * k;
+        let mut w = Matrix::zeros(out_c, fan_in);
+        init.fill(w.as_mut_slice(), fan_in, fan_out, rng);
+        Conv2d {
+            in_shape,
+            out_shape: Shape3::new(out_c, out_h, out_w),
+            k,
+            pad,
+            w,
+            b: vec![0.0; out_c],
+            dw: Matrix::zeros(out_c, fan_in),
+            db: vec![0.0; out_c],
+            cols: Vec::new(),
+        }
+    }
+
+    /// The input activation shape.
+    pub fn in_shape(&self) -> Shape3 {
+        self.in_shape
+    }
+
+    /// The output activation shape.
+    pub fn out_shape(&self) -> Shape3 {
+        self.out_shape
+    }
+
+    /// Lowers one flattened sample into its column matrix
+    /// (`in_c·k·k × out_h·out_w`).
+    fn im2col(&self, sample: &[f32]) -> Matrix {
+        let Shape3 { c, h, w } = self.in_shape;
+        let (oh, ow) = (self.out_shape.h, self.out_shape.w);
+        let k = self.k;
+        let pad = self.pad as isize;
+        let mut col = Matrix::zeros(c * k * k, oh * ow);
+        for ch in 0..c {
+            let plane = &sample[ch * h * w..(ch + 1) * h * w];
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row_idx = (ch * k + ky) * k + kx;
+                    let col_row = col.row_mut(row_idx);
+                    for oy in 0..oh {
+                        let iy = oy as isize + ky as isize - pad;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let iy = iy as usize;
+                        for ox in 0..ow {
+                            let ix = ox as isize + kx as isize - pad;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            col_row[oy * ow + ox] = plane[iy * w + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+        col
+    }
+
+    /// Scatters a column-matrix gradient back to a flattened input gradient
+    /// (the adjoint of [`Conv2d::im2col`]).
+    fn col2im(&self, dcol: &Matrix, out: &mut [f32]) {
+        let Shape3 { c, h, w } = self.in_shape;
+        let (oh, ow) = (self.out_shape.h, self.out_shape.w);
+        let k = self.k;
+        let pad = self.pad as isize;
+        for ch in 0..c {
+            let plane = &mut out[ch * h * w..(ch + 1) * h * w];
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row_idx = (ch * k + ky) * k + kx;
+                    let col_row = dcol.row(row_idx);
+                    for oy in 0..oh {
+                        let iy = oy as isize + ky as isize - pad;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let iy = iy as usize;
+                        for ox in 0..ow {
+                            let ix = ox as isize + kx as isize - pad;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            plane[iy * w + ix as usize] += col_row[oy * ow + ox];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn forward(&mut self, x: &Matrix, _train: bool) -> Matrix {
+        assert_eq!(x.cols(), self.in_shape.len(), "conv: input width mismatch");
+        let batch = x.rows();
+        let (oc, spatial) = (self.out_shape.c, self.out_shape.h * self.out_shape.w);
+        let mut y = Matrix::zeros(batch, self.out_shape.len());
+        self.cols.clear();
+        self.cols.reserve(batch);
+        for s in 0..batch {
+            let col = self.im2col(x.row(s));
+            // y_s = W · col  (oc × spatial), flattened row-major into y.
+            let mut ys = Matrix::zeros(oc, spatial);
+            matrix::gemm_accumulate(&self.w, &col, &mut ys);
+            let y_row = y.row_mut(s);
+            for c in 0..oc {
+                let src = ys.row(c);
+                let dst = &mut y_row[c * spatial..(c + 1) * spatial];
+                for (d, (v, bias)) in dst.iter_mut().zip(src.iter().zip(std::iter::repeat(&self.b[c]))) {
+                    *d = v + bias;
+                }
+            }
+            self.cols.push(col);
+        }
+        y
+    }
+
+    fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let batch = dy.rows();
+        assert_eq!(dy.cols(), self.out_shape.len(), "conv: grad width mismatch");
+        assert_eq!(batch, self.cols.len(), "conv: backward without matching forward");
+        let (oc, spatial) = (self.out_shape.c, self.out_shape.h * self.out_shape.w);
+        let mut dx = Matrix::zeros(batch, self.in_shape.len());
+        for s in 0..batch {
+            // Reinterpret this sample's dy as (oc × spatial).
+            let dy_s = Matrix::from_vec(oc, spatial, dy.row(s).to_vec());
+            // dW += dy_s · colᵀ
+            matrix::gemm_a_bt_accumulate(&dy_s, &self.cols[s], &mut self.dw);
+            // db += row sums of dy_s
+            for c in 0..oc {
+                self.db[c] += dy_s.row(c).iter().sum::<f32>();
+            }
+            // dcol = Wᵀ · dy_s, then scatter back.
+            let mut dcol = Matrix::zeros(self.w.cols(), spatial);
+            matrix::gemm_at_b_accumulate(&self.w, &dy_s, &mut dcol);
+            self.col2im(&dcol, dx.row_mut(s));
+        }
+        dx
+    }
+
+    fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+
+    fn params(&self) -> Vec<&[f32]> {
+        vec![self.w.as_slice(), &self.b]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut [f32]> {
+        vec![self.w.as_mut_slice(), &mut self.b]
+    }
+
+    fn grads(&self) -> Vec<&[f32]> {
+        vec![self.dw.as_slice(), &self.db]
+    }
+
+    fn zero_grads(&mut self) {
+        self.dw.clear();
+        self.db.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    fn out_dim(&self, in_dim: usize) -> usize {
+        assert_eq!(in_dim, self.in_shape.len(), "conv: wired to wrong input width");
+        self.out_shape.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 1-channel 3×3 input with a known 2-channel 2×2 kernel (pad 0).
+    #[test]
+    fn forward_known_values() {
+        let mut rng = Rng::new(0);
+        let in_shape = Shape3::new(1, 3, 3);
+        let mut conv = Conv2d::new(in_shape, 1, 2, 0, Init::GlorotUniform, &mut rng);
+        // Kernel = [[1, 0], [0, 1]] (trace of each 2×2 patch), bias 0.5.
+        conv.w = Matrix::from_vec(1, 4, vec![1.0, 0.0, 0.0, 1.0]);
+        conv.b = vec![0.5];
+        #[rustfmt::skip]
+        let x = Matrix::from_vec(1, 9, vec![
+            1.0, 2.0, 3.0,
+            4.0, 5.0, 6.0,
+            7.0, 8.0, 9.0,
+        ]);
+        let y = conv.forward(&x, true);
+        // Patches: (1+5), (2+6), (4+8), (5+9) plus bias.
+        assert_eq!(y.as_slice(), &[6.5, 8.5, 12.5, 14.5]);
+        assert_eq!(conv.out_shape(), Shape3::new(1, 2, 2));
+    }
+
+    #[test]
+    fn padding_preserves_spatial_size() {
+        let mut rng = Rng::new(1);
+        let conv = Conv2d::new(Shape3::new(2, 5, 5), 4, 3, 1, Init::HeNormal, &mut rng);
+        assert_eq!(conv.out_shape(), Shape3::new(4, 5, 5));
+        assert_eq!(conv.param_count(), 4 * 2 * 9 + 4);
+    }
+
+    #[test]
+    fn backward_bias_gradient_sums_spatial() {
+        let mut rng = Rng::new(2);
+        let mut conv = Conv2d::new(Shape3::new(1, 3, 3), 2, 2, 0, Init::HeNormal, &mut rng);
+        let x = Matrix::from_vec(1, 9, (0..9).map(|i| i as f32).collect());
+        let _ = conv.forward(&x, true);
+        let dy = Matrix::from_vec(1, 2 * 4, vec![1.0; 8]);
+        let _ = conv.backward(&dy);
+        // Each output channel has 4 spatial positions with grad 1.
+        assert_eq!(conv.grads()[1], &[4.0, 4.0]);
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint() {
+        // ⟨im2col(x), y⟩ == ⟨x, col2im(y)⟩ — the defining adjoint property,
+        // which is exactly what makes the conv backward pass correct.
+        let mut rng = Rng::new(3);
+        let conv = Conv2d::new(Shape3::new(2, 4, 4), 3, 3, 1, Init::HeNormal, &mut rng);
+        let mut x = vec![0.0f32; 2 * 16];
+        rng.clone().fill_normal(&mut x, 0.0, 1.0);
+        let col = conv.im2col(&x);
+        let mut y = Matrix::zeros(col.rows(), col.cols());
+        rng.clone().fill_normal(y.as_mut_slice(), 0.0, 1.0);
+        let forward_ip = fda_tensor::vector::dot(col.as_slice(), y.as_slice());
+        let mut back = vec![0.0f32; x.len()];
+        conv.col2im(&y, &mut back);
+        let backward_ip = fda_tensor::vector::dot(&x, &back);
+        assert!(
+            (forward_ip - backward_ip).abs() < 1e-2 * (1.0 + forward_ip.abs()),
+            "{forward_ip} vs {backward_ip}"
+        );
+    }
+
+    #[test]
+    fn batch_forward_matches_per_sample() {
+        let mut rng = Rng::new(4);
+        let mut conv = Conv2d::new(Shape3::new(1, 4, 4), 2, 3, 1, Init::HeNormal, &mut rng);
+        let mut x = Matrix::zeros(3, 16);
+        Rng::new(9).fill_normal(x.as_mut_slice(), 0.0, 1.0);
+        let y_batch = conv.forward(&x, true);
+        for s in 0..3 {
+            let xi = Matrix::from_vec(1, 16, x.row(s).to_vec());
+            let yi = conv.forward(&xi, true);
+            assert_eq!(yi.as_slice(), y_batch.row(s));
+        }
+    }
+}

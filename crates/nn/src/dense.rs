@@ -1,0 +1,167 @@
+//! Fully-connected (dense) layer.
+
+use crate::init::Init;
+use crate::layer::Layer;
+use fda_tensor::{matrix, Matrix, Rng};
+
+/// A dense layer `y = x·W + b` with `W ∈ R^{in×out}`, `b ∈ R^{out}`.
+///
+/// Gradients accumulate across `backward` calls until [`Layer::zero_grads`];
+/// this matches mini-batch accumulation semantics and lets the optimizer
+/// consume a single flat gradient vector per step.
+pub struct Dense {
+    in_dim: usize,
+    out_dim: usize,
+    w: Matrix,
+    b: Vec<f32>,
+    dw: Matrix,
+    db: Vec<f32>,
+    cache_x: Matrix,
+}
+
+impl Dense {
+    /// Creates a dense layer with the given initializer.
+    pub fn new(in_dim: usize, out_dim: usize, init: Init, rng: &mut Rng) -> Self {
+        let mut w = Matrix::zeros(in_dim, out_dim);
+        init.fill(w.as_mut_slice(), in_dim, out_dim, rng);
+        Dense {
+            in_dim,
+            out_dim,
+            w,
+            b: vec![0.0; out_dim],
+            dw: Matrix::zeros(in_dim, out_dim),
+            db: vec![0.0; out_dim],
+            cache_x: Matrix::zeros(0, 0),
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+}
+
+impl Layer for Dense {
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn forward(&mut self, x: &Matrix, _train: bool) -> Matrix {
+        assert_eq!(x.cols(), self.in_dim, "dense: input width mismatch");
+        let mut y = Matrix::zeros(x.rows(), self.out_dim);
+        matrix::gemm_accumulate(x, &self.w, &mut y);
+        for r in 0..y.rows() {
+            let row = y.row_mut(r);
+            for (c, v) in row.iter_mut().enumerate() {
+                *v += self.b[c];
+            }
+        }
+        self.cache_x = x.clone();
+        y
+    }
+
+    fn backward(&mut self, dy: &Matrix) -> Matrix {
+        assert_eq!(dy.cols(), self.out_dim, "dense: grad width mismatch");
+        assert_eq!(
+            dy.rows(),
+            self.cache_x.rows(),
+            "dense: backward without matching forward"
+        );
+        // dW += xᵀ · dy
+        matrix::gemm_at_b_accumulate(&self.cache_x, dy, &mut self.dw);
+        // db += column sums of dy
+        for r in 0..dy.rows() {
+            let row = dy.row(r);
+            for (c, v) in row.iter().enumerate() {
+                self.db[c] += v;
+            }
+        }
+        // dx = dy · Wᵀ
+        let mut dx = Matrix::zeros(dy.rows(), self.in_dim);
+        matrix::gemm_a_bt_accumulate(dy, &self.w, &mut dx);
+        dx
+    }
+
+    fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+
+    fn params(&self) -> Vec<&[f32]> {
+        vec![self.w.as_slice(), &self.b]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut [f32]> {
+        vec![self.w.as_mut_slice(), &mut self.b]
+    }
+
+    fn grads(&self) -> Vec<&[f32]> {
+        vec![self.dw.as_slice(), &self.db]
+    }
+
+    fn zero_grads(&mut self) {
+        self.dw.clear();
+        self.db.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    fn out_dim(&self, in_dim: usize) -> usize {
+        assert_eq!(in_dim, self.in_dim, "dense: wired to wrong input width");
+        self.out_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_known_values() {
+        let mut rng = Rng::new(0);
+        let mut layer = Dense::new(2, 2, Init::GlorotUniform, &mut rng);
+        // Overwrite with known weights: W = [[1,2],[3,4]], b = [10, 20].
+        layer.w = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        layer.b = vec![10.0, 20.0];
+        let x = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        let y = layer.forward(&x, true);
+        assert_eq!(y.as_slice(), &[14.0, 26.0]);
+    }
+
+    #[test]
+    fn backward_shapes_and_bias_grad() {
+        let mut rng = Rng::new(1);
+        let mut layer = Dense::new(3, 2, Init::HeNormal, &mut rng);
+        let x = Matrix::from_vec(4, 3, (0..12).map(|i| i as f32 * 0.1).collect());
+        let _ = layer.forward(&x, true);
+        let dy = Matrix::from_vec(4, 2, vec![1.0; 8]);
+        let dx = layer.backward(&dy);
+        assert_eq!(dx.rows(), 4);
+        assert_eq!(dx.cols(), 3);
+        // Bias gradient is the column sum of dy = 4 for each output.
+        assert_eq!(layer.grads()[1], &[4.0, 4.0]);
+    }
+
+    #[test]
+    fn zero_grads_resets() {
+        let mut rng = Rng::new(2);
+        let mut layer = Dense::new(2, 2, Init::HeNormal, &mut rng);
+        let x = Matrix::from_vec(1, 2, vec![1.0, -1.0]);
+        let _ = layer.forward(&x, true);
+        let _ = layer.backward(&Matrix::from_vec(1, 2, vec![1.0, 1.0]));
+        assert!(layer.grads().iter().any(|g| g.iter().any(|&v| v != 0.0)));
+        layer.zero_grads();
+        assert!(layer.grads().iter().all(|g| g.iter().all(|&v| v == 0.0)));
+    }
+
+    #[test]
+    fn param_count_matches_slices() {
+        let mut rng = Rng::new(3);
+        let layer = Dense::new(5, 7, Init::GlorotUniform, &mut rng);
+        let total: usize = layer.params().iter().map(|p| p.len()).sum();
+        assert_eq!(total, layer.param_count());
+        assert_eq!(total, 5 * 7 + 7);
+    }
+}

@@ -1,0 +1,193 @@
+//! Finite-difference gradient checking.
+//!
+//! Backprop bugs are the classic silent failure of hand-rolled NN code, so
+//! every layer in this crate is validated against central finite
+//! differences of the end-to-end loss. The checker perturbs parameters (and
+//! optionally inputs) of a [`Sequential`] and compares `∂L/∂θ` with the
+//! analytic gradients.
+
+use crate::model::Sequential;
+use crate::loss::SoftmaxCrossEntropy;
+use fda_tensor::Matrix;
+
+/// Result of a gradient check over a set of parameter coordinates.
+///
+/// For piecewise-linear networks (ReLU, MaxPool) a ±ε probe occasionally
+/// crosses a kink — an argmax flip in a pool window, say — and the finite
+/// difference there measures a *different linear piece* than the analytic
+/// gradient. Those sparse outliers are properties of the probe, not bugs,
+/// so the report keeps the full error distribution: smooth stacks should
+/// assert on [`GradCheckReport::max_rel_err`], kinked stacks on
+/// [`GradCheckReport::frac_above`] being small plus a tight quantile.
+#[derive(Debug, Clone)]
+pub struct GradCheckReport {
+    rel_errors: Vec<f32>,
+    /// Maximum relative error across checked coordinates.
+    pub max_rel_err: f32,
+    /// Number of parameter coordinates compared.
+    pub checked: usize,
+}
+
+impl GradCheckReport {
+    /// Fraction of checked coordinates with relative error above `tol`.
+    pub fn frac_above(&self, tol: f32) -> f32 {
+        if self.rel_errors.is_empty() {
+            return 0.0;
+        }
+        self.rel_errors.iter().filter(|&&e| e > tol).count() as f32
+            / self.rel_errors.len() as f32
+    }
+
+    /// Linear-interpolated quantile of the relative-error distribution.
+    pub fn quantile(&self, q: f64) -> f32 {
+        let v: Vec<f64> = self.rel_errors.iter().map(|&e| e as f64).collect();
+        fda_tensor::stats::quantile(&v, q) as f32
+    }
+}
+
+/// Compares analytic parameter gradients of softmax-CE loss against central
+/// finite differences.
+///
+/// Checks `stride`-spaced coordinates (check all with `stride = 1`).
+/// Relative error uses the standard symmetric denominator
+/// `max(1e-4, |fd| + |analytic|)`.
+pub fn check_param_gradients(
+    model: &mut Sequential,
+    x: &Matrix,
+    labels: &[usize],
+    eps: f32,
+    stride: usize,
+) -> GradCheckReport {
+    assert!(stride >= 1, "gradcheck: stride must be positive");
+    let (_, _) = model.compute_gradients(x, labels);
+    let analytic = model.grads_flat();
+    let base = model.params_flat();
+    let mut max_rel = 0.0f32;
+    let mut checked = 0usize;
+
+    let loss_at = |model: &mut Sequential, params: &[f32]| -> f32 {
+        model.load_params(params);
+        let logits = model.forward(x, false); // eval mode: no dropout noise
+        let (loss, _, _) = SoftmaxCrossEntropy.forward(&logits, labels);
+        loss
+    };
+
+    let mut params = base.clone();
+    let mut rel_errors = Vec::with_capacity(base.len() / stride + 1);
+    for i in (0..base.len()).step_by(stride) {
+        params[i] = base[i] + eps;
+        let lp = loss_at(model, &params);
+        params[i] = base[i] - eps;
+        let lm = loss_at(model, &params);
+        params[i] = base[i];
+        let fd = (lp - lm) / (2.0 * eps);
+        let denom = (fd.abs() + analytic[i].abs()).max(1e-4);
+        let rel = (fd - analytic[i]).abs() / denom;
+        rel_errors.push(rel);
+        if rel > max_rel {
+            max_rel = rel;
+        }
+        checked += 1;
+    }
+    model.load_params(&base);
+    GradCheckReport {
+        rel_errors,
+        max_rel_err: max_rel,
+        checked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Tanh;
+    use crate::conv::Conv2d;
+    use crate::dense::Dense;
+    use crate::init::Init;
+    use crate::layer::Shape3;
+    use crate::pool::{GlobalAvgPool, MaxPool2d};
+    use fda_tensor::Rng;
+
+    // NOTE: the stacks below use Tanh rather than ReLU on purpose: central
+    // finite differences are only valid for (locally) smooth losses, and a
+    // perturbation of ±ε across a ReLU kink or a MaxPool argmax flip shows
+    // up as a large *apparent* error even when backprop is exact. MaxPool
+    // itself is safe here because random normal activations are almost
+    // never within ε of an argmax tie.
+
+    fn batch(rng: &mut Rng, rows: usize, cols: usize) -> Matrix {
+        let mut x = Matrix::zeros(rows, cols);
+        rng.fill_normal(x.as_mut_slice(), 0.0, 1.0);
+        x
+    }
+
+    #[test]
+    fn dense_tanh_stack_gradients() {
+        let mut rng = Rng::new(1);
+        let mut m = Sequential::new("gc-dense", 6)
+            .push(Dense::new(6, 10, Init::GlorotUniform, &mut rng))
+            .push(Tanh::new())
+            .push(Dense::new(10, 4, Init::GlorotUniform, &mut rng));
+        let x = batch(&mut rng, 5, 6);
+        let labels = vec![0, 1, 2, 3, 1];
+        let report = check_param_gradients(&mut m, &x, &labels, 1e-2, 1);
+        assert!(
+            report.max_rel_err < 2e-2,
+            "max relative error {} too large",
+            report.max_rel_err
+        );
+    }
+
+    #[test]
+    fn conv_pool_stack_gradients() {
+        let mut rng = Rng::new(2);
+        let in_shape = Shape3::new(1, 6, 6);
+        let conv = Conv2d::new(in_shape, 3, 3, 1, Init::HeNormal, &mut rng);
+        let pool = MaxPool2d::new(conv.out_shape(), 2);
+        let flat = pool.out_shape().len();
+        let mut m = Sequential::new("gc-conv", in_shape.len())
+            .push(conv)
+            .push(pool)
+            .push(Tanh::new())
+            .push(Dense::new(flat, 3, Init::HeNormal, &mut rng));
+        let x = batch(&mut rng, 3, in_shape.len());
+        let labels = vec![0, 1, 2];
+        let report = check_param_gradients(&mut m, &x, &labels, 1e-2, 1);
+        // MaxPool makes the loss piecewise-smooth in the conv weights: a
+        // conv-weight perturbation shifts whole feature maps and can flip a
+        // pool argmax, so a few coordinates legitimately disagree with the
+        // probe. Require the overwhelming majority to match tightly and the
+        // outliers to be sparse.
+        assert!(
+            report.quantile(0.95) < 3e-2,
+            "p95 relative error {} too large",
+            report.quantile(0.95)
+        );
+        assert!(
+            report.frac_above(5e-2) < 0.05,
+            "too many kink outliers: {}",
+            report.frac_above(5e-2)
+        );
+    }
+
+    #[test]
+    fn gap_head_gradients() {
+        let mut rng = Rng::new(3);
+        let in_shape = Shape3::new(2, 4, 4);
+        let conv = Conv2d::new(in_shape, 4, 3, 1, Init::HeNormal, &mut rng);
+        let gap = GlobalAvgPool::new(conv.out_shape());
+        let mut m = Sequential::new("gc-gap", in_shape.len())
+            .push(conv)
+            .push(Tanh::new())
+            .push(gap)
+            .push(Dense::new(4, 3, Init::HeNormal, &mut rng));
+        let x = batch(&mut rng, 2, in_shape.len());
+        let labels = vec![2, 0];
+        let report = check_param_gradients(&mut m, &x, &labels, 1e-2, 1);
+        assert!(
+            report.max_rel_err < 3e-2,
+            "max relative error {} too large",
+            report.max_rel_err
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Weight initializers.
+//!
+//! The paper specifies Glorot uniform for LeNet-5 / VGG16* and He normal
+//! for the DenseNets (§4.1 "Datasets & Models"). Both are implemented here
+//! and selected per-model in the [`crate::zoo`].
+
+use fda_tensor::Rng;
+
+/// Which initialization family to use for a model's weight tensors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Init {
+    /// Glorot (Xavier) uniform: `U(−√(6/(fan_in+fan_out)), +√(6/(fan_in+fan_out)))`.
+    GlorotUniform,
+    /// He normal: `N(0, √(2/fan_in))`.
+    HeNormal,
+}
+
+impl Init {
+    /// Fills `w` according to the scheme given fan-in and fan-out.
+    pub fn fill(self, w: &mut [f32], fan_in: usize, fan_out: usize, rng: &mut Rng) {
+        match self {
+            Init::GlorotUniform => {
+                let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+                rng.fill_uniform(w, -limit, limit);
+            }
+            Init::HeNormal => {
+                let std = (2.0 / fan_in.max(1) as f32).sqrt();
+                rng.fill_normal(w, 0.0, std);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glorot_within_limits() {
+        let mut rng = Rng::new(1);
+        let mut w = vec![0.0f32; 10_000];
+        Init::GlorotUniform.fill(&mut w, 100, 200, &mut rng);
+        let limit = (6.0f32 / 300.0).sqrt();
+        assert!(w.iter().all(|&x| x > -limit && x < limit));
+        // Mean should be near zero.
+        let mean: f32 = w.iter().sum::<f32>() / w.len() as f32;
+        assert!(mean.abs() < limit / 10.0);
+    }
+
+    #[test]
+    fn he_normal_std() {
+        let mut rng = Rng::new(2);
+        let mut w = vec![0.0f32; 100_000];
+        Init::HeNormal.fill(&mut w, 50, 10, &mut rng);
+        let expected_std = (2.0f32 / 50.0).sqrt();
+        let mean: f32 = w.iter().sum::<f32>() / w.len() as f32;
+        let var: f32 = w.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / w.len() as f32;
+        assert!(mean.abs() < 0.01);
+        assert!((var.sqrt() - expected_std).abs() < 0.01);
+    }
+}

@@ -1,0 +1,103 @@
+//! The [`Layer`] trait and shape metadata.
+//!
+//! Activations flow between layers as a row-major [`Matrix`] whose rows are
+//! samples and whose columns are the flattened feature dimensions
+//! (`channels × height × width` for convolutional tensors). Layers that
+//! care about the spatial structure ([`crate::conv::Conv2d`],
+//! [`crate::pool::MaxPool2d`]) carry a [`Shape3`] fixed at construction.
+
+use fda_tensor::Matrix;
+
+/// A `channels × height × width` activation shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shape3 {
+    /// Number of channels.
+    pub c: usize,
+    /// Spatial height.
+    pub h: usize,
+    /// Spatial width.
+    pub w: usize,
+}
+
+impl Shape3 {
+    /// Creates a shape.
+    pub const fn new(c: usize, h: usize, w: usize) -> Self {
+        Shape3 { c, h, w }
+    }
+
+    /// Flattened length `c·h·w`.
+    pub const fn len(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    /// True iff any dimension is zero.
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A differentiable network layer.
+///
+/// The contract mirrors classic define-by-layer backprop:
+///
+/// 1. `forward(x, train)` computes outputs and caches whatever the backward
+///    pass needs (inputs, masks, argmaxes).
+/// 2. `backward(dy)` consumes the most recent cache, **accumulates**
+///    parameter gradients internally, and returns `dL/dx`.
+/// 3. Parameter and gradient storage is exposed as ordered lists of flat
+///    slices so a [`crate::model::Sequential`] can present one flat vector.
+///
+/// `backward` must be preceded by a `forward` on the same input batch;
+/// implementations may panic otherwise.
+pub trait Layer: Send {
+    /// Human-readable layer name (used in model summaries).
+    fn name(&self) -> &'static str;
+
+    /// Forward pass. `train` enables training-only behaviour (dropout).
+    fn forward(&mut self, x: &Matrix, train: bool) -> Matrix;
+
+    /// Backward pass: returns the gradient w.r.t. the layer input and
+    /// accumulates parameter gradients.
+    fn backward(&mut self, dy: &Matrix) -> Matrix;
+
+    /// Number of scalar parameters in this layer.
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    /// Ordered immutable views of the parameter tensors.
+    fn params(&self) -> Vec<&[f32]> {
+        Vec::new()
+    }
+
+    /// Ordered mutable views of the parameter tensors (same order as
+    /// [`Layer::params`]).
+    fn params_mut(&mut self) -> Vec<&mut [f32]> {
+        Vec::new()
+    }
+
+    /// Ordered immutable views of the accumulated gradients (same order and
+    /// shapes as [`Layer::params`]).
+    fn grads(&self) -> Vec<&[f32]> {
+        Vec::new()
+    }
+
+    /// Resets the accumulated gradients to zero.
+    fn zero_grads(&mut self) {}
+
+    /// Output feature dimension given the (already validated) input width.
+    fn out_dim(&self, in_dim: usize) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape3_len() {
+        let s = Shape3::new(3, 8, 8);
+        assert_eq!(s.len(), 192);
+        assert!(!s.is_empty());
+        assert!(Shape3::new(0, 4, 4).is_empty());
+    }
+}

@@ -1,0 +1,36 @@
+//! # fda-nn
+//!
+//! Neural-network substrate for the FDA reproduction: layers with full
+//! backpropagation, losses, initializers, a [`Sequential`] container, and a
+//! model zoo mirroring the paper's architectures at CPU-tractable scale.
+//!
+//! ## Flat-parameter API
+//!
+//! FDA treats a model as a flat vector `w ∈ R^d`: worker drifts
+//! `u^(k) = w^(k) − w_t0`, AllReduce averages and sketches all operate on
+//! that view. Every [`Sequential`] therefore exposes
+//! [`Sequential::param_count`], [`Sequential::copy_params_to`],
+//! [`Sequential::load_params`] and [`Sequential::copy_grads_to`], which is
+//! the only interface the `fda-core` crate needs.
+//!
+//! ## Correctness
+//!
+//! Each layer's backward pass is validated against central finite
+//! differences (see [`gradcheck`]), and the test suites exercise shapes,
+//! train/eval modes and degenerate inputs.
+
+pub mod activation;
+pub mod conv;
+pub mod dense;
+pub mod dropout;
+pub mod gradcheck;
+pub mod init;
+pub mod layer;
+pub mod loss;
+pub mod model;
+pub mod pool;
+pub mod zoo;
+
+pub use layer::{Layer, Shape3};
+pub use loss::SoftmaxCrossEntropy;
+pub use model::Sequential;

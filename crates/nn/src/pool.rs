@@ -1,0 +1,221 @@
+//! Spatial pooling layers.
+
+use crate::layer::{Layer, Shape3};
+use fda_tensor::Matrix;
+
+/// Non-overlapping 2-D max pooling with a square window.
+///
+/// Window size equals stride (the configuration used by LeNet/VGG-style
+/// models). Input extents must be divisible by the window size.
+pub struct MaxPool2d {
+    in_shape: Shape3,
+    out_shape: Shape3,
+    size: usize,
+    // argmax positions (flat input offsets) per batch row, per output cell.
+    argmax: Vec<Vec<usize>>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer.
+    ///
+    /// # Panics
+    /// Panics if `h` or `w` is not divisible by `size`.
+    pub fn new(in_shape: Shape3, size: usize) -> Self {
+        assert!(size >= 1, "pool window must be positive");
+        assert_eq!(in_shape.h % size, 0, "pool: height {} % {} != 0", in_shape.h, size);
+        assert_eq!(in_shape.w % size, 0, "pool: width {} % {} != 0", in_shape.w, size);
+        let out_shape = Shape3::new(in_shape.c, in_shape.h / size, in_shape.w / size);
+        MaxPool2d {
+            in_shape,
+            out_shape,
+            size,
+            argmax: Vec::new(),
+        }
+    }
+
+    /// The output activation shape.
+    pub fn out_shape(&self) -> Shape3 {
+        self.out_shape
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &'static str {
+        "maxpool2d"
+    }
+
+    fn forward(&mut self, x: &Matrix, _train: bool) -> Matrix {
+        assert_eq!(x.cols(), self.in_shape.len(), "maxpool: input width mismatch");
+        let Shape3 { c, h, w } = self.in_shape;
+        let (oh, ow) = (self.out_shape.h, self.out_shape.w);
+        let s = self.size;
+        let batch = x.rows();
+        let mut y = Matrix::zeros(batch, self.out_shape.len());
+        self.argmax.clear();
+        self.argmax.reserve(batch);
+        for b in 0..batch {
+            let row = x.row(b);
+            let out_row = y.row_mut(b);
+            let mut arg = vec![0usize; self.out_shape.len()];
+            for ch in 0..c {
+                let plane = &row[ch * h * w..(ch + 1) * h * w];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for dy in 0..s {
+                            for dx in 0..s {
+                                let iy = oy * s + dy;
+                                let ix = ox * s + dx;
+                                let idx = iy * w + ix;
+                                let v = plane[idx];
+                                if v > best {
+                                    best = v;
+                                    best_idx = ch * h * w + idx;
+                                }
+                            }
+                        }
+                        let out_idx = (ch * oh + oy) * ow + ox;
+                        out_row[out_idx] = best;
+                        arg[out_idx] = best_idx;
+                    }
+                }
+            }
+            self.argmax.push(arg);
+        }
+        y
+    }
+
+    fn backward(&mut self, dy: &Matrix) -> Matrix {
+        assert_eq!(dy.cols(), self.out_shape.len(), "maxpool: grad width mismatch");
+        assert_eq!(dy.rows(), self.argmax.len(), "maxpool: backward without matching forward");
+        let mut dx = Matrix::zeros(dy.rows(), self.in_shape.len());
+        for b in 0..dy.rows() {
+            let g = dy.row(b);
+            let arg = &self.argmax[b];
+            let dst = dx.row_mut(b);
+            for (out_idx, &src_idx) in arg.iter().enumerate() {
+                dst[src_idx] += g[out_idx];
+            }
+        }
+        dx
+    }
+
+    fn out_dim(&self, in_dim: usize) -> usize {
+        assert_eq!(in_dim, self.in_shape.len(), "maxpool: wired to wrong input width");
+        self.out_shape.len()
+    }
+}
+
+/// Global average pooling: collapses each channel plane to its mean.
+pub struct GlobalAvgPool {
+    in_shape: Shape3,
+    batch: usize,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global-average-pool layer.
+    pub fn new(in_shape: Shape3) -> Self {
+        GlobalAvgPool { in_shape, batch: 0 }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn name(&self) -> &'static str {
+        "global_avg_pool"
+    }
+
+    fn forward(&mut self, x: &Matrix, _train: bool) -> Matrix {
+        assert_eq!(x.cols(), self.in_shape.len(), "gap: input width mismatch");
+        let Shape3 { c, h, w } = self.in_shape;
+        let plane = (h * w) as f32;
+        self.batch = x.rows();
+        let mut y = Matrix::zeros(x.rows(), c);
+        for b in 0..x.rows() {
+            let row = x.row(b);
+            let out = y.row_mut(b);
+            for (ch, o) in out.iter_mut().enumerate() {
+                *o = row[ch * h * w..(ch + 1) * h * w].iter().sum::<f32>() / plane;
+            }
+        }
+        y
+    }
+
+    fn backward(&mut self, dy: &Matrix) -> Matrix {
+        assert_eq!(dy.cols(), self.in_shape.c, "gap: grad width mismatch");
+        assert_eq!(dy.rows(), self.batch, "gap: backward without matching forward");
+        let Shape3 { c, h, w } = self.in_shape;
+        let inv_plane = 1.0 / (h * w) as f32;
+        let mut dx = Matrix::zeros(dy.rows(), self.in_shape.len());
+        for b in 0..dy.rows() {
+            let g = dy.row(b);
+            let dst = dx.row_mut(b);
+            for ch in 0..c {
+                let gv = g[ch] * inv_plane;
+                for v in &mut dst[ch * h * w..(ch + 1) * h * w] {
+                    *v = gv;
+                }
+            }
+        }
+        dx
+    }
+
+    fn out_dim(&self, in_dim: usize) -> usize {
+        assert_eq!(in_dim, self.in_shape.len(), "gap: wired to wrong input width");
+        self.in_shape.c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_forward_known() {
+        let mut pool = MaxPool2d::new(Shape3::new(1, 4, 4), 2);
+        #[rustfmt::skip]
+        let x = Matrix::from_vec(1, 16, vec![
+            1.0, 2.0,   5.0, 6.0,
+            3.0, 4.0,   7.0, 8.0,
+
+            9.0, 10.0,  13.0, 14.0,
+            11.0, 12.0, 15.0, 16.0,
+        ]);
+        let y = pool.forward(&x, true);
+        assert_eq!(y.as_slice(), &[4.0, 8.0, 12.0, 16.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let mut pool = MaxPool2d::new(Shape3::new(1, 2, 2), 2);
+        let x = Matrix::from_vec(1, 4, vec![1.0, 9.0, 3.0, 2.0]);
+        let _ = pool.forward(&x, true);
+        let dx = pool.backward(&Matrix::from_vec(1, 1, vec![5.0]));
+        assert_eq!(dx.as_slice(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn maxpool_multichannel_shapes() {
+        let mut pool = MaxPool2d::new(Shape3::new(3, 6, 6), 2);
+        assert_eq!(pool.out_shape(), Shape3::new(3, 3, 3));
+        let x = Matrix::zeros(2, 3 * 36);
+        let y = pool.forward(&x, true);
+        assert_eq!((y.rows(), y.cols()), (2, 27));
+    }
+
+    #[test]
+    fn gap_mean_and_backward() {
+        let mut gap = GlobalAvgPool::new(Shape3::new(2, 2, 2));
+        let x = Matrix::from_vec(1, 8, vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0]);
+        let y = gap.forward(&x, true);
+        assert_eq!(y.as_slice(), &[2.5, 10.0]);
+        let dx = gap.backward(&Matrix::from_vec(1, 2, vec![4.0, 8.0]));
+        assert_eq!(dx.as_slice(), &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool: height")]
+    fn indivisible_input_panics() {
+        let _ = MaxPool2d::new(Shape3::new(1, 5, 4), 2);
+    }
+}

@@ -1,0 +1,341 @@
+//! Model zoo mirroring the paper's architectures at CPU-tractable scale.
+//!
+//! The paper evaluates five networks (Table 2). Real GPU-scale training is
+//! unavailable in this environment, so each architecture family is
+//! reproduced with the same topology (conv → pool → dense, depth and width
+//! ordering preserved) scaled down ~3 orders of magnitude. The *relative*
+//! size ordering `LeNet-5 < VGG16* < DenseNet121 < DenseNet201 <
+//! ConvNeXtLarge-head` is preserved because communication cost scales
+//! linearly in `d` and the paper's comparisons are per-model.
+//!
+//! | Zoo id           | Paper model (d)        | Ours (d)    | Input        |
+//! |------------------|------------------------|-------------|--------------|
+//! | `Lenet5`         | LeNet-5 (62K)          | ≈3.7K       | 1×12×12      |
+//! | `Vgg16Star`      | VGG16* (2.6M)          | ≈12.5K      | 1×12×12      |
+//! | `DenseNet121`    | DenseNet121 (6.9M)     | ≈16.5K      | 3×8×8        |
+//! | `DenseNet201`    | DenseNet201 (18M)      | ≈30.5K      | 3×8×8        |
+//! | `TransferHead`   | ConvNeXtLarge (198M)   | ≈44K        | 128 features |
+
+use crate::activation::Relu;
+use crate::conv::Conv2d;
+use crate::dense::Dense;
+use crate::dropout::Dropout;
+use crate::init::Init;
+use crate::layer::Shape3;
+use crate::model::Sequential;
+use crate::pool::MaxPool2d;
+use fda_tensor::Rng;
+
+/// Identifier for each model in the zoo (one per paper architecture).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelId {
+    /// LeNet-5 analogue (MNIST-like task, Adam optimizer in the paper).
+    Lenet5,
+    /// VGG16* analogue (MNIST-like task, Adam).
+    Vgg16Star,
+    /// DenseNet121 analogue (CIFAR-10-like task, SGD + Nesterov momentum).
+    DenseNet121,
+    /// DenseNet201 analogue (CIFAR-10-like task, SGD + Nesterov momentum).
+    DenseNet201,
+    /// ConvNeXtLarge fine-tuning analogue (CIFAR-100-like features, AdamW).
+    TransferHead,
+}
+
+impl ModelId {
+    /// All zoo models in paper order (Table 2 rows).
+    pub const ALL: [ModelId; 5] = [
+        ModelId::Lenet5,
+        ModelId::Vgg16Star,
+        ModelId::DenseNet121,
+        ModelId::DenseNet201,
+        ModelId::TransferHead,
+    ];
+
+    /// Zoo identifier string.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelId::Lenet5 => "lenet5-synth",
+            ModelId::Vgg16Star => "vgg16star-synth",
+            ModelId::DenseNet121 => "densenet121-synth",
+            ModelId::DenseNet201 => "densenet201-synth",
+            ModelId::TransferHead => "convnext-head-synth",
+        }
+    }
+
+    /// The paper model this stands in for.
+    pub fn paper_model(self) -> &'static str {
+        match self {
+            ModelId::Lenet5 => "LeNet-5",
+            ModelId::Vgg16Star => "VGG16*",
+            ModelId::DenseNet121 => "DenseNet121",
+            ModelId::DenseNet201 => "DenseNet201",
+            ModelId::TransferHead => "ConvNeXtLarge (fine-tuning)",
+        }
+    }
+
+    /// Parameter count of the paper's model.
+    pub fn paper_d(self) -> usize {
+        match self {
+            ModelId::Lenet5 => 62_000,
+            ModelId::Vgg16Star => 2_600_000,
+            ModelId::DenseNet121 => 6_900_000,
+            ModelId::DenseNet201 => 18_000_000,
+            ModelId::TransferHead => 198_000_000,
+        }
+    }
+
+    /// Dataset the paper trains this model on.
+    pub fn paper_dataset(self) -> &'static str {
+        match self {
+            ModelId::Lenet5 | ModelId::Vgg16Star => "MNIST",
+            ModelId::DenseNet121 | ModelId::DenseNet201 => "CIFAR-10",
+            ModelId::TransferHead => "CIFAR-100",
+        }
+    }
+
+    /// Input activation shape expected by the built model.
+    pub fn input_shape(self) -> Shape3 {
+        match self {
+            ModelId::Lenet5 | ModelId::Vgg16Star => Shape3::new(1, 12, 12),
+            ModelId::DenseNet121 | ModelId::DenseNet201 => Shape3::new(3, 8, 8),
+            ModelId::TransferHead => Shape3::new(1, 1, 128),
+        }
+    }
+
+    /// Number of output classes.
+    pub fn classes(self) -> usize {
+        match self {
+            ModelId::TransferHead => 100,
+            _ => 10,
+        }
+    }
+
+    /// Builds the model with deterministic initialization.
+    ///
+    /// Two models built with the same `init_seed` start bit-identical —
+    /// this is how workers replicate the common global model `w_0`.
+    /// `stochastic_seed` seeds training-only randomness (dropout masks) and
+    /// should differ per worker.
+    pub fn build(self, init_seed: u64, stochastic_seed: u64) -> Sequential {
+        let mut rng = Rng::new(init_seed);
+        match self {
+            ModelId::Lenet5 => lenet5_synth(&mut rng),
+            ModelId::Vgg16Star => vgg16star_synth(&mut rng),
+            ModelId::DenseNet121 => densenet121_synth(&mut rng, stochastic_seed),
+            ModelId::DenseNet201 => densenet201_synth(&mut rng, stochastic_seed),
+            ModelId::TransferHead => transfer_head(&mut rng),
+        }
+    }
+}
+
+/// LeNet-5 analogue: two conv/pool stages and two dense layers
+/// (Glorot uniform, as in the paper §4.1).
+fn lenet5_synth(rng: &mut Rng) -> Sequential {
+    let input = Shape3::new(1, 12, 12);
+    let c1 = Conv2d::new(input, 6, 3, 1, Init::GlorotUniform, rng);
+    let p1 = MaxPool2d::new(c1.out_shape(), 2);
+    let c2 = Conv2d::new(p1.out_shape(), 12, 3, 1, Init::GlorotUniform, rng);
+    let p2 = MaxPool2d::new(c2.out_shape(), 2);
+    let flat = p2.out_shape().len();
+    Sequential::new("lenet5-synth", input.len())
+        .push(c1)
+        .push(Relu::new())
+        .push(p1)
+        .push(c2)
+        .push(Relu::new())
+        .push(p2)
+        .push(Dense::new(flat, 24, Init::GlorotUniform, rng))
+        .push(Relu::new())
+        .push(Dense::new(24, 10, Init::GlorotUniform, rng))
+}
+
+/// VGG16* analogue: stacked double-conv blocks and a three-layer dense
+/// head, mirroring the paper's cut-down VGG16 (Glorot uniform).
+fn vgg16star_synth(rng: &mut Rng) -> Sequential {
+    let input = Shape3::new(1, 12, 12);
+    let c1a = Conv2d::new(input, 8, 3, 1, Init::GlorotUniform, rng);
+    let c1b = Conv2d::new(c1a.out_shape(), 8, 3, 1, Init::GlorotUniform, rng);
+    let p1 = MaxPool2d::new(c1b.out_shape(), 2);
+    let c2a = Conv2d::new(p1.out_shape(), 16, 3, 1, Init::GlorotUniform, rng);
+    let c2b = Conv2d::new(c2a.out_shape(), 16, 3, 1, Init::GlorotUniform, rng);
+    let p2 = MaxPool2d::new(c2b.out_shape(), 2);
+    let flat = p2.out_shape().len();
+    Sequential::new("vgg16star-synth", input.len())
+        .push(c1a)
+        .push(Relu::new())
+        .push(c1b)
+        .push(Relu::new())
+        .push(p1)
+        .push(c2a)
+        .push(Relu::new())
+        .push(c2b)
+        .push(Relu::new())
+        .push(p2)
+        .push(Dense::new(flat, 48, Init::GlorotUniform, rng))
+        .push(Relu::new())
+        .push(Dense::new(48, 32, Init::GlorotUniform, rng))
+        .push(Relu::new())
+        .push(Dense::new(32, 10, Init::GlorotUniform, rng))
+}
+
+/// DenseNet121 analogue: deeper conv stack with dropout 0.2 (He normal,
+/// as the paper prescribes for the DenseNets).
+fn densenet121_synth(rng: &mut Rng, stochastic_seed: u64) -> Sequential {
+    let input = Shape3::new(3, 8, 8);
+    let c1a = Conv2d::new(input, 12, 3, 1, Init::HeNormal, rng);
+    let c1b = Conv2d::new(c1a.out_shape(), 12, 3, 1, Init::HeNormal, rng);
+    let p1 = MaxPool2d::new(c1b.out_shape(), 2);
+    let c2a = Conv2d::new(p1.out_shape(), 24, 3, 1, Init::HeNormal, rng);
+    let c2b = Conv2d::new(c2a.out_shape(), 24, 3, 1, Init::HeNormal, rng);
+    let p2 = MaxPool2d::new(c2b.out_shape(), 2);
+    let flat = p2.out_shape().len();
+    Sequential::new("densenet121-synth", input.len())
+        .push(c1a)
+        .push(Relu::new())
+        .push(c1b)
+        .push(Relu::new())
+        .push(p1)
+        .push(c2a)
+        .push(Relu::new())
+        .push(c2b)
+        .push(Relu::new())
+        .push(p2)
+        .push(Dropout::new(0.2, stochastic_seed.wrapping_add(1)))
+        .push(Dense::new(flat, 64, Init::HeNormal, rng))
+        .push(Relu::new())
+        .push(Dropout::new(0.2, stochastic_seed.wrapping_add(2)))
+        .push(Dense::new(64, 10, Init::HeNormal, rng))
+}
+
+/// DenseNet201 analogue: wider/deeper than the 121 variant (He normal,
+/// dropout 0.2), preserving the paper's size ordering.
+fn densenet201_synth(rng: &mut Rng, stochastic_seed: u64) -> Sequential {
+    let input = Shape3::new(3, 8, 8);
+    let c1a = Conv2d::new(input, 16, 3, 1, Init::HeNormal, rng);
+    let c1b = Conv2d::new(c1a.out_shape(), 16, 3, 1, Init::HeNormal, rng);
+    let p1 = MaxPool2d::new(c1b.out_shape(), 2);
+    let c2a = Conv2d::new(p1.out_shape(), 32, 3, 1, Init::HeNormal, rng);
+    let c2b = Conv2d::new(c2a.out_shape(), 32, 3, 1, Init::HeNormal, rng);
+    let p2 = MaxPool2d::new(c2b.out_shape(), 2);
+    let flat = p2.out_shape().len();
+    Sequential::new("densenet201-synth", input.len())
+        .push(c1a)
+        .push(Relu::new())
+        .push(c1b)
+        .push(Relu::new())
+        .push(p1)
+        .push(c2a)
+        .push(Relu::new())
+        .push(c2b)
+        .push(Relu::new())
+        .push(p2)
+        .push(Dropout::new(0.2, stochastic_seed.wrapping_add(1)))
+        .push(Dense::new(flat, 96, Init::HeNormal, rng))
+        .push(Relu::new())
+        .push(Dropout::new(0.2, stochastic_seed.wrapping_add(2)))
+        .push(Dense::new(96, 10, Init::HeNormal, rng))
+}
+
+/// ConvNeXtLarge fine-tuning analogue: an MLP over frozen-extractor
+/// features — the largest model in the zoo, matching the paper where the
+/// transfer model dominates all others in `d`.
+fn transfer_head(rng: &mut Rng) -> Sequential {
+    Sequential::new("convnext-head-synth", 128)
+        .push(Dense::new(128, 192, Init::GlorotUniform, rng))
+        .push(Relu::new())
+        .push(Dense::new(192, 100, Init::GlorotUniform, rng))
+}
+
+/// A plain MLP with ReLU between hidden layers (output layer linear).
+/// Used by tests, examples and the quickstart.
+pub fn mlp_relu(name: &str, dims: &[usize], init: Init, seed: u64) -> Sequential {
+    assert!(dims.len() >= 2, "mlp: need at least input and output dims");
+    let mut rng = Rng::new(seed);
+    let mut m = Sequential::new(name, dims[0]);
+    for (i, w) in dims.windows(2).enumerate() {
+        m = m.push(Dense::new(w[0], w[1], init, &mut rng));
+        if i + 2 < dims.len() {
+            m = m.push(Relu::new());
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_builds_and_size_ordering_matches_paper() {
+        let counts: Vec<usize> = ModelId::ALL
+            .iter()
+            .map(|id| id.build(1, 2).param_count())
+            .collect();
+        for w in counts.windows(2) {
+            assert!(
+                w[0] < w[1],
+                "zoo param counts must preserve the paper ordering: {counts:?}"
+            );
+        }
+        let paper: Vec<usize> = ModelId::ALL.iter().map(|id| id.paper_d()).collect();
+        for w in paper.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn same_init_seed_gives_identical_replicas() {
+        for id in ModelId::ALL {
+            let a = id.build(42, 0).params_flat();
+            let b = id.build(42, 99).params_flat(); // stochastic seed differs
+            assert_eq!(a, b, "{}: init must depend only on init_seed", id.name());
+        }
+    }
+
+    #[test]
+    fn input_shapes_match_model_in_dim() {
+        for id in ModelId::ALL {
+            let m = id.build(7, 7);
+            assert_eq!(m.in_dim(), id.input_shape().len(), "{}", id.name());
+            assert_eq!(m.out_dim(), id.classes(), "{}", id.name());
+        }
+    }
+
+    #[test]
+    fn forward_backward_smoke_all_models() {
+        use fda_tensor::Matrix;
+        for id in ModelId::ALL {
+            let mut m = id.build(3, 4);
+            let mut x = Matrix::zeros(2, m.in_dim());
+            fda_tensor::Rng::new(5).fill_normal(x.as_mut_slice(), 0.0, 1.0);
+            let labels = vec![0, id.classes() - 1];
+            let (loss, _) = m.compute_gradients(&x, &labels);
+            assert!(loss.is_finite(), "{}: loss must be finite", id.name());
+            let g = m.grads_flat();
+            assert!(
+                g.iter().any(|&v| v != 0.0),
+                "{}: gradient must be nonzero",
+                id.name()
+            );
+        }
+    }
+
+    #[test]
+    fn mlp_relu_structure() {
+        let m = mlp_relu("t", &[4, 8, 8, 2], Init::GlorotUniform, 1);
+        assert_eq!(m.in_dim(), 4);
+        assert_eq!(m.out_dim(), 2);
+        assert_eq!(m.param_count(), 4 * 8 + 8 + 8 * 8 + 8 + 8 * 2 + 2);
+    }
+
+    #[test]
+    fn param_counts_are_documented_scale() {
+        // Keep the doc table in this module honest.
+        let d = |id: ModelId| id.build(0, 0).param_count();
+        assert!((3_000..5_000).contains(&d(ModelId::Lenet5)));
+        assert!((10_000..16_000).contains(&d(ModelId::Vgg16Star)));
+        assert!((14_000..20_000).contains(&d(ModelId::DenseNet121)));
+        assert!((25_000..40_000).contains(&d(ModelId::DenseNet201)));
+        assert!((40_000..50_000).contains(&d(ModelId::TransferHead)));
+    }
+}

@@ -1,0 +1,315 @@
+//! Row-major dense matrices.
+//!
+//! The neural-network substrate uses matrices for dense layers and im2col
+//! convolution. GEMM uses the i-k-j loop order so the innermost loop streams
+//! both `b` and `out` rows contiguously — cache-friendly and vectorizable
+//! without an external BLAS.
+
+use crate::rng::Rng;
+
+/// A dense row-major `rows × cols` matrix of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from row-major data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "Matrix::from_vec: size mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Identity matrix of size `n × n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Matrix with i.i.d. normal entries.
+    pub fn random_normal(rows: usize, cols: usize, mean: f32, std_dev: f32, rng: &mut Rng) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        rng.fill_normal(&mut m.data, mean, std_dev);
+        m
+    }
+
+    /// Matrix with i.i.d. uniform entries in `[lo, hi)`.
+    pub fn random_uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut Rng) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        rng.fill_uniform(&mut m.data, lo, hi);
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True iff the matrix has no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the backing row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing row-major storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Transposed copy.
+    pub fn transposed(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        t
+    }
+
+    /// Sets every entry to zero (reusing the allocation).
+    pub fn clear(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+}
+
+/// `out ← a · b` (shapes `m×k`, `k×n` → `m×n`), overwriting `out`.
+///
+/// # Panics
+/// Panics on any shape mismatch.
+pub fn gemm_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    assert_eq!(a.cols, b.rows, "gemm: inner dimension mismatch");
+    assert_eq!(out.rows, a.rows, "gemm: output rows mismatch");
+    assert_eq!(out.cols, b.cols, "gemm: output cols mismatch");
+    out.clear();
+    gemm_accumulate(a, b, out);
+}
+
+/// `out ← out + a · b` — the accumulate form used for gradient accumulation.
+pub fn gemm_accumulate(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    assert_eq!(a.cols, b.rows, "gemm: inner dimension mismatch");
+    assert_eq!(out.rows, a.rows, "gemm: output rows mismatch");
+    assert_eq!(out.cols, b.cols, "gemm: output cols mismatch");
+    let n = b.cols;
+    // i-k-j: the inner j-loop walks b-row k and out-row i contiguously.
+    for i in 0..a.rows {
+        let out_row = &mut out.data[i * n..(i + 1) * n];
+        for k in 0..a.cols {
+            let aik = a.data[i * a.cols + k];
+            if aik == 0.0 {
+                continue;
+            }
+            let b_row = &b.data[k * n..(k + 1) * n];
+            for j in 0..n {
+                out_row[j] += aik * b_row[j];
+            }
+        }
+    }
+}
+
+/// `a · b` allocating the result.
+pub fn gemm(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows, b.cols);
+    gemm_accumulate(a, b, &mut out);
+    out
+}
+
+/// `out ← out + aᵀ · b` without materializing the transpose.
+///
+/// Shapes: `a` is `k×m`, `b` is `k×n`, `out` is `m×n`. Used by dense-layer
+/// weight gradients (`dW = xᵀ · dy`).
+pub fn gemm_at_b_accumulate(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    assert_eq!(a.rows, b.rows, "gemm_at_b: row mismatch");
+    assert_eq!(out.rows, a.cols, "gemm_at_b: output rows mismatch");
+    assert_eq!(out.cols, b.cols, "gemm_at_b: output cols mismatch");
+    let n = b.cols;
+    for k in 0..a.rows {
+        let a_row = &a.data[k * a.cols..(k + 1) * a.cols];
+        let b_row = &b.data[k * n..(k + 1) * n];
+        for (i, &aki) in a_row.iter().enumerate() {
+            if aki == 0.0 {
+                continue;
+            }
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for j in 0..n {
+                out_row[j] += aki * b_row[j];
+            }
+        }
+    }
+}
+
+/// `out ← out + a · bᵀ` without materializing the transpose.
+///
+/// Shapes: `a` is `m×k`, `b` is `n×k`, `out` is `m×n`. Used by dense-layer
+/// input gradients (`dx = dy · Wᵀ`).
+pub fn gemm_a_bt_accumulate(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    assert_eq!(a.cols, b.cols, "gemm_a_bt: inner dimension mismatch");
+    assert_eq!(out.rows, a.rows, "gemm_a_bt: output rows mismatch");
+    assert_eq!(out.cols, b.rows, "gemm_a_bt: output cols mismatch");
+    for i in 0..a.rows {
+        let a_row = &a.data[i * a.cols..(i + 1) * a.cols];
+        let out_row = &mut out.data[i * out.cols..(i + 1) * out.cols];
+        for (j, out) in out_row.iter_mut().enumerate() {
+            let b_row = &b.data[j * b.cols..(j + 1) * b.cols];
+            *out += crate::vector::dot(a_row, b_row);
+        }
+    }
+}
+
+/// Matrix–vector product `out ← m · x`.
+pub fn gemv_into(m: &Matrix, x: &[f32], out: &mut [f32]) {
+    assert_eq!(m.cols, x.len(), "gemv: dimension mismatch");
+    assert_eq!(m.rows, out.len(), "gemv: output mismatch");
+    for (r, o) in out.iter_mut().enumerate() {
+        *o = crate::vector::dot(m.row(r), x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_small_known() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = gemm(&a, &b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = Rng::new(3);
+        let a = Matrix::random_normal(4, 4, 0.0, 1.0, &mut rng);
+        let i = Matrix::identity(4);
+        assert_eq!(gemm(&a, &i).as_slice(), a.as_slice());
+        assert_eq!(gemm(&i, &a).as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = Rng::new(4);
+        let a = Matrix::random_uniform(3, 5, -1.0, 1.0, &mut rng);
+        assert_eq!(a.transposed().transposed(), a);
+    }
+
+    #[test]
+    fn at_b_matches_explicit_transpose() {
+        let mut rng = Rng::new(5);
+        let a = Matrix::random_normal(6, 3, 0.0, 1.0, &mut rng);
+        let b = Matrix::random_normal(6, 4, 0.0, 1.0, &mut rng);
+        let mut fast = Matrix::zeros(3, 4);
+        gemm_at_b_accumulate(&a, &b, &mut fast);
+        let slow = gemm(&a.transposed(), &b);
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn a_bt_matches_explicit_transpose() {
+        let mut rng = Rng::new(6);
+        let a = Matrix::random_normal(5, 3, 0.0, 1.0, &mut rng);
+        let b = Matrix::random_normal(7, 3, 0.0, 1.0, &mut rng);
+        let mut fast = Matrix::zeros(5, 7);
+        gemm_a_bt_accumulate(&a, &b, &mut fast);
+        let slow = gemm(&a, &b.transposed());
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gemv_matches_gemm() {
+        let mut rng = Rng::new(7);
+        let m = Matrix::random_normal(4, 6, 0.0, 1.0, &mut rng);
+        let x: Vec<f32> = (0..6).map(|i| i as f32).collect();
+        let mut out = vec![0.0; 4];
+        gemv_into(&m, &x, &mut out);
+        let xm = Matrix::from_vec(6, 1, x);
+        let expect = gemm(&m, &xm);
+        for (a, b) in out.iter().zip(expect.as_slice()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn gemm_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = gemm(&a, &b);
+    }
+
+    #[test]
+    fn accumulate_adds() {
+        let a = Matrix::identity(2);
+        let b = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let mut out = Matrix::from_vec(2, 2, vec![10.0, 10.0, 10.0, 10.0]);
+        gemm_accumulate(&a, &b, &mut out);
+        assert_eq!(out.as_slice(), &[11.0, 12.0, 13.0, 14.0]);
+    }
+}

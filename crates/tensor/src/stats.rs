@@ -1,0 +1,190 @@
+//! Summary statistics for the benchmark harnesses.
+//!
+//! The paper reports KDE point clouds (Figures 3–6), per-epoch accuracy
+//! series (Figure 7), sweep curves (Figures 8–11) and a linear fit
+//! `Θ* ≈ c · d` (Figure 12). These helpers compute the numeric summaries we
+//! print in place of the plots: medians, quartiles, means, and a
+//! least-squares through-the-origin slope.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation; `0.0` for fewer than two samples.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Median by sorting a copy; `0.0` for an empty slice.
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// Linear-interpolated quantile `q ∈ [0, 1]`; `0.0` for an empty slice.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("quantile: NaN in data"));
+    let pos = q.clamp(0.0, 1.0) * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = pos - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
+/// Median of an `f32` slice (convenience for sketch row estimates).
+pub fn median_f32(xs: &[f32]) -> f32 {
+    let v: Vec<f64> = xs.iter().map(|&x| x as f64).collect();
+    median(&v) as f32
+}
+
+/// Five-number-style summary of a sample (used to print the "KDE clouds"
+/// of Figures 3–6 numerically).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub n: usize,
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample; all fields zero for an empty slice.
+    pub fn of(xs: &[f64]) -> Summary {
+        if xs.is_empty() {
+            return Summary {
+                n: 0,
+                min: 0.0,
+                q1: 0.0,
+                median: 0.0,
+                q3: 0.0,
+                max: 0.0,
+                mean: 0.0,
+            };
+        }
+        Summary {
+            n: xs.len(),
+            min: quantile(xs, 0.0),
+            q1: quantile(xs, 0.25),
+            median: quantile(xs, 0.5),
+            q3: quantile(xs, 0.75),
+            max: quantile(xs, 1.0),
+            mean: mean(xs),
+        }
+    }
+}
+
+/// Least-squares slope of `y ≈ c · x` through the origin.
+///
+/// This is exactly the fit used in Figure 12, where the workable variance
+/// threshold is reported as `Θ = c · d` for three deployment regimes.
+/// Returns `0.0` when the inputs are empty or all-zero.
+pub fn fit_through_origin(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "fit_through_origin: length mismatch");
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    if sxx == 0.0 {
+        return 0.0;
+    }
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
+    sxy / sxx
+}
+
+/// Ordinary least squares `y ≈ a + b·x`; returns `(a, b)`.
+pub fn fit_linear(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    assert_eq!(xs.len(), ys.len(), "fit_linear: length mismatch");
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    if sxx == 0.0 {
+        return (my, 0.0);
+    }
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let b = sxy / sxx;
+    (my - b * mx, b)
+}
+
+/// Geometric mean of strictly positive samples; `0.0` otherwise.
+///
+/// Communication costs span orders of magnitude (the paper's axes are
+/// log-scaled), so geometric means are the right aggregate for ratios.
+pub fn geometric_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0) {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn quantile_bounds() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert_eq!(quantile(&xs, 0.25), 1.75);
+    }
+
+    #[test]
+    fn summary_of_empty() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.median, 0.0);
+    }
+
+    #[test]
+    fn origin_fit_recovers_slope() {
+        let xs: Vec<f64> = (1..=10).map(|i| i as f64 * 1e6).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 4.91e-5 * x).collect();
+        let c = fit_through_origin(&xs, &ys);
+        assert!((c - 4.91e-5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+        assert_eq!(geometric_mean(&[1.0, -1.0]), 0.0);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+}

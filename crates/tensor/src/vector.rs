@@ -1,0 +1,289 @@
+//! Flat-vector kernels.
+//!
+//! FDA manipulates models as flat `f32` vectors: local drifts
+//! `u_t^(k) = w_t^(k) − w_t0`, their squared norms, dot products with the
+//! heuristic direction ξ, and element-wise averages across workers
+//! (AllReduce). These kernels are the hot loops of the whole system, so they
+//! are written to be allocation-free and auto-vectorizable.
+
+/// Dot product `⟨a, b⟩`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    // Four accumulators reduce the dependency chain and let LLVM vectorize.
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        acc[0] += a[j] * b[j];
+        acc[1] += a[j + 1] * b[j + 1];
+        acc[2] += a[j + 2] * b[j + 2];
+        acc[3] += a[j + 3] * b[j + 3];
+    }
+    let mut tail = 0.0f32;
+    for j in chunks * 4..a.len() {
+        tail += a[j] * b[j];
+    }
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+/// Squared Euclidean norm `‖a‖₂²`.
+#[inline]
+pub fn norm_sq(a: &[f32]) -> f32 {
+    dot(a, a)
+}
+
+/// Euclidean norm `‖a‖₂`.
+#[inline]
+pub fn norm(a: &[f32]) -> f32 {
+    norm_sq(a).sqrt()
+}
+
+/// Squared Euclidean distance `‖a − b‖₂²` without allocating the difference.
+#[inline]
+pub fn dist_sq(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dist_sq: length mismatch");
+    let mut s = 0.0f32;
+    for i in 0..a.len() {
+        let d = a[i] - b[i];
+        s += d * d;
+    }
+    s
+}
+
+/// `y ← y + alpha * x` (BLAS axpy).
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for i in 0..x.len() {
+        y[i] += alpha * x[i];
+    }
+}
+
+/// `y ← alpha * x + beta * y`.
+#[inline]
+pub fn axpby(alpha: f32, x: &[f32], beta: f32, y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpby: length mismatch");
+    for i in 0..x.len() {
+        y[i] = alpha * x[i] + beta * y[i];
+    }
+}
+
+/// `a ← a * alpha`.
+#[inline]
+pub fn scale(a: &mut [f32], alpha: f32) {
+    for v in a.iter_mut() {
+        *v *= alpha;
+    }
+}
+
+/// `out ← a − b`, writing into a caller-provided buffer.
+#[inline]
+pub fn sub_into(a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), b.len(), "sub_into: length mismatch");
+    assert_eq!(a.len(), out.len(), "sub_into: output length mismatch");
+    for i in 0..a.len() {
+        out[i] = a[i] - b[i];
+    }
+}
+
+/// `a ← a + b`.
+#[inline]
+pub fn add_assign(a: &mut [f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len(), "add_assign: length mismatch");
+    for i in 0..a.len() {
+        a[i] += b[i];
+    }
+}
+
+/// `a ← a − b`.
+#[inline]
+pub fn sub_assign(a: &mut [f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len(), "sub_assign: length mismatch");
+    for i in 0..a.len() {
+        a[i] -= b[i];
+    }
+}
+
+/// Fills `a` with a constant.
+#[inline]
+pub fn fill(a: &mut [f32], value: f32) {
+    for v in a.iter_mut() {
+        *v = value;
+    }
+}
+
+/// Element-wise mean of several equal-length vectors, written into `out`.
+///
+/// This is the arithmetic performed by AllReduce-average in the paper
+/// (`w̄ = (1/K) Σ_k w^(k)`).
+///
+/// # Panics
+/// Panics if `vs` is empty or lengths mismatch.
+pub fn mean_into(vs: &[&[f32]], out: &mut [f32]) {
+    assert!(!vs.is_empty(), "mean_into: need at least one vector");
+    let n = vs[0].len();
+    assert_eq!(out.len(), n, "mean_into: output length mismatch");
+    fill(out, 0.0);
+    for v in vs {
+        assert_eq!(v.len(), n, "mean_into: ragged input");
+        add_assign(out, v);
+    }
+    scale(out, 1.0 / vs.len() as f32);
+}
+
+/// Element-wise mean of several equal-length vectors (allocating).
+pub fn mean(vs: &[&[f32]]) -> Vec<f32> {
+    let mut out = vec![0.0f32; vs[0].len()];
+    mean_into(vs, &mut out);
+    out
+}
+
+/// Normalizes `a` to unit L2 norm in place; returns the original norm.
+///
+/// If the norm is zero (or non-finite) the vector is left untouched and the
+/// norm is returned — callers such as the LinearFDA ξ heuristic must handle
+/// the degenerate "no previous drift" case explicitly.
+pub fn normalize(a: &mut [f32]) -> f32 {
+    let n = norm(a);
+    if n > 0.0 && n.is_finite() {
+        scale(a, 1.0 / n);
+    }
+    n
+}
+
+/// True iff every element is finite (guards against NaN/Inf divergence).
+#[inline]
+pub fn all_finite(a: &[f32]) -> bool {
+    a.iter().all(|v| v.is_finite())
+}
+
+/// The model-variance identity of the paper (Eq. 2 / Eq. 4), computed
+/// directly from local models: `Var(w) = (1/K) Σ_k ‖w^(k) − w̄‖²`.
+///
+/// This direct form is the ground truth that monitors over-estimate;
+/// it is used by tests and by the oracle monitor.
+pub fn variance_of(models: &[&[f32]]) -> f32 {
+    let avg = mean(models);
+    let mut s = 0.0f32;
+    for m in models {
+        s += dist_sq(m, &avg);
+    }
+    s / models.len() as f32
+}
+
+/// The drift form of the variance (Eq. 4):
+/// `Var = (1/K) Σ_k ‖u^(k)‖² − ‖ū‖²` where `u^(k) = w^(k) − w0`.
+pub fn variance_from_drifts(drifts: &[&[f32]]) -> f32 {
+    let k = drifts.len() as f32;
+    let mean_sq: f32 = drifts.iter().map(|u| norm_sq(u)).sum::<f32>() / k;
+    let avg = mean(drifts);
+    mean_sq - norm_sq(&avg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn random_vec(rng: &mut Rng, n: usize) -> Vec<f32> {
+        let mut v = vec![0.0; n];
+        rng.fill_normal(&mut v, 0.0, 1.0);
+        v
+    }
+
+    #[test]
+    fn dot_matches_naive() {
+        let mut rng = Rng::new(1);
+        for n in [0usize, 1, 3, 4, 7, 64, 129] {
+            let a = random_vec(&mut rng, n);
+            let b = random_vec(&mut rng, n);
+            let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            assert!((dot(&a, &b) - naive).abs() <= 1e-3 * (1.0 + naive.abs()));
+        }
+    }
+
+    #[test]
+    fn axpy_and_axpby() {
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, vec![12.0, 24.0, 36.0]);
+        axpby(1.0, &x, 0.5, &mut y);
+        assert_eq!(y, vec![7.0, 14.0, 21.0]);
+    }
+
+    #[test]
+    fn mean_of_three() {
+        let a = vec![1.0, 2.0];
+        let b = vec![3.0, 4.0];
+        let c = vec![5.0, 6.0];
+        let m = mean(&[&a, &b, &c]);
+        assert_eq!(m, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn normalize_unit_norm() {
+        let mut v = vec![3.0, 4.0];
+        let n = normalize(&mut v);
+        assert!((n - 5.0).abs() < 1e-6);
+        assert!((norm(&v) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalize_zero_vector_untouched() {
+        let mut v = vec![0.0, 0.0];
+        let n = normalize(&mut v);
+        assert_eq!(n, 0.0);
+        assert_eq!(v, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn variance_identity_eq4() {
+        // Var computed around the average equals the drift identity for any
+        // choice of reference point w0 (here w0 = first model).
+        let mut rng = Rng::new(2);
+        let models: Vec<Vec<f32>> = (0..5).map(|_| random_vec(&mut rng, 40)).collect();
+        let refs: Vec<&[f32]> = models.iter().map(|m| m.as_slice()).collect();
+        let direct = variance_of(&refs);
+
+        let w0 = models[0].clone();
+        let drifts: Vec<Vec<f32>> = models
+            .iter()
+            .map(|m| {
+                let mut d = m.clone();
+                sub_assign(&mut d, &w0);
+                d
+            })
+            .collect();
+        let drefs: Vec<&[f32]> = drifts.iter().map(|d| d.as_slice()).collect();
+        let via_drift = variance_from_drifts(&drefs);
+        assert!(
+            (direct - via_drift).abs() < 1e-2 * (1.0 + direct.abs()),
+            "direct={direct} drift={via_drift}"
+        );
+    }
+
+    #[test]
+    fn variance_zero_when_identical() {
+        let m = vec![1.0f32; 16];
+        let refs: Vec<&[f32]> = vec![&m, &m, &m];
+        assert!(variance_of(&refs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_finite_detects_nan() {
+        assert!(all_finite(&[1.0, 2.0]));
+        assert!(!all_finite(&[1.0, f32::NAN]));
+        assert!(!all_finite(&[f32::INFINITY]));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,45 @@
+//! Asynchronous FDA with stragglers (the paper's §3.3).
+//!
+//! ```sh
+//! cargo run --release --example async_stragglers
+//! ```
+//!
+//! Demonstrates the coordinator-based asynchronous mode: workers run at
+//! different speeds, push their tiny local states as they finish steps,
+//! and the coordinator triggers synchronization from the most recent
+//! states. Fast workers are not blocked by slow ones between syncs.
+
+use fda::core::async_fda::AsyncFda;
+use fda::core::cluster::ClusterConfig;
+use fda::core::monitor::LinearMonitor;
+use fda::data::synth;
+use fda::data::Partition;
+use fda::nn::zoo::ModelId;
+use fda::optim::OptimizerKind;
+
+fn main() {
+    let task = synth::synth_mnist();
+    for (label, spread) in [("homogeneous (spread 0.0)", 0.0), ("stragglers (spread 2.0)", 2.0)] {
+        let cluster = ClusterConfig {
+            model: ModelId::Lenet5,
+            workers: 5,
+            batch_size: 32,
+            optimizer: OptimizerKind::paper_adam(),
+            partition: Partition::Iid,
+            seed: 21,
+        };
+        let mut runner = AsyncFda::new(Box::new(LinearMonitor::new()), 0.5, spread, cluster, &task);
+        let report = runner.run(120);
+        println!("--- {label} ---");
+        println!("  steps per worker: {:?}", report.steps_per_worker);
+        println!("  syncs: {}", report.syncs);
+        println!("  comm:  {} bytes", report.comm_bytes);
+        println!("  virtual time: {:.1} (slowest worker's clock)", report.virtual_time);
+        println!("  final model variance: {:.4}\n", report.final_variance);
+    }
+    println!(
+        "Expected shape: with stragglers, per-worker step counts diverge\n\
+         (fast workers keep learning) while the sync count stays modest —\n\
+         the paper's motivation for the asynchronous mode."
+    );
+}

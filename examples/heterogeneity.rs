@@ -1,0 +1,65 @@
+//! Non-IID robustness demo (the paper's §4.3 "FDA is resilient to data
+//! heterogeneity").
+//!
+//! ```sh
+//! cargo run --release --example heterogeneity
+//! ```
+//!
+//! Runs LinearFDA under the paper's three data distributions — IID,
+//! Non-IID 60% (sorted fraction), Non-IID Label "0" — and prints the cost
+//! of reaching the same accuracy target under each. The paper's finding:
+//! FDA's costs barely move across heterogeneity settings.
+
+use fda::core::cluster::ClusterConfig;
+use fda::core::fda::{Fda, FdaConfig};
+use fda::core::harness::{run_to_target, RunConfig};
+use fda::data::partition::label_skew;
+use fda::data::synth;
+use fda::data::Partition;
+use fda::nn::zoo::ModelId;
+use fda::optim::OptimizerKind;
+
+fn main() {
+    let task = synth::synth_mnist();
+    let partitions = [
+        Partition::Iid,
+        Partition::NonIidPercent(0.6),
+        Partition::NonIidLabel(0),
+    ];
+
+    println!("LinearFDA, K = 6, Θ = 0.5, target accuracy 0.88\n");
+    println!(
+        "{:<22} {:>10} {:>8} {:>8} {:>14}",
+        "distribution", "skew", "steps", "syncs", "comm (bytes)"
+    );
+    for partition in partitions {
+        let cluster = ClusterConfig {
+            model: ModelId::Lenet5,
+            workers: 6,
+            batch_size: 32,
+            optimizer: OptimizerKind::paper_adam(),
+            partition,
+            seed: 42,
+        };
+        // Report the induced label skew so readers can see the settings
+        // really differ.
+        let shards = partition.shards(&task.train, 6, 42);
+        let skew = label_skew(&task.train, &shards);
+
+        let mut fda = Fda::new(FdaConfig::linear(0.5), cluster, &task);
+        let r = run_to_target(&mut fda, &task, &RunConfig::to_target(0.88, 4_000));
+        println!(
+            "{:<22} {:>10.3} {:>8} {:>8} {:>14}{}",
+            partition.label(),
+            skew,
+            r.steps,
+            r.syncs,
+            r.comm_bytes,
+            if r.reached { "" } else { "  (cap hit)" }
+        );
+    }
+    println!(
+        "\nExpected shape (paper Fig. 3): costs stay within the same\n\
+         ballpark across all three distributions."
+    );
+}

@@ -1,0 +1,49 @@
+//! FDA on real OS threads — one thread per worker, rendezvous AllReduce.
+//!
+//! ```sh
+//! cargo run --release --example threaded_cluster
+//! ```
+//!
+//! The figure benches use the sequential simulator (byte accounting is
+//! identical either way); this example runs the same protocol with true
+//! concurrency to show nothing depends on the simulator: workers exchange
+//! real state buffers, agree on every synchronization decision from the
+//! shared averaged state, and end bit-identical after each sync.
+
+use fda::core::threaded::{run_threaded_fda, ThreadedFdaConfig, ThreadedVariant};
+use fda::data::{synth, Partition};
+use fda::nn::zoo::ModelId;
+use fda::optim::OptimizerKind;
+
+fn main() {
+    let task = synth::synth_mnist();
+    for (variant, label) in [
+        (ThreadedVariant::Linear, "LinearFDA"),
+        (ThreadedVariant::Sketch, "SketchFDA"),
+    ] {
+        let config = ThreadedFdaConfig {
+            model: ModelId::Lenet5,
+            workers: 4,
+            batch_size: 32,
+            optimizer: OptimizerKind::paper_adam(),
+            partition: Partition::Iid,
+            theta: 0.05,
+            variant,
+            steps: 400,
+            seed: 42,
+        };
+        let report = run_threaded_fda(config, &task);
+        let mut eval = ModelId::Lenet5.build(0, 0);
+        eval.load_params(&report.final_params);
+        let acc = eval.evaluate_batched(task.test.features(), task.test.labels(), 256);
+        println!(
+            "{label:<10} 4 threads x 400 steps: syncs={:<3} comm={:>9} bytes  test acc={acc:.3}",
+            report.syncs, report.comm_bytes
+        );
+    }
+    println!(
+        "\nBoth variants ran the Algorithm-1 loop over genuinely concurrent\n\
+         workers (crossbeam threads + rendezvous AllReduce), with consistent\n\
+         sync decisions and no coordinator."
+    );
+}

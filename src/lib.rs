@@ -1,0 +1,18 @@
+//! # fda — Federated Dynamic Averaging
+//!
+//! Umbrella crate re-exporting the full FDA reproduction workspace:
+//!
+//! * [`core`] (`fda-core`) — the FDA algorithms (SketchFDA, LinearFDA) and
+//!   baselines (Synchronous, Local-SGD, FedAvg, FedAvgM, FedAdam).
+//! * [`nn`], [`optim`], [`data`], [`sketch`], [`comm`], [`tensor`] — the
+//!   substrates (built from scratch; see `DESIGN.md`).
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use fda_comm as comm;
+pub use fda_core as core;
+pub use fda_data as data;
+pub use fda_nn as nn;
+pub use fda_optim as optim;
+pub use fda_sketch as sketch;
+pub use fda_tensor as tensor;
