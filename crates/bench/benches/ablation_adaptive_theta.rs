@@ -47,6 +47,7 @@ fn main() {
             optimizer: OptimizerKind::paper_adam(),
             partition: Partition::Iid,
             seed: 0xAB3,
+            parallel: false,
         };
         let inner = Fda::new(FdaConfig::linear(0.05), cc, &task);
         let controller = ThetaController::new(budget, 0.2, 10, 1e-4, 50.0);

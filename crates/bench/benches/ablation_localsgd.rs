@@ -22,8 +22,16 @@ fn main() {
     let task = synth::synth_mnist();
     let target = scale.pick(0.75f32, 0.85, 0.88);
     let max_steps = scale.pick(800u64, 2_000, 3_000);
-    let taus: Vec<u64> = scale.pick(vec![4, 32], vec![2, 8, 32, 128], vec![2, 4, 8, 16, 32, 64, 128]);
-    let thetas: Vec<f32> = scale.pick(vec![0.05], vec![0.01, 0.05, 0.2], vec![0.01, 0.02, 0.05, 0.1, 0.2]);
+    let taus: Vec<u64> = scale.pick(
+        vec![4, 32],
+        vec![2, 8, 32, 128],
+        vec![2, 4, 8, 16, 32, 64, 128],
+    );
+    let thetas: Vec<f32> = scale.pick(
+        vec![0.05],
+        vec![0.01, 0.05, 0.2],
+        vec![0.01, 0.02, 0.05, 0.1, 0.2],
+    );
 
     let mut algos: Vec<Algo> = taus.iter().map(|&t| Algo::LocalSgd(t)).collect();
     algos.push(Algo::LinearFda);
@@ -41,12 +49,22 @@ fn main() {
             ..RunConfig::to_target(target, max_steps)
         },
         seed: 0xAB4,
+        parallel: true,
     };
     let points = run_grid(&grid, &task);
 
     let mut t = Table::new(
-        &format!("Ablation: Local-SGD(tau) frontier vs LinearFDA (LeNet-5, K = 4, target {target})"),
-        &["algorithm", "theta", "reached", "steps", "syncs", "comm_bytes"],
+        &format!(
+            "Ablation: Local-SGD(tau) frontier vs LinearFDA (LeNet-5, K = 4, target {target})"
+        ),
+        &[
+            "algorithm",
+            "theta",
+            "reached",
+            "steps",
+            "syncs",
+            "comm_bytes",
+        ],
     );
     for p in &points {
         t.row(&[

@@ -22,13 +22,19 @@ use fda_tensor::{vector, Rng};
 
 fn main() {
     let scale = Scale::from_env();
-    let widths: Vec<usize> = scale.pick(vec![16, 64], vec![16, 64, 250], vec![16, 32, 64, 128, 250]);
+    let widths: Vec<usize> =
+        scale.pick(vec![16, 64], vec![16, 64, 250], vec![16, 32, 64, 128, 250]);
 
     // Part 1: estimation quality in isolation.
     let dim = 4_096;
     let mut est_table = Table::new(
         "Ablation: sketch estimation error vs width m (l = 5)",
-        &["m", "bytes", "epsilon_nominal", "mean |rel err| (32 trials)"],
+        &[
+            "m",
+            "bytes",
+            "epsilon_nominal",
+            "mean |rel err| (32 trials)",
+        ],
     );
     for &m in &widths {
         let config = SketchConfig::new(5, m, 0x5EED);
@@ -68,6 +74,7 @@ fn main() {
             optimizer: OptimizerKind::paper_adam(),
             partition: Partition::Iid,
             seed: 0xAB1,
+            parallel: false,
         };
         let cfg = FdaConfig {
             variant: FdaVariant::Sketch(SketchConfig::new(5, m, 0x5EED)),

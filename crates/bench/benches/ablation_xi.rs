@@ -82,6 +82,7 @@ fn main() {
         optimizer: OptimizerKind::paper_adam(),
         partition: Partition::Iid,
         seed: 0xAB2,
+        parallel: false,
     };
     let run = RunConfig {
         eval_every: 20,

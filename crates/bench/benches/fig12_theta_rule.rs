@@ -14,12 +14,12 @@
 
 use fda_bench::report::Table;
 use fda_bench::scale::Scale;
+use fda_comm::Environment;
+use fda_core::cluster::ClusterConfig;
 use fda_core::experiments::spec_for;
 use fda_core::harness::RunConfig;
 use fda_core::sweeps::Algo;
 use fda_core::theta::{best_theta, calibrate, paper_slope};
-use fda_core::cluster::ClusterConfig;
-use fda_comm::Environment;
 use fda_data::Partition;
 use fda_nn::zoo::ModelId;
 use fda_tensor::stats::fit_through_origin;
@@ -34,7 +34,17 @@ fn main() {
 
     let mut t = Table::new(
         "Fig 12 — wall-time per Θ and environment",
-        &["model", "d", "theta", "reached", "steps", "comm_bytes", "t_FL", "t_Bal", "t_HPC"],
+        &[
+            "model",
+            "d",
+            "theta",
+            "reached",
+            "steps",
+            "comm_bytes",
+            "t_FL",
+            "t_Bal",
+            "t_HPC",
+        ],
     );
     // Per environment: the (d, Θ*) points used for the c fit.
     let envs = Environment::all();
@@ -69,6 +79,7 @@ fn main() {
                 optimizer: spec.optimizer,
                 partition: Partition::Iid,
                 seed: 0xF16C,
+                parallel: false,
             };
             algo.build(theta, cc, &task)
         };

@@ -61,7 +61,15 @@ fn main() {
 
     let mut t = Table::new(
         &format!("Fig 13 — ConvNeXt-head fine-tuning, Accuracy Target {target}"),
-        &["K", "theta", "variant", "reached", "steps", "syncs", "comm_bytes"],
+        &[
+            "K",
+            "theta",
+            "variant",
+            "reached",
+            "steps",
+            "syncs",
+            "comm_bytes",
+        ],
     );
     // (k, theta) -> (linear comm, sketch comm) for the ratio check.
     let mut ratios: Vec<f64> = Vec::new();
@@ -73,6 +81,7 @@ fn main() {
             optimizer: spec.optimizer,
             partition: Partition::Iid,
             seed,
+            parallel: false,
         };
         let run = RunConfig {
             eval_every: 20,

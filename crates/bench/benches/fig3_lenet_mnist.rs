@@ -55,11 +55,15 @@ fn main() {
                 ..RunConfig::to_target(target, max_steps)
             },
             seed: 0xF163,
+            parallel: true,
         };
         let points = run_grid(&grid, &task);
         let label = partition.label().replace([' ', ':', '"', '%'], "_");
         print_sweep(
-            &format!("Fig 3 raw sweep — LeNet-5 / synth-mnist, {}", partition.label()),
+            &format!(
+                "Fig 3 raw sweep — LeNet-5 / synth-mnist, {}",
+                partition.label()
+            ),
             &points,
             &format!("fig3_raw_{label}"),
         );

@@ -57,11 +57,15 @@ fn main() {
                 ..RunConfig::to_target(target_hi, max_steps)
             },
             seed: 0xF164,
+            parallel: true,
         };
         let points = run_grid(&grid, &task);
         let label = partition.label().replace([' ', ':', '"', '%'], "_");
         print_sweep(
-            &format!("Fig 4 raw sweep — VGG16* / synth-mnist, {}", partition.label()),
+            &format!(
+                "Fig 4 raw sweep — VGG16* / synth-mnist, {}",
+                partition.label()
+            ),
             &points,
             &format!("fig4_raw_{label}"),
         );

@@ -39,6 +39,7 @@ fn main() {
             ..RunConfig::to_target(target_hi, scale.pick(500, 1_800, 3_500))
         },
         seed: 0xF165,
+        parallel: true,
     };
     run_iid_cloud_figure("Fig 5", &grid, &task, &[target_lo, target_hi]);
 }

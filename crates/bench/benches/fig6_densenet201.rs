@@ -36,6 +36,7 @@ fn main() {
             ..RunConfig::to_target(target_hi, scale.pick(500, 1_800, 3_500))
         },
         seed: 0xF166,
+        parallel: true,
     };
     run_iid_cloud_figure("Fig 6", &grid, &task, &[target_lo, target_hi]);
 }

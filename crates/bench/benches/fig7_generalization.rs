@@ -12,9 +12,9 @@
 use fda_bench::figures::print_trace;
 use fda_bench::report::Table;
 use fda_bench::scale::Scale;
+use fda_core::cluster::ClusterConfig;
 use fda_core::experiments::spec_for;
 use fda_core::harness::{run_to_target, RunConfig};
-use fda_core::cluster::ClusterConfig;
 use fda_data::Partition;
 use fda_nn::zoo::ModelId;
 
@@ -37,7 +37,13 @@ fn main() {
                 "Fig 7 summary — {} , IID , K = {k} , theta = {theta} , test target {target}",
                 model.name()
             ),
-            &["algorithm", "reached", "steps", "train_acc@target", "gap(train-target)"],
+            &[
+                "algorithm",
+                "reached",
+                "steps",
+                "train_acc@target",
+                "gap(train-target)",
+            ],
         );
         for algo in &spec.algos {
             let cc = ClusterConfig {
@@ -47,6 +53,7 @@ fn main() {
                 optimizer: spec.optimizer,
                 partition: Partition::Iid,
                 seed: 0xF167,
+                parallel: false,
             };
             let mut strategy = algo.build(theta, cc, &task);
             let run = RunConfig {

@@ -31,7 +31,11 @@ fn main() {
         &task,
         &scale.pick(vec![2usize, 3], vec![2, 4, 6], vec![2, 4, 6, 8, 10, 12]),
         0.05,
-        &scale.pick(vec![0.02f32, 0.1], vec![0.01, 0.05, 0.2], spec.thetas.clone()),
+        &scale.pick(
+            vec![0.02f32, 0.1],
+            vec![0.01, 0.05, 0.2],
+            spec.thetas.clone(),
+        ),
         scale.pick(3usize, 4, 6),
         run,
     );

@@ -1,6 +1,9 @@
 //! Micro-benchmarks for the training substrate: one in-parallel cluster
-//! step per zoo model (forward + backward + optimizer on every worker) and
-//! one full FDA step (local step + state AllReduce + monitor estimate).
+//! step per zoo model (forward + backward + optimizer on every worker),
+//! the same step with scoped-thread worker parallelism, one full FDA step
+//! (local step + state AllReduce + monitor estimate), and a before/after
+//! comparison of the naive reference GEMM against the blocked kernel at
+//! model shapes.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use fda_core::cluster::{Cluster, ClusterConfig};
@@ -9,9 +12,10 @@ use fda_core::fda::{Fda, FdaConfig};
 use fda_core::strategy::Strategy;
 use fda_data::Partition;
 use fda_nn::zoo::ModelId;
+use fda_tensor::{matrix, Matrix, Rng};
 use std::time::Duration;
 
-fn cluster_for(model: ModelId, k: usize) -> (Cluster, fda_data::TaskData) {
+fn cluster_for(model: ModelId, k: usize, parallel: bool) -> (Cluster, fda_data::TaskData) {
     let spec = spec_for(model);
     let task = spec.make_task();
     let cc = ClusterConfig {
@@ -21,6 +25,7 @@ fn cluster_for(model: ModelId, k: usize) -> (Cluster, fda_data::TaskData) {
         optimizer: spec.optimizer,
         partition: Partition::Iid,
         seed: 3,
+        parallel,
     };
     (Cluster::new(cc, &task), task)
 }
@@ -29,20 +34,53 @@ fn bench_train(c: &mut Criterion) {
     let mut g = c.benchmark_group("train");
     g.sample_size(10).measurement_time(Duration::from_secs(2));
     for model in [ModelId::Lenet5, ModelId::DenseNet121, ModelId::TransferHead] {
-        let (mut cluster, _task) = cluster_for(model, 4);
+        let (mut cluster, _task) = cluster_for(model, 4, false);
         g.bench_function(format!("local_step_k4_{}", model.name()), |b| {
             b.iter(|| black_box(cluster.local_step()))
         });
     }
+    // Scoped-thread worker stepping (bit-identical results; wall-clock win
+    // scales with physical cores).
+    let (mut par_cluster, _task) = cluster_for(ModelId::Lenet5, 4, true);
+    g.bench_function("local_step_k4_lenet5_parallel", |b| {
+        b.iter(|| black_box(par_cluster.local_step()))
+    });
     // Full FDA steps: the marginal cost of monitoring over plain training.
     for (tag, cfg) in [
         ("linear", FdaConfig::linear(f32::MAX)),
         ("sketch", FdaConfig::sketch_auto(f32::MAX)),
     ] {
-        let (cluster, _task) = cluster_for(ModelId::Lenet5, 4);
+        let (cluster, _task) = cluster_for(ModelId::Lenet5, 4, false);
         let mut fda = Fda::over_cluster(cfg, cluster);
         g.bench_function(format!("fda_step_k4_lenet_{tag}"), |b| {
             b.iter(|| black_box(fda.step()))
+        });
+    }
+    g.finish();
+
+    // Before/after: the historical scalar GEMM vs the blocked kernel on
+    // im2col shapes (LeNet conv2 and a VGG16-scale layer).
+    let mut g = c.benchmark_group("gemm");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    let mut rng = Rng::new(5);
+    for (tag, m, k, n) in [
+        ("lenet_conv", 12usize, 54usize, 1152usize),
+        ("vgg16_conv", 64, 576, 9216),
+    ] {
+        let a = Matrix::random_normal(m, k, 0.0, 1.0, &mut rng);
+        let bmat = Matrix::random_normal(k, n, 0.0, 1.0, &mut rng);
+        let mut out = Matrix::zeros(m, n);
+        g.bench_function(format!("{tag}_{m}x{k}x{n}_naive"), |b| {
+            b.iter(|| {
+                out.clear();
+                matrix::naive::gemm_accumulate(black_box(&a), black_box(&bmat), &mut out);
+            })
+        });
+        let mut scratch = matrix::Scratch::new();
+        g.bench_function(format!("{tag}_{m}x{k}x{n}_blocked"), |b| {
+            b.iter(|| {
+                matrix::gemm_into_with(black_box(&a), black_box(&bmat), &mut out, &mut scratch);
+            })
         });
     }
     g.finish();

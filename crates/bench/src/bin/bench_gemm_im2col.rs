@@ -1,0 +1,154 @@
+//! Emits `BENCH_gemm_im2col.json` — the perf trajectory record for the
+//! compute hot path.
+//!
+//! Measures, in one process so machine drift cancels:
+//!
+//! * the naive reference GEMM vs the blocked kernel on im2col shapes
+//!   (LeNet-scale and VGG16-scale),
+//! * end-to-end cluster `local_step` throughput (steps/sec) for the LeNet
+//!   and VGG16 zoo models, sequential and scoped-thread-parallel.
+//!
+//! Run from the workspace root (`cargo run --release --bin
+//! bench_gemm_im2col`); the JSON is written to the current directory so
+//! future perf PRs have a baseline to compare against.
+
+use fda_core::cluster::{Cluster, ClusterConfig};
+use fda_core::experiments::spec_for;
+use fda_data::Partition;
+use fda_nn::zoo::ModelId;
+use fda_tensor::{matrix, Matrix, Rng};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Best-of-`reps` wall time for `f`, each rep averaging `iters` calls.
+fn best_time<F: FnMut()>(reps: usize, iters: u32, mut f: F) -> Duration {
+    f(); // warm-up
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t.elapsed() / iters);
+    }
+    best
+}
+
+struct GemmResult {
+    tag: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    naive: Duration,
+    blocked: Duration,
+}
+
+fn bench_gemm(tag: &'static str, m: usize, k: usize, n: usize) -> GemmResult {
+    let mut rng = Rng::new(7);
+    let a = Matrix::random_normal(m, k, 0.0, 1.0, &mut rng);
+    let b = Matrix::random_normal(k, n, 0.0, 1.0, &mut rng);
+    let mut out = Matrix::zeros(m, n);
+    let iters = (100_000_000 / (2 * m * n * k)).clamp(3, 500) as u32;
+    let naive = best_time(5, iters, || {
+        out.clear();
+        matrix::naive::gemm_accumulate(&a, &b, &mut out);
+    });
+    let mut scratch = matrix::Scratch::new();
+    let blocked = best_time(5, iters, || {
+        matrix::gemm_into_with(&a, &b, &mut out, &mut scratch);
+    });
+    GemmResult {
+        tag,
+        m,
+        k,
+        n,
+        naive,
+        blocked,
+    }
+}
+
+struct StepResult {
+    model: &'static str,
+    steps_per_sec: f64,
+    steps_per_sec_parallel: f64,
+}
+
+fn bench_steps(model: ModelId, name: &'static str) -> StepResult {
+    let spec = spec_for(model);
+    let task = spec.make_task();
+    let mk = |parallel| {
+        Cluster::new(
+            ClusterConfig {
+                model,
+                workers: 4,
+                batch_size: spec.batch,
+                optimizer: spec.optimizer,
+                partition: Partition::Iid,
+                seed: 3,
+                parallel,
+            },
+            &task,
+        )
+    };
+    let mut seq = mk(false);
+    let seq_t = best_time(5, 20, || {
+        seq.local_step();
+    });
+    let mut par = mk(true);
+    let par_t = best_time(5, 20, || {
+        par.local_step();
+    });
+    StepResult {
+        model: name,
+        steps_per_sec: 1.0 / seq_t.as_secs_f64(),
+        steps_per_sec_parallel: 1.0 / par_t.as_secs_f64(),
+    }
+}
+
+fn main() {
+    // im2col GEMM shapes: (out_c) × (in_c·k·k) × (batch·out_h·out_w).
+    let gemms = [
+        bench_gemm("lenet_conv2", 12, 54, 1152),
+        bench_gemm("lenet_conv1", 6, 9, 4608),
+        bench_gemm("vgg16_conv", 64, 576, 9216),
+        bench_gemm("dense_square", 256, 256, 256),
+    ];
+    let steps = [
+        bench_steps(ModelId::Lenet5, "lenet5"),
+        bench_steps(ModelId::Vgg16Star, "vgg16"),
+    ];
+
+    let mut json = String::from("{\n  \"gemm_us\": [\n");
+    for (i, g) in gemms.iter().enumerate() {
+        let sep = if i + 1 < gemms.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"shape\": \"{}_{}x{}x{}\", \"naive_us\": {:.1}, \"blocked_us\": {:.1}, \"speedup\": {:.2}}}{sep}",
+            g.tag,
+            g.m,
+            g.k,
+            g.n,
+            g.naive.as_secs_f64() * 1e6,
+            g.blocked.as_secs_f64() * 1e6,
+            g.naive.as_secs_f64() / g.blocked.as_secs_f64(),
+        );
+    }
+    json.push_str("  ],\n  \"local_step_k4\": [\n");
+    for (i, s) in steps.iter().enumerate() {
+        let sep = if i + 1 < steps.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"model\": \"{}\", \"steps_per_sec\": {:.1}, \"steps_per_sec_parallel\": {:.1}}}{sep}",
+            s.model, s.steps_per_sec, s.steps_per_sec_parallel,
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"naive-vs-blocked measured back-to-back in one process; seed-era all-naive LeNet local_step was ~6.3ms (159 steps/sec) on this host\""
+    );
+    json.push('}');
+
+    std::fs::write("BENCH_gemm_im2col.json", &json).expect("write BENCH_gemm_im2col.json");
+    println!("{json}");
+}

@@ -61,7 +61,13 @@ pub fn print_clouds(title: &str, clouds: &[Cloud], csv_name: &str) {
     let mut t = Table::new(
         title,
         &[
-            "algorithm", "runs", "comm_q1", "comm_median", "comm_q3", "steps_q1", "steps_median",
+            "algorithm",
+            "runs",
+            "comm_q1",
+            "comm_median",
+            "comm_q3",
+            "steps_q1",
+            "steps_median",
             "steps_q3",
         ],
     );
@@ -155,7 +161,14 @@ pub fn print_shape_checks(clouds: &[Cloud]) {
 pub fn print_trace(title: &str, algo: &str, trace: &[TracePoint], csv_name: &str) {
     let mut t = Table::new(
         title,
-        &["algorithm", "step", "train_acc", "test_acc", "comm_bytes", "syncs"],
+        &[
+            "algorithm",
+            "step",
+            "train_acc",
+            "test_acc",
+            "comm_bytes",
+            "syncs",
+        ],
     );
     for p in trace {
         t.row(&[
@@ -244,10 +257,14 @@ pub fn run_scaling_figure(
         algos: algos.to_vec(),
         run,
         seed: 0xF168,
+        parallel: true,
     };
     let top_points = run_grid(&top, task);
     print_sweep(
-        &format!("{fig} (top) — {} , IID , theta = {fixed_theta}, K sweep", model.name()),
+        &format!(
+            "{fig} (top) — {} , IID , theta = {fixed_theta}, K sweep",
+            model.name()
+        ),
         &top_points,
         &format!("{tag}_k_sweep"),
     );
@@ -258,8 +275,8 @@ pub fn run_scaling_figure(
         .map(|p| p.result.comm_bytes)
         .collect();
     if sync_comm.len() >= 2 {
-        let spread = *sync_comm.iter().max().unwrap() as f64
-            / *sync_comm.iter().min().unwrap() as f64;
+        let spread =
+            *sync_comm.iter().max().unwrap() as f64 / *sync_comm.iter().min().unwrap() as f64;
         println!(
             "\nSynchronous comm across K: {sync_comm:?} (max/min = {spread:.2} — \
              grows only through convergence-length changes, paper: ~constant)"
@@ -277,10 +294,14 @@ pub fn run_scaling_figure(
         algos: vec![Algo::LinearFda, Algo::SketchFda],
         run,
         seed: 0xF169,
+        parallel: true,
     };
     let bottom_points = run_grid(&bottom, task);
     print_sweep(
-        &format!("{fig} (bottom) — {} , IID , K = {fixed_k}, theta sweep", model.name()),
+        &format!(
+            "{fig} (bottom) — {} , IID , K = {fixed_k}, theta sweep",
+            model.name()
+        ),
         &bottom_points,
         &format!("{tag}_theta_sweep"),
     );

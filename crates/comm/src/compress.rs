@@ -200,7 +200,10 @@ mod tests {
         // Per-chunk bound: (hi − lo)/255/2; normal data stays within ~8σ,
         // so |err| ≤ 16/510 ≈ 0.032 with slack.
         for (a, b) in v.iter().zip(&r) {
-            assert!((a - b).abs() < 0.05, "quantization error too large: {a} vs {b}");
+            assert!(
+                (a - b).abs() < 0.05,
+                "quantization error too large: {a} vs {b}"
+            );
         }
         // 4×-ish compression.
         assert!(codec.encoded_bytes(5_000) < Dense32.encoded_bytes(5_000) / 3);
@@ -238,7 +241,11 @@ mod tests {
         let codec = TopK::fraction(10_000, 0.01);
         assert_eq!(codec.encoded_bytes(10_000), 100 * 8);
         let full = TopK::new(20);
-        assert_eq!(full.roundtrip(&[1.0, 2.0]), vec![1.0, 2.0], "k >= n is lossless");
+        assert_eq!(
+            full.roundtrip(&[1.0, 2.0]),
+            vec![1.0, 2.0],
+            "k >= n is lossless"
+        );
     }
 
     #[test]
@@ -256,7 +263,10 @@ mod tests {
         let rrefs: Vec<&[f32]> = recon.iter().map(|w| w.as_slice()).collect();
         let approx_mean = fda_tensor::vector::mean(&rrefs);
         for (a, b) in true_mean.iter().zip(&approx_mean) {
-            assert!((a - b).abs() < 0.02, "averaged quantization error too large");
+            assert!(
+                (a - b).abs() < 0.02,
+                "averaged quantization error too large"
+            );
         }
     }
 }

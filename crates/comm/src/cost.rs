@@ -82,7 +82,11 @@ impl Environment {
 
     /// All three regimes in Figure 12 order.
     pub fn all() -> [Environment; 3] {
-        [Environment::fl(), Environment::balanced(), Environment::hpc()]
+        [
+            Environment::fl(),
+            Environment::balanced(),
+            Environment::hpc(),
+        ]
     }
 
     /// Estimated wall-time of a training run for one worker.
@@ -106,7 +110,10 @@ mod tests {
 
     #[test]
     fn single_worker_costs_nothing() {
-        for m in [AccountingMode::PerWorkerPayload, AccountingMode::RingAllReduce] {
+        for m in [
+            AccountingMode::PerWorkerPayload,
+            AccountingMode::RingAllReduce,
+        ] {
             assert_eq!(m.per_worker_bytes(12345, 1), 0);
         }
     }

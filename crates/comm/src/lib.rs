@@ -14,8 +14,9 @@
 //!   regimes of Figure 12 (FL at 0.5 Gbps, Balanced, ARIS-HPC InfiniBand),
 //!   used to translate (bytes, steps) into time and pick Θ.
 //! * [`threaded::ThreadedReducer`] — a real rendezvous AllReduce across OS
-//!   threads (crossbeam scope + parking_lot), proving the protocol works
-//!   under true concurrency; tests cross-validate it against the simulator.
+//!   threads (std scoped threads + mutex/condvar rendezvous), proving the
+//!   protocol works under true concurrency; tests cross-validate it
+//!   against the simulator.
 
 pub mod compress;
 pub mod cost;

@@ -8,11 +8,10 @@
 //!
 //! The implementation is a generation-counted rendezvous: each participant
 //! adds its contribution under a mutex; the last arrival computes the mean
-//! and bumps the generation; everyone copies the result out. `parking_lot`
-//! primitives keep the fast path cheap.
+//! and bumps the generation; everyone copies the result out. Plain
+//! `std::sync` primitives keep the crate dependency-free.
 
-use parking_lot::{Condvar, Mutex};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 struct Shared {
     // Accumulator for the current round.
@@ -68,7 +67,7 @@ impl ThreadedReducer {
     /// Panics if buffer lengths disagree within a round.
     pub fn allreduce(&self, buf: &mut [f32]) {
         let (lock, cvar) = &*self.state;
-        let mut s = lock.lock();
+        let mut s = lock.lock().expect("allreduce: poisoned lock");
         let my_gen = s.generation;
         if s.arrived == 0 {
             // First arrival of the round initializes the accumulator.
@@ -94,7 +93,7 @@ impl ThreadedReducer {
             cvar.notify_all();
         } else {
             while s.generation == my_gen {
-                cvar.wait(&mut s);
+                s = cvar.wait(s).expect("allreduce: poisoned lock");
             }
         }
         buf.copy_from_slice(&s.result);
@@ -117,11 +116,11 @@ mod tests {
     fn four_threads_compute_the_mean() {
         let k = 4;
         let r = ThreadedReducer::new(k);
-        let results: Vec<Vec<f32>> = crossbeam::thread::scope(|scope| {
+        let results: Vec<Vec<f32>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..k)
                 .map(|id| {
                     let r = r.clone();
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut buf = vec![id as f32; 8];
                         r.allreduce(&mut buf);
                         buf
@@ -129,8 +128,7 @@ mod tests {
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
-        .unwrap();
+        });
         // Mean of 0, 1, 2, 3 = 1.5 everywhere, on every worker.
         for res in results {
             assert_eq!(res, vec![1.5f32; 8]);
@@ -141,11 +139,11 @@ mod tests {
     fn reducer_is_reusable_across_rounds() {
         let k = 3;
         let r = ThreadedReducer::new(k);
-        let results: Vec<Vec<f32>> = crossbeam::thread::scope(|scope| {
+        let results: Vec<Vec<f32>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..k)
                 .map(|id| {
                     let r = r.clone();
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut out = Vec::new();
                         for round in 0..5u32 {
                             let mut buf = vec![(id as f32) * (round as f32 + 1.0); 4];
@@ -157,8 +155,7 @@ mod tests {
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
-        .unwrap();
+        });
         // Round r mean = mean(0,1,2)·(r+1) = 1·(r+1).
         for res in &results {
             for (round, &v) in res.iter().enumerate() {
@@ -181,21 +178,20 @@ mod tests {
 
         // Threaded path.
         let r = ThreadedReducer::new(k);
-        let threaded: Vec<Vec<f32>> = crossbeam::thread::scope(|scope| {
+        let threaded: Vec<Vec<f32>> = std::thread::scope(|scope| {
             let handles: Vec<_> = inputs
                 .iter()
                 .map(|input| {
                     let r = r.clone();
                     let mut buf = input.clone();
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         r.allreduce(&mut buf);
                         buf
                     })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
-        .unwrap();
+        });
 
         for t in &threaded {
             for (a, b) in t.iter().zip(&sim_bufs[0]) {

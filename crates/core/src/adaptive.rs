@@ -14,9 +14,9 @@
 //! deterministic byte accounting of the protocol), so all workers compute
 //! the same Θ without extra communication.
 
+use crate::cluster::Cluster;
 use crate::fda::Fda;
 use crate::strategy::{StepOutcome, Strategy};
-use crate::cluster::Cluster;
 
 /// Multiplicative-increase / multiplicative-decrease Θ controller.
 #[derive(Debug, Clone, Copy)]
@@ -45,7 +45,10 @@ impl ThetaController {
         theta_min: f32,
         theta_max: f32,
     ) -> ThetaController {
-        assert!(budget_bytes_per_step > 0.0, "adaptive: budget must be positive");
+        assert!(
+            budget_bytes_per_step > 0.0,
+            "adaptive: budget must be positive"
+        );
         assert!(gain > 0.0 && gain < 1.0, "adaptive: gain must be in (0, 1)");
         assert!(window >= 1, "adaptive: window must be positive");
         assert!(

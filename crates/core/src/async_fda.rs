@@ -106,11 +106,7 @@ impl AsyncFda {
             steps_per_worker: self.steps.clone(),
             syncs: self.syncs,
             comm_bytes: self.comm_bytes(),
-            virtual_time: self
-                .clock
-                .iter()
-                .cloned()
-                .fold(0.0f64, f64::max),
+            virtual_time: self.clock.iter().cloned().fold(0.0f64, f64::max),
             final_variance: self.cluster.exact_variance(),
         }
     }

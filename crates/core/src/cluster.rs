@@ -30,6 +30,16 @@ pub struct ClusterConfig {
     pub partition: Partition,
     /// Master seed: controls init, shard split and batch order.
     pub seed: u64,
+    /// Run the local-step phase with one scoped thread per worker.
+    ///
+    /// Workers are independent between AllReduce points and every source of
+    /// randomness is a per-worker stream, so the parallel phase is
+    /// bit-identical to the sequential one (per-worker results are reduced
+    /// in worker order after the join). Keep `false` for the
+    /// deterministic-by-construction sequential path used by bit-exactness
+    /// tests, or on single-core hosts where thread spawning only adds
+    /// overhead.
+    pub parallel: bool,
 }
 
 impl ClusterConfig {
@@ -42,6 +52,7 @@ impl ClusterConfig {
             optimizer: OptimizerKind::paper_adam(),
             partition: Partition::Iid,
             seed: 7,
+            parallel: false,
         }
     }
 }
@@ -75,6 +86,18 @@ impl Worker {
     /// Flat parameters of this worker's model.
     pub fn params(&self) -> Vec<f32> {
         self.model.params_flat()
+    }
+
+    /// One local training step for this worker: sample, backprop, optimize.
+    /// Returns `(batch loss, #correct, #samples)`.
+    fn step_once(&mut self, dataset: &Dataset) -> (f32, usize, usize) {
+        let (x, y) = self.sampler.sample(dataset);
+        let (loss, correct) = self.model.compute_gradients(&x, &y);
+        self.model.copy_params_to(&mut self.params_buf);
+        self.model.copy_grads_to(&mut self.grads_buf);
+        self.optimizer.step(&mut self.params_buf, &self.grads_buf);
+        self.model.load_params(&self.params_buf);
+        (loss, correct, y.len())
     }
 }
 
@@ -124,7 +147,9 @@ impl Cluster {
             .enumerate()
             .map(|(k, shard)| {
                 // Each worker gets its own dropout stream but the same w0.
-                let mut model = config.model.build(config.seed, config.seed ^ (k as u64 + 1));
+                let mut model = config
+                    .model
+                    .build(config.seed, config.seed ^ (k as u64 + 1));
                 model.load_params(&w0);
                 let sampler = BatchSampler::new(
                     shard,
@@ -204,24 +229,42 @@ impl Cluster {
 
     /// One *in-parallel* local step: every worker samples a batch from its
     /// shard and applies its local optimizer (Algorithm 1 lines 4–5).
+    ///
+    /// With [`ClusterConfig::parallel`] set, workers run on scoped OS
+    /// threads; results are reduced in worker order after the join, so both
+    /// modes produce bit-identical models, statistics and (therefore)
+    /// synchronization decisions.
     pub fn local_step(&mut self) -> StepStats {
-        let mut loss_sum = 0.0f32;
-        let mut correct_sum = 0usize;
-        let mut sample_sum = 0usize;
-        for w in &mut self.workers {
-            let (x, y) = w.sampler.sample(&self.dataset);
-            let (loss, correct) = w.model.compute_gradients(&x, &y);
-            w.model.copy_params_to(&mut w.params_buf);
-            w.model.copy_grads_to(&mut w.grads_buf);
-            w.optimizer.step(&mut w.params_buf, &w.grads_buf);
-            w.model.load_params(&w.params_buf);
-            loss_sum += loss;
-            correct_sum += correct;
-            sample_sum += y.len();
-        }
+        let k = self.workers.len();
+        let (loss_sum, correct_sum, sample_sum) = if self.config.parallel && k > 1 {
+            let dataset = &self.dataset;
+            let per_worker: Vec<(f32, usize, usize)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .workers
+                    .iter_mut()
+                    .map(|w| scope.spawn(move || w.step_once(dataset)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker thread panicked"))
+                    .collect()
+            });
+            per_worker
+                .into_iter()
+                .fold((0.0f32, 0usize, 0usize), |(l, c, s), (wl, wc, ws)| {
+                    (l + wl, c + wc, s + ws)
+                })
+        } else {
+            let mut acc = (0.0f32, 0usize, 0usize);
+            for w in &mut self.workers {
+                let (loss, correct, samples) = w.step_once(&self.dataset);
+                acc = (acc.0 + loss, acc.1 + correct, acc.2 + samples);
+            }
+            acc
+        };
         self.steps += 1;
         StepStats {
-            mean_loss: loss_sum / self.workers.len() as f32,
+            mean_loss: loss_sum / k as f32,
             batch_accuracy: correct_sum as f32 / sample_sum.max(1) as f32,
         }
     }
@@ -245,27 +288,17 @@ impl Cluster {
     /// variant, where workers progress at their own pace). Does not bump
     /// the in-parallel step counter — async progress is per-worker.
     pub fn single_worker_step(&mut self, k: usize) -> StepStats {
-        let w = &mut self.workers[k];
-        let (x, y) = w.sampler.sample(&self.dataset);
-        let (loss, correct) = w.model.compute_gradients(&x, &y);
-        w.model.copy_params_to(&mut w.params_buf);
-        w.model.copy_grads_to(&mut w.grads_buf);
-        w.optimizer.step(&mut w.params_buf, &w.grads_buf);
-        w.model.load_params(&w.params_buf);
+        let (loss, correct, samples) = self.workers[k].step_once(&self.dataset);
         StepStats {
             mean_loss: loss,
-            batch_accuracy: correct as f32 / y.len().max(1) as f32,
+            batch_accuracy: correct as f32 / samples.max(1) as f32,
         }
     }
 
     /// Synchronizes all models to their average via AllReduce, charging
     /// `d·4` bytes per worker. Returns the new global model.
     pub fn allreduce_models(&mut self) -> Vec<f32> {
-        let mut bufs: Vec<Vec<f32>> = self
-            .workers
-            .iter()
-            .map(|w| w.model.params_flat())
-            .collect();
+        let mut bufs: Vec<Vec<f32>> = self.workers.iter().map(|w| w.model.params_flat()).collect();
         self.net.allreduce_mean(&mut bufs);
         for (w, buf) in self.workers.iter_mut().zip(&bufs) {
             w.model.load_params(buf);
@@ -385,6 +418,37 @@ mod tests {
         }
         assert_eq!(a.worker(0).params(), b.worker(0).params());
         assert_eq!(a.worker(1).params(), b.worker(1).params());
+    }
+
+    /// The scoped-thread local-step phase must be bit-identical to the
+    /// sequential one: every worker's model, the step statistics, and
+    /// therefore every downstream synchronization decision.
+    #[test]
+    fn parallel_mode_is_bit_identical_to_sequential() {
+        let task = tiny_task();
+        let mut seq = Cluster::new(ClusterConfig::small_test(4), &task);
+        let par_cfg = ClusterConfig {
+            parallel: true,
+            ..ClusterConfig::small_test(4)
+        };
+        let mut par = Cluster::new(par_cfg, &task);
+        for step in 0..5 {
+            let s = seq.local_step();
+            let p = par.local_step();
+            assert_eq!(s.mean_loss, p.mean_loss, "loss diverged at step {step}");
+            assert_eq!(
+                s.batch_accuracy, p.batch_accuracy,
+                "accuracy diverged at step {step}"
+            );
+            for k in 0..4 {
+                assert_eq!(
+                    seq.worker(k).params(),
+                    par.worker(k).params(),
+                    "worker {k} params diverged at step {step}"
+                );
+            }
+        }
+        assert_eq!(seq.exact_variance(), par.exact_variance());
     }
 
     #[test]

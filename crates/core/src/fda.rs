@@ -353,11 +353,7 @@ mod tests {
     fn sketch_state_costs_dominate_linear_but_not_models() {
         let task = tiny_task();
         let k = 3;
-        let mut sketch = Fda::new(
-            FdaConfig::sketch(f32::MAX),
-            tiny_cluster_config(k),
-            &task,
-        );
+        let mut sketch = Fda::new(FdaConfig::sketch(f32::MAX), tiny_cluster_config(k), &task);
         for _ in 0..5 {
             sketch.step();
         }

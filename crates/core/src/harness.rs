@@ -224,7 +224,10 @@ mod tests {
         let mut fda = Fda::new(FdaConfig::linear(0.5), ClusterConfig::small_test(3), &task);
         let fda_res = run_to_target(&mut fda, &task, &cfg);
 
-        assert!(sync_res.reached && fda_res.reached, "{sync_res:?} {fda_res:?}");
+        assert!(
+            sync_res.reached && fda_res.reached,
+            "{sync_res:?} {fda_res:?}"
+        );
         assert!(
             fda_res.comm_bytes < sync_res.comm_bytes / 2,
             "FDA should save communication: {} vs {}",

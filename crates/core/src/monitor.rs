@@ -332,7 +332,10 @@ mod tests {
         let states: Vec<LocalState> = drifts.iter().map(|d| m.local_state(d)).collect();
         let avg = LocalState::average(&states);
         let est = m.estimate(&avg);
-        assert!((est - avg.drift_sq_norm).abs() < 1e-6, "no ξ ⇒ H = mean‖u‖²");
+        assert!(
+            (est - avg.drift_sq_norm).abs() < 1e-6,
+            "no ξ ⇒ H = mean‖u‖²"
+        );
     }
 
     #[test]
@@ -383,10 +386,7 @@ mod tests {
         let mut failures = 0;
         for seed in 0..40u64 {
             let drifts = random_drifts(seed, 8, d, 1.0);
-            let m = SketchMonitor::new(
-                fda_sketch::SketchConfig::new(5, 250, seed + 1000),
-                d,
-            );
+            let m = SketchMonitor::new(fda_sketch::SketchConfig::new(5, 250, seed + 1000), d);
             let states: Vec<LocalState> = drifts.iter().map(|u| m.local_state(u)).collect();
             let est = m.estimate(&LocalState::average(&states));
             let truth = true_variance(&drifts);
@@ -394,7 +394,10 @@ mod tests {
                 failures += 1;
             }
         }
-        assert!(failures <= 6, "sketch over-estimate failed {failures}/40 times");
+        assert!(
+            failures <= 6,
+            "sketch over-estimate failed {failures}/40 times"
+        );
     }
 
     #[test]

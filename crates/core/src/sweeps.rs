@@ -118,6 +118,9 @@ pub struct GridSpec {
     pub run: RunConfig,
     /// Base seed.
     pub seed: u64,
+    /// Run worker local steps on scoped threads (bit-identical to the
+    /// sequential path; see [`crate::cluster::ClusterConfig::parallel`]).
+    pub parallel: bool,
 }
 
 /// Runs the full grid: FDA algorithms get every (K, Θ) pair; baselines run
@@ -139,6 +142,7 @@ pub fn run_grid(spec: &GridSpec, task: &TaskData) -> Vec<SweepPoint> {
                     optimizer: spec.optimizer,
                     partition: spec.partition,
                     seed: spec.seed ^ (k as u64).wrapping_mul(0x9E37_79B9),
+                    parallel: spec.parallel,
                 };
                 let mut strategy = algo.build(theta, cc, task);
                 let result = run_to_target(strategy.as_mut(), task, &spec.run);
@@ -190,6 +194,7 @@ mod tests {
             algos: vec![Algo::LinearFda, Algo::Synchronous],
             run: RunConfig::to_target(0.5, 120),
             seed: 11,
+            parallel: false,
         };
         let points = run_grid(&spec, &task);
         // LinearFda: 2 K × 2 Θ = 4; Synchronous: 2 K × 1 = 2.
@@ -220,6 +225,7 @@ mod tests {
             algos: vec![Algo::LinearFda],
             run: RunConfig::to_target(0.35, 200),
             seed: 3,
+            parallel: false,
         };
         let points = run_grid(&spec, &task);
         let reached = reached_of(&points, "LinearFDA");

@@ -137,7 +137,11 @@ mod tests {
                 trace: vec![],
             },
         };
-        let points = vec![mk(0.1, true, 10.0), mk(1.0, true, 5.0), mk(10.0, false, 0.0)];
+        let points = vec![
+            mk(0.1, true, 10.0),
+            mk(1.0, true, 5.0),
+            mk(10.0, false, 0.0),
+        ];
         assert_eq!(best_theta(&points), Some(1.0));
         assert_eq!(best_theta(&[mk(1.0, false, 0.0)]), None);
     }

@@ -117,13 +117,15 @@ pub fn run_threaded_fda(config: ThreadedFdaConfig, task: &TaskData) -> ThreadedF
     let template = config.model.build(config.seed, 0);
     let dim = template.param_count();
     let w0 = template.params_flat();
-    let shards = config.partition.shards(&task.train, k, config.seed ^ 0x5AAD);
+    let shards = config
+        .partition
+        .shards(&task.train, k, config.seed ^ 0x5AAD);
 
     let state_reducer = ThreadedReducer::new(k);
     let model_reducer = ThreadedReducer::new(k);
     let sketch_config = SketchConfig::scaled_for(dim);
 
-    let results: Vec<(u64, Vec<f32>)> = crossbeam::thread::scope(|scope| {
+    let results: Vec<(u64, Vec<f32>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = shards
             .into_iter()
             .enumerate()
@@ -132,9 +134,10 @@ pub fn run_threaded_fda(config: ThreadedFdaConfig, task: &TaskData) -> ThreadedF
                 let model_reducer = model_reducer.clone();
                 let w0 = w0.clone();
                 let train = &task.train;
-                scope.spawn(move |_| {
-                    let mut model =
-                        config.model.build(config.seed, config.seed ^ (worker as u64 + 1));
+                scope.spawn(move || {
+                    let mut model = config
+                        .model
+                        .build(config.seed, config.seed ^ (worker as u64 + 1));
                     model.load_params(&w0);
                     let mut optimizer = config.optimizer.build(dim);
                     let mut sampler = BatchSampler::new(
@@ -144,9 +147,7 @@ pub fn run_threaded_fda(config: ThreadedFdaConfig, task: &TaskData) -> ThreadedF
                     );
                     let mut monitor: Box<dyn VarianceMonitor> = match config.variant {
                         ThreadedVariant::Linear => Box::new(LinearMonitor::new()),
-                        ThreadedVariant::Sketch => {
-                            Box::new(SketchMonitor::new(sketch_config, dim))
-                        }
+                        ThreadedVariant::Sketch => Box::new(SketchMonitor::new(sketch_config, dim)),
                     };
                     let mut w_sync = w0.clone();
                     let mut params = vec![0.0f32; dim];
@@ -193,8 +194,7 @@ pub fn run_threaded_fda(config: ThreadedFdaConfig, task: &TaskData) -> ThreadedF
             .into_iter()
             .map(|h| h.join().expect("worker thread panicked"))
             .collect()
-    })
-    .expect("thread scope failed");
+    });
 
     let syncs = results[0].0;
     assert!(

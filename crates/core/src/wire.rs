@@ -96,13 +96,19 @@ pub fn decode_state(buf: &[u8]) -> Result<LocalState, DecodeError> {
     let summary = match tag {
         0 => StateSummary::Linear(get_f32(buf, &mut off)?),
         1 => {
-            let rows =
-                u16::from_le_bytes(buf.get(off..off + 2).ok_or(DecodeError::Truncated)?.try_into().expect("len 2"))
-                    as usize;
+            let rows = u16::from_le_bytes(
+                buf.get(off..off + 2)
+                    .ok_or(DecodeError::Truncated)?
+                    .try_into()
+                    .expect("len 2"),
+            ) as usize;
             off += 2;
-            let cols =
-                u16::from_le_bytes(buf.get(off..off + 2).ok_or(DecodeError::Truncated)?.try_into().expect("len 2"))
-                    as usize;
+            let cols = u16::from_le_bytes(
+                buf.get(off..off + 2)
+                    .ok_or(DecodeError::Truncated)?
+                    .try_into()
+                    .expect("len 2"),
+            ) as usize;
             off += 2;
             let mut sk = AmsSketch::zeros(rows, cols);
             for v in sk.as_mut_slice() {
@@ -111,9 +117,12 @@ pub fn decode_state(buf: &[u8]) -> Result<LocalState, DecodeError> {
             StateSummary::Sketch(sk)
         }
         2 => {
-            let len =
-                u32::from_le_bytes(buf.get(off..off + 4).ok_or(DecodeError::Truncated)?.try_into().expect("len 4"))
-                    as usize;
+            let len = u32::from_le_bytes(
+                buf.get(off..off + 4)
+                    .ok_or(DecodeError::Truncated)?
+                    .try_into()
+                    .expect("len 4"),
+            ) as usize;
             off += 4;
             let mut v = vec![0.0f32; len];
             for x in &mut v {
@@ -205,7 +214,10 @@ mod tests {
         let m = LinearMonitor::new();
         let bytes = encode_state(&m.local_state(&drift(8)));
         for cut in 0..bytes.len() {
-            assert!(decode_state(&bytes[..cut]).is_err(), "cut at {cut} must fail");
+            assert!(
+                decode_state(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
         }
     }
 

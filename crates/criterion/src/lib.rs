@@ -1,0 +1,245 @@
+//! A minimal drop-in for the subset of the `criterion` API this workspace
+//! uses. The workspace is intentionally dependency-free (see DESIGN.md), so
+//! this shim keeps every `benches/` target compiling and producing useful
+//! wall-clock numbers with zero external dependencies; swap the path
+//! dependency for the real criterion if statistical analysis is wanted.
+//!
+//! Supported surface:
+//!
+//! * [`black_box`] (re-export of `std::hint::black_box`),
+//! * [`Criterion::benchmark_group`] → [`BenchmarkGroup`] with
+//!   `sample_size`, `measurement_time`, `bench_function`, `finish`,
+//! * [`Bencher::iter`],
+//! * [`criterion_group!`] / [`criterion_main!`].
+//!
+//! Behavioural notes:
+//!
+//! * Passing `--test` on the bench command line (as the real criterion
+//!   accepts, and as CI smoke runs do) executes each routine exactly once
+//!   and skips timing.
+//! * Any other positional argument acts as a substring filter on
+//!   `group/name` ids, mirroring criterion's filter behaviour. Known
+//!   limitation: value-taking flags of the real criterion
+//!   (e.g. `--sample-size 10`) are not understood — the flag is ignored
+//!   and its value is treated as a filter, which typically matches
+//!   nothing. Pass only filters and/or `--test`.
+//! * Reports are printed as `group/name  median  mean  (N samples)` lines.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// Top-level handle; collects CLI configuration shared by all groups.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion::from_args()
+    }
+}
+
+impl Criterion {
+    /// Builds a handle from the process arguments (`--test`, filters).
+    pub fn from_args() -> Criterion {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Flags cargo/criterion pass through that we can ignore.
+                "--bench" | "--nocapture" | "-q" | "--quiet" | "--verbose" => {}
+                other if other.starts_with('-') => {}
+                other => filter = Some(other.to_string()),
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+
+    /// Compatibility no-op (the real API reconfigures from args here).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+
+    /// Prints a final summary (no-op in the shim; `criterion_main!` calls it).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`].
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            test_mode: self.criterion.test_mode,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.report(&full);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; times the routine given to `iter`.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`: a warm-up estimate sizes the per-sample iteration
+    /// count so each sample runs long enough to be measurable, then
+    /// `sample_size` samples are collected (or one bare call in
+    /// `--test` mode).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up: find how long one call takes.
+        let warm_start = Instant::now();
+        black_box(routine());
+        let once = warm_start.elapsed().max(Duration::from_nanos(1));
+        let budget = self.measurement_time.max(Duration::from_millis(100));
+        let per_sample = budget / self.sample_size as u32;
+        let iters = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as usize;
+        let deadline = Instant::now() + budget;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters as u32);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.test_mode {
+            println!("{id:<48} ok (test mode)");
+            return;
+        }
+        if self.samples.is_empty() {
+            println!("{id:<48} (no samples collected)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+        println!(
+            "{id:<48} median {:>12?}  mean {:>12?}  ({} samples)",
+            median,
+            mean,
+            sorted.len()
+        );
+    }
+}
+
+/// Mirrors criterion's `criterion_group!`: defines a function running the
+/// listed targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Mirrors criterion's `criterion_main!`: defines `main` running the groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            test_mode: false,
+            sample_size: 3,
+            measurement_time: Duration::from_millis(30),
+            samples: Vec::new(),
+        };
+        let mut n = 0u64;
+        b.iter(|| {
+            n = n.wrapping_add(1);
+            n
+        });
+        assert!(!b.samples.is_empty());
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut b = Bencher {
+            test_mode: true,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            samples: Vec::new(),
+        };
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(b.samples.is_empty());
+    }
+}

@@ -204,7 +204,10 @@ mod tests {
         let shards = Partition::NonIidPercent(1.0).shards(&d, 10, 3);
         assert_exact_cover(1000, &shards);
         let skew = label_skew(&d, &shards);
-        assert!(skew > 0.9, "fully sorted deal should be near single-label: {skew}");
+        assert!(
+            skew > 0.9,
+            "fully sorted deal should be near single-label: {skew}"
+        );
     }
 
     #[test]

@@ -171,10 +171,8 @@ impl SynthSpec {
                 let class = i % self.classes;
                 let mode = rng.index(self.modes_per_class);
                 let proto = prototypes.row(class * self.modes_per_class + mode);
-                let amp = rng.uniform_range(
-                    1.0 - self.amplitude_jitter,
-                    1.0 + self.amplitude_jitter,
-                );
+                let amp =
+                    rng.uniform_range(1.0 - self.amplitude_jitter, 1.0 + self.amplitude_jitter);
                 let row = x.row_mut(i);
                 for (out, &p) in row.iter_mut().zip(proto) {
                     *out = amp * p + rng.normal(0.0, self.noise_std);
@@ -225,7 +223,10 @@ mod tests {
         assert_eq!(task.test.len(), 200);
         let hist = task.train.class_histogram();
         let (min, max) = (hist.iter().min().unwrap(), hist.iter().max().unwrap());
-        assert!(max - min <= 1, "round-robin classes must be balanced: {hist:?}");
+        assert!(
+            max - min <= 1,
+            "round-robin classes must be balanced: {hist:?}"
+        );
     }
 
     #[test]
@@ -295,7 +296,10 @@ mod tests {
 
         let mnist = synth_mnist();
         let acc_mnist = centroid_accuracy(&mnist);
-        assert!(acc_mnist > 0.5, "mnist stand-in should be separable: {acc_mnist}");
+        assert!(
+            acc_mnist > 0.5,
+            "mnist stand-in should be separable: {acc_mnist}"
+        );
 
         let transfer = synth_cifar100_features();
         let acc_tr = centroid_accuracy(&transfer);

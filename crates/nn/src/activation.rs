@@ -1,4 +1,9 @@
 //! Element-wise activation layers.
+//!
+//! Hot-path discipline: masks are stored as `f32` multipliers (not
+//! `Vec<bool>`) in buffers that are resized, never re-pushed, so both the
+//! forward max and the backward multiply compile to straight-line
+//! branch-free SIMD loops.
 
 use crate::layer::Layer;
 use fda_tensor::Matrix;
@@ -6,9 +11,9 @@ use fda_tensor::Matrix;
 /// Rectified linear unit `y = max(0, x)`.
 #[derive(Default)]
 pub struct Relu {
-    // Cache of the forward input sign: true where x > 0.
-    mask: Vec<bool>,
-    cols: usize,
+    // Forward gate as a multiplier: 1.0 where x > 0, else 0.0. Reused
+    // across steps.
+    mask: Vec<f32>,
 }
 
 impl Relu {
@@ -23,32 +28,24 @@ impl Layer for Relu {
         "relu"
     }
 
-    fn forward(&mut self, x: &Matrix, _train: bool) -> Matrix {
-        self.cols = x.cols();
-        self.mask.clear();
-        self.mask.reserve(x.len());
-        let mut y = x.clone();
-        for v in y.as_mut_slice() {
-            let active = *v > 0.0;
-            self.mask.push(active);
-            if !active {
-                *v = 0.0;
-            }
+    fn forward(&mut self, mut x: Matrix, _train: bool) -> Matrix {
+        self.mask.resize(x.len(), 0.0);
+        for (v, m) in x.as_mut_slice().iter_mut().zip(self.mask.iter_mut()) {
+            *m = if *v > 0.0 { 1.0 } else { 0.0 };
+            *v = v.max(0.0);
         }
-        y
+        x
     }
 
-    fn backward(&mut self, dy: &Matrix) -> Matrix {
+    fn backward(&mut self, dy: Matrix) -> Matrix {
         assert_eq!(
             dy.len(),
             self.mask.len(),
             "relu: backward without matching forward"
         );
-        let mut dx = dy.clone();
+        let mut dx = dy;
         for (v, &m) in dx.as_mut_slice().iter_mut().zip(&self.mask) {
-            if !m {
-                *v = 0.0;
-            }
+            *v *= m;
         }
         dx
     }
@@ -77,22 +74,22 @@ impl Layer for Tanh {
         "tanh"
     }
 
-    fn forward(&mut self, x: &Matrix, _train: bool) -> Matrix {
-        let mut y = x.clone();
-        for v in y.as_mut_slice() {
+    fn forward(&mut self, mut x: Matrix, _train: bool) -> Matrix {
+        for v in x.as_mut_slice() {
             *v = v.tanh();
         }
-        self.y = y.as_slice().to_vec();
-        y
+        self.y.clear();
+        self.y.extend_from_slice(x.as_slice());
+        x
     }
 
-    fn backward(&mut self, dy: &Matrix) -> Matrix {
+    fn backward(&mut self, dy: Matrix) -> Matrix {
         assert_eq!(
             dy.len(),
             self.y.len(),
             "tanh: backward without matching forward"
         );
-        let mut dx = dy.clone();
+        let mut dx = dy;
         for (v, &yv) in dx.as_mut_slice().iter_mut().zip(&self.y) {
             *v *= 1.0 - yv * yv;
         }
@@ -107,7 +104,8 @@ impl Layer for Tanh {
 /// Leaky ReLU `y = x if x > 0 else α·x`.
 pub struct LeakyRelu {
     alpha: f32,
-    mask: Vec<bool>,
+    // Forward gate as a multiplier: 1.0 where x > 0, else α.
+    mask: Vec<f32>,
 }
 
 impl LeakyRelu {
@@ -125,31 +123,25 @@ impl Layer for LeakyRelu {
         "leaky_relu"
     }
 
-    fn forward(&mut self, x: &Matrix, _train: bool) -> Matrix {
-        self.mask.clear();
-        self.mask.reserve(x.len());
-        let mut y = x.clone();
-        for v in y.as_mut_slice() {
-            let active = *v > 0.0;
-            self.mask.push(active);
-            if !active {
-                *v *= self.alpha;
-            }
+    fn forward(&mut self, mut x: Matrix, _train: bool) -> Matrix {
+        self.mask.resize(x.len(), 0.0);
+        let alpha = self.alpha;
+        for (v, m) in x.as_mut_slice().iter_mut().zip(self.mask.iter_mut()) {
+            *m = if *v > 0.0 { 1.0 } else { alpha };
+            *v *= *m;
         }
-        y
+        x
     }
 
-    fn backward(&mut self, dy: &Matrix) -> Matrix {
+    fn backward(&mut self, dy: Matrix) -> Matrix {
         assert_eq!(
             dy.len(),
             self.mask.len(),
             "leaky_relu: backward without matching forward"
         );
-        let mut dx = dy.clone();
+        let mut dx = dy;
         for (v, &m) in dx.as_mut_slice().iter_mut().zip(&self.mask) {
-            if !m {
-                *v *= self.alpha;
-            }
+            *v *= m;
         }
         dx
     }
@@ -167,10 +159,10 @@ mod tests {
     fn relu_forward_backward() {
         let mut layer = Relu::new();
         let x = Matrix::from_vec(1, 4, vec![-1.0, 0.0, 2.0, -3.0]);
-        let y = layer.forward(&x, true);
+        let y = layer.forward(x.clone(), true);
         assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0, 0.0]);
         let dy = Matrix::from_vec(1, 4, vec![1.0, 1.0, 1.0, 1.0]);
-        let dx = layer.backward(&dy);
+        let dx = layer.backward(dy);
         assert_eq!(dx.as_slice(), &[0.0, 0.0, 1.0, 0.0]);
     }
 
@@ -178,8 +170,8 @@ mod tests {
     fn tanh_gradient_at_zero_is_one() {
         let mut layer = Tanh::new();
         let x = Matrix::from_vec(1, 1, vec![0.0]);
-        let _ = layer.forward(&x, true);
-        let dx = layer.backward(&Matrix::from_vec(1, 1, vec![1.0]));
+        let _ = layer.forward(x.clone(), true);
+        let dx = layer.backward(Matrix::from_vec(1, 1, vec![1.0]));
         assert!((dx.as_slice()[0] - 1.0).abs() < 1e-6);
     }
 
@@ -187,9 +179,9 @@ mod tests {
     fn leaky_relu_negative_slope() {
         let mut layer = LeakyRelu::new(0.1);
         let x = Matrix::from_vec(1, 2, vec![-10.0, 10.0]);
-        let y = layer.forward(&x, true);
+        let y = layer.forward(x.clone(), true);
         assert_eq!(y.as_slice(), &[-1.0, 10.0]);
-        let dx = layer.backward(&Matrix::from_vec(1, 2, vec![1.0, 1.0]));
+        let dx = layer.backward(Matrix::from_vec(1, 2, vec![1.0, 1.0]));
         assert!((dx.as_slice()[0] - 0.1).abs() < 1e-7);
         assert_eq!(dx.as_slice()[1], 1.0);
     }
@@ -198,7 +190,7 @@ mod tests {
     fn relu_preserves_shape() {
         let mut layer = Relu::new();
         let x = Matrix::zeros(3, 5);
-        let y = layer.forward(&x, false);
+        let y = layer.forward(x.clone(), false);
         assert_eq!((y.rows(), y.cols()), (3, 5));
         assert_eq!(layer.out_dim(5), 5);
     }

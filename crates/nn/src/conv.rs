@@ -1,14 +1,22 @@
-//! 2-D convolution via im2col.
+//! 2-D convolution via batch-level im2col.
 //!
 //! The paper's models (LeNet-5, VGG16*, DenseNets) are convolutional; this
-//! layer provides the same computational structure at CPU scale. The
-//! implementation lowers each sample to a column matrix
-//! (`in_c·kh·kw × out_h·out_w`), turning convolution into GEMM — the
-//! standard trick that keeps hot loops in cache-friendly matrix code.
+//! layer provides the same computational structure at CPU scale. The whole
+//! minibatch is lowered into **one** column matrix
+//! (`in_c·kh·kw × batch·out_h·out_w`), turning each of forward, weight-grad
+//! and input-grad into a single large GEMM per layer — large enough for the
+//! blocked kernel in `fda_tensor::matrix` to run at full tilt, instead of
+//! one small GEMM per sample.
+//!
+//! All lowering buffers (`cols`, the channel-major activation/gradient
+//! staging buffers and the GEMM packing [`Scratch`]) are allocated once per
+//! layer at the first forward of a given batch size and reused across every
+//! subsequent step, so steady-state training performs no per-step
+//! allocation inside the convolution beyond its output matrix.
 
 use crate::init::Init;
 use crate::layer::{Layer, Shape3};
-use fda_tensor::{matrix, Matrix, Rng};
+use fda_tensor::{matrix, matrix::Scratch, Matrix, Rng};
 
 /// A 2-D convolution with square stride-1 kernels and symmetric zero
 /// padding.
@@ -19,14 +27,118 @@ pub struct Conv2d {
     in_shape: Shape3,
     out_shape: Shape3,
     k: usize,
-    pad: usize,
     /// Weights as `out_c × (in_c·k·k)`.
     w: Matrix,
     b: Vec<f32>,
     dw: Matrix,
     db: Vec<f32>,
-    // Cached per-sample column matrices from the last forward.
-    cols: Vec<Matrix>,
+    /// Batched column matrix from the last forward
+    /// (`in_c·k·k × batch·spatial`); padded positions are zeroed once at
+    /// allocation and never dirtied, valid positions are overwritten each
+    /// step.
+    cols: Matrix,
+    /// Batch size the lowering buffers were built for (0 = not yet built).
+    cols_batch: usize,
+    /// Channel-major staging for forward outputs / backward gradients
+    /// (`out_c × batch·spatial`).
+    y_big: Matrix,
+    dy_big: Matrix,
+    /// Column-gradient buffer (`in_c·k·k × batch·spatial`).
+    dcol: Matrix,
+    /// GEMM packing arena, reused across steps.
+    scratch: Scratch,
+    /// Precomputed im2col copy runs (see [`build_copy_plan`]).
+    plan: Vec<CopyRun>,
+}
+
+/// One contiguous copy between a flattened sample and a column-matrix row:
+/// `cols[row][dst..dst+len] ↔ sample[src..src+len]` (dst is relative to
+/// the sample's column block).
+#[derive(Debug, Clone, Copy)]
+struct CopyRun {
+    row: u32,
+    dst: u32,
+    src: u32,
+    len: u32,
+}
+
+/// Precomputes the im2col copy runs for a fixed geometry: all the padding
+/// clipping and index arithmetic happens once at layer construction, and
+/// adjacent runs that are contiguous on both sides (e.g. the unclipped
+/// centre kernel column) are coalesced into single long copies. The same
+/// plan drives the forward gather and (as its exact adjoint) the backward
+/// scatter.
+fn build_copy_plan(in_shape: Shape3, out_shape: Shape3, k: usize, pad: usize) -> Vec<CopyRun> {
+    let Shape3 { c, h, w } = in_shape;
+    let (oh, ow) = (out_shape.h, out_shape.w);
+    let pad = pad as isize;
+    let mut plan: Vec<CopyRun> = Vec::new();
+    for ch in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row_idx = (ch * k + ky) * k + kx;
+                for oy in 0..oh {
+                    let iy = oy as isize + ky as isize - pad;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let ox_lo = (pad - kx as isize).max(0) as usize;
+                    let ox_hi = (w as isize + pad - kx as isize).min(ow as isize).max(0) as usize;
+                    if ox_lo >= ox_hi {
+                        continue;
+                    }
+                    let ix0 = (ox_lo as isize + kx as isize - pad) as usize;
+                    let run = CopyRun {
+                        row: row_idx as u32,
+                        dst: (oy * ow + ox_lo) as u32,
+                        src: (ch * h * w + iy as usize * w + ix0) as u32,
+                        len: (ox_hi - ox_lo) as u32,
+                    };
+                    match plan.last_mut() {
+                        Some(last)
+                            if last.row == run.row
+                                && last.dst + last.len == run.dst
+                                && last.src + last.len == run.src =>
+                        {
+                            last.len += run.len;
+                        }
+                        _ => plan.push(run),
+                    }
+                }
+            }
+        }
+    }
+    plan
+}
+
+/// Lowers one flattened sample into the shared column matrix at column
+/// offset `col_off` (the sample's `spatial`-wide block). Only in-bounds
+/// input positions are written: padded positions stay at their initial
+/// zero, which is why the buffer never needs re-clearing.
+fn im2col_into(plan: &[CopyRun], sample: &[f32], cols: &mut Matrix, col_off: usize) {
+    let ncols = cols.cols();
+    let data = cols.as_mut_slice();
+    for run in plan {
+        let dst = run.row as usize * ncols + col_off + run.dst as usize;
+        let src = run.src as usize;
+        let len = run.len as usize;
+        data[dst..dst + len].copy_from_slice(&sample[src..src + len]);
+    }
+}
+
+/// Scatters one sample's column-gradient block (at column offset `col_off`)
+/// back to a flattened input gradient — the adjoint of [`im2col_into`].
+fn col2im_from(plan: &[CopyRun], dcol: &Matrix, col_off: usize, out: &mut [f32]) {
+    let ncols = dcol.cols();
+    let data = dcol.as_slice();
+    for run in plan {
+        let src = run.row as usize * ncols + col_off + run.dst as usize;
+        let dst = run.src as usize;
+        let len = run.len as usize;
+        for (d, s) in out[dst..dst + len].iter_mut().zip(&data[src..src + len]) {
+            *d += s;
+        }
+    }
 }
 
 impl Conv2d {
@@ -36,26 +148,43 @@ impl Conv2d {
     /// `h + 2·pad − k + 1` (stride 1).
     ///
     /// # Panics
-    /// Panics if the kernel is larger than the padded input.
-    pub fn new(in_shape: Shape3, out_c: usize, k: usize, pad: usize, init: Init, rng: &mut Rng) -> Self {
-        let oh = in_shape.h + 2 * pad + 1;
-        assert!(oh > k, "conv: kernel {k} too large for input {in_shape:?} with pad {pad}");
+    /// Panics if the kernel is larger than the padded input (in either
+    /// spatial dimension).
+    pub fn new(
+        in_shape: Shape3,
+        out_c: usize,
+        k: usize,
+        pad: usize,
+        init: Init,
+        rng: &mut Rng,
+    ) -> Self {
+        assert!(
+            k <= in_shape.h + 2 * pad && k <= in_shape.w + 2 * pad,
+            "conv: kernel {k} too large for input {in_shape:?} with pad {pad}"
+        );
         let out_h = in_shape.h + 2 * pad - k + 1;
         let out_w = in_shape.w + 2 * pad - k + 1;
         let fan_in = in_shape.c * k * k;
         let fan_out = out_c * k * k;
         let mut w = Matrix::zeros(out_c, fan_in);
         init.fill(w.as_mut_slice(), fan_in, fan_out, rng);
+        let out_shape = Shape3::new(out_c, out_h, out_w);
+        let plan = build_copy_plan(in_shape, out_shape, k, pad);
         Conv2d {
             in_shape,
-            out_shape: Shape3::new(out_c, out_h, out_w),
+            out_shape,
             k,
-            pad,
             w,
             b: vec![0.0; out_c],
             dw: Matrix::zeros(out_c, fan_in),
             db: vec![0.0; out_c],
-            cols: Vec::new(),
+            cols: Matrix::zeros(0, 0),
+            cols_batch: 0,
+            y_big: Matrix::zeros(0, 0),
+            dy_big: Matrix::zeros(0, 0),
+            dcol: Matrix::zeros(0, 0),
+            scratch: Scratch::new(),
+            plan,
         }
     }
 
@@ -69,70 +198,52 @@ impl Conv2d {
         self.out_shape
     }
 
-    /// Lowers one flattened sample into its column matrix
-    /// (`in_c·k·k × out_h·out_w`).
-    fn im2col(&self, sample: &[f32]) -> Matrix {
-        let Shape3 { c, h, w } = self.in_shape;
-        let (oh, ow) = (self.out_shape.h, self.out_shape.w);
-        let k = self.k;
-        let pad = self.pad as isize;
-        let mut col = Matrix::zeros(c * k * k, oh * ow);
-        for ch in 0..c {
-            let plane = &sample[ch * h * w..(ch + 1) * h * w];
-            for ky in 0..k {
-                for kx in 0..k {
-                    let row_idx = (ch * k + ky) * k + kx;
-                    let col_row = col.row_mut(row_idx);
-                    for oy in 0..oh {
-                        let iy = oy as isize + ky as isize - pad;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        let iy = iy as usize;
-                        for ox in 0..ow {
-                            let ix = ox as isize + kx as isize - pad;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
-                            }
-                            col_row[oy * ow + ox] = plane[iy * w + ix as usize];
-                        }
-                    }
-                }
-            }
+    /// (Re)sizes the forward lowering buffers for `batch` samples. A no-op
+    /// when the batch size is unchanged — the common training case. The
+    /// backward-only staging buffers (`dy_big`, `dcol`) are sized lazily in
+    /// [`Conv2d::ensure_backward_buffers`] so inference-only use (e.g. the
+    /// harness eval model) never pays for them.
+    fn ensure_buffers(&mut self, batch: usize) {
+        if self.cols_batch == batch {
+            return;
         }
+        let fan_in = self.in_shape.c * self.k * self.k;
+        let spatial = self.out_shape.h * self.out_shape.w;
+        let (oc, n) = (self.out_shape.c, batch * spatial);
+        self.cols = Matrix::zeros(fan_in, n);
+        self.y_big = Matrix::zeros(oc, n);
+        self.dy_big = Matrix::zeros(0, 0);
+        self.dcol = Matrix::zeros(0, 0);
+        self.cols_batch = batch;
+    }
+
+    /// Sizes the backward staging buffers on first backward for the current
+    /// batch size.
+    fn ensure_backward_buffers(&mut self) {
+        let spatial = self.out_shape.h * self.out_shape.w;
+        let n = self.cols_batch * spatial;
+        if self.dy_big.cols() != n {
+            let fan_in = self.in_shape.c * self.k * self.k;
+            self.dy_big = Matrix::zeros(self.out_shape.c, n);
+            self.dcol = Matrix::zeros(fan_in, n);
+        }
+    }
+
+    /// Test-only single-sample lowering (allocating), used by the adjoint
+    /// property test.
+    #[cfg(test)]
+    fn im2col(&self, sample: &[f32]) -> Matrix {
+        let fan_in = self.in_shape.c * self.k * self.k;
+        let spatial = self.out_shape.h * self.out_shape.w;
+        let mut col = Matrix::zeros(fan_in, spatial);
+        im2col_into(&self.plan, sample, &mut col, 0);
         col
     }
 
-    /// Scatters a column-matrix gradient back to a flattened input gradient
-    /// (the adjoint of [`Conv2d::im2col`]).
+    /// Test-only single-sample scatter (the adjoint of [`Conv2d::im2col`]).
+    #[cfg(test)]
     fn col2im(&self, dcol: &Matrix, out: &mut [f32]) {
-        let Shape3 { c, h, w } = self.in_shape;
-        let (oh, ow) = (self.out_shape.h, self.out_shape.w);
-        let k = self.k;
-        let pad = self.pad as isize;
-        for ch in 0..c {
-            let plane = &mut out[ch * h * w..(ch + 1) * h * w];
-            for ky in 0..k {
-                for kx in 0..k {
-                    let row_idx = (ch * k + ky) * k + kx;
-                    let col_row = dcol.row(row_idx);
-                    for oy in 0..oh {
-                        let iy = oy as isize + ky as isize - pad;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        let iy = iy as usize;
-                        for ox in 0..ow {
-                            let ix = ox as isize + kx as isize - pad;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
-                            }
-                            plane[iy * w + ix as usize] += col_row[oy * ow + ox];
-                        }
-                    }
-                }
-            }
-        }
+        col2im_from(&self.plan, dcol, 0, out);
     }
 }
 
@@ -141,50 +252,65 @@ impl Layer for Conv2d {
         "conv2d"
     }
 
-    fn forward(&mut self, x: &Matrix, _train: bool) -> Matrix {
+    fn forward(&mut self, x: Matrix, _train: bool) -> Matrix {
         assert_eq!(x.cols(), self.in_shape.len(), "conv: input width mismatch");
         let batch = x.rows();
         let (oc, spatial) = (self.out_shape.c, self.out_shape.h * self.out_shape.w);
-        let mut y = Matrix::zeros(batch, self.out_shape.len());
-        self.cols.clear();
-        self.cols.reserve(batch);
+        self.ensure_buffers(batch);
         for s in 0..batch {
-            let col = self.im2col(x.row(s));
-            // y_s = W · col  (oc × spatial), flattened row-major into y.
-            let mut ys = Matrix::zeros(oc, spatial);
-            matrix::gemm_accumulate(&self.w, &col, &mut ys);
-            let y_row = y.row_mut(s);
-            for c in 0..oc {
-                let src = ys.row(c);
-                let dst = &mut y_row[c * spatial..(c + 1) * spatial];
-                for (d, (v, bias)) in dst.iter_mut().zip(src.iter().zip(std::iter::repeat(&self.b[c]))) {
-                    *d = v + bias;
-                }
-            }
-            self.cols.push(col);
+            im2col_into(&self.plan, x.row(s), &mut self.cols, s * spatial);
         }
-        y
+        // One large GEMM for the whole batch: y_big = W · cols.
+        matrix::gemm_into_with(&self.w, &self.cols, &mut self.y_big, &mut self.scratch);
+        // Scatter channel-major (oc × batch·spatial) into sample-major rows.
+        // The (s, c, spatial) visit order is exactly row-major, so the
+        // output is built by appending — no zero-fill pass over a buffer
+        // that gets fully overwritten anyway.
+        let mut data = Vec::with_capacity(batch * self.out_shape.len());
+        for s in 0..batch {
+            for c in 0..oc {
+                let src = &self.y_big.row(c)[s * spatial..(s + 1) * spatial];
+                let bias = self.b[c];
+                data.extend(src.iter().map(|v| v + bias));
+            }
+        }
+        Matrix::from_vec(batch, self.out_shape.len(), data)
     }
 
-    fn backward(&mut self, dy: &Matrix) -> Matrix {
+    fn backward(&mut self, dy: Matrix) -> Matrix {
         let batch = dy.rows();
         assert_eq!(dy.cols(), self.out_shape.len(), "conv: grad width mismatch");
-        assert_eq!(batch, self.cols.len(), "conv: backward without matching forward");
+        assert_eq!(
+            batch, self.cols_batch,
+            "conv: backward without matching forward"
+        );
         let (oc, spatial) = (self.out_shape.c, self.out_shape.h * self.out_shape.w);
+        self.ensure_backward_buffers();
+        // Gather dy into channel-major layout (oc × batch·spatial).
+        for s in 0..batch {
+            let dy_row = dy.row(s);
+            for c in 0..oc {
+                self.dy_big.row_mut(c)[s * spatial..(s + 1) * spatial]
+                    .copy_from_slice(&dy_row[c * spatial..(c + 1) * spatial]);
+            }
+        }
+        // dW += dy_big · colsᵀ — one large GEMM for the whole batch.
+        matrix::gemm_a_bt_accumulate_with(
+            &self.dy_big,
+            &self.cols,
+            &mut self.dw,
+            &mut self.scratch,
+        );
+        // db += row sums of dy_big.
+        for c in 0..oc {
+            self.db[c] += fda_tensor::vector::sum(self.dy_big.row(c));
+        }
+        // dcol = Wᵀ · dy_big, then scatter each sample's block back.
+        self.dcol.clear();
+        matrix::gemm_at_b_accumulate_with(&self.w, &self.dy_big, &mut self.dcol, &mut self.scratch);
         let mut dx = Matrix::zeros(batch, self.in_shape.len());
         for s in 0..batch {
-            // Reinterpret this sample's dy as (oc × spatial).
-            let dy_s = Matrix::from_vec(oc, spatial, dy.row(s).to_vec());
-            // dW += dy_s · colᵀ
-            matrix::gemm_a_bt_accumulate(&dy_s, &self.cols[s], &mut self.dw);
-            // db += row sums of dy_s
-            for c in 0..oc {
-                self.db[c] += dy_s.row(c).iter().sum::<f32>();
-            }
-            // dcol = Wᵀ · dy_s, then scatter back.
-            let mut dcol = Matrix::zeros(self.w.cols(), spatial);
-            matrix::gemm_at_b_accumulate(&self.w, &dy_s, &mut dcol);
-            self.col2im(&dcol, dx.row_mut(s));
+            col2im_from(&self.plan, &self.dcol, s * spatial, dx.row_mut(s));
         }
         dx
     }
@@ -211,7 +337,11 @@ impl Layer for Conv2d {
     }
 
     fn out_dim(&self, in_dim: usize) -> usize {
-        assert_eq!(in_dim, self.in_shape.len(), "conv: wired to wrong input width");
+        assert_eq!(
+            in_dim,
+            self.in_shape.len(),
+            "conv: wired to wrong input width"
+        );
         self.out_shape.len()
     }
 }
@@ -235,7 +365,7 @@ mod tests {
             4.0, 5.0, 6.0,
             7.0, 8.0, 9.0,
         ]);
-        let y = conv.forward(&x, true);
+        let y = conv.forward(x.clone(), true);
         // Patches: (1+5), (2+6), (4+8), (5+9) plus bias.
         assert_eq!(y.as_slice(), &[6.5, 8.5, 12.5, 14.5]);
         assert_eq!(conv.out_shape(), Shape3::new(1, 2, 2));
@@ -254,9 +384,9 @@ mod tests {
         let mut rng = Rng::new(2);
         let mut conv = Conv2d::new(Shape3::new(1, 3, 3), 2, 2, 0, Init::HeNormal, &mut rng);
         let x = Matrix::from_vec(1, 9, (0..9).map(|i| i as f32).collect());
-        let _ = conv.forward(&x, true);
+        let _ = conv.forward(x.clone(), true);
         let dy = Matrix::from_vec(1, 2 * 4, vec![1.0; 8]);
-        let _ = conv.backward(&dy);
+        let _ = conv.backward(dy);
         // Each output channel has 4 spatial positions with grad 1.
         assert_eq!(conv.grads()[1], &[4.0, 4.0]);
     }
@@ -288,11 +418,52 @@ mod tests {
         let mut conv = Conv2d::new(Shape3::new(1, 4, 4), 2, 3, 1, Init::HeNormal, &mut rng);
         let mut x = Matrix::zeros(3, 16);
         Rng::new(9).fill_normal(x.as_mut_slice(), 0.0, 1.0);
-        let y_batch = conv.forward(&x, true);
+        let y_batch = conv.forward(x.clone(), true);
         for s in 0..3 {
             let xi = Matrix::from_vec(1, 16, x.row(s).to_vec());
-            let yi = conv.forward(&xi, true);
+            let yi = conv.forward(xi.clone(), true);
             assert_eq!(yi.as_slice(), y_batch.row(s));
         }
+    }
+
+    /// Regression for the kernel-size guard: `k == h + 2·pad` is the exact
+    /// boundary (output collapses to 1×1 in that dimension) and must be
+    /// accepted; one past it must panic.
+    #[test]
+    fn kernel_size_boundary_accepted() {
+        let mut rng = Rng::new(5);
+        // h = 3, pad = 1 ⇒ padded extent 5; a 5×5 kernel is exactly legal.
+        let conv = Conv2d::new(Shape3::new(1, 3, 3), 2, 5, 1, Init::HeNormal, &mut rng);
+        assert_eq!(conv.out_shape(), Shape3::new(2, 1, 1));
+        // Unpadded boundary too: k == h with pad = 0.
+        let conv0 = Conv2d::new(Shape3::new(1, 4, 4), 1, 4, 0, Init::HeNormal, &mut rng);
+        assert_eq!(conv0.out_shape(), Shape3::new(1, 1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "too large for input")]
+    fn kernel_one_past_boundary_panics() {
+        let mut rng = Rng::new(6);
+        // Padded extent 5; a 6×6 kernel must be rejected.
+        let _ = Conv2d::new(Shape3::new(1, 3, 3), 2, 6, 1, Init::HeNormal, &mut rng);
+    }
+
+    /// Changing batch size between forwards resizes the lowering buffers
+    /// and keeps results identical to a fresh layer.
+    #[test]
+    fn batch_size_change_is_safe() {
+        let mut rng = Rng::new(7);
+        let mut conv = Conv2d::new(Shape3::new(2, 5, 5), 3, 3, 1, Init::HeNormal, &mut rng);
+        let mut big = Matrix::zeros(4, 50);
+        Rng::new(11).fill_normal(big.as_mut_slice(), 0.0, 1.0);
+        let mut small = Matrix::zeros(2, 50);
+        Rng::new(12).fill_normal(small.as_mut_slice(), 0.0, 1.0);
+        let _ = conv.forward(big.clone(), true);
+        let y_small = conv.forward(small.clone(), true);
+        // Fresh layer with identical weights for reference.
+        let mut rng2 = Rng::new(7);
+        let mut fresh = Conv2d::new(Shape3::new(2, 5, 5), 3, 3, 1, Init::HeNormal, &mut rng2);
+        let y_ref = fresh.forward(small.clone(), true);
+        assert_eq!(y_small.as_slice(), y_ref.as_slice());
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::init::Init;
 use crate::layer::Layer;
-use fda_tensor::{matrix, Matrix, Rng};
+use fda_tensor::{matrix, matrix::Scratch, Matrix, Rng};
 
 /// A dense layer `y = x·W + b` with `W ∈ R^{in×out}`, `b ∈ R^{out}`.
 ///
@@ -17,6 +17,11 @@ pub struct Dense {
     dw: Matrix,
     db: Vec<f32>,
     cache_x: Matrix,
+    // GEMM packing arena, reused across steps.
+    scratch: Scratch,
+    // Wᵀ staging buffer for the input-gradient GEMM (refreshed each
+    // backward; reused allocation).
+    w_t: Matrix,
 }
 
 impl Dense {
@@ -32,6 +37,8 @@ impl Dense {
             dw: Matrix::zeros(in_dim, out_dim),
             db: vec![0.0; out_dim],
             cache_x: Matrix::zeros(0, 0),
+            scratch: Scratch::new(),
+            w_t: Matrix::zeros(0, 0),
         }
     }
 
@@ -51,21 +58,22 @@ impl Layer for Dense {
         "dense"
     }
 
-    fn forward(&mut self, x: &Matrix, _train: bool) -> Matrix {
+    fn forward(&mut self, x: Matrix, _train: bool) -> Matrix {
         assert_eq!(x.cols(), self.in_dim, "dense: input width mismatch");
         let mut y = Matrix::zeros(x.rows(), self.out_dim);
-        matrix::gemm_accumulate(x, &self.w, &mut y);
+        matrix::gemm_accumulate_with(&x, &self.w, &mut y, &mut self.scratch);
         for r in 0..y.rows() {
             let row = y.row_mut(r);
             for (c, v) in row.iter_mut().enumerate() {
                 *v += self.b[c];
             }
         }
-        self.cache_x = x.clone();
+        // Take ownership of the input as the backward cache — no copy.
+        self.cache_x = x;
         y
     }
 
-    fn backward(&mut self, dy: &Matrix) -> Matrix {
+    fn backward(&mut self, dy: Matrix) -> Matrix {
         assert_eq!(dy.cols(), self.out_dim, "dense: grad width mismatch");
         assert_eq!(
             dy.rows(),
@@ -73,7 +81,7 @@ impl Layer for Dense {
             "dense: backward without matching forward"
         );
         // dW += xᵀ · dy
-        matrix::gemm_at_b_accumulate(&self.cache_x, dy, &mut self.dw);
+        matrix::gemm_at_b_accumulate_with(&self.cache_x, &dy, &mut self.dw, &mut self.scratch);
         // db += column sums of dy
         for r in 0..dy.rows() {
             let row = dy.row(r);
@@ -81,9 +89,21 @@ impl Layer for Dense {
                 self.db[c] += v;
             }
         }
-        // dx = dy · Wᵀ
+        // dx = dy · Wᵀ. Materializing Wᵀ (tiny, reused buffer) turns this
+        // into a contiguous-B product eligible for the streaming mid
+        // kernel, which beats the transpose-packed path at dense-layer
+        // sizes.
+        if self.w_t.rows() != self.out_dim {
+            self.w_t = Matrix::zeros(self.out_dim, self.in_dim);
+        }
+        for r in 0..self.w.rows() {
+            let row = self.w.row(r);
+            for (c, &v) in row.iter().enumerate() {
+                self.w_t.set(c, r, v);
+            }
+        }
         let mut dx = Matrix::zeros(dy.rows(), self.in_dim);
-        matrix::gemm_a_bt_accumulate(dy, &self.w, &mut dx);
+        matrix::gemm_accumulate_with(&dy, &self.w_t, &mut dx, &mut self.scratch);
         dx
     }
 
@@ -126,7 +146,7 @@ mod tests {
         layer.w = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
         layer.b = vec![10.0, 20.0];
         let x = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
-        let y = layer.forward(&x, true);
+        let y = layer.forward(x.clone(), true);
         assert_eq!(y.as_slice(), &[14.0, 26.0]);
     }
 
@@ -135,9 +155,9 @@ mod tests {
         let mut rng = Rng::new(1);
         let mut layer = Dense::new(3, 2, Init::HeNormal, &mut rng);
         let x = Matrix::from_vec(4, 3, (0..12).map(|i| i as f32 * 0.1).collect());
-        let _ = layer.forward(&x, true);
+        let _ = layer.forward(x.clone(), true);
         let dy = Matrix::from_vec(4, 2, vec![1.0; 8]);
-        let dx = layer.backward(&dy);
+        let dx = layer.backward(dy);
         assert_eq!(dx.rows(), 4);
         assert_eq!(dx.cols(), 3);
         // Bias gradient is the column sum of dy = 4 for each output.
@@ -149,8 +169,8 @@ mod tests {
         let mut rng = Rng::new(2);
         let mut layer = Dense::new(2, 2, Init::HeNormal, &mut rng);
         let x = Matrix::from_vec(1, 2, vec![1.0, -1.0]);
-        let _ = layer.forward(&x, true);
-        let _ = layer.backward(&Matrix::from_vec(1, 2, vec![1.0, 1.0]));
+        let _ = layer.forward(x.clone(), true);
+        let _ = layer.backward(Matrix::from_vec(1, 2, vec![1.0, 1.0]));
         assert!(layer.grads().iter().any(|g| g.iter().any(|&v| v != 0.0)));
         layer.zero_grads();
         assert!(layer.grads().iter().all(|g| g.iter().all(|&v| v == 0.0)));

@@ -47,18 +47,17 @@ impl Layer for Dropout {
         "dropout"
     }
 
-    fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
+    fn forward(&mut self, mut x: Matrix, train: bool) -> Matrix {
         if !train || self.p == 0.0 {
             self.mask.clear();
             self.mask.resize(x.len(), 1.0);
-            return x.clone();
+            return x;
         }
         let keep = 1.0 - self.p;
         let inv_keep = 1.0 / keep;
         self.mask.clear();
         self.mask.reserve(x.len());
-        let mut y = x.clone();
-        for v in y.as_mut_slice() {
+        for v in x.as_mut_slice() {
             let scale = if self.rng.bernoulli(keep as f64) {
                 inv_keep
             } else {
@@ -67,16 +66,16 @@ impl Layer for Dropout {
             self.mask.push(scale);
             *v *= scale;
         }
-        y
+        x
     }
 
-    fn backward(&mut self, dy: &Matrix) -> Matrix {
+    fn backward(&mut self, dy: Matrix) -> Matrix {
         assert_eq!(
             dy.len(),
             self.mask.len(),
             "dropout: backward without matching forward"
         );
-        let mut dx = dy.clone();
+        let mut dx = dy;
         for (v, &m) in dx.as_mut_slice().iter_mut().zip(&self.mask) {
             *v *= m;
         }
@@ -96,7 +95,7 @@ mod tests {
     fn eval_mode_is_identity() {
         let mut layer = Dropout::new(0.5, 42);
         let x = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
-        let y = layer.forward(&x, false);
+        let y = layer.forward(x.clone(), false);
         assert_eq!(y.as_slice(), x.as_slice());
     }
 
@@ -104,9 +103,13 @@ mod tests {
     fn train_mode_zeroes_and_scales() {
         let mut layer = Dropout::new(0.5, 7);
         let x = Matrix::from_vec(1, 1000, vec![1.0; 1000]);
-        let y = layer.forward(&x, true);
+        let y = layer.forward(x.clone(), true);
         let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
-        let kept = y.as_slice().iter().filter(|&&v| (v - 2.0).abs() < 1e-6).count();
+        let kept = y
+            .as_slice()
+            .iter()
+            .filter(|&&v| (v - 2.0).abs() < 1e-6)
+            .count();
         assert_eq!(zeros + kept, 1000, "outputs are either 0 or 1/(1-p)");
         assert!(zeros > 350 && zeros < 650, "drop rate should be near 0.5");
     }
@@ -115,7 +118,7 @@ mod tests {
     fn expected_value_preserved() {
         let mut layer = Dropout::new(0.2, 11);
         let x = Matrix::from_vec(1, 20_000, vec![1.0; 20_000]);
-        let y = layer.forward(&x, true);
+        let y = layer.forward(x.clone(), true);
         let mean: f32 = y.as_slice().iter().sum::<f32>() / 20_000.0;
         assert!((mean - 1.0).abs() < 0.05, "inverted dropout keeps E[y]=x");
     }
@@ -124,9 +127,9 @@ mod tests {
     fn backward_applies_same_mask() {
         let mut layer = Dropout::new(0.5, 3);
         let x = Matrix::from_vec(1, 100, vec![1.0; 100]);
-        let y = layer.forward(&x, true);
+        let y = layer.forward(x.clone(), true);
         let dy = Matrix::from_vec(1, 100, vec![1.0; 100]);
-        let dx = layer.backward(&dy);
+        let dx = layer.backward(dy);
         assert_eq!(y.as_slice(), dx.as_slice(), "mask shared by fwd/bwd");
     }
 
@@ -134,7 +137,7 @@ mod tests {
     fn zero_rate_is_identity_even_in_train() {
         let mut layer = Dropout::new(0.0, 5);
         let x = Matrix::from_vec(1, 8, (0..8).map(|i| i as f32).collect());
-        let y = layer.forward(&x, true);
+        let y = layer.forward(x.clone(), true);
         assert_eq!(y.as_slice(), x.as_slice());
     }
 

@@ -6,8 +6,8 @@
 //! optionally inputs) of a [`Sequential`] and compares `∂L/∂θ` with the
 //! analytic gradients.
 
-use crate::model::Sequential;
 use crate::loss::SoftmaxCrossEntropy;
+use crate::model::Sequential;
 use fda_tensor::Matrix;
 
 /// Result of a gradient check over a set of parameter coordinates.
@@ -34,8 +34,7 @@ impl GradCheckReport {
         if self.rel_errors.is_empty() {
             return 0.0;
         }
-        self.rel_errors.iter().filter(|&&e| e > tol).count() as f32
-            / self.rel_errors.len() as f32
+        self.rel_errors.iter().filter(|&&e| e > tol).count() as f32 / self.rel_errors.len() as f32
     }
 
     /// Linear-interpolated quantile of the relative-error distribution.
@@ -168,6 +167,31 @@ mod tests {
             "too many kink outliers: {}",
             report.frac_above(5e-2)
         );
+    }
+
+    /// Dedicated check for the batched-im2col convolution: a batch large
+    /// enough that every sample's column block in the shared `cols` matrix
+    /// is exercised, with a smooth (Tanh) stack so central differences are
+    /// valid for every coordinate.
+    #[test]
+    fn batched_im2col_conv_gradients() {
+        let mut rng = Rng::new(7);
+        let in_shape = Shape3::new(2, 5, 5);
+        let conv = Conv2d::new(in_shape, 4, 3, 1, Init::HeNormal, &mut rng);
+        let flat = conv.out_shape().len();
+        let mut m = Sequential::new("gc-batched-conv", in_shape.len())
+            .push(conv)
+            .push(Tanh::new())
+            .push(Dense::new(flat, 3, Init::HeNormal, &mut rng));
+        let x = batch(&mut rng, 8, in_shape.len());
+        let labels = vec![0, 1, 2, 0, 1, 2, 0, 1];
+        let report = check_param_gradients(&mut m, &x, &labels, 1e-2, 1);
+        assert!(
+            report.max_rel_err < 2e-2,
+            "batched conv max relative error {} too large",
+            report.max_rel_err
+        );
+        assert!(report.checked > 200, "should cover all conv parameters");
     }
 
     #[test]

@@ -47,6 +47,12 @@ impl Shape3 {
 /// 3. Parameter and gradient storage is exposed as ordered lists of flat
 ///    slices so a [`crate::model::Sequential`] can present one flat vector.
 ///
+/// Activations are passed **by value**: element-wise layers (ReLU, dropout)
+/// transform their input in place and return the same allocation, and
+/// layers that must cache their input (dense) take ownership instead of
+/// cloning — the hot training loop performs no avoidable `O(batch·features)`
+/// allocation between layers.
+///
 /// `backward` must be preceded by a `forward` on the same input batch;
 /// implementations may panic otherwise.
 pub trait Layer: Send {
@@ -54,11 +60,11 @@ pub trait Layer: Send {
     fn name(&self) -> &'static str;
 
     /// Forward pass. `train` enables training-only behaviour (dropout).
-    fn forward(&mut self, x: &Matrix, train: bool) -> Matrix;
+    fn forward(&mut self, x: Matrix, train: bool) -> Matrix;
 
     /// Backward pass: returns the gradient w.r.t. the layer input and
     /// accumulates parameter gradients.
-    fn backward(&mut self, dy: &Matrix) -> Matrix;
+    fn backward(&mut self, dy: Matrix) -> Matrix;
 
     /// Number of scalar parameters in this layer.
     fn param_count(&self) -> usize {

@@ -46,7 +46,10 @@ impl SoftmaxCrossEntropy {
         let mut loss = 0.0f32;
         let mut correct = 0usize;
         for (r, &label) in labels.iter().enumerate() {
-            assert!(label < classes, "loss: label {label} out of range {classes}");
+            assert!(
+                label < classes,
+                "loss: label {label} out of range {classes}"
+            );
             let row = probs.row(r);
             // Clamp avoids -inf on (unlikely) exactly-zero probability.
             loss -= row[label].max(1e-12).ln();

@@ -68,7 +68,7 @@ impl Sequential {
         assert_eq!(x.cols(), self.in_dim, "model: input width mismatch");
         let mut h = x.clone();
         for layer in &mut self.layers {
-            h = layer.forward(&h, train);
+            h = layer.forward(h, train);
         }
         h
     }
@@ -77,7 +77,7 @@ impl Sequential {
     pub fn backward(&mut self, dy: &Matrix) -> Matrix {
         let mut g = dy.clone();
         for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(&g);
+            g = layer.backward(g);
         }
         g
     }
@@ -94,7 +94,11 @@ impl Sequential {
     /// # Panics
     /// Panics if `out.len() != self.param_count()`.
     pub fn copy_params_to(&self, out: &mut [f32]) {
-        assert_eq!(out.len(), self.param_count(), "copy_params_to: size mismatch");
+        assert_eq!(
+            out.len(),
+            self.param_count(),
+            "copy_params_to: size mismatch"
+        );
         let mut off = 0;
         for layer in &self.layers {
             for p in layer.params() {
@@ -128,7 +132,11 @@ impl Sequential {
 
     /// Copies the flat gradient vector into `out` (same layout as params).
     pub fn copy_grads_to(&self, out: &mut [f32]) {
-        assert_eq!(out.len(), self.param_count(), "copy_grads_to: size mismatch");
+        assert_eq!(
+            out.len(),
+            self.param_count(),
+            "copy_grads_to: size mismatch"
+        );
         let mut off = 0;
         for layer in &self.layers {
             for g in layer.grads() {
@@ -198,7 +206,12 @@ impl Sequential {
     pub fn summary(&self) -> String {
         let mut s = format!("{} (d = {} params)\n", self.name, self.param_count());
         for (i, layer) in self.layers.iter().enumerate() {
-            s.push_str(&format!("  {:2}: {:<16} {:>8} params\n", i, layer.name(), layer.param_count()));
+            s.push_str(&format!(
+                "  {:2}: {:<16} {:>8} params\n",
+                i,
+                layer.name(),
+                layer.param_count()
+            ));
         }
         s
     }
@@ -262,19 +275,23 @@ mod tests {
         let _ = m.compute_gradients(&x, &[0]);
         let g2 = m.grads_flat();
         for (a, b) in g1.iter().zip(&g2) {
-            assert!((a - b).abs() < 1e-6, "gradients must not accumulate across calls");
+            assert!(
+                (a - b).abs() < 1e-6,
+                "gradients must not accumulate across calls"
+            );
         }
     }
 
     #[test]
     fn training_reduces_loss_on_fixed_batch() {
         let mut m = tiny_mlp(4);
-        let x = Matrix::from_vec(4, 4, vec![
-            1.0, 0.0, 0.0, 0.0,
-            0.0, 1.0, 0.0, 0.0,
-            0.0, 0.0, 1.0, 0.0,
-            0.0, 0.0, 0.0, 1.0,
-        ]);
+        let x = Matrix::from_vec(
+            4,
+            4,
+            vec![
+                1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0,
+            ],
+        );
         let labels = vec![0, 1, 2, 0];
         let (loss0, _) = m.compute_gradients(&x, &labels);
         // Plain gradient descent for a few steps.

@@ -11,8 +11,10 @@ pub struct MaxPool2d {
     in_shape: Shape3,
     out_shape: Shape3,
     size: usize,
-    // argmax positions (flat input offsets) per batch row, per output cell.
-    argmax: Vec<Vec<usize>>,
+    // argmax positions (flat input offsets), batch-major flat buffer of
+    // `batch × out_len`, reused across steps.
+    argmax: Vec<usize>,
+    batch: usize,
 }
 
 impl MaxPool2d {
@@ -22,14 +24,27 @@ impl MaxPool2d {
     /// Panics if `h` or `w` is not divisible by `size`.
     pub fn new(in_shape: Shape3, size: usize) -> Self {
         assert!(size >= 1, "pool window must be positive");
-        assert_eq!(in_shape.h % size, 0, "pool: height {} % {} != 0", in_shape.h, size);
-        assert_eq!(in_shape.w % size, 0, "pool: width {} % {} != 0", in_shape.w, size);
+        assert_eq!(
+            in_shape.h % size,
+            0,
+            "pool: height {} % {} != 0",
+            in_shape.h,
+            size
+        );
+        assert_eq!(
+            in_shape.w % size,
+            0,
+            "pool: width {} % {} != 0",
+            in_shape.w,
+            size
+        );
         let out_shape = Shape3::new(in_shape.c, in_shape.h / size, in_shape.w / size);
         MaxPool2d {
             in_shape,
             out_shape,
             size,
             argmax: Vec::new(),
+            batch: 0,
         }
     }
 
@@ -44,19 +59,67 @@ impl Layer for MaxPool2d {
         "maxpool2d"
     }
 
-    fn forward(&mut self, x: &Matrix, _train: bool) -> Matrix {
-        assert_eq!(x.cols(), self.in_shape.len(), "maxpool: input width mismatch");
+    fn forward(&mut self, x: Matrix, _train: bool) -> Matrix {
+        assert_eq!(
+            x.cols(),
+            self.in_shape.len(),
+            "maxpool: input width mismatch"
+        );
         let Shape3 { c, h, w } = self.in_shape;
         let (oh, ow) = (self.out_shape.h, self.out_shape.w);
         let s = self.size;
         let batch = x.rows();
-        let mut y = Matrix::zeros(batch, self.out_shape.len());
-        self.argmax.clear();
-        self.argmax.reserve(batch);
+        let out_len = self.out_shape.len();
+        let mut y = Matrix::zeros(batch, out_len);
+        self.argmax.resize(batch * out_len, 0);
+        self.batch = batch;
+        if s == 2 {
+            // The window used by every model in the zoo: unrolled scan of
+            // the four candidates with the same strict-greater comparison
+            // as the generic path below (identical tie-breaks and NaN
+            // behaviour).
+            for b in 0..batch {
+                let row = x.row(b);
+                let out_row = y.row_mut(b);
+                let arg = &mut self.argmax[b * out_len..(b + 1) * out_len];
+                for ch in 0..c {
+                    let plane = &row[ch * h * w..(ch + 1) * h * w];
+                    for oy in 0..oh {
+                        let top = &plane[(2 * oy) * w..(2 * oy) * w + w];
+                        let bot = &plane[(2 * oy + 1) * w..(2 * oy + 1) * w + w];
+                        let out_seg = &mut out_row[(ch * oh + oy) * ow..(ch * oh + oy) * ow + ow];
+                        let arg_seg = &mut arg[(ch * oh + oy) * ow..(ch * oh + oy) * ow + ow];
+                        for ox in 0..ow {
+                            let j = 2 * ox;
+                            let base = ch * h * w + (2 * oy) * w;
+                            let mut best = f32::NEG_INFINITY;
+                            // Absolute index with the same initializer as
+                            // the generic path, so even the degenerate
+                            // all-NaN window resolves identically.
+                            let mut best_idx = 0usize;
+                            for (v, i) in [
+                                (top[j], j),
+                                (top[j + 1], j + 1),
+                                (bot[j], j + w),
+                                (bot[j + 1], j + 1 + w),
+                            ] {
+                                if v > best {
+                                    best = v;
+                                    best_idx = base + i;
+                                }
+                            }
+                            out_seg[ox] = best;
+                            arg_seg[ox] = best_idx;
+                        }
+                    }
+                }
+            }
+            return y;
+        }
         for b in 0..batch {
             let row = x.row(b);
             let out_row = y.row_mut(b);
-            let mut arg = vec![0usize; self.out_shape.len()];
+            let arg = &mut self.argmax[b * out_len..(b + 1) * out_len];
             for ch in 0..c {
                 let plane = &row[ch * h * w..(ch + 1) * h * w];
                 for oy in 0..oh {
@@ -81,18 +144,26 @@ impl Layer for MaxPool2d {
                     }
                 }
             }
-            self.argmax.push(arg);
         }
         y
     }
 
-    fn backward(&mut self, dy: &Matrix) -> Matrix {
-        assert_eq!(dy.cols(), self.out_shape.len(), "maxpool: grad width mismatch");
-        assert_eq!(dy.rows(), self.argmax.len(), "maxpool: backward without matching forward");
+    fn backward(&mut self, dy: Matrix) -> Matrix {
+        assert_eq!(
+            dy.cols(),
+            self.out_shape.len(),
+            "maxpool: grad width mismatch"
+        );
+        assert_eq!(
+            dy.rows(),
+            self.batch,
+            "maxpool: backward without matching forward"
+        );
+        let out_len = self.out_shape.len();
         let mut dx = Matrix::zeros(dy.rows(), self.in_shape.len());
         for b in 0..dy.rows() {
             let g = dy.row(b);
-            let arg = &self.argmax[b];
+            let arg = &self.argmax[b * out_len..(b + 1) * out_len];
             let dst = dx.row_mut(b);
             for (out_idx, &src_idx) in arg.iter().enumerate() {
                 dst[src_idx] += g[out_idx];
@@ -102,7 +173,11 @@ impl Layer for MaxPool2d {
     }
 
     fn out_dim(&self, in_dim: usize) -> usize {
-        assert_eq!(in_dim, self.in_shape.len(), "maxpool: wired to wrong input width");
+        assert_eq!(
+            in_dim,
+            self.in_shape.len(),
+            "maxpool: wired to wrong input width"
+        );
         self.out_shape.len()
     }
 }
@@ -125,7 +200,7 @@ impl Layer for GlobalAvgPool {
         "global_avg_pool"
     }
 
-    fn forward(&mut self, x: &Matrix, _train: bool) -> Matrix {
+    fn forward(&mut self, x: Matrix, _train: bool) -> Matrix {
         assert_eq!(x.cols(), self.in_shape.len(), "gap: input width mismatch");
         let Shape3 { c, h, w } = self.in_shape;
         let plane = (h * w) as f32;
@@ -135,15 +210,19 @@ impl Layer for GlobalAvgPool {
             let row = x.row(b);
             let out = y.row_mut(b);
             for (ch, o) in out.iter_mut().enumerate() {
-                *o = row[ch * h * w..(ch + 1) * h * w].iter().sum::<f32>() / plane;
+                *o = fda_tensor::vector::sum(&row[ch * h * w..(ch + 1) * h * w]) / plane;
             }
         }
         y
     }
 
-    fn backward(&mut self, dy: &Matrix) -> Matrix {
+    fn backward(&mut self, dy: Matrix) -> Matrix {
         assert_eq!(dy.cols(), self.in_shape.c, "gap: grad width mismatch");
-        assert_eq!(dy.rows(), self.batch, "gap: backward without matching forward");
+        assert_eq!(
+            dy.rows(),
+            self.batch,
+            "gap: backward without matching forward"
+        );
         let Shape3 { c, h, w } = self.in_shape;
         let inv_plane = 1.0 / (h * w) as f32;
         let mut dx = Matrix::zeros(dy.rows(), self.in_shape.len());
@@ -161,7 +240,11 @@ impl Layer for GlobalAvgPool {
     }
 
     fn out_dim(&self, in_dim: usize) -> usize {
-        assert_eq!(in_dim, self.in_shape.len(), "gap: wired to wrong input width");
+        assert_eq!(
+            in_dim,
+            self.in_shape.len(),
+            "gap: wired to wrong input width"
+        );
         self.in_shape.c
     }
 }
@@ -181,16 +264,38 @@ mod tests {
             9.0, 10.0,  13.0, 14.0,
             11.0, 12.0, 15.0, 16.0,
         ]);
-        let y = pool.forward(&x, true);
+        let y = pool.forward(x.clone(), true);
         assert_eq!(y.as_slice(), &[4.0, 8.0, 12.0, 16.0]);
+    }
+
+    /// The 2×2 fast path must keep the generic strict-greater scan
+    /// semantics: a NaN never wins over a later finite candidate, and ties
+    /// pick the first position in scan order.
+    #[test]
+    fn maxpool_2x2_nan_and_tie_semantics() {
+        let mut pool = MaxPool2d::new(Shape3::new(1, 2, 2), 2);
+        let x = Matrix::from_vec(1, 4, vec![f32::NAN, 5.0, 1.0, 2.0]);
+        let _ = pool.forward(x, true);
+        let dx = pool.backward(Matrix::from_vec(1, 1, vec![3.0]));
+        assert_eq!(
+            dx.as_slice(),
+            &[0.0, 3.0, 0.0, 0.0],
+            "NaN must not capture the argmax"
+        );
+        // Ties: the first of equal values (scan order t0,t1,b0,b1) wins.
+        let x = Matrix::from_vec(1, 4, vec![7.0, 7.0, 7.0, 7.0]);
+        let y = pool.forward(x, true);
+        assert_eq!(y.as_slice(), &[7.0]);
+        let dx = pool.backward(Matrix::from_vec(1, 1, vec![1.0]));
+        assert_eq!(dx.as_slice(), &[1.0, 0.0, 0.0, 0.0]);
     }
 
     #[test]
     fn maxpool_backward_routes_to_argmax() {
         let mut pool = MaxPool2d::new(Shape3::new(1, 2, 2), 2);
         let x = Matrix::from_vec(1, 4, vec![1.0, 9.0, 3.0, 2.0]);
-        let _ = pool.forward(&x, true);
-        let dx = pool.backward(&Matrix::from_vec(1, 1, vec![5.0]));
+        let _ = pool.forward(x.clone(), true);
+        let dx = pool.backward(Matrix::from_vec(1, 1, vec![5.0]));
         assert_eq!(dx.as_slice(), &[0.0, 5.0, 0.0, 0.0]);
     }
 
@@ -199,7 +304,7 @@ mod tests {
         let mut pool = MaxPool2d::new(Shape3::new(3, 6, 6), 2);
         assert_eq!(pool.out_shape(), Shape3::new(3, 3, 3));
         let x = Matrix::zeros(2, 3 * 36);
-        let y = pool.forward(&x, true);
+        let y = pool.forward(x.clone(), true);
         assert_eq!((y.rows(), y.cols()), (2, 27));
     }
 
@@ -207,9 +312,9 @@ mod tests {
     fn gap_mean_and_backward() {
         let mut gap = GlobalAvgPool::new(Shape3::new(2, 2, 2));
         let x = Matrix::from_vec(1, 8, vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0]);
-        let y = gap.forward(&x, true);
+        let y = gap.forward(x.clone(), true);
         assert_eq!(y.as_slice(), &[2.5, 10.0]);
-        let dx = gap.backward(&Matrix::from_vec(1, 2, vec![4.0, 8.0]));
+        let dx = gap.backward(Matrix::from_vec(1, 2, vec![4.0, 8.0]));
         assert_eq!(dx.as_slice(), &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
     }
 

@@ -127,8 +127,16 @@ mod tests {
         let mut opt = Adam::new(0.1, 2);
         let mut w = vec![0.0f32, 0.0];
         opt.step(&mut w, &[3.0, -0.5]);
-        assert!((w[0] + 0.1).abs() < 1e-3, "step should be ≈ -lr, got {}", w[0]);
-        assert!((w[1] - 0.1).abs() < 1e-3, "step should be ≈ +lr, got {}", w[1]);
+        assert!(
+            (w[0] + 0.1).abs() < 1e-3,
+            "step should be ≈ -lr, got {}",
+            w[0]
+        );
+        assert!(
+            (w[1] - 0.1).abs() < 1e-3,
+            "step should be ≈ +lr, got {}",
+            w[1]
+        );
     }
 
     #[test]

@@ -206,6 +206,8 @@ mod tests {
     #[test]
     fn display_names() {
         assert_eq!(OptimizerKind::paper_adam().to_string(), "Adam(lr=0.001)");
-        assert!(OptimizerKind::paper_sgd_nm(0.1).to_string().starts_with("SGD-NM"));
+        assert!(OptimizerKind::paper_sgd_nm(0.1)
+            .to_string()
+            .starts_with("SGD-NM"));
     }
 }

@@ -88,7 +88,11 @@ impl SketchConfig {
             let s = &mut signs[r * dim..(r + 1) * dim];
             let b = &mut buckets[r * dim..(r + 1) * dim];
             for i in 0..dim {
-                s[i] = if sign_hash.sign(i as u64) > 0.0 { 1 } else { -1 };
+                s[i] = if sign_hash.sign(i as u64) > 0.0 {
+                    1
+                } else {
+                    -1
+                };
                 b[i] = bucket_hash.bucket(i as u64, self.cols) as u32;
             }
         }
@@ -300,7 +304,11 @@ mod tests {
         let alpha = 0.7f32;
         let beta = -1.3f32;
         // sk(αa + βb)
-        let combo: Vec<f32> = a.iter().zip(&b).map(|(x, y)| alpha * x + beta * y).collect();
+        let combo: Vec<f32> = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| alpha * x + beta * y)
+            .collect();
         let sk_combo = plan.sketch(&combo);
         // α·sk(a) + β·sk(b)
         let mut lin = AmsSketch::zeros(3, 32);

@@ -21,6 +21,7 @@
 //! No external BLAS and no dependencies: determinism and portability matter
 //! more than peak FLOPs for reproducing the paper's *algorithmic* results.
 
+pub mod alloc;
 pub mod matrix;
 pub mod rng;
 pub mod stats;

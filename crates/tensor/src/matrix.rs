@@ -1,11 +1,21 @@
 //! Row-major dense matrices.
 //!
 //! The neural-network substrate uses matrices for dense layers and im2col
-//! convolution. GEMM uses the i-k-j loop order so the innermost loop streams
-//! both `b` and `out` rows contiguously — cache-friendly and vectorizable
-//! without an external BLAS.
+//! convolution. GEMM is a register-blocked, panel-packed kernel (BLIS-style
+//! `MR × NR` microkernel over packed A/B panels) with a scalar fallback for
+//! tiny shapes — cache-friendly and vectorizable without an external BLAS.
+//! The [`naive`] module keeps the original scalar loops as a reference for
+//! property tests and perf baselines.
+//!
+//! All four GEMM variants (`A·B`, `Aᵀ·B`, `A·Bᵀ`, accumulate forms) share
+//! one packed driver; transposition happens during packing, so the hot
+//! microkernel never branches on layout. Packing buffers live in a
+//! [`Scratch`] arena that callers (e.g. NN layers) allocate once and reuse
+//! across steps; the scratch-less entry points fall back to a thread-local
+//! arena so no call path allocates per invocation.
 
 use crate::rng::Rng;
+use std::cell::RefCell;
 
 /// A dense row-major `rows × cols` matrix of `f32`.
 #[derive(Debug, Clone, PartialEq)]
@@ -18,6 +28,7 @@ pub struct Matrix {
 impl Matrix {
     /// Zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
+        crate::alloc::retain_heap();
         Matrix {
             rows,
             cols,
@@ -136,38 +147,559 @@ impl Matrix {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Blocked GEMM
+// ---------------------------------------------------------------------------
+
+/// Microkernel height (rows of `out` per register tile).
+const MR: usize = 4;
+/// Microkernel width (columns of `out` per register tile); 16 f32 lanes map
+/// onto two AVX2 or one AVX-512 vector per accumulator row.
+const NR: usize = 16;
+/// K-dimension panel depth: one packed A strip (`MR·KC` floats) plus one
+/// packed B strip (`NR·KC`) stay resident in L1.
+const KC: usize = 256;
+/// Row-block height of packed A (`MC·KC` floats ≈ 128 KiB target in L2).
+const MC: usize = 128;
+/// Column-block width of packed B (`KC·NC` floats ≈ 1 MiB target in L2/L3).
+const NC: usize = 1024;
+
+/// Below this many multiply-adds the packing overhead outweighs the blocked
+/// kernel; use the scalar fallback.
+const SMALL_GEMM_FLOPS: usize = 16 * 1024;
+
+/// Reusable packing arena for the blocked GEMM.
+///
+/// Holds the packed A and B panels. Allocate one per layer (or per thread)
+/// and pass it to the `*_with` entry points; buffers grow to the high-water
+/// mark of the shapes seen and are never shrunk, so steady-state training
+/// performs no GEMM-related allocation at all.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    a_pack: Vec<f32>,
+    b_pack: Vec<f32>,
+}
+
+impl Scratch {
+    /// Creates an empty arena (buffers grow on first use).
+    pub fn new() -> Scratch {
+        Scratch::default()
+    }
+}
+
+thread_local! {
+    // Fallback arena for the scratch-less public API.
+    static TL_SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
+}
+
+/// Which operand layout the packing routines read from.
+///
+/// Transposition is resolved here, while copying into packed panels; the
+/// microkernel only ever sees one canonical layout.
+#[derive(Clone, Copy)]
+enum Layout {
+    /// Operand stored as the logical matrix (row-major).
+    Normal,
+    /// Operand stored as the logical matrix's transpose (row-major).
+    Transposed,
+}
+
+/// Packs `A[i0..i0+mc, p0..p0+kc]` into MR-tall strips, k-major inside each
+/// strip, zero-padding the ragged final strip so the microkernel is
+/// branch-free.
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    dst: &mut [f32],
+    a: &[f32],
+    lda: usize,
+    layout: Layout,
+    i0: usize,
+    mc: usize,
+    p0: usize,
+    kc: usize,
+) {
+    let mut w = 0;
+    let mut ir = 0;
+    while ir < mc {
+        let rows = MR.min(mc - ir);
+        for p in 0..kc {
+            for r in 0..MR {
+                dst[w] = if r < rows {
+                    match layout {
+                        Layout::Normal => a[(i0 + ir + r) * lda + p0 + p],
+                        Layout::Transposed => a[(p0 + p) * lda + i0 + ir + r],
+                    }
+                } else {
+                    0.0
+                };
+                w += 1;
+            }
+        }
+        ir += MR;
+    }
+}
+
+/// Packs `B[p0..p0+kc, j0..j0+nc]` into NR-wide strips, k-major inside each
+/// strip, zero-padding the ragged final strip.
+#[allow(clippy::too_many_arguments)]
+fn pack_b(
+    dst: &mut [f32],
+    b: &[f32],
+    ldb: usize,
+    layout: Layout,
+    p0: usize,
+    kc: usize,
+    j0: usize,
+    nc: usize,
+) {
+    let mut w = 0;
+    let mut jr = 0;
+    while jr < nc {
+        let cols = NR.min(nc - jr);
+        for p in 0..kc {
+            match layout {
+                Layout::Normal => {
+                    let start = (p0 + p) * ldb + j0 + jr;
+                    dst[w..w + cols].copy_from_slice(&b[start..start + cols]);
+                    dst[w + cols..w + NR].fill(0.0);
+                    w += NR;
+                }
+                Layout::Transposed => {
+                    for j in 0..NR {
+                        dst[w] = if j < cols {
+                            b[(j0 + jr + j) * ldb + p0 + p]
+                        } else {
+                            0.0
+                        };
+                        w += 1;
+                    }
+                }
+            }
+        }
+        jr += NR;
+    }
+}
+
+/// The register tile: `acc[r][j] += a_strip[p·MR + r] · b_strip[p·NR + j]`
+/// over the whole panel depth. Constant trip counts and contiguous packed
+/// operands let LLVM keep `acc` in vector registers and unroll the FMA
+/// chain.
+#[inline(always)]
+fn microkernel(kc: usize, a_strip: &[f32], b_strip: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for p in 0..kc {
+        let ar: &[f32; MR] = a_strip[p * MR..p * MR + MR].try_into().unwrap();
+        let br: &[f32; NR] = b_strip[p * NR..p * NR + NR].try_into().unwrap();
+        for r in 0..MR {
+            let av = ar[r];
+            for j in 0..NR {
+                acc[r][j] += av * br[j];
+            }
+        }
+    }
+}
+
+/// Scalar fallback for shapes too small to amortize packing. Each layout
+/// combination uses the loop order whose innermost walk is contiguous in
+/// memory (minus the historical `aik == 0.0` branch, which defeats
+/// vectorization on dense data and only ever paid off on contrived sparse
+/// inputs):
+///
+/// * `A·B` — i-k-j axpy rows of B into rows of `out`;
+/// * `Aᵀ·B` — k-outer, streaming one B row across all `out` rows;
+/// * `A·Bᵀ` — dot products of contiguous A and B rows.
+#[allow(clippy::too_many_arguments)]
+fn gemm_small(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    lda: usize,
+    a_layout: Layout,
+    b: &[f32],
+    ldb: usize,
+    b_layout: Layout,
+    out: &mut [f32],
+) {
+    match (a_layout, b_layout) {
+        (Layout::Normal, Layout::Normal) => {
+            for i in 0..m {
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for p in 0..k {
+                    let aip = a[i * lda + p];
+                    let b_row = &b[p * ldb..p * ldb + n];
+                    for j in 0..n {
+                        out_row[j] += aip * b_row[j];
+                    }
+                }
+            }
+        }
+        (Layout::Transposed, Layout::Normal) => {
+            for p in 0..k {
+                let a_row = &a[p * lda..p * lda + m];
+                let b_row = &b[p * ldb..p * ldb + n];
+                for (i, &api) in a_row.iter().enumerate() {
+                    let out_row = &mut out[i * n..(i + 1) * n];
+                    for j in 0..n {
+                        out_row[j] += api * b_row[j];
+                    }
+                }
+            }
+        }
+        (Layout::Normal, Layout::Transposed) => {
+            gemm_dot_tiled(m, n, k, a, lda, b, ldb, out);
+        }
+        (Layout::Transposed, Layout::Transposed) => {
+            // Unused by the public API; keep a correct reference loop.
+            for i in 0..m {
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for p in 0..k {
+                    let aip = a[p * lda + i];
+                    for (j, o) in out_row.iter_mut().enumerate() {
+                        *o += aip * b[j * ldb + p];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `out += A · Bᵀ` via dot products, register-tiled 2×2 with 16-lane
+/// accumulators: the four running vector accumulators share every A/B load
+/// across a 2×2 output tile, halving memory traffic versus one dot per
+/// element while staying within the vector register budget (wider tiles
+/// measurably spill). This is the weight-gradient kernel
+/// (`dW += dy · colsᵀ`), whose k-extent (batch·spatial) is long while
+/// m·n (out_c · fan_in) is small.
+#[allow(clippy::too_many_arguments)]
+fn gemm_dot_tiled(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    out: &mut [f32],
+) {
+    const T: usize = 2; // tile side
+    const L: usize = 16; // vector lanes per accumulator
+    let m_main = m - m % T;
+    let n_main = n - n % T;
+    let k_main = k - k % L;
+    let mut i = 0;
+    while i < m_main {
+        let mut j = 0;
+        while j < n_main {
+            let mut acc = [[[0.0f32; L]; T]; T];
+            let mut p = 0;
+            while p < k_main {
+                let a0: &[f32; L] = a[i * lda + p..i * lda + p + L].try_into().unwrap();
+                let a1: &[f32; L] = a[(i + 1) * lda + p..(i + 1) * lda + p + L]
+                    .try_into()
+                    .unwrap();
+                let b0: &[f32; L] = b[j * ldb + p..j * ldb + p + L].try_into().unwrap();
+                let b1: &[f32; L] = b[(j + 1) * ldb + p..(j + 1) * ldb + p + L]
+                    .try_into()
+                    .unwrap();
+                for l in 0..L {
+                    acc[0][0][l] += a0[l] * b0[l];
+                    acc[0][1][l] += a0[l] * b1[l];
+                    acc[1][0][l] += a1[l] * b0[l];
+                    acc[1][1][l] += a1[l] * b1[l];
+                }
+                p += L;
+            }
+            for r in 0..T {
+                for c in 0..T {
+                    let mut s: f32 = acc[r][c].iter().sum();
+                    for q in k_main..k {
+                        s += a[(i + r) * lda + q] * b[(j + c) * ldb + q];
+                    }
+                    out[(i + r) * n + j + c] += s;
+                }
+            }
+            j += T;
+        }
+        // Ragged columns.
+        for r in 0..T {
+            for c in n_main..n {
+                out[(i + r) * n + c] += crate::vector::dot(
+                    &a[(i + r) * lda..(i + r) * lda + k],
+                    &b[c * ldb..c * ldb + k],
+                );
+            }
+        }
+        i += T;
+    }
+    // Ragged rows.
+    for r in m_main..m {
+        let a_row = &a[r * lda..r * lda + k];
+        let out_row = &mut out[r * n..(r + 1) * n];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            *o += crate::vector::dot(a_row, &b[j * ldb..j * ldb + k]);
+        }
+    }
+}
+
+/// Mid-size kernel for `out += op(A) · B` when the whole k-extent fits one
+/// panel (`k ≤ KC`): packs only the tiny `MR×k` A block (stack buffer) and
+/// streams B directly — B rows are already contiguous, so the expensive
+/// B-panel pack of the full blocked driver is pure overhead at these sizes.
+/// This is the hot path for im2col convolutions, whose GEMMs have small
+/// `m` (output channels) and `k` (c·kh·kw) but very wide `n`
+/// (batch·spatial).
+#[allow(clippy::too_many_arguments)]
+fn gemm_mid<const MB: usize>(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    lda: usize,
+    a_layout: Layout,
+    b: &[f32],
+    ldb: usize,
+    out: &mut [f32],
+) {
+    debug_assert!((1..=KC).contains(&k));
+    // Column chunking: every MB-row block makes a full pass over the B
+    // chunk, so size chunks to keep them L1-resident (~24 KiB) across all
+    // row blocks. Re-packing the (tiny) A block once per chunk is noise by
+    // comparison.
+    let jc_width = (24 * 1024 / (4 * k)).clamp(NR, 1024) / NR * NR;
+    let n_main = n - n % NR;
+    let mut a_block = [[0.0f32; MB]; KC];
+    let mut jc = 0;
+    loop {
+        let jc_hi = (jc + jc_width).min(n_main);
+        let last_chunk = jc_hi == n_main;
+        let mut ir = 0;
+        while ir < m {
+            let rows = MB.min(m - ir);
+            // Pack the A block k-major with zero padding for ragged rows.
+            for p in 0..k {
+                for r in 0..MB {
+                    a_block[p][r] = if r < rows {
+                        match a_layout {
+                            Layout::Normal => a[(ir + r) * lda + p],
+                            Layout::Transposed => a[p * lda + ir + r],
+                        }
+                    } else {
+                        0.0
+                    };
+                }
+            }
+            let mut jr = jc;
+            while jr < jc_hi {
+                let mut acc = [[0.0f32; NR]; MB];
+                for p in 0..k {
+                    let ar = &a_block[p];
+                    let br: &[f32; NR] = b[p * ldb + jr..p * ldb + jr + NR].try_into().unwrap();
+                    for r in 0..MB {
+                        let av = ar[r];
+                        for j in 0..NR {
+                            acc[r][j] += av * br[j];
+                        }
+                    }
+                }
+                for r in 0..rows {
+                    let out_row = &mut out[(ir + r) * n + jr..(ir + r) * n + jr + NR];
+                    for (o, v) in out_row.iter_mut().zip(&acc[r]) {
+                        *o += v;
+                    }
+                }
+                jr += NR;
+            }
+            // Ragged final columns: scalar axpy over the packed A block.
+            if last_chunk && n_main < n {
+                for p in 0..k {
+                    let br = &b[p * ldb + n_main..p * ldb + n];
+                    for r in 0..rows {
+                        let av = a_block[p][r];
+                        let out_row = &mut out[(ir + r) * n + n_main..(ir + r) * n + n];
+                        for (o, v) in out_row.iter_mut().zip(br) {
+                            *o += av * v;
+                        }
+                    }
+                }
+            }
+            ir += MB;
+        }
+        if last_chunk {
+            break;
+        }
+        jc = jc_hi;
+    }
+}
+
+/// Shared blocked driver: `out += op(A) · op(B)` with `out` dense row-major
+/// `m×n`.
+#[allow(clippy::too_many_arguments)]
+fn gemm_driver(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    lda: usize,
+    a_layout: Layout,
+    b: &[f32],
+    ldb: usize,
+    b_layout: Layout,
+    out: &mut [f32],
+    scratch: &mut Scratch,
+) {
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    if m * n * k < SMALL_GEMM_FLOPS || n < NR {
+        gemm_small(m, n, k, a, lda, a_layout, b, ldb, b_layout, out);
+        return;
+    }
+    match b_layout {
+        Layout::Normal => {
+            // Contiguous B: when the whole k-extent fits one panel and m is
+            // small, the mid kernel streams B unpacked and skips all panel
+            // packing — the hot case for im2col GEMMs (small m/k, huge n).
+            // At larger m the full blocked driver's B panel reuse wins.
+            // Worth it when m is small (few passes over B) or B itself is
+            // small enough that the repeated passes stay cache-resident.
+            if k <= KC && (m <= 64 || k * n <= 32 * 1024) {
+                // MB=4 keeps the 4×16 accumulator tile within the vector
+                // register budget; wider tiles measurably spill.
+                gemm_mid::<4>(m, n, k, a, lda, a_layout, b, ldb, out);
+                return;
+            }
+            // Deep-k but too skinny for packing to amortize.
+            if m < 2 * MR {
+                gemm_small(m, n, k, a, lda, a_layout, b, ldb, b_layout, out);
+                return;
+            }
+        }
+        Layout::Transposed => {
+            // Transpose-packing B walks it column-wise (cache-hostile), so
+            // the packed path additionally needs a large output tile to
+            // amortize; below that the contiguous dot-product form wins.
+            if m * n < 4096 || m < 2 * MR || k < 16 {
+                gemm_small(m, n, k, a, lda, a_layout, b, ldb, b_layout, out);
+                return;
+            }
+        }
+    }
+    let a_cap = MC.div_ceil(MR) * MR * KC;
+    let b_cap = NC.div_ceil(NR) * NR * KC;
+    if scratch.a_pack.len() < a_cap {
+        scratch.a_pack.resize(a_cap, 0.0);
+    }
+    if scratch.b_pack.len() < b_cap {
+        scratch.b_pack.resize(b_cap, 0.0);
+    }
+    let mut jc = 0;
+    while jc < n {
+        let nc = NC.min(n - jc);
+        let nc_padded = nc.div_ceil(NR) * NR;
+        let mut pc = 0;
+        while pc < k {
+            let kc = KC.min(k - pc);
+            pack_b(
+                &mut scratch.b_pack[..nc_padded * kc],
+                b,
+                ldb,
+                b_layout,
+                pc,
+                kc,
+                jc,
+                nc,
+            );
+            let mut ic = 0;
+            while ic < m {
+                let mc = MC.min(m - ic);
+                let mc_padded = mc.div_ceil(MR) * MR;
+                pack_a(
+                    &mut scratch.a_pack[..mc_padded * kc],
+                    a,
+                    lda,
+                    a_layout,
+                    ic,
+                    mc,
+                    pc,
+                    kc,
+                );
+                // Register tiles over the packed block.
+                let mut jr = 0;
+                while jr < nc {
+                    let cols = NR.min(nc - jr);
+                    let b_strip = &scratch.b_pack[jr * kc..jr * kc + NR * kc];
+                    let mut ir = 0;
+                    while ir < mc {
+                        let rows = MR.min(mc - ir);
+                        let a_strip = &scratch.a_pack[ir * kc..ir * kc + MR * kc];
+                        let mut acc = [[0.0f32; NR]; MR];
+                        microkernel(kc, a_strip, b_strip, &mut acc);
+                        for r in 0..rows {
+                            let out_row = &mut out[(ic + ir + r) * n + jc + jr..];
+                            for (o, v) in out_row[..cols].iter_mut().zip(&acc[r][..cols]) {
+                                *o += v;
+                            }
+                        }
+                        ir += MR;
+                    }
+                    jr += NR;
+                }
+                ic += MC;
+            }
+            pc += KC;
+        }
+        jc += NC;
+    }
+}
+
+/// Shared `a·b` shape validation (kept separate so the overwrite entry
+/// points can check before clearing the output).
+fn assert_shapes(a: &Matrix, b: &Matrix, out: &Matrix) {
+    assert_eq!(a.cols, b.rows, "gemm: inner dimension mismatch");
+    assert_eq!(out.rows, a.rows, "gemm: output rows mismatch");
+    assert_eq!(out.cols, b.cols, "gemm: output cols mismatch");
+}
+
 /// `out ← a · b` (shapes `m×k`, `k×n` → `m×n`), overwriting `out`.
 ///
 /// # Panics
 /// Panics on any shape mismatch.
 pub fn gemm_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
-    assert_eq!(a.cols, b.rows, "gemm: inner dimension mismatch");
-    assert_eq!(out.rows, a.rows, "gemm: output rows mismatch");
-    assert_eq!(out.cols, b.cols, "gemm: output cols mismatch");
+    // Validate before mutating: a shape mismatch must not clobber `out`.
+    assert_shapes(a, b, out);
     out.clear();
     gemm_accumulate(a, b, out);
 }
 
+/// [`gemm_into`] with a caller-owned packing arena.
+pub fn gemm_into_with(a: &Matrix, b: &Matrix, out: &mut Matrix, scratch: &mut Scratch) {
+    // Validate before mutating: a shape mismatch must not clobber `out`.
+    assert_shapes(a, b, out);
+    out.clear();
+    gemm_accumulate_with(a, b, out, scratch);
+}
+
 /// `out ← out + a · b` — the accumulate form used for gradient accumulation.
 pub fn gemm_accumulate(a: &Matrix, b: &Matrix, out: &mut Matrix) {
-    assert_eq!(a.cols, b.rows, "gemm: inner dimension mismatch");
-    assert_eq!(out.rows, a.rows, "gemm: output rows mismatch");
-    assert_eq!(out.cols, b.cols, "gemm: output cols mismatch");
-    let n = b.cols;
-    // i-k-j: the inner j-loop walks b-row k and out-row i contiguously.
-    for i in 0..a.rows {
-        let out_row = &mut out.data[i * n..(i + 1) * n];
-        for k in 0..a.cols {
-            let aik = a.data[i * a.cols + k];
-            if aik == 0.0 {
-                continue;
-            }
-            let b_row = &b.data[k * n..(k + 1) * n];
-            for j in 0..n {
-                out_row[j] += aik * b_row[j];
-            }
-        }
-    }
+    TL_SCRATCH.with(|s| gemm_accumulate_with(a, b, out, &mut s.borrow_mut()));
+}
+
+/// [`gemm_accumulate`] with a caller-owned packing arena.
+pub fn gemm_accumulate_with(a: &Matrix, b: &Matrix, out: &mut Matrix, scratch: &mut Scratch) {
+    assert_shapes(a, b, out);
+    gemm_driver(
+        a.rows,
+        b.cols,
+        a.cols,
+        &a.data,
+        a.cols,
+        Layout::Normal,
+        &b.data,
+        b.cols,
+        Layout::Normal,
+        &mut out.data,
+        scratch,
+    );
 }
 
 /// `a · b` allocating the result.
@@ -182,23 +714,27 @@ pub fn gemm(a: &Matrix, b: &Matrix) -> Matrix {
 /// Shapes: `a` is `k×m`, `b` is `k×n`, `out` is `m×n`. Used by dense-layer
 /// weight gradients (`dW = xᵀ · dy`).
 pub fn gemm_at_b_accumulate(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    TL_SCRATCH.with(|s| gemm_at_b_accumulate_with(a, b, out, &mut s.borrow_mut()));
+}
+
+/// [`gemm_at_b_accumulate`] with a caller-owned packing arena.
+pub fn gemm_at_b_accumulate_with(a: &Matrix, b: &Matrix, out: &mut Matrix, scratch: &mut Scratch) {
     assert_eq!(a.rows, b.rows, "gemm_at_b: row mismatch");
     assert_eq!(out.rows, a.cols, "gemm_at_b: output rows mismatch");
     assert_eq!(out.cols, b.cols, "gemm_at_b: output cols mismatch");
-    let n = b.cols;
-    for k in 0..a.rows {
-        let a_row = &a.data[k * a.cols..(k + 1) * a.cols];
-        let b_row = &b.data[k * n..(k + 1) * n];
-        for (i, &aki) in a_row.iter().enumerate() {
-            if aki == 0.0 {
-                continue;
-            }
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for j in 0..n {
-                out_row[j] += aki * b_row[j];
-            }
-        }
-    }
+    gemm_driver(
+        a.cols,
+        b.cols,
+        a.rows,
+        &a.data,
+        a.cols,
+        Layout::Transposed,
+        &b.data,
+        b.cols,
+        Layout::Normal,
+        &mut out.data,
+        scratch,
+    );
 }
 
 /// `out ← out + a · bᵀ` without materializing the transpose.
@@ -206,15 +742,96 @@ pub fn gemm_at_b_accumulate(a: &Matrix, b: &Matrix, out: &mut Matrix) {
 /// Shapes: `a` is `m×k`, `b` is `n×k`, `out` is `m×n`. Used by dense-layer
 /// input gradients (`dx = dy · Wᵀ`).
 pub fn gemm_a_bt_accumulate(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    TL_SCRATCH.with(|s| gemm_a_bt_accumulate_with(a, b, out, &mut s.borrow_mut()));
+}
+
+/// [`gemm_a_bt_accumulate`] with a caller-owned packing arena.
+pub fn gemm_a_bt_accumulate_with(a: &Matrix, b: &Matrix, out: &mut Matrix, scratch: &mut Scratch) {
     assert_eq!(a.cols, b.cols, "gemm_a_bt: inner dimension mismatch");
     assert_eq!(out.rows, a.rows, "gemm_a_bt: output rows mismatch");
     assert_eq!(out.cols, b.rows, "gemm_a_bt: output cols mismatch");
-    for i in 0..a.rows {
-        let a_row = &a.data[i * a.cols..(i + 1) * a.cols];
-        let out_row = &mut out.data[i * out.cols..(i + 1) * out.cols];
-        for (j, out) in out_row.iter_mut().enumerate() {
-            let b_row = &b.data[j * b.cols..(j + 1) * b.cols];
-            *out += crate::vector::dot(a_row, b_row);
+    gemm_driver(
+        a.rows,
+        b.rows,
+        a.cols,
+        &a.data,
+        a.cols,
+        Layout::Normal,
+        &b.data,
+        b.cols,
+        Layout::Transposed,
+        &mut out.data,
+        scratch,
+    );
+}
+
+/// The pre-blocking scalar kernels, kept verbatim as the correctness
+/// reference for property tests and as the "naive" baseline the perf
+/// benches measure against.
+pub mod naive {
+    use super::Matrix;
+
+    /// Reference `out ← out + a · b` (historical i-k-j loop).
+    pub fn gemm_accumulate(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+        assert_eq!(a.cols, b.rows, "gemm: inner dimension mismatch");
+        assert_eq!(out.rows, a.rows, "gemm: output rows mismatch");
+        assert_eq!(out.cols, b.cols, "gemm: output cols mismatch");
+        let n = b.cols;
+        for i in 0..a.rows {
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for k in 0..a.cols {
+                let aik = a.data[i * a.cols + k];
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &b.data[k * n..(k + 1) * n];
+                for j in 0..n {
+                    out_row[j] += aik * b_row[j];
+                }
+            }
+        }
+    }
+
+    /// Reference `a · b`, allocating.
+    pub fn gemm(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows, b.cols);
+        gemm_accumulate(a, b, &mut out);
+        out
+    }
+
+    /// Reference `out ← out + aᵀ · b`.
+    pub fn gemm_at_b_accumulate(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+        assert_eq!(a.rows, b.rows, "gemm_at_b: row mismatch");
+        assert_eq!(out.rows, a.cols, "gemm_at_b: output rows mismatch");
+        assert_eq!(out.cols, b.cols, "gemm_at_b: output cols mismatch");
+        let n = b.cols;
+        for k in 0..a.rows {
+            let a_row = &a.data[k * a.cols..(k + 1) * a.cols];
+            let b_row = &b.data[k * n..(k + 1) * n];
+            for (i, &aki) in a_row.iter().enumerate() {
+                if aki == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for j in 0..n {
+                    out_row[j] += aki * b_row[j];
+                }
+            }
+        }
+    }
+
+    /// Reference `out ← out + a · bᵀ`.
+    pub fn gemm_a_bt_accumulate(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+        assert_eq!(a.cols, b.cols, "gemm_a_bt: inner dimension mismatch");
+        assert_eq!(out.rows, a.rows, "gemm_a_bt: output rows mismatch");
+        assert_eq!(out.cols, b.rows, "gemm_a_bt: output cols mismatch");
+        for i in 0..a.rows {
+            let a_row = &a.data[i * a.cols..(i + 1) * a.cols];
+            let out_row = &mut out.data[i * out.cols..(i + 1) * out.cols];
+            for (j, out) in out_row.iter_mut().enumerate() {
+                let b_row = &b.data[j * b.cols..(j + 1) * b.cols];
+                *out += crate::vector::dot(a_row, b_row);
+            }
         }
     }
 }
@@ -311,5 +928,135 @@ mod tests {
         let mut out = Matrix::from_vec(2, 2, vec![10.0, 10.0, 10.0, 10.0]);
         gemm_accumulate(&a, &b, &mut out);
         assert_eq!(out.as_slice(), &[11.0, 12.0, 13.0, 14.0]);
+    }
+
+    /// Asserts `got ≈ want` elementwise with a tolerance scaled by the
+    /// k-dimension (summation length) of the product.
+    fn assert_close(got: &Matrix, want: &Matrix, k: usize, ctx: &str) {
+        assert_eq!(
+            (got.rows(), got.cols()),
+            (want.rows(), want.cols()),
+            "{ctx}: shape"
+        );
+        let tol = 1e-4f32 * (1.0 + k as f32).sqrt();
+        for (i, (x, y)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+            assert!(
+                (x - y).abs() <= tol * (1.0 + y.abs()),
+                "{ctx}: element {i}: blocked {x} vs naive {y}"
+            );
+        }
+    }
+
+    /// Property: the blocked kernel matches the naive reference on random
+    /// shapes, including sizes that are not multiples of any block
+    /// dimension, degenerate 1-extent shapes, and both layout variants.
+    #[test]
+    fn blocked_matches_naive_on_random_shapes() {
+        let mut rng = Rng::new(0xB10C);
+        // Shapes chosen to straddle the small-GEMM fallback threshold and
+        // the MR/NR/KC/MC boundaries (±1 off each block size).
+        let shapes = [
+            (1, 1, 1),
+            (1, 17, 5),
+            (3, 15, 2),
+            (4, 16, 256),
+            (5, 17, 257),
+            (7, 33, 31),
+            (8, 16, 16),
+            (13, 47, 19),
+            (31, 129, 63),
+            (64, 64, 64),
+            (65, 15, 300),
+            (129, 1025, 11),
+            (130, 100, 260),
+        ];
+        for &(m, n, k) in &shapes {
+            let a = Matrix::random_normal(m, k, 0.0, 1.0, &mut rng);
+            let b = Matrix::random_normal(k, n, 0.0, 1.0, &mut rng);
+            let ctx = format!("gemm {m}x{k}x{n}");
+
+            let mut fast = Matrix::random_normal(m, n, 0.0, 1.0, &mut rng);
+            let mut slow = fast.clone();
+            gemm_accumulate(&a, &b, &mut fast);
+            naive::gemm_accumulate(&a, &b, &mut slow);
+            assert_close(&fast, &slow, k, &ctx);
+
+            // Aᵀ·B via the packed transposed layout.
+            let at = a.transposed();
+            let mut fast_t = Matrix::zeros(m, n);
+            let mut slow_t = Matrix::zeros(m, n);
+            gemm_at_b_accumulate(&at, &b, &mut fast_t);
+            naive::gemm_at_b_accumulate(&at, &b, &mut slow_t);
+            assert_close(&fast_t, &slow_t, k, &format!("{ctx} (at_b)"));
+
+            // A·Bᵀ via the packed transposed layout.
+            let bt = b.transposed();
+            let mut fast_bt = Matrix::zeros(m, n);
+            let mut slow_bt = Matrix::zeros(m, n);
+            gemm_a_bt_accumulate(&a, &bt, &mut fast_bt);
+            naive::gemm_a_bt_accumulate(&a, &bt, &mut slow_bt);
+            assert_close(&fast_bt, &slow_bt, k, &format!("{ctx} (a_bt)"));
+        }
+    }
+
+    /// Fully random small shape fuzz (many cases, uniform shapes 0..40).
+    #[test]
+    fn blocked_matches_naive_fuzz() {
+        let mut rng = Rng::new(0xF022);
+        for case in 0..200 {
+            let m = (rng.next_u64() % 40) as usize;
+            let n = (rng.next_u64() % 40) as usize;
+            let k = (rng.next_u64() % 40) as usize;
+            let a = Matrix::random_uniform(m, k, -2.0, 2.0, &mut rng);
+            let b = Matrix::random_uniform(k, n, -2.0, 2.0, &mut rng);
+            let mut fast = Matrix::zeros(m, n);
+            let mut slow = Matrix::zeros(m, n);
+            gemm_accumulate(&a, &b, &mut fast);
+            naive::gemm_accumulate(&a, &b, &mut slow);
+            assert_close(
+                &fast,
+                &slow,
+                k.max(1),
+                &format!("fuzz case {case}: {m}x{k}x{n}"),
+            );
+        }
+    }
+
+    /// Empty matrices (any extent zero) are handled without panicking and
+    /// leave the accumulator untouched.
+    #[test]
+    fn empty_matrices_are_noops() {
+        for &(m, n, k) in &[(0usize, 5usize, 3usize), (5, 0, 3), (5, 3, 0), (0, 0, 0)] {
+            let a = Matrix::zeros(m, k);
+            let b = Matrix::zeros(k, n);
+            let mut out = Matrix::from_vec(m, n, vec![2.5; m * n]);
+            gemm_accumulate(&a, &b, &mut out);
+            assert!(out.as_slice().iter().all(|&v| v == 2.5), "{m}x{k}x{n}");
+            let mut out2 = Matrix::zeros(m, n);
+            gemm_into(&a, &b, &mut out2);
+            assert!(out2.as_slice().iter().all(|&v| v == 0.0));
+        }
+    }
+
+    /// A caller-owned scratch arena gives the same results as the
+    /// thread-local one and is reused without reallocating.
+    #[test]
+    fn explicit_scratch_matches_thread_local() {
+        let mut rng = Rng::new(0x5C2A);
+        let a = Matrix::random_normal(33, 70, 0.0, 1.0, &mut rng);
+        let b = Matrix::random_normal(70, 45, 0.0, 1.0, &mut rng);
+        let mut scratch = Scratch::new();
+        let mut with_scratch = Matrix::zeros(33, 45);
+        gemm_accumulate_with(&a, &b, &mut with_scratch, &mut scratch);
+        let auto = gemm(&a, &b);
+        assert_eq!(with_scratch.as_slice(), auto.as_slice());
+        let cap = (scratch.a_pack.capacity(), scratch.b_pack.capacity());
+        let mut second = Matrix::zeros(33, 45);
+        gemm_accumulate_with(&a, &b, &mut second, &mut scratch);
+        assert_eq!(
+            (scratch.a_pack.capacity(), scratch.b_pack.capacity()),
+            cap,
+            "scratch must not regrow"
+        );
     }
 }

@@ -49,7 +49,8 @@ impl Rng {
     #[must_use]
     pub fn split(&self, label: u64) -> Rng {
         // Mix the current state with the label through SplitMix64.
-        let mut sm = self.s[0] ^ self.s[2].rotate_left(17) ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut sm =
+            self.s[0] ^ self.s[2].rotate_left(17) ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let s = [
             splitmix64(&mut sm),
             splitmix64(&mut sm),

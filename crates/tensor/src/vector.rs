@@ -13,21 +13,39 @@
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "dot: length mismatch");
-    // Four accumulators reduce the dependency chain and let LLVM vectorize.
-    let mut acc = [0.0f32; 4];
-    let chunks = a.len() / 4;
-    for i in 0..chunks {
-        let j = i * 4;
-        acc[0] += a[j] * b[j];
-        acc[1] += a[j + 1] * b[j + 1];
-        acc[2] += a[j + 2] * b[j + 2];
-        acc[3] += a[j + 3] * b[j + 3];
+    // A 32-lane accumulator block (two full AVX-512 vectors, four AVX2
+    // vectors) hides the FMA latency chain and gives LLVM a whole vector
+    // register group to map onto.
+    const LANES: usize = 32;
+    let mut acc = [0.0f32; LANES];
+    let mut ai = a.chunks_exact(LANES);
+    let mut bi = b.chunks_exact(LANES);
+    for (ca, cb) in (&mut ai).zip(&mut bi) {
+        for l in 0..LANES {
+            acc[l] += ca[l] * cb[l];
+        }
     }
     let mut tail = 0.0f32;
-    for j in chunks * 4..a.len() {
-        tail += a[j] * b[j];
+    for (x, y) in ai.remainder().iter().zip(bi.remainder()) {
+        tail += x * y;
     }
-    acc[0] + acc[1] + acc[2] + acc[3] + tail
+    acc.iter().sum::<f32>() + tail
+}
+
+/// Sum of all elements, with a 32-lane accumulator block so the adds
+/// vectorize instead of forming one serial dependency chain.
+#[inline]
+pub fn sum(a: &[f32]) -> f32 {
+    const LANES: usize = 32;
+    let mut acc = [0.0f32; LANES];
+    let mut it = a.chunks_exact(LANES);
+    for chunk in &mut it {
+        for l in 0..LANES {
+            acc[l] += chunk[l];
+        }
+    }
+    let tail: f32 = it.remainder().iter().sum();
+    acc.iter().sum::<f32>() + tail
 }
 
 /// Squared Euclidean norm `‖a‖₂²`.

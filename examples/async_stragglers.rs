@@ -19,7 +19,10 @@ use fda::optim::OptimizerKind;
 
 fn main() {
     let task = synth::synth_mnist();
-    for (label, spread) in [("homogeneous (spread 0.0)", 0.0), ("stragglers (spread 2.0)", 2.0)] {
+    for (label, spread) in [
+        ("homogeneous (spread 0.0)", 0.0),
+        ("stragglers (spread 2.0)", 2.0),
+    ] {
         let cluster = ClusterConfig {
             model: ModelId::Lenet5,
             workers: 5,
@@ -27,6 +30,7 @@ fn main() {
             optimizer: OptimizerKind::paper_adam(),
             partition: Partition::Iid,
             seed: 21,
+            parallel: false,
         };
         let mut runner = AsyncFda::new(Box::new(LinearMonitor::new()), 0.5, spread, cluster, &task);
         let report = runner.run(120);
@@ -34,7 +38,10 @@ fn main() {
         println!("  steps per worker: {:?}", report.steps_per_worker);
         println!("  syncs: {}", report.syncs);
         println!("  comm:  {} bytes", report.comm_bytes);
-        println!("  virtual time: {:.1} (slowest worker's clock)", report.virtual_time);
+        println!(
+            "  virtual time: {:.1} (slowest worker's clock)",
+            report.virtual_time
+        );
         println!("  final model variance: {:.4}\n", report.final_variance);
     }
     println!(

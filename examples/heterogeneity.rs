@@ -40,6 +40,7 @@ fn main() {
             optimizer: OptimizerKind::paper_adam(),
             partition,
             seed: 42,
+            parallel: false,
         };
         // Report the induced label skew so readers can see the settings
         // really differ.

@@ -30,6 +30,7 @@ fn main() {
         optimizer: OptimizerKind::paper_adam(),
         partition: Partition::Iid,
         seed: 42,
+        parallel: false,
     };
 
     // 3. The stopping rule: run until 90% test accuracy (or 3000 steps).

@@ -43,7 +43,7 @@ fn main() {
     }
     println!(
         "\nBoth variants ran the Algorithm-1 loop over genuinely concurrent\n\
-         workers (crossbeam threads + rendezvous AllReduce), with consistent\n\
+         workers (scoped OS threads + rendezvous AllReduce), with consistent\n\
          sync decisions and no coordinator."
     );
 }

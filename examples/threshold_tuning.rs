@@ -36,6 +36,7 @@ fn main() {
             optimizer: OptimizerKind::paper_adam(),
             partition: Partition::Iid,
             seed: 7,
+            parallel: false,
         };
         let mut fda = Fda::new(FdaConfig::sketch(theta), cluster, &task);
         let r = run_to_target(&mut fda, &task, &RunConfig::to_target(0.88, 4_000));

@@ -28,6 +28,7 @@ fn cluster(k: usize, seed: u64) -> ClusterConfig {
         optimizer: OptimizerKind::paper_adam(),
         partition: Partition::Iid,
         seed,
+        parallel: false,
     }
 }
 
@@ -212,4 +213,51 @@ fn fedopt_syncs_once_per_local_epoch() {
         fed.step();
     }
     assert_eq!(fed.syncs(), 3);
+}
+
+/// Acceptance invariant for the parallel simulator mode: with scoped-thread
+/// worker stepping enabled, FDA must make the *identical* sequence of
+/// synchronization decisions (and end in the identical model state) as the
+/// deterministic sequential mode — workers are independent between
+/// AllReduce points and all RNG streams are per-worker.
+#[test]
+fn parallel_mode_preserves_sync_decision_sequence() {
+    let task = small_task();
+    for (tag, cfg) in [
+        ("linear", FdaConfig::linear(0.05)),
+        ("sketch", FdaConfig::sketch_auto(0.05)),
+    ] {
+        let mut seq_fda = Fda::new(cfg, cluster(4, 9), &task);
+        let par_cc = ClusterConfig {
+            parallel: true,
+            ..cluster(4, 9)
+        };
+        let mut par_fda = Fda::new(cfg, par_cc, &task);
+        let mut seq_decisions = Vec::new();
+        let mut par_decisions = Vec::new();
+        for _ in 0..60 {
+            seq_decisions.push(seq_fda.step().synced);
+            par_decisions.push(par_fda.step().synced);
+        }
+        assert_eq!(
+            seq_decisions, par_decisions,
+            "{tag}: sync-decision sequences diverged between modes"
+        );
+        assert!(
+            seq_decisions.iter().any(|&s| s),
+            "{tag}: test should exercise at least one sync"
+        );
+        assert_eq!(
+            seq_fda.cluster().comm_bytes(),
+            par_fda.cluster().comm_bytes(),
+            "{tag}: byte accounting diverged"
+        );
+        for k in 0..4 {
+            assert_eq!(
+                seq_fda.cluster().worker(k).params(),
+                par_fda.cluster().worker(k).params(),
+                "{tag}: worker {k} final params diverged"
+            );
+        }
+    }
 }

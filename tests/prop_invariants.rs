@@ -1,20 +1,30 @@
-//! Property-based tests (proptest) on the core mathematical invariants
-//! the FDA protocol rests on.
+//! Randomized property tests on the core mathematical invariants the FDA
+//! protocol rests on.
+//!
+//! The workspace is intentionally dependency-free, so instead of `proptest`
+//! these use a hand-rolled case generator over the workspace's
+//! deterministic [`fda::tensor::Rng`]: every property is checked over many random shapes
+//! and values, and every failure message carries the case seed so a
+//! counterexample reproduces exactly.
 
 use fda::core::monitor::{ExactMonitor, LinearMonitor, LocalState, SketchMonitor, VarianceMonitor};
 use fda::data::{Dataset, Partition};
 use fda::sketch::SketchConfig;
-use fda::tensor::{vector, Matrix};
-use proptest::prelude::*;
+use fda::tensor::{vector, Matrix, Rng};
 
-/// Strategy: a set of K drift vectors of dimension d with bounded entries.
-fn drifts_strategy(max_k: usize, max_d: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
-    (2..=max_k, 2..=max_d).prop_flat_map(|(k, d)| {
-        proptest::collection::vec(
-            proptest::collection::vec(-10.0f32..10.0, d..=d),
-            k..=k,
-        )
-    })
+const CASES: u64 = 64;
+
+/// K drift vectors of dimension d with entries in `[-10, 10)`.
+fn random_drifts(rng: &mut Rng, max_k: usize, max_d: usize) -> Vec<Vec<f32>> {
+    let k = 2 + (rng.next_u64() as usize) % (max_k - 1);
+    let d = 2 + (rng.next_u64() as usize) % (max_d - 1);
+    (0..k)
+        .map(|_| {
+            let mut u = vec![0.0f32; d];
+            rng.fill_uniform(&mut u, -10.0, 10.0);
+            u
+        })
+        .collect()
 }
 
 fn true_variance(drifts: &[Vec<f32>]) -> f32 {
@@ -22,15 +32,14 @@ fn true_variance(drifts: &[Vec<f32>]) -> f32 {
     vector::variance_from_drifts(&refs)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Eq. (4): the drift identity equals the definitional variance around
-    /// the mean, for any offset w0.
-    #[test]
-    fn variance_identity_holds(drifts in drifts_strategy(6, 40), offset in -5.0f32..5.0) {
-        // Models = drift + constant offset vector; Var(models) must equal
-        // the drift-form variance (offsets cancel).
+/// Eq. (4): the drift identity equals the definitional variance around the
+/// mean, for any offset w0.
+#[test]
+fn variance_identity_holds() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x1D_0000 + case);
+        let drifts = random_drifts(&mut rng, 6, 40);
+        let offset = rng.uniform_f32() * 10.0 - 5.0;
         let d = drifts[0].len();
         let w0 = vec![offset; d];
         let models: Vec<Vec<f32>> = drifts
@@ -45,68 +54,92 @@ proptest! {
         let direct = vector::variance_of(&mrefs);
         let via_drift = true_variance(&drifts);
         let tol = 1e-3f32 * (1.0 + direct.abs().max(via_drift.abs()));
-        prop_assert!((direct - via_drift).abs() <= tol,
-            "direct {direct} vs drift-form {via_drift}");
+        assert!(
+            (direct - via_drift).abs() <= tol,
+            "case {case}: direct {direct} vs drift-form {via_drift}"
+        );
     }
+}
 
-    /// Variance is never negative (it is a mean of squared distances).
-    #[test]
-    fn variance_nonnegative(drifts in drifts_strategy(6, 30)) {
-        // Use the exact monitor path, which mirrors the protocol.
+/// Variance is never negative (it is a mean of squared distances).
+#[test]
+fn variance_nonnegative() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x2D_0000 + case);
+        let drifts = random_drifts(&mut rng, 6, 30);
         let d = drifts[0].len();
         let m = ExactMonitor::new(d);
         let states: Vec<LocalState> = drifts.iter().map(|u| m.local_state(u)).collect();
         let est = m.estimate(&LocalState::average(&states));
-        prop_assert!(est >= -1e-2, "exact variance estimate {est} < 0");
+        assert!(
+            est >= -1e-2,
+            "case {case}: exact variance estimate {est} < 0"
+        );
     }
+}
 
-    /// Theorem 3.2: LinearFDA's H is an over-estimate for ANY unit ξ.
-    #[test]
-    fn linear_h_dominates_variance(
-        drifts in drifts_strategy(5, 30),
-        xi_seed in proptest::collection::vec(-1.0f32..1.0, 30),
-    ) {
+/// Theorem 3.2: LinearFDA's H is an over-estimate for ANY unit ξ.
+#[test]
+fn linear_h_dominates_variance() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x3D_0000 + case);
+        let drifts = random_drifts(&mut rng, 5, 30);
         let d = drifts[0].len();
         let mut monitor = LinearMonitor::new();
-        // Build an arbitrary ξ from the seed via the sync hook.
-        let mut w_new: Vec<f32> = xi_seed.iter().take(d).cloned().collect();
-        while w_new.len() < d { w_new.push(0.37); }
+        // Build an arbitrary ξ via the sync hook.
+        let mut w_new = vec![0.0f32; d];
+        rng.fill_uniform(&mut w_new, -1.0, 1.0);
         let w_prev = vec![0.0f32; d];
         monitor.on_sync(&w_new, &w_prev);
         let states: Vec<LocalState> = drifts.iter().map(|u| monitor.local_state(u)).collect();
         let est = monitor.estimate(&LocalState::average(&states));
         let truth = true_variance(&drifts);
-        prop_assert!(est >= truth - 2e-3 * (1.0 + truth.abs()),
-            "H = {est} < Var = {truth}");
+        assert!(
+            est >= truth - 2e-3 * (1.0 + truth.abs()),
+            "case {case}: H = {est} < Var = {truth}"
+        );
     }
+}
 
-    /// AMS sketch linearity: sk(αa + βb) = α·sk(a) + β·sk(b).
-    #[test]
-    fn sketch_linearity(
-        a in proptest::collection::vec(-5.0f32..5.0, 64),
-        b in proptest::collection::vec(-5.0f32..5.0, 64),
-        alpha in -2.0f32..2.0,
-        beta in -2.0f32..2.0,
-    ) {
+/// AMS sketch linearity: sk(αa + βb) = α·sk(a) + β·sk(b).
+#[test]
+fn sketch_linearity() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x4D_0000 + case);
+        let mut a = vec![0.0f32; 64];
+        let mut b = vec![0.0f32; 64];
+        rng.fill_uniform(&mut a, -5.0, 5.0);
+        rng.fill_uniform(&mut b, -5.0, 5.0);
+        let alpha = rng.uniform_f32() * 4.0 - 2.0;
+        let beta = rng.uniform_f32() * 4.0 - 2.0;
         let plan = SketchConfig::new(3, 16, 99).build_plan(64);
-        let combo: Vec<f32> = a.iter().zip(&b).map(|(x, y)| alpha * x + beta * y).collect();
+        let combo: Vec<f32> = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| alpha * x + beta * y)
+            .collect();
         let direct = plan.sketch(&combo);
         let mut lin = plan.sketch(&a);
         lin.scale(alpha);
         lin.axpy(beta, &plan.sketch(&b));
         for (x, y) in direct.as_slice().iter().zip(lin.as_slice()) {
-            prop_assert!((x - y).abs() <= 1e-3 * (1.0 + x.abs()), "{x} vs {y}");
+            assert!(
+                (x - y).abs() <= 1e-3 * (1.0 + x.abs()),
+                "case {case}: {x} vs {y}"
+            );
         }
     }
+}
 
-    /// Partitioners produce an exact, disjoint cover for every scheme.
-    #[test]
-    fn partitions_exactly_cover(
-        n in 30usize..200,
-        k in 2usize..8,
-        scheme in 0usize..3,
-        seed in 0u64..1000,
-    ) {
+/// Partitioners produce an exact, disjoint cover for every scheme.
+#[test]
+fn partitions_exactly_cover() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x5D_0000 + case);
+        let n = 30 + (rng.next_u64() as usize) % 170;
+        let k = 2 + (rng.next_u64() as usize) % 6;
+        let scheme = (rng.next_u64() as usize) % 3;
+        let seed = rng.next_u64() % 1000;
         let classes = 5;
         let x = Matrix::zeros(n, 2);
         let y: Vec<usize> = (0..n).map(|i| i % classes).collect();
@@ -117,19 +150,26 @@ proptest! {
             _ => Partition::NonIidLabel(0),
         };
         let shards = partition.shards(&dataset, k, seed);
-        prop_assert_eq!(shards.len(), k);
+        assert_eq!(shards.len(), k, "case {case}");
         let mut all: Vec<usize> = shards.iter().flatten().cloned().collect();
         all.sort_unstable();
         let expect: Vec<usize> = (0..n).collect();
-        prop_assert_eq!(all, expect);
-        prop_assert!(shards.iter().all(|s| !s.is_empty()));
+        assert_eq!(all, expect, "case {case}: shards must cover 0..{n} exactly");
+        assert!(
+            shards.iter().all(|s| !s.is_empty()),
+            "case {case}: empty shard"
+        );
     }
+}
 
-    /// The sketch monitor's H is within a controlled band of the exact
-    /// variance: never wildly below (soundness), never above the trivial
-    /// bound mean‖u‖² by more than sketch noise (usefulness).
-    #[test]
-    fn sketch_h_band(drifts in drifts_strategy(5, 64)) {
+/// The sketch monitor's H is within a controlled band of the exact
+/// variance: never wildly below (soundness), never above the trivial bound
+/// mean‖u‖² by more than sketch noise (usefulness).
+#[test]
+fn sketch_h_band() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x6D_0000 + case);
+        let drifts = random_drifts(&mut rng, 5, 64);
         let d = drifts[0].len();
         let monitor = SketchMonitor::new(SketchConfig::new(5, 128, 7), d);
         let states: Vec<LocalState> = drifts.iter().map(|u| monitor.local_state(u)).collect();
@@ -139,7 +179,13 @@ proptest! {
         let trivial = avg.drift_sq_norm;
         // Allow generous sketch noise: ε ≈ 1/√128 ≈ 0.09, use 4ε margins.
         let slack = 0.36f32 * trivial.abs().max(1e-3);
-        prop_assert!(est >= truth - slack, "est {est} far below Var {truth}");
-        prop_assert!(est <= trivial + slack, "est {est} far above trivial bound {trivial}");
+        assert!(
+            est >= truth - slack,
+            "case {case}: est {est} far below Var {truth}"
+        );
+        assert!(
+            est <= trivial + slack,
+            "case {case}: est {est} far above trivial bound {trivial}"
+        );
     }
 }
