@@ -6,14 +6,23 @@
 //! * the naive reference GEMM vs the blocked kernel on im2col shapes
 //!   (LeNet-scale and VGG16-scale),
 //! * end-to-end cluster `local_step` throughput (steps/sec) for the LeNet
-//!   and VGG16 zoo models, sequential and scoped-thread-parallel.
+//!   and VGG16 zoo models, sequential and pooled-parallel,
+//! * `step_phases`: the full `Fda::step` split into local-step / monitor /
+//!   AllReduce wall time (Θ = 0 ⇒ every step pays all three phases), for
+//!   the LeNet- and DenseNet-scale models, sequential vs pooled,
+//! * `rendezvous_us`: the raw per-step dispatch cost of the persistent
+//!   pool vs the scoped spawn-per-step it replaced.
 //!
 //! Run from the workspace root (`cargo run --release --bin
 //! bench_gemm_im2col`); the JSON is written to the current directory so
-//! future perf PRs have a baseline to compare against.
+//! future perf PRs have a baseline to compare against. Pass `--smoke` for
+//! a fast CI sanity run (reduced reps, nothing written).
 
 use fda_core::cluster::{Cluster, ClusterConfig};
 use fda_core::experiments::spec_for;
+use fda_core::fda::{Fda, FdaConfig};
+use fda_core::pool::WorkerPool;
+use fda_core::strategy::Strategy as _;
 use fda_data::Partition;
 use fda_nn::zoo::ModelId;
 use fda_tensor::{matrix, Matrix, Rng};
@@ -105,7 +114,105 @@ fn bench_steps(model: ModelId, name: &'static str) -> StepResult {
     }
 }
 
+/// Per-phase microseconds of one averaged `Fda::step`.
+#[derive(Clone, Copy, Default)]
+struct PhaseSplit {
+    local_step_us: f64,
+    monitor_us: f64,
+    allreduce_us: f64,
+}
+
+impl PhaseSplit {
+    fn total(&self) -> f64 {
+        self.local_step_us + self.monitor_us + self.allreduce_us
+    }
+}
+
+struct StepPhasesResult {
+    model: &'static str,
+    variant: &'static str,
+    seq: PhaseSplit,
+    pooled: PhaseSplit,
+}
+
+/// Average per-step phase split over `steps` instrumented steps, best of
+/// `reps` passes (fresh FDA instance per pass so sync history is
+/// comparable). Θ = 0 synchronizes every step, so the AllReduce phase is
+/// exercised — and timed — on every single step.
+fn measure_phases(model: ModelId, parallel: bool, reps: usize, steps: usize) -> PhaseSplit {
+    let spec = spec_for(model);
+    let task = spec.make_task();
+    let mut best: Option<PhaseSplit> = None;
+    for _ in 0..reps {
+        let mut fda = Fda::new(
+            FdaConfig::sketch_auto(0.0),
+            ClusterConfig {
+                model,
+                workers: 4,
+                batch_size: spec.batch,
+                optimizer: spec.optimizer,
+                partition: Partition::Iid,
+                seed: 3,
+                parallel,
+            },
+            &task,
+        );
+        fda.step(); // warm-up: sizes every scratch buffer
+        let mut acc = PhaseSplit::default();
+        for _ in 0..steps {
+            let (_, phases) = fda.step_instrumented();
+            acc.local_step_us += phases.local_step.as_secs_f64() * 1e6;
+            acc.monitor_us += phases.monitor.as_secs_f64() * 1e6;
+            acc.allreduce_us += phases.allreduce.as_secs_f64() * 1e6;
+        }
+        acc.local_step_us /= steps as f64;
+        acc.monitor_us /= steps as f64;
+        acc.allreduce_us /= steps as f64;
+        if best.is_none_or(|b| acc.total() < b.total()) {
+            best = Some(acc);
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+fn bench_step_phases(
+    model: ModelId,
+    name: &'static str,
+    reps: usize,
+    steps: usize,
+) -> StepPhasesResult {
+    StepPhasesResult {
+        model: name,
+        variant: "sketch_auto_theta0",
+        seq: measure_phases(model, false, reps, steps),
+        pooled: measure_phases(model, true, reps, steps),
+    }
+}
+
+/// Raw per-step dispatch cost: K scoped threads spawned-and-joined (what
+/// PR 1 paid every `local_step`) vs one rendezvous of the persistent pool.
+fn bench_rendezvous(k: usize, iters: u32) -> (f64, f64) {
+    let scoped = best_time(5, iters, || {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..k)
+                .map(|_| scope.spawn(|| std::hint::black_box(0u64)))
+                .collect();
+            for h in handles {
+                let _ = h.join();
+            }
+        });
+    });
+    let mut pool = WorkerPool::new(k);
+    let pooled = best_time(5, iters, || {
+        pool.run(&|lane| {
+            std::hint::black_box(lane);
+        });
+    });
+    (scoped.as_secs_f64() * 1e6, pooled.as_secs_f64() * 1e6)
+}
+
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
     // im2col GEMM shapes: (out_c) × (in_c·k·k) × (batch·out_h·out_w).
     let gemms = [
         bench_gemm("lenet_conv2", 12, 54, 1152),
@@ -117,6 +224,13 @@ fn main() {
         bench_steps(ModelId::Lenet5, "lenet5"),
         bench_steps(ModelId::Vgg16Star, "vgg16"),
     ];
+    let (phase_reps, phase_steps) = if smoke { (1, 3) } else { (4, 10) };
+    let phases = [
+        bench_step_phases(ModelId::Lenet5, "lenet5", phase_reps, phase_steps),
+        bench_step_phases(ModelId::DenseNet201, "densenet201", phase_reps, phase_steps),
+    ];
+    let (scoped_us, pool_us) = bench_rendezvous(4, if smoke { 20 } else { 200 });
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     let mut json = String::from("{\n  \"gemm_us\": [\n");
     for (i, g) in gemms.iter().enumerate() {
@@ -142,13 +256,46 @@ fn main() {
             s.model, s.steps_per_sec, s.steps_per_sec_parallel,
         );
     }
+    json.push_str("  ],\n  \"step_phases_k4\": [\n");
+    for (i, p) in phases.iter().enumerate() {
+        let sep = if i + 1 < phases.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"model\": \"{}\", \"variant\": \"{}\", \
+             \"seq\": {{\"local_step_us\": {:.1}, \"monitor_us\": {:.1}, \"allreduce_us\": {:.1}, \"step_us\": {:.1}}}, \
+             \"pooled\": {{\"local_step_us\": {:.1}, \"monitor_us\": {:.1}, \"allreduce_us\": {:.1}, \"step_us\": {:.1}}}, \
+             \"pooled_speedup_monitor_allreduce\": {:.2}}}{sep}",
+            p.model,
+            p.variant,
+            p.seq.local_step_us,
+            p.seq.monitor_us,
+            p.seq.allreduce_us,
+            p.seq.total(),
+            p.pooled.local_step_us,
+            p.pooled.monitor_us,
+            p.pooled.allreduce_us,
+            p.pooled.total(),
+            (p.seq.monitor_us + p.seq.allreduce_us)
+                / (p.pooled.monitor_us + p.pooled.allreduce_us),
+        );
+    }
     json.push_str("  ],\n");
     let _ = writeln!(
         json,
-        "  \"note\": \"naive-vs-blocked measured back-to-back in one process; seed-era all-naive LeNet local_step was ~6.3ms (159 steps/sec) on this host\""
+        "  \"rendezvous_us\": {{\"k\": 4, \"scoped_spawn_us\": {scoped_us:.1}, \"pool_dispatch_us\": {pool_us:.1}}},",
+    );
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"naive-vs-blocked measured back-to-back in one process; seed-era all-naive LeNet local_step was ~6.3ms (159 steps/sec) on this host. step_phases: Fda::step at theta=0 (sync every step), SketchAuto monitor, K=4; 'pooled' = persistent WorkerPool (ClusterConfig::parallel), 'seq' = single-thread reference. rendezvous_us compares one pool dispatch against the K scoped thread spawns PR 1 paid per step. Parallel speedups require host_cores > 1; on a single-core host the pooled numbers measure pure rendezvous overhead.\""
     );
     json.push('}');
 
+    if smoke {
+        println!("{json}");
+        println!("\nsmoke mode: not writing BENCH_gemm_im2col.json");
+        return;
+    }
     std::fs::write("BENCH_gemm_im2col.json", &json).expect("write BENCH_gemm_im2col.json");
     println!("{json}");
 }

@@ -6,32 +6,87 @@
 //! AllReduce) needs nothing beyond a rendezvous mean — no coordinator, as
 //! the paper stresses for the AllReduce design (§1, Figure 1).
 //!
-//! The implementation is a generation-counted rendezvous: each participant
-//! adds its contribution under a mutex; the last arrival computes the mean
-//! and bumps the generation; everyone copies the result out. Plain
-//! `std::sync` primitives keep the crate dependency-free.
+//! The collective is a three-phase generation rendezvous:
+//!
+//! 1. **deposit** — every participant copies its contribution into its own
+//!    slot (outside the lock, slots are participant-private);
+//! 2. **reduce** — once all `K` have deposited, every participant averages
+//!    its own contiguous *chunk* of the buffer over all `K` slots **in
+//!    participant order** (`((c₀ + c₁) + c₂)…·1/K`, the same association
+//!    as `SimNetwork::allreduce_mean`) — the reduction itself is parallel
+//!    across the vector dimension, which is what makes large model
+//!    AllReduces scale with cores;
+//! 3. **copy-out** — everyone copies the shared mean back out; the last
+//!    one re-arms the rendezvous for the next round.
+//!
+//! Because accumulation order is fixed by participant *id* — not by
+//! arrival order, as in the original implementation — a run is
+//! bit-reproducible and matches the simulated [`crate::SimNetwork`]
+//! numerics exactly when callers use [`ThreadedReducer::allreduce_indexed`]
+//! with stable worker ids. The id-less [`ThreadedReducer::allreduce`]
+//! assigns ids by arrival order and therefore keeps the old
+//! "deterministic mean, nondeterministic last-ulp" behavior.
+//!
+//! Cost accounting: the reducer counts completed rounds and reduced
+//! elements ([`ThreadedReducer::rounds`], [`ThreadedReducer::elems_reduced`])
+//! so drivers can cross-check their analytic byte accounting against the
+//! collectives that actually ran.
 
+use std::cell::UnsafeCell;
 use std::sync::{Arc, Condvar, Mutex};
 
-struct Shared {
-    // Accumulator for the current round.
-    sum: Vec<f32>,
-    // Mean of the completed round (valid when generation is odd-phase).
-    result: Vec<f32>,
-    arrived: usize,
-    generation: u64,
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Phase {
+    Deposit,
+    Reduce,
+    CopyOut,
 }
 
-/// A reusable K-party AllReduce-average rendezvous.
+struct Ctrl {
+    phase: Phase,
+    joined: usize,
+    /// Ids that have joined the current round — duplicate ids panic at the
+    /// join instead of racing on a contribution slot.
+    claimed: Vec<bool>,
+    deposited: usize,
+    reduced: usize,
+    copied: usize,
+    /// Buffer length of the current round.
+    n: usize,
+    /// Base pointer of the shared result buffer for the current round.
+    result_base: *mut f32,
+    rounds: u64,
+    elems_reduced: u64,
+}
+// SAFETY: the raw pointer is only dereferenced during the Reduce/CopyOut
+// phases of the round that set it, under the chunk-disjointness protocol
+// described on `allreduce_indexed`.
+unsafe impl Send for Ctrl {}
+
+struct Core {
+    k: usize,
+    ctrl: Mutex<Ctrl>,
+    cvar: Condvar,
+    /// One contribution slot per participant id. A slot is written only by
+    /// its owner during Deposit and read by everyone during Reduce; the
+    /// phase transitions under `ctrl` order those accesses.
+    contribs: Vec<UnsafeCell<Vec<f32>>>,
+    /// The shared mean of the current round; written in disjoint chunks
+    /// during Reduce, read by everyone during CopyOut.
+    result: UnsafeCell<Vec<f32>>,
+}
+// SAFETY: all access to the UnsafeCells follows the phase protocol above.
+unsafe impl Sync for Core {}
+
+/// A reusable K-party AllReduce-average rendezvous (see module docs).
 ///
-/// All `k` participants must call [`ThreadedReducer::allreduce`] the same
-/// number of times with equal-length buffers; each call blocks until every
+/// All `k` participants must call an allreduce method the same number of
+/// times with equal-length buffers; each call blocks until every
 /// participant has contributed, then returns with the element-wise mean
 /// written into the caller's buffer.
 #[derive(Clone)]
 pub struct ThreadedReducer {
-    k: usize,
-    state: Arc<(Mutex<Shared>, Condvar)>,
+    core: Arc<Core>,
 }
 
 impl ThreadedReducer {
@@ -42,61 +97,179 @@ impl ThreadedReducer {
     pub fn new(k: usize) -> ThreadedReducer {
         assert!(k >= 1, "reducer: need at least one participant");
         ThreadedReducer {
-            k,
-            state: Arc::new((
-                Mutex::new(Shared {
-                    sum: Vec::new(),
-                    result: Vec::new(),
-                    arrived: 0,
-                    generation: 0,
+            core: Arc::new(Core {
+                k,
+                ctrl: Mutex::new(Ctrl {
+                    phase: Phase::Deposit,
+                    joined: 0,
+                    claimed: vec![false; k],
+                    deposited: 0,
+                    reduced: 0,
+                    copied: 0,
+                    n: 0,
+                    result_base: std::ptr::null_mut(),
+                    rounds: 0,
+                    elems_reduced: 0,
                 }),
-                Condvar::new(),
-            )),
+                cvar: Condvar::new(),
+                contribs: (0..k).map(|_| UnsafeCell::new(Vec::new())).collect(),
+                result: UnsafeCell::new(Vec::new()),
+            }),
         }
     }
 
     /// Number of participants.
     pub fn participants(&self) -> usize {
-        self.k
+        self.core.k
     }
 
-    /// Contributes `buf` and blocks until the round's mean is available,
-    /// then overwrites `buf` with it.
+    /// Completed AllReduce rounds.
+    pub fn rounds(&self) -> u64 {
+        self.core.ctrl.lock().expect("reducer lock poisoned").rounds
+    }
+
+    /// Total elements reduced across all rounds (each element counted
+    /// once, whichever participant's chunk covered it) — the quantity an
+    /// analytic cost model charges per collective.
+    pub fn elems_reduced(&self) -> u64 {
+        self.core
+            .ctrl
+            .lock()
+            .expect("reducer lock poisoned")
+            .elems_reduced
+    }
+
+    /// Contributes `buf` as participant `id` and blocks until the round's
+    /// mean is available, then overwrites `buf` with it.
+    ///
+    /// With every participant passing its stable worker id, accumulation
+    /// order is id order — bit-reproducible across runs and bit-identical
+    /// to `SimNetwork::allreduce_mean`. Each id must appear exactly once
+    /// per round (enforced: a duplicate id panics at the join, instead of
+    /// racing on a contribution slot); do not mix with the id-less
+    /// [`ThreadedReducer::allreduce`] within a round.
+    ///
+    /// # Panics
+    /// Panics if `id >= k`, an id joins the same round twice, or buffer
+    /// lengths disagree within a round.
+    pub fn allreduce_indexed(&self, id: usize, buf: &mut [f32]) {
+        assert!(id < self.core.k, "allreduce: participant id out of range");
+        self.allreduce_impl(Some(id), buf);
+    }
+
+    /// [`ThreadedReducer::allreduce_indexed`] with ids assigned by arrival
+    /// order — correct mean, but the accumulation order (and hence the
+    /// last ulp) depends on thread scheduling. Prefer the indexed form
+    /// when callers have stable worker ids.
     ///
     /// # Panics
     /// Panics if buffer lengths disagree within a round.
     pub fn allreduce(&self, buf: &mut [f32]) {
-        let (lock, cvar) = &*self.state;
-        let mut s = lock.lock().expect("allreduce: poisoned lock");
-        let my_gen = s.generation;
-        if s.arrived == 0 {
-            // First arrival of the round initializes the accumulator.
-            s.sum.clear();
-            s.sum.extend_from_slice(buf);
-        } else {
-            assert_eq!(s.sum.len(), buf.len(), "allreduce: ragged buffers");
-            for (acc, &v) in s.sum.iter_mut().zip(buf.iter()) {
-                *acc += v;
+        self.allreduce_impl(None, buf);
+    }
+
+    fn allreduce_impl(&self, id: Option<usize>, buf: &mut [f32]) {
+        let core = &*self.core;
+
+        // ---- join the round ----------------------------------------
+        let (id, n, result_base) = {
+            let mut c = core.ctrl.lock().expect("reducer lock poisoned");
+            while c.phase != Phase::Deposit {
+                c = core.cvar.wait(c).expect("reducer lock poisoned");
+            }
+            // Arrival-order id assignment happens under the join lock, so
+            // id-less participants cannot collide.
+            let id = id.unwrap_or(c.joined);
+            assert!(
+                !c.claimed[id],
+                "allreduce: participant id {id} joined this round twice"
+            );
+            c.claimed[id] = true;
+            if c.joined == 0 {
+                c.n = buf.len();
+                // SAFETY: between rounds no other thread touches `result`
+                // (previous round's readers all finished before the phase
+                // returned to Deposit; this round's peers join under this
+                // lock after us).
+                let result = unsafe { &mut *core.result.get() };
+                result.clear();
+                result.resize(buf.len(), 0.0);
+                c.result_base = result.as_mut_ptr();
+            } else {
+                assert_eq!(c.n, buf.len(), "allreduce: ragged buffers");
+            }
+            c.joined += 1;
+            (id, c.n, c.result_base)
+        };
+
+        // ---- deposit (outside the lock; slot is ours alone) --------
+        {
+            // SAFETY: slot `id` is written only by this participant during
+            // Deposit; the barrier below publishes it.
+            let slot = unsafe { &mut *core.contribs[id].get() };
+            slot.clear();
+            slot.extend_from_slice(buf);
+        }
+        {
+            let mut c = core.ctrl.lock().expect("reducer lock poisoned");
+            c.deposited += 1;
+            if c.deposited == core.k {
+                c.phase = Phase::Reduce;
+                core.cvar.notify_all();
+            } else {
+                while c.phase == Phase::Deposit {
+                    c = core.cvar.wait(c).expect("reducer lock poisoned");
+                }
             }
         }
-        s.arrived += 1;
-        if s.arrived == self.k {
-            // Last arrival finalizes the round.
-            let inv_k = 1.0 / self.k as f32;
-            let sum = std::mem::take(&mut s.sum);
-            s.result = sum;
-            for v in &mut s.result {
-                *v *= inv_k;
-            }
-            s.arrived = 0;
-            s.generation = s.generation.wrapping_add(1);
-            cvar.notify_all();
-        } else {
-            while s.generation == my_gen {
-                s = cvar.wait(s).expect("allreduce: poisoned lock");
+
+        // ---- reduce own chunk, participant-order accumulation ------
+        let (lo, hi) = fda_tensor::vector::chunk_range(n, core.k, id);
+        if lo < hi {
+            // SAFETY: contributions are read-only during Reduce; chunk
+            // [lo, hi) of the result is written by this participant only.
+            let srcs: Vec<&[f32]> = core
+                .contribs
+                .iter()
+                .map(|c| unsafe { (*c.get()).as_slice() })
+                .collect();
+            let chunk = unsafe { std::slice::from_raw_parts_mut(result_base.add(lo), hi - lo) };
+            fda_tensor::vector::mean_range_into(&srcs, lo, hi, chunk);
+        }
+        {
+            let mut c = core.ctrl.lock().expect("reducer lock poisoned");
+            c.reduced += 1;
+            c.elems_reduced += (hi - lo) as u64;
+            if c.reduced == core.k {
+                c.phase = Phase::CopyOut;
+                core.cvar.notify_all();
+            } else {
+                while c.phase == Phase::Reduce {
+                    c = core.cvar.wait(c).expect("reducer lock poisoned");
+                }
             }
         }
-        buf.copy_from_slice(&s.result);
+
+        // ---- copy the shared mean out ------------------------------
+        {
+            // SAFETY: `result` is read-only during CopyOut.
+            let result = unsafe { &*core.result.get() };
+            buf.copy_from_slice(result);
+        }
+        {
+            let mut c = core.ctrl.lock().expect("reducer lock poisoned");
+            c.copied += 1;
+            if c.copied == core.k {
+                c.joined = 0;
+                c.deposited = 0;
+                c.reduced = 0;
+                c.copied = 0;
+                c.claimed.iter_mut().for_each(|x| *x = false);
+                c.rounds += 1;
+                c.phase = Phase::Deposit;
+                core.cvar.notify_all();
+            }
+        }
     }
 }
 
@@ -110,6 +283,8 @@ mod tests {
         let mut buf = vec![1.0f32, 2.0, 3.0];
         r.allreduce(&mut buf);
         assert_eq!(buf, vec![1.0, 2.0, 3.0]);
+        assert_eq!(r.rounds(), 1);
+        assert_eq!(r.elems_reduced(), 3);
     }
 
     #[test]
@@ -122,7 +297,7 @@ mod tests {
                     let r = r.clone();
                     scope.spawn(move || {
                         let mut buf = vec![id as f32; 8];
-                        r.allreduce(&mut buf);
+                        r.allreduce_indexed(id, &mut buf);
                         buf
                     })
                 })
@@ -147,7 +322,7 @@ mod tests {
                         let mut out = Vec::new();
                         for round in 0..5u32 {
                             let mut buf = vec![(id as f32) * (round as f32 + 1.0); 4];
-                            r.allreduce(&mut buf);
+                            r.allreduce_indexed(id, &mut buf);
                             out.push(buf[0]);
                         }
                         out
@@ -162,10 +337,51 @@ mod tests {
                 assert!((v - (round as f32 + 1.0)).abs() < 1e-6, "{results:?}");
             }
         }
+        assert_eq!(r.rounds(), 5);
+        assert_eq!(r.elems_reduced(), 5 * 4);
     }
 
+    /// The id-less arrival-order path must still compute correct means
+    /// under real contention (ids are assigned under the join lock, so no
+    /// two concurrent callers can collide on a slot).
     #[test]
-    fn matches_sim_network_numerics() {
+    fn arrival_order_allreduce_under_contention() {
+        let k = 4;
+        let r = ThreadedReducer::new(k);
+        let results: Vec<Vec<f32>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..k)
+                .map(|i| {
+                    let r = r.clone();
+                    scope.spawn(move || {
+                        let mut buf = vec![i as f32; 16];
+                        for _ in 0..25 {
+                            // Mean of 0..4 is 1.5 every round; feeding the
+                            // round's result back keeps it at 1.5 only if
+                            // every round's mean is exact.
+                            buf.iter_mut().for_each(|v| *v += i as f32 - 1.5);
+                            r.allreduce(&mut buf);
+                        }
+                        buf
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for res in &results {
+            for v in res {
+                assert!(
+                    (v - 1.5).abs() < 1e-4,
+                    "arrival-order mean drifted: {res:?}"
+                );
+            }
+        }
+        assert_eq!(r.rounds(), 25);
+    }
+
+    /// Indexed accumulation must be **bit-identical** to the simulated
+    /// network: same copy-first, worker-order association.
+    #[test]
+    fn indexed_matches_sim_network_bitwise() {
         let k = 5;
         let inputs: Vec<Vec<f32>> = (0..k)
             .map(|i| (0..16).map(|j| (i * 17 + j) as f32 * 0.25).collect())
@@ -181,11 +397,12 @@ mod tests {
         let threaded: Vec<Vec<f32>> = std::thread::scope(|scope| {
             let handles: Vec<_> = inputs
                 .iter()
-                .map(|input| {
+                .enumerate()
+                .map(|(id, input)| {
                     let r = r.clone();
                     let mut buf = input.clone();
                     scope.spawn(move || {
-                        r.allreduce(&mut buf);
+                        r.allreduce_indexed(id, &mut buf);
                         buf
                     })
                 })
@@ -195,8 +412,39 @@ mod tests {
 
         for t in &threaded {
             for (a, b) in t.iter().zip(&sim_bufs[0]) {
-                assert!((a - b).abs() < 1e-5, "threaded vs sim mismatch");
+                assert_eq!(a.to_bits(), b.to_bits(), "threaded vs sim mismatch");
             }
+        }
+    }
+
+    /// Two identical indexed runs produce identical bits regardless of
+    /// scheduling — the determinism the arrival-order reducer lacked.
+    #[test]
+    fn indexed_runs_are_bit_reproducible() {
+        let k = 4;
+        let run = || -> Vec<Vec<f32>> {
+            let r = ThreadedReducer::new(k);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..k)
+                    .map(|id| {
+                        let r = r.clone();
+                        scope.spawn(move || {
+                            let mut buf: Vec<f32> =
+                                (0..33).map(|j| ((id * 31 + j) as f32).sin()).collect();
+                            for _ in 0..7 {
+                                r.allreduce_indexed(id, &mut buf);
+                            }
+                            buf
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+        };
+        let a = run();
+        let b = run();
+        for (x, y) in a.iter().flatten().zip(b.iter().flatten()) {
+            assert_eq!(x.to_bits(), y.to_bits());
         }
     }
 }

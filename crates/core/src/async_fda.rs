@@ -43,6 +43,14 @@ pub struct AsyncFda {
     step_times: Vec<f64>,
     w_sync: Vec<f32>,
     latest_states: Vec<Option<LocalState>>,
+    /// The state of a zero drift, cached at construction: workers that have
+    /// not reported since the last sync still hold `w_sync`, and their
+    /// summary is the same for every monitor instant (a zero drift sketches
+    /// to zeros and projects to zero), so the coordinator reuses this
+    /// instead of allocating a `d`-sized zero vector per arrival.
+    zero_state: LocalState,
+    /// Reused drift scratch for the reporting worker.
+    drift_buf: Vec<f32>,
     clock: Vec<f64>,
     steps: Vec<u64>,
     syncs: u64,
@@ -72,6 +80,8 @@ impl AsyncFda {
             .collect();
         let w_sync = cluster.worker(0).params();
         let state_bytes = monitor.state_bytes();
+        let zero_state = monitor.local_state(&vec![0.0; cluster.dim()]);
+        let drift_buf = vec![0.0; cluster.dim()];
         AsyncFda {
             cluster,
             monitor,
@@ -79,6 +89,8 @@ impl AsyncFda {
             step_times,
             w_sync,
             latest_states: vec![None; k],
+            zero_state,
+            drift_buf,
             clock: vec![0.0; k],
             steps: vec![0; k],
             syncs: 0,
@@ -135,26 +147,24 @@ impl AsyncFda {
 
         // Push the local state to the coordinator (point-to-point, so the
         // cost is one state payload, not an AllReduce).
-        let drift = {
-            let mut d = self.cluster.worker(worker).params();
-            vector::sub_assign(&mut d, &self.w_sync);
-            d
-        };
-        let state = self.monitor.local_state(&drift);
+        self.cluster
+            .worker(worker)
+            .model()
+            .copy_params_to(&mut self.drift_buf);
+        vector::sub_assign(&mut self.drift_buf, &self.w_sync);
+        let state = self.monitor.local_state(&self.drift_buf);
         self.latest_states[worker] = Some(state);
         self.extra_bytes += self.state_bytes;
 
         // Coordinator decision over the most recent states of all workers
         // (workers that have not reported yet count as zero drift — they
-        // still hold w_sync).
+        // still hold w_sync, and the cached zero state stands in without
+        // cloning or allocating).
         let k = self.cluster.workers();
-        let states: Vec<LocalState> = (0..k)
-            .map(|i| match &self.latest_states[i] {
-                Some(s) => s.clone(),
-                None => self.monitor.local_state(&vec![0.0; self.cluster.dim()]),
-            })
+        let states: Vec<&LocalState> = (0..k)
+            .map(|i| self.latest_states[i].as_ref().unwrap_or(&self.zero_state))
             .collect();
-        let estimate = self.monitor.estimate(&LocalState::average(&states));
+        let estimate = self.monitor.estimate(&LocalState::average_refs(&states));
         if estimate > self.theta {
             // Rendezvous: everyone finishes the current in-flight step
             // (virtual clocks align to the latest worker), then AllReduce.

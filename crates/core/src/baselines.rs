@@ -8,6 +8,12 @@
 //! * [`FedOpt`] — the FedAvg/FedAvgM/FedAdam family: `E` local epochs per
 //!   round, then the server applies its optimizer to the pseudo-gradient
 //!   `−Δ̄` (Reddi et al., as configured in §4.1).
+//!
+//! All baselines drive the same [`Cluster`] primitives as FDA
+//! (`local_step`, `allreduce_models`, `load_global`), so with
+//! [`ClusterConfig::parallel`] they run on the same persistent worker pool
+//! — one rendezvous per phase, no per-step thread spawning — and remain
+//! bit-identical to their sequential runs.
 
 use crate::cluster::{Cluster, ClusterConfig};
 use crate::strategy::{StepOutcome, Strategy};
@@ -220,16 +226,12 @@ impl FedOpt {
         let mut pseudo_grad = self.w_global.clone();
         vector::sub_assign(&mut pseudo_grad, &w_mean); // −Δ̄
         self.server_opt.step(&mut self.w_global, &pseudo_grad);
-        // Broadcast the server model to every worker. In a real fabric the
-        // server step is computable by every node (it is deterministic in
-        // Δ̄), so no extra traffic is charged beyond the AllReduce — the
-        // convention used by the paper's synchronous framing.
-        for k in 0..self.cluster.workers() {
-            self.cluster
-                .worker_mut(k)
-                .model_mut()
-                .load_params(&self.w_global);
-        }
+        // Broadcast the server model to every worker (pooled when the
+        // cluster is). In a real fabric the server step is computable by
+        // every node (it is deterministic in Δ̄), so no extra traffic is
+        // charged beyond the AllReduce — the convention used by the
+        // paper's synchronous framing.
+        self.cluster.load_global(&self.w_global);
         self.syncs += 1;
     }
 }

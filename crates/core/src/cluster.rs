@@ -6,6 +6,7 @@
 //! same cluster API, so their communication/computation costs are measured
 //! on identical footing.
 
+use crate::pool::{SendPtr, WorkerPool};
 use fda_comm::SimNetwork;
 use fda_data::batch::BatchSampler;
 use fda_data::{Dataset, Partition, TaskData};
@@ -30,15 +31,25 @@ pub struct ClusterConfig {
     pub partition: Partition,
     /// Master seed: controls init, shard split and batch order.
     pub seed: u64,
-    /// Run the local-step phase with one scoped thread per worker.
+    /// Run the cluster phases on a persistent [`WorkerPool`].
     ///
-    /// Workers are independent between AllReduce points and every source of
-    /// randomness is a per-worker stream, so the parallel phase is
-    /// bit-identical to the sequential one (per-worker results are reduced
-    /// in worker order after the join). Keep `false` for the
-    /// deterministic-by-construction sequential path used by bit-exactness
-    /// tests, or on single-core hosts where thread spawning only adds
-    /// overhead.
+    /// The pool is spawned **once** when the cluster is built (`K` lanes:
+    /// `K − 1` long-lived OS threads plus the dispatching thread) and every
+    /// step thereafter is a rendezvous — publish the phase job, run it on
+    /// all lanes, block until the last lane finishes. No per-step thread
+    /// spawning. The pool serves the local-step phase, the FDA drift/
+    /// monitor-state phase, the chunked state reduction and the full-model
+    /// AllReduce; the pool threads are joined when the cluster drops.
+    ///
+    /// Workers are independent between AllReduce points, every source of
+    /// randomness is a per-worker stream, and all cross-worker reductions
+    /// use a fixed worker-order association (chunk-parallel over the
+    /// vector dimension, never over workers), so the pooled runtime is
+    /// **bit-identical** to the sequential one — models, statistics, and
+    /// therefore every synchronization decision. Keep `false` for the
+    /// deterministic-by-construction single-thread path used as the
+    /// bit-exactness reference, or on single-core hosts where the
+    /// rendezvous adds (small, spawn-free) overhead.
     pub parallel: bool,
 }
 
@@ -118,6 +129,14 @@ pub struct Cluster {
     net: SimNetwork,
     dim: usize,
     steps: u64,
+    /// The persistent rendezvous pool (`Some` iff `config.parallel` and
+    /// `K > 1`); spawned once here, joined on drop.
+    pool: Option<WorkerPool>,
+    /// Pool-owned per-worker `(loss, correct, samples)` results, reused
+    /// every step (no per-step allocation).
+    step_results: Vec<(f32, usize, usize)>,
+    /// Reused output buffer for the pooled model average.
+    avg_buf: Vec<f32>,
 }
 
 impl Cluster {
@@ -165,14 +184,25 @@ impl Cluster {
                 }
             })
             .collect();
+        let pool = (config.parallel && config.workers > 1).then(|| WorkerPool::new(config.workers));
         Cluster {
             net: SimNetwork::new(config.workers),
+            step_results: vec![(0.0, 0, 0); config.workers],
+            avg_buf: Vec::new(),
+            pool,
             config,
             dataset,
             workers,
             dim,
             steps: 0,
         }
+    }
+
+    /// The persistent pool (if the cluster runs pooled) together with the
+    /// worker slice — split borrows for strategies (FDA's monitor phase)
+    /// that dispatch their own per-worker jobs.
+    pub(crate) fn pool_and_workers(&mut self) -> (Option<&mut WorkerPool>, &mut [Worker]) {
+        (self.pool.as_mut(), &mut self.workers)
     }
 
     /// The configuration this cluster was built with.
@@ -230,28 +260,29 @@ impl Cluster {
     /// One *in-parallel* local step: every worker samples a batch from its
     /// shard and applies its local optimizer (Algorithm 1 lines 4–5).
     ///
-    /// With [`ClusterConfig::parallel`] set, workers run on scoped OS
-    /// threads; results are reduced in worker order after the join, so both
-    /// modes produce bit-identical models, statistics and (therefore)
-    /// synchronization decisions.
+    /// With [`ClusterConfig::parallel`] set, workers run on the persistent
+    /// [`WorkerPool`] lanes (one rendezvous, no thread spawning); each lane
+    /// writes its `(loss, correct, samples)` into its own slot of a
+    /// pool-owned results buffer, and the statistics are folded in worker
+    /// order afterwards, so both modes produce bit-identical models,
+    /// statistics and (therefore) synchronization decisions.
     pub fn local_step(&mut self) -> StepStats {
         let k = self.workers.len();
-        let (loss_sum, correct_sum, sample_sum) = if self.config.parallel && k > 1 {
-            let dataset = &self.dataset;
-            let per_worker: Vec<(f32, usize, usize)> = std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .workers
-                    .iter_mut()
-                    .map(|w| scope.spawn(move || w.step_once(dataset)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker thread panicked"))
-                    .collect()
+        let (loss_sum, correct_sum, sample_sum) = if let Some(pool) = &mut self.pool {
+            let dataset: &Dataset = &self.dataset;
+            let workers = SendPtr(self.workers.as_mut_ptr());
+            let results = SendPtr(self.step_results.as_mut_ptr());
+            pool.run(&|lane| {
+                // SAFETY: each lane touches only its own worker and its
+                // own results slot; the rendezvous orders these writes
+                // before the fold below.
+                let w = unsafe { &mut *workers.get().add(lane) };
+                let slot = unsafe { &mut *results.get().add(lane) };
+                *slot = w.step_once(dataset);
             });
-            per_worker
-                .into_iter()
-                .fold((0.0f32, 0usize, 0usize), |(l, c, s), (wl, wc, ws)| {
+            self.step_results
+                .iter()
+                .fold((0.0f32, 0usize, 0usize), |(l, c, s), &(wl, wc, ws)| {
                     (l + wl, c + wc, s + ws)
                 })
         } else {
@@ -279,8 +310,17 @@ impl Cluster {
     /// Panics if the vector length differs from the model dimension.
     pub fn load_global(&mut self, params: &[f32]) {
         assert_eq!(params.len(), self.dim, "load_global: dimension mismatch");
-        for w in &mut self.workers {
-            w.model.load_params(params);
+        if let Some(pool) = &mut self.pool {
+            let workers = SendPtr(self.workers.as_mut_ptr());
+            pool.run(&|lane| {
+                // SAFETY: lane-private worker.
+                let w = unsafe { &mut *workers.get().add(lane) };
+                w.model.load_params(params);
+            });
+        } else {
+            for w in &mut self.workers {
+                w.model.load_params(params);
+            }
         }
     }
 
@@ -297,13 +337,57 @@ impl Cluster {
 
     /// Synchronizes all models to their average via AllReduce, charging
     /// `d·4` bytes per worker. Returns the new global model.
+    ///
+    /// Pooled mode performs the same arithmetic as
+    /// [`SimNetwork::allreduce_mean`] — per element, contributions are
+    /// summed in worker order (copy-first) and scaled by `1/K` — but
+    /// parallelized in three rendezvous: every lane snapshots its worker's
+    /// parameters, every lane averages its own contiguous chunk of the flat
+    /// parameter vector, and every lane loads the shared average back. The
+    /// chunking is over the *dimension*, never over workers, so the result
+    /// is bit-identical to the sequential path.
     pub fn allreduce_models(&mut self) -> Vec<f32> {
-        let mut bufs: Vec<Vec<f32>> = self.workers.iter().map(|w| w.model.params_flat()).collect();
-        self.net.allreduce_mean(&mut bufs);
-        for (w, buf) in self.workers.iter_mut().zip(&bufs) {
-            w.model.load_params(buf);
+        if let Some(pool) = &mut self.pool {
+            let dim = self.dim;
+            // (1) Snapshot every worker's parameters into its own scratch.
+            let workers = SendPtr(self.workers.as_mut_ptr());
+            pool.run(&|lane| {
+                // SAFETY: lane-private worker.
+                let w = unsafe { &mut *workers.get().add(lane) };
+                w.model.copy_params_to(&mut w.params_buf);
+            });
+            // (2) Chunk-parallel worker-order mean into the shared buffer.
+            if self.avg_buf.len() != dim {
+                self.avg_buf = vec![0.0; dim];
+            }
+            {
+                let srcs: Vec<&[f32]> = self
+                    .workers
+                    .iter()
+                    .map(|w| w.params_buf.as_slice())
+                    .collect();
+                pool.chunked_mean(&srcs, &mut self.avg_buf);
+            }
+            // (3) Broadcast: every lane loads the shared average.
+            let workers = SendPtr(self.workers.as_mut_ptr());
+            let avg: &[f32] = &self.avg_buf;
+            pool.run(&|lane| {
+                // SAFETY: lane-private worker; `avg` is read-only here.
+                let w = unsafe { &mut *workers.get().add(lane) };
+                w.model.load_params(avg);
+            });
+            // Same traffic entry as the sequential `allreduce_mean`.
+            self.net.charge_allreduce(dim as u64 * 4);
+            self.avg_buf.clone()
+        } else {
+            let mut bufs: Vec<Vec<f32>> =
+                self.workers.iter().map(|w| w.model.params_flat()).collect();
+            self.net.allreduce_mean(&mut bufs);
+            for (w, buf) in self.workers.iter_mut().zip(&bufs) {
+                w.model.load_params(buf);
+            }
+            bufs.into_iter().next().expect("k >= 1")
         }
-        bufs.into_iter().next().expect("k >= 1")
     }
 
     /// The average of the current worker models **without** any
@@ -449,6 +533,65 @@ mod tests {
             }
         }
         assert_eq!(seq.exact_variance(), par.exact_variance());
+    }
+
+    /// The pooled chunk-parallel model AllReduce must be bit-identical to
+    /// the sequential `SimNetwork::allreduce_mean` path — same consensus
+    /// model, same replica states, same byte accounting.
+    #[test]
+    fn pooled_allreduce_is_bit_identical_to_sequential() {
+        let task = tiny_task();
+        let mut seq = Cluster::new(ClusterConfig::small_test(4), &task);
+        let par_cfg = ClusterConfig {
+            parallel: true,
+            ..ClusterConfig::small_test(4)
+        };
+        let mut par = Cluster::new(par_cfg, &task);
+        for _ in 0..3 {
+            seq.local_step();
+            par.local_step();
+        }
+        let g_seq = seq.allreduce_models();
+        let g_par = par.allreduce_models();
+        assert_eq!(g_seq, g_par, "consensus models diverged");
+        assert!(par.models_identical());
+        for k in 0..4 {
+            assert_eq!(seq.worker(k).params(), par.worker(k).params());
+        }
+        assert_eq!(
+            seq.comm_bytes(),
+            par.comm_bytes(),
+            "byte accounting diverged"
+        );
+        // Pooled broadcast-load (`load_global`) matches, too.
+        let fresh = vec![0.25f32; seq.dim()];
+        seq.load_global(&fresh);
+        par.load_global(&fresh);
+        for k in 0..4 {
+            assert_eq!(seq.worker(k).params(), par.worker(k).params());
+        }
+    }
+
+    /// Pooled stepping must not allocate a fresh results vector per step:
+    /// the pool dispatches exactly the expected number of rendezvous.
+    #[test]
+    fn pool_rounds_track_phases() {
+        let task = tiny_task();
+        let cfg = ClusterConfig {
+            parallel: true,
+            ..ClusterConfig::small_test(3)
+        };
+        let mut cluster = Cluster::new(cfg, &task);
+        let pool_rounds = |c: &Cluster| c.pool.as_ref().expect("pooled").rounds();
+        assert_eq!(pool_rounds(&cluster), 0);
+        cluster.local_step();
+        assert_eq!(pool_rounds(&cluster), 1, "one rendezvous per local step");
+        cluster.allreduce_models();
+        assert_eq!(
+            pool_rounds(&cluster),
+            4,
+            "snapshot + chunk-reduce + broadcast = three rendezvous"
+        );
     }
 
     #[test]

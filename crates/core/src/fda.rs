@@ -15,10 +15,31 @@
 
 use crate::cluster::{Cluster, ClusterConfig};
 use crate::monitor::{ExactMonitor, LinearMonitor, LocalState, SketchMonitor, VarianceMonitor};
+use crate::pool::SendPtr;
 use crate::strategy::{StepOutcome, Strategy};
 use fda_data::TaskData;
 use fda_sketch::SketchConfig;
 use fda_tensor::vector;
+use std::time::{Duration, Instant};
+
+/// Summary payloads below this length are averaged on the dispatching
+/// thread even in pooled mode: a rendezvous costs more than a few hundred
+/// scalar adds (LinearFDA's summary is a single float). Both paths compute
+/// bit-identical results, so the cutoff affects speed only.
+const POOLED_STATE_REDUCE_MIN: usize = 256;
+
+/// Wall-clock split of one [`Fda::step`] (see [`Fda::step_instrumented`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StepPhases {
+    /// Phase 1: local training on every worker.
+    pub local_step: Duration,
+    /// Phases 2–3: drift + local-state construction, state reduction and
+    /// the `H(S̄)` estimate.
+    pub monitor: Duration,
+    /// Phase 4: the conditional full-model AllReduce (zero when the Round
+    /// Invariant held and no synchronization happened).
+    pub allreduce: Duration,
+}
 
 /// Which FDA variant to run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -90,8 +111,13 @@ pub struct Fda {
     /// `w_t0`: the model right after the most recent synchronization.
     w_sync: Vec<f32>,
     syncs: u64,
-    // Scratch drift buffer reused across steps and workers.
-    drift_buf: Vec<f32>,
+    /// Per-worker drift scratch `u_t^(k)` (K × d), reused across steps.
+    drift_bufs: Vec<Vec<f32>>,
+    /// Per-worker local states, constructed in place each step.
+    states: Vec<LocalState>,
+    /// Reused slot for the averaged state `S̄_t` in the pooled reduction
+    /// (the sequential reference path allocates, as it always did).
+    avg_state: Option<LocalState>,
 }
 
 impl Fda {
@@ -110,7 +136,6 @@ impl Fda {
     /// custom variance estimators (used by the ξ-choice ablation bench).
     pub fn with_monitor(monitor: Box<dyn VarianceMonitor>, theta: f32, cluster: Cluster) -> Fda {
         assert!(theta >= 0.0, "fda: Θ must be non-negative");
-        let dim = cluster.dim();
         let w_sync = cluster.worker(0).params();
         let variant_name = monitor.name();
         Fda {
@@ -120,7 +145,9 @@ impl Fda {
             variant_name,
             w_sync,
             syncs: 0,
-            drift_buf: vec![0.0; dim],
+            drift_bufs: Vec::new(),
+            states: Vec::new(),
+            avg_state: None,
         }
     }
 
@@ -144,7 +171,9 @@ impl Fda {
             variant_name: config.variant.name(),
             w_sync,
             syncs: 0,
-            drift_buf: vec![0.0; dim],
+            drift_bufs: Vec::new(),
+            states: Vec::new(),
+            avg_state: None,
         }
     }
 
@@ -174,49 +203,102 @@ impl Fda {
         &self.w_sync
     }
 
-    /// Computes all workers' local states (Algorithm 1 line 6).
-    fn local_states(&mut self) -> Vec<LocalState> {
+    /// Computes all workers' local states into `self.states` (Algorithm 1
+    /// line 6): per worker, `drift = w^(k) − w_t0`, then the monitor's
+    /// summary — each on its own pool lane when the cluster is pooled,
+    /// sequentially otherwise. Buffers are lane-private and reused across
+    /// steps, so the steady state allocates nothing; both modes perform
+    /// identical per-worker arithmetic and are therefore bit-identical.
+    fn compute_states(&mut self) {
         let k = self.cluster.workers();
-        let mut states = Vec::with_capacity(k);
-        for i in 0..k {
-            let dim = self.drift_buf.len();
-            // drift = w^(k) − w_t0, computed without allocating.
-            {
-                let mut scratch = std::mem::take(&mut self.drift_buf);
-                debug_assert_eq!(scratch.len(), dim);
-                self.cluster
-                    .worker_mut(i)
-                    .model_mut()
-                    .copy_params_to(&mut scratch);
-                vector::sub_assign(&mut scratch, &self.w_sync);
-                states.push(self.monitor.local_state(&scratch));
-                self.drift_buf = scratch;
+        if self.states.len() != k {
+            let dim = self.cluster.dim();
+            let zeros = vec![0.0f32; dim];
+            self.states = (0..k).map(|_| self.monitor.local_state(&zeros)).collect();
+            self.drift_bufs = vec![zeros; k];
+        }
+        let w_sync: &[f32] = &self.w_sync;
+        let monitor: &dyn VarianceMonitor = self.monitor.as_ref();
+        let (pool, workers) = self.cluster.pool_and_workers();
+        if let Some(pool) = pool {
+            let wptr = SendPtr(workers.as_mut_ptr());
+            let dptr = SendPtr(self.drift_bufs.as_mut_ptr());
+            let sptr = SendPtr(self.states.as_mut_ptr());
+            pool.run(&|lane| {
+                // SAFETY: lane-private worker, drift buffer and state slot.
+                let w = unsafe { &mut *wptr.get().add(lane) };
+                let drift = unsafe { &mut *dptr.get().add(lane) };
+                let state = unsafe { &mut *sptr.get().add(lane) };
+                w.model_mut().copy_params_to(drift);
+                vector::sub_assign(drift, w_sync);
+                monitor.local_state_into(drift, state);
+            });
+        } else {
+            for (i, w) in workers.iter_mut().enumerate() {
+                let drift = &mut self.drift_bufs[i];
+                w.model_mut().copy_params_to(drift);
+                vector::sub_assign(drift, w_sync);
+                monitor.local_state_into(drift, &mut self.states[i]);
             }
         }
-        states
-    }
-}
-
-impl Strategy for Fda {
-    fn name(&self) -> String {
-        self.variant_name.to_string()
     }
 
-    fn step(&mut self) -> StepOutcome {
+    /// Averages `self.states` — the arithmetic of the state AllReduce
+    /// (Algorithm 1 line 7) — and returns the monitor's estimate `H(S̄_t)`.
+    /// Large summaries (sketches at scale, the Exact oracle's full drift)
+    /// reduce chunk-parallel on the pool into the reused `avg_state` slot;
+    /// the chunking is over the summary payload with worker-order
+    /// accumulation per element, i.e. bit-identical to
+    /// [`LocalState::average_refs`], which the sequential path calls.
+    fn averaged_estimate(&mut self) -> f32 {
+        let k = self.states.len();
+        let n = self.states[0].summary_slice().len();
+        let (pool, _) = self.cluster.pool_and_workers();
+        match pool {
+            Some(pool) if n >= POOLED_STATE_REDUCE_MIN => {
+                let drift_sq_norm =
+                    self.states.iter().map(|s| s.drift_sq_norm).sum::<f32>() / k as f32;
+                // One clone on first use; thereafter the slot already has
+                // the right shape (the monitor never changes) and every
+                // element is overwritten below.
+                let avg = match &mut self.avg_state {
+                    Some(avg) if avg.summary_slice().len() == n => avg,
+                    slot => slot.insert(self.states[0].clone()),
+                };
+                {
+                    let srcs: Vec<&[f32]> = self.states.iter().map(|s| s.summary_slice()).collect();
+                    pool.chunked_mean(&srcs, avg.summary_slice_mut());
+                }
+                avg.drift_sq_norm = drift_sq_norm;
+                self.monitor.estimate(avg)
+            }
+            _ => {
+                let refs: Vec<&LocalState> = self.states.iter().collect();
+                self.monitor.estimate(&LocalState::average_refs(&refs))
+            }
+        }
+    }
+
+    /// [`Strategy::step`] with a wall-clock phase split — the probe behind
+    /// the `step_phases` entries of the perf-trajectory bench.
+    pub fn step_instrumented(&mut self) -> (StepOutcome, StepPhases) {
         // (1) Local training on every worker.
+        let t0 = Instant::now();
         let stats = self.cluster.local_step();
+        let t1 = Instant::now();
 
         // (2) Local states from drifts.
-        let states = self.local_states();
+        self.compute_states();
 
         // (3) AllReduce of the states — charged at the monitor's state
-        //     size. The arithmetic is the component-wise average.
-        let avg = LocalState::average(&states);
+        //     size. The arithmetic is the component-wise average; the
+        //     estimate `H(S̄_t)` comes straight off the averaged state.
         let state_bytes = self.monitor.state_bytes();
         self.cluster.net_mut().charge_allreduce(state_bytes);
+        let estimate = self.averaged_estimate();
+        let t2 = Instant::now();
 
         // (4) The conditional synchronization.
-        let estimate = self.monitor.estimate(&avg);
         let mut synced = false;
         if estimate > self.theta {
             let w_prev = std::mem::take(&mut self.w_sync);
@@ -226,11 +308,29 @@ impl Strategy for Fda {
             self.syncs += 1;
             synced = true;
         }
-        StepOutcome {
-            stats,
-            synced,
-            variance_estimate: Some(estimate),
-        }
+        let t3 = Instant::now();
+        (
+            StepOutcome {
+                stats,
+                synced,
+                variance_estimate: Some(estimate),
+            },
+            StepPhases {
+                local_step: t1 - t0,
+                monitor: t2 - t1,
+                allreduce: t3 - t2,
+            },
+        )
+    }
+}
+
+impl Strategy for Fda {
+    fn name(&self) -> String {
+        self.variant_name.to_string()
+    }
+
+    fn step(&mut self) -> StepOutcome {
+        self.step_instrumented().0
     }
 
     fn cluster(&self) -> &Cluster {

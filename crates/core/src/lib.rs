@@ -20,6 +20,9 @@
 //!
 //! * [`cluster`] — K simulated workers (model, optimizer, shard sampler)
 //!   over a byte-accounted [`fda_comm::SimNetwork`].
+//! * [`pool`] — the persistent rendezvous worker pool behind
+//!   [`cluster::ClusterConfig::parallel`]: spawn-once lanes serving every
+//!   phase of the step (local training, monitor states, reductions).
 //! * [`monitor`] — the three variance monitors (Sketch / Linear / Exact
 //!   oracle) and the local-state algebra.
 //! * [`fda`] — Algorithm 1: the [`fda::Fda`] strategy.
@@ -43,6 +46,7 @@ pub mod experiments;
 pub mod fda;
 pub mod harness;
 pub mod monitor;
+pub mod pool;
 pub mod strategy;
 pub mod sweeps;
 pub mod theta;
@@ -50,7 +54,8 @@ pub mod threaded;
 pub mod wire;
 
 pub use cluster::{Cluster, ClusterConfig};
-pub use fda::{Fda, FdaConfig, FdaVariant};
+pub use fda::{Fda, FdaConfig, FdaVariant, StepPhases};
 pub use harness::{RunConfig, RunResult};
 pub use monitor::{ExactMonitor, LinearMonitor, SketchMonitor, VarianceMonitor};
+pub use pool::WorkerPool;
 pub use strategy::Strategy;

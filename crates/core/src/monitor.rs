@@ -36,57 +36,77 @@ pub enum StateSummary {
 }
 
 impl LocalState {
+    /// The summary's flat `f32` payload — the exact numbers the state
+    /// AllReduce would put on the wire. A `Linear` summary is a 1-element
+    /// slice; averaging any variant is element-wise over this slice.
+    pub fn summary_slice(&self) -> &[f32] {
+        match &self.summary {
+            StateSummary::Sketch(sk) => sk.as_slice(),
+            StateSummary::Linear(v) => std::slice::from_ref(v),
+            StateSummary::Exact(v) => v,
+        }
+    }
+
+    /// Mutable view of the summary payload (for in-place reductions).
+    pub fn summary_slice_mut(&mut self) -> &mut [f32] {
+        match &mut self.summary {
+            StateSummary::Sketch(sk) => sk.as_mut_slice(),
+            StateSummary::Linear(v) => std::slice::from_mut(v),
+            StateSummary::Exact(v) => v,
+        }
+    }
+
     /// Averages `K` local states component-wise — the arithmetic the state
     /// AllReduce performs. All states must come from the same monitor.
     ///
     /// # Panics
     /// Panics on an empty slice or mixed summary variants.
     pub fn average(states: &[LocalState]) -> LocalState {
+        let refs: Vec<&LocalState> = states.iter().collect();
+        LocalState::average_refs(&refs)
+    }
+
+    /// [`LocalState::average`] over references (callers with long-lived
+    /// per-worker states avoid cloning them just to average).
+    ///
+    /// The summary accumulation is *copy-first, then add in worker order* —
+    /// the same association as `SimNetwork::allreduce_mean` and
+    /// `fda_tensor::vector::mean_range_into` — so chunk-parallel
+    /// reductions over the summary payload are bit-identical to this
+    /// sequential reference.
+    ///
+    /// # Panics
+    /// Panics on an empty slice or mixed summary variants.
+    pub fn average_refs(states: &[&LocalState]) -> LocalState {
         assert!(!states.is_empty(), "state average: empty input");
         let k = states.len() as f32;
+        let variant = std::mem::discriminant(&states[0].summary);
+        assert!(
+            states
+                .iter()
+                .all(|s| std::mem::discriminant(&s.summary) == variant),
+            "state average: mixed summary variants"
+        );
         let drift_sq_norm = states.iter().map(|s| s.drift_sq_norm).sum::<f32>() / k;
-        let summary = match &states[0].summary {
-            StateSummary::Sketch(_) => {
-                let sketches: Vec<&AmsSketch> = states
-                    .iter()
-                    .map(|s| match &s.summary {
-                        StateSummary::Sketch(sk) => sk,
-                        _ => panic!("state average: mixed summary variants"),
-                    })
-                    .collect();
-                StateSummary::Sketch(AmsSketch::average(&sketches))
+        let mut avg = (*states[0]).clone();
+        {
+            let out = avg.summary_slice_mut();
+            for s in &states[1..] {
+                vector::add_assign(out, s.summary_slice());
             }
-            StateSummary::Linear(_) => {
-                let sum: f32 = states
-                    .iter()
-                    .map(|s| match &s.summary {
-                        StateSummary::Linear(v) => *v,
-                        _ => panic!("state average: mixed summary variants"),
-                    })
-                    .sum();
-                StateSummary::Linear(sum / k)
-            }
-            StateSummary::Exact(first) => {
-                let mut acc = vec![0.0f32; first.len()];
-                for s in states {
-                    match &s.summary {
-                        StateSummary::Exact(v) => vector::add_assign(&mut acc, v),
-                        _ => panic!("state average: mixed summary variants"),
-                    }
-                }
-                vector::scale(&mut acc, 1.0 / k);
-                StateSummary::Exact(acc)
-            }
-        };
-        LocalState {
-            drift_sq_norm,
-            summary,
+            vector::scale(out, 1.0 / k);
         }
+        avg.drift_sq_norm = drift_sq_norm;
+        avg
     }
 }
 
 /// The monitor interface of the FDA protocol (Algorithm 1 lines 6–8).
-pub trait VarianceMonitor: Send {
+///
+/// `Sync` because the pooled runtime shares one monitor across all worker
+/// lanes during the (read-only) state-construction phase; `on_sync` — the
+/// only `&mut` method — runs on the dispatching thread between phases.
+pub trait VarianceMonitor: Send + Sync {
     /// Monitor name for reports (`sketch` / `linear` / `exact`).
     fn name(&self) -> &'static str;
 
@@ -96,6 +116,15 @@ pub trait VarianceMonitor: Send {
     /// Computes a worker's local state from its current drift
     /// `u_t^(k) = w_t^(k) − w_t0`.
     fn local_state(&self, drift: &[f32]) -> LocalState;
+
+    /// Writes a worker's local state into an existing, correctly-shaped
+    /// slot — the borrow-friendly form the pooled runtime uses so the
+    /// steady state constructs states without allocating. Falls back to
+    /// [`VarianceMonitor::local_state`] (which allocates) on shape
+    /// mismatch; produces bit-identical values either way.
+    fn local_state_into(&self, drift: &[f32], out: &mut LocalState) {
+        *out = self.local_state(drift);
+    }
 
     /// The estimation function `H(S̄_t)`: an over-estimate of `Var(w_t)`
     /// computed from the averaged state.
@@ -147,6 +176,18 @@ impl VarianceMonitor for SketchMonitor {
         LocalState {
             drift_sq_norm: vector::norm_sq(drift),
             summary: StateSummary::Sketch(self.plan.sketch(drift)),
+        }
+    }
+
+    fn local_state_into(&self, drift: &[f32], out: &mut LocalState) {
+        out.drift_sq_norm = vector::norm_sq(drift);
+        match &mut out.summary {
+            StateSummary::Sketch(sk)
+                if sk.rows() == self.plan.config().rows && sk.cols() == self.plan.config().cols =>
+            {
+                self.plan.sketch_into(drift, sk);
+            }
+            summary => *summary = StateSummary::Sketch(self.plan.sketch(drift)),
         }
     }
 
@@ -258,6 +299,14 @@ impl VarianceMonitor for ExactMonitor {
         LocalState {
             drift_sq_norm: vector::norm_sq(drift),
             summary: StateSummary::Exact(drift.to_vec()),
+        }
+    }
+
+    fn local_state_into(&self, drift: &[f32], out: &mut LocalState) {
+        out.drift_sq_norm = vector::norm_sq(drift);
+        match &mut out.summary {
+            StateSummary::Exact(v) if v.len() == drift.len() => v.copy_from_slice(drift),
+            summary => *summary = StateSummary::Exact(drift.to_vec()),
         }
     }
 
@@ -457,5 +506,51 @@ mod tests {
         let lin = LinearMonitor::new().local_state(&[1.0]);
         let exa = ExactMonitor::new(1).local_state(&[1.0]);
         let _ = LocalState::average(&[lin, exa]);
+    }
+
+    /// The borrow-friendly `local_state_into` must be bit-identical to the
+    /// allocating `local_state` for every monitor, including when reusing
+    /// a slot populated by a previous (different) drift.
+    #[test]
+    fn local_state_into_matches_local_state() {
+        let d = 300;
+        let drifts = random_drifts(11, 2, d, 1.0);
+        let monitors: Vec<Box<dyn VarianceMonitor>> = vec![
+            Box::new(SketchMonitor::new(
+                fda_sketch::SketchConfig::new(4, 64, 3),
+                d,
+            )),
+            Box::new({
+                let mut m = LinearMonitor::new();
+                let w = random_drifts(40, 2, d, 1.0);
+                m.on_sync(&w[0], &w[1]);
+                m
+            }),
+            Box::new(ExactMonitor::new(d)),
+        ];
+        for m in &monitors {
+            let mut slot = m.local_state(&vec![0.0; d]);
+            for drift in &drifts {
+                m.local_state_into(drift, &mut slot);
+                let fresh = m.local_state(drift);
+                assert_eq!(slot, fresh, "{} reuse diverged", m.name());
+            }
+        }
+    }
+
+    /// `average_refs` avoids clones and matches `average` bit-for-bit, and
+    /// its summary slices round-trip through the flat payload view.
+    #[test]
+    fn average_refs_matches_average() {
+        let drifts = random_drifts(5, 6, 128, 0.7);
+        let m = SketchMonitor::new(fda_sketch::SketchConfig::new(3, 32, 9), 128);
+        let states: Vec<LocalState> = drifts.iter().map(|u| m.local_state(u)).collect();
+        let refs: Vec<&LocalState> = states.iter().collect();
+        let a = LocalState::average(&states);
+        let b = LocalState::average_refs(&refs);
+        assert_eq!(a, b);
+        assert_eq!(a.summary_slice().len(), 3 * 32);
+        let lin = LinearMonitor::new().local_state(&[2.0, 0.0]);
+        assert_eq!(lin.summary_slice(), &[0.0]);
     }
 }

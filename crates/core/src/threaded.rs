@@ -14,10 +14,13 @@
 //!   extra round;
 //! * model AllReduces leave all replicas bit-identical.
 //!
-//! Floating-point caveat: the threaded reducer accumulates in arrival
-//! order, so results can differ from the simulator in the last ulp; tests
-//! therefore assert protocol invariants (consensus, sync counts in range,
-//! convergence) rather than bit-equality with the simulated run.
+//! Workers reduce through [`ThreadedReducer::allreduce_indexed`] with
+//! their stable worker ids, so accumulation order is worker order — the
+//! same copy-first association as the simulator's
+//! `SimNetwork::allreduce_mean`. A threaded run is therefore
+//! bit-reproducible across invocations *and* matches the sequential
+//! simulator's trajectory (tests assert both), while the reduction itself
+//! executes chunk-parallel across the participating threads.
 
 use crate::monitor::{LinearMonitor, LocalState, SketchMonitor, StateSummary, VarianceMonitor};
 use fda_comm::ThreadedReducer;
@@ -169,16 +172,17 @@ pub fn run_threaded_fda(config: ThreadedFdaConfig, task: &TaskData) -> ThreadedF
                         vector::sub_into(&params, &w_sync, &mut drift);
                         let state = monitor.local_state(&drift);
 
-                        // (3) Real state AllReduce.
+                        // (3) Real state AllReduce, worker-order
+                        // accumulation (deterministic).
                         flatten_state(&state, &mut state_buf);
-                        state_reducer.allreduce(&mut state_buf);
+                        state_reducer.allreduce_indexed(worker, &mut state_buf);
                         let avg = unflatten_state(&state_buf, &state);
 
                         // (4) Consistent conditional synchronization: all
                         // workers see the identical averaged buffer, so the
                         // comparison agrees everywhere.
                         if monitor.estimate(&avg) > config.theta {
-                            model_reducer.allreduce(&mut params);
+                            model_reducer.allreduce_indexed(worker, &mut params);
                             model.load_params(&params);
                             monitor.on_sync(&params, &w_sync);
                             w_sync.copy_from_slice(&params);
@@ -291,6 +295,58 @@ mod tests {
         }
         for (a, b) in report.final_params.iter().zip(&report.worker_params[0]) {
             assert!((a - b).abs() <= 1e-6 * (1.0 + b.abs()));
+        }
+    }
+
+    /// With worker-order (indexed) accumulation, two identical threaded
+    /// runs must be bit-identical — no arrival-order jitter.
+    #[test]
+    fn threaded_runs_are_bit_reproducible() {
+        let task = tiny_task();
+        let a = run_threaded_fda(config(0.02, ThreadedVariant::Linear), &task);
+        let b = run_threaded_fda(config(0.02, ThreadedVariant::Linear), &task);
+        assert_eq!(a.syncs, b.syncs);
+        assert_eq!(a.worker_params, b.worker_params, "trajectories diverged");
+    }
+
+    /// The real-threads runtime now performs the *same arithmetic in the
+    /// same order* as the sequential simulator: same seeds ⇒ same sync
+    /// schedule and identical final replicas, not just statistically
+    /// similar ones.
+    #[test]
+    fn threaded_matches_simulator_trajectory() {
+        use crate::cluster::ClusterConfig;
+        use crate::fda::{Fda, FdaConfig};
+        use crate::strategy::Strategy;
+
+        let task = tiny_task();
+        let cfg = config(0.02, ThreadedVariant::Linear);
+        let report = run_threaded_fda(cfg, &task);
+
+        let mut sim = Fda::new(
+            FdaConfig::linear(cfg.theta),
+            ClusterConfig {
+                model: cfg.model,
+                workers: cfg.workers,
+                batch_size: cfg.batch_size,
+                optimizer: cfg.optimizer,
+                partition: cfg.partition,
+                seed: cfg.seed,
+                parallel: false,
+            },
+            &task,
+        );
+        for _ in 0..cfg.steps {
+            sim.step();
+        }
+        assert_eq!(report.syncs, sim.syncs(), "sync schedules diverged");
+        assert!(report.syncs > 0, "test should exercise syncs");
+        for (k, params) in report.worker_params.iter().enumerate() {
+            assert_eq!(
+                params,
+                &sim.cluster().worker(k).params(),
+                "worker {k} diverged from the simulator"
+            );
         }
     }
 

@@ -9,10 +9,12 @@
 //! one small GEMM per sample.
 //!
 //! All lowering buffers (`cols`, the channel-major activation/gradient
-//! staging buffers and the GEMM packing [`Scratch`]) are allocated once per
-//! layer at the first forward of a given batch size and reused across every
-//! subsequent step, so steady-state training performs no per-step
-//! allocation inside the convolution beyond its output matrix.
+//! staging buffers and the GEMM packing [`Scratch`]) are keyed on
+//! **capacity**: they grow to the largest batch seen and are thereafter
+//! reshaped in place, so steady-state training performs no per-step
+//! allocation inside the convolution beyond its output matrix — and batch
+//! size changes (e.g. the ragged final chunk of an evaluation pass) cost a
+//! memset instead of a reallocation.
 
 use crate::init::Init;
 use crate::layer::{Layer, Shape3};
@@ -198,9 +200,14 @@ impl Conv2d {
         self.out_shape
     }
 
-    /// (Re)sizes the forward lowering buffers for `batch` samples. A no-op
-    /// when the batch size is unchanged — the common training case. The
-    /// backward-only staging buffers (`dy_big`, `dcol`) are sized lazily in
+    /// (Re)shapes the forward lowering buffers for `batch` samples. A no-op
+    /// when the batch size is unchanged — the common training case. Scratch
+    /// is keyed on **capacity**, not exact shape: a batch-size change
+    /// reshapes in place ([`Matrix::resize_zeroed`]) and only grows the
+    /// allocation past its high-water mark, so the ragged final eval chunk
+    /// — which used to reallocate all lowering buffers twice per
+    /// evaluation pass — now costs a memset. The backward-only staging
+    /// buffers (`dy_big`, `dcol`) are sized lazily in
     /// [`Conv2d::ensure_backward_buffers`] so inference-only use (e.g. the
     /// harness eval model) never pays for them.
     fn ensure_buffers(&mut self, batch: usize) {
@@ -210,22 +217,24 @@ impl Conv2d {
         let fan_in = self.in_shape.c * self.k * self.k;
         let spatial = self.out_shape.h * self.out_shape.w;
         let (oc, n) = (self.out_shape.c, batch * spatial);
-        self.cols = Matrix::zeros(fan_in, n);
-        self.y_big = Matrix::zeros(oc, n);
-        self.dy_big = Matrix::zeros(0, 0);
-        self.dcol = Matrix::zeros(0, 0);
+        // The re-zero keeps the padded-positions-stay-zero invariant that
+        // the im2col gather relies on.
+        self.cols.resize_zeroed(fan_in, n);
+        self.y_big.resize_zeroed(oc, n);
+        self.dy_big.resize_zeroed(0, 0);
+        self.dcol.resize_zeroed(0, 0);
         self.cols_batch = batch;
     }
 
-    /// Sizes the backward staging buffers on first backward for the current
-    /// batch size.
+    /// Shapes the backward staging buffers on first backward for the
+    /// current batch size (capacity-keyed like the forward buffers).
     fn ensure_backward_buffers(&mut self) {
         let spatial = self.out_shape.h * self.out_shape.w;
         let n = self.cols_batch * spatial;
         if self.dy_big.cols() != n {
             let fan_in = self.in_shape.c * self.k * self.k;
-            self.dy_big = Matrix::zeros(self.out_shape.c, n);
-            self.dcol = Matrix::zeros(fan_in, n);
+            self.dy_big.resize_zeroed(self.out_shape.c, n);
+            self.dcol.resize_zeroed(fan_in, n);
         }
     }
 
@@ -465,5 +474,38 @@ mod tests {
         let mut fresh = Conv2d::new(Shape3::new(2, 5, 5), 3, 3, 1, Init::HeNormal, &mut rng2);
         let y_ref = fresh.forward(small.clone(), true);
         assert_eq!(y_small.as_slice(), y_ref.as_slice());
+    }
+
+    /// The eval-pass pattern — full batches then a ragged final chunk,
+    /// repeated — must reuse the lowering allocations (capacity-keyed
+    /// scratch), not reallocate on every shape change, and results must
+    /// stay correct through shrink and regrow.
+    #[test]
+    fn ragged_eval_chunks_reuse_lowering_buffers() {
+        let mut rng = Rng::new(8);
+        let mut conv = Conv2d::new(Shape3::new(1, 6, 6), 2, 3, 1, Init::HeNormal, &mut rng);
+        let mut full = Matrix::zeros(8, 36);
+        Rng::new(21).fill_normal(full.as_mut_slice(), 0.0, 1.0);
+        let mut ragged = Matrix::zeros(3, 36);
+        Rng::new(22).fill_normal(ragged.as_mut_slice(), 0.0, 1.0);
+
+        let y_full_1 = conv.forward(full.clone(), false);
+        let cols_ptr = conv.cols.as_slice().as_ptr();
+        let y_big_ptr = conv.y_big.as_slice().as_ptr();
+        // Ragged chunk shrinks, next pass grows back: both within capacity.
+        let y_ragged_1 = conv.forward(ragged.clone(), false);
+        assert_eq!(conv.cols.as_slice().as_ptr(), cols_ptr, "cols reallocated");
+        let y_full_2 = conv.forward(full.clone(), false);
+        assert_eq!(conv.cols.as_slice().as_ptr(), cols_ptr, "cols reallocated");
+        assert_eq!(
+            conv.y_big.as_slice().as_ptr(),
+            y_big_ptr,
+            "y_big reallocated"
+        );
+        let y_ragged_2 = conv.forward(ragged.clone(), false);
+
+        // Identical inputs ⇒ identical outputs across the reuse cycle.
+        assert_eq!(y_full_1.as_slice(), y_full_2.as_slice());
+        assert_eq!(y_ragged_1.as_slice(), y_ragged_2.as_slice());
     }
 }

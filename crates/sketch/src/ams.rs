@@ -137,7 +137,11 @@ impl SketchPlan {
         out
     }
 
-    /// Sketches `v` into an existing sketch buffer (overwriting it).
+    /// Sketches `v` into an existing sketch buffer (overwriting it) — the
+    /// borrow-friendly hot-path entry: SketchFDA sketches every worker's
+    /// drift at every step, and reusing each worker's sketch buffer keeps
+    /// the monitor phase allocation-free (and safe to run on per-worker
+    /// pool lanes, since `self` is only read).
     pub fn sketch_into(&self, v: &[f32], out: &mut AmsSketch) {
         assert_eq!(v.len(), self.dim, "sketch: input dimension mismatch");
         assert_eq!(out.rows, self.config.rows, "sketch: row mismatch");
@@ -226,12 +230,25 @@ impl AmsSketch {
         fda_tensor::vector::scale(&mut self.data, alpha);
     }
 
+    /// Copies another sketch's counters into this one, reusing the
+    /// allocation.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn copy_from(&mut self, other: &AmsSketch) {
+        assert_eq!(self.rows, other.rows, "sketch copy: row mismatch");
+        assert_eq!(self.cols, other.cols, "sketch copy: col mismatch");
+        self.data.copy_from_slice(&other.data);
+    }
+
     /// Average of several sketches — what AllReduce produces from the
-    /// workers' local-state sketches.
+    /// workers' local-state sketches. Accumulates copy-first in input
+    /// order, the same association every AllReduce path in the workspace
+    /// uses, so sequential and chunk-parallel reductions agree bit-for-bit.
     pub fn average(sketches: &[&AmsSketch]) -> AmsSketch {
         assert!(!sketches.is_empty(), "sketch average: empty input");
-        let mut out = AmsSketch::zeros(sketches[0].rows, sketches[0].cols);
-        for s in sketches {
+        let mut out = sketches[0].clone();
+        for s in &sketches[1..] {
             out.axpy(1.0, s);
         }
         out.scale(1.0 / sketches.len() as f32);
@@ -353,5 +370,20 @@ mod tests {
     fn wrong_dim_panics() {
         let plan = SketchConfig::new(2, 8, 1).build_plan(10);
         let _ = plan.sketch(&[0.0; 11]);
+    }
+
+    /// `sketch_into` reuse and `copy_from` are bit-identical to the
+    /// allocating constructors.
+    #[test]
+    fn buffer_reuse_matches_fresh_sketch() {
+        let plan = SketchConfig::new(3, 16, 4).build_plan(120);
+        let a = random_vec(1, 120);
+        let b = random_vec(2, 120);
+        let mut reused = plan.sketch(&a);
+        plan.sketch_into(&b, &mut reused);
+        assert_eq!(reused, plan.sketch(&b), "sketch_into reuse diverged");
+        let mut copy = AmsSketch::zeros(3, 16);
+        copy.copy_from(&reused);
+        assert_eq!(copy, reused);
     }
 }

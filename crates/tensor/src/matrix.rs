@@ -145,6 +145,21 @@ impl Matrix {
     pub fn clear(&mut self) {
         self.data.iter_mut().for_each(|v| *v = 0.0);
     }
+
+    /// Reshapes in place to `rows × cols` with all entries zero, reusing the
+    /// existing allocation whenever its capacity suffices.
+    ///
+    /// This is the capacity-keyed scratch idiom: a buffer that cycles
+    /// through shapes (e.g. conv lowering buffers hit by a ragged final
+    /// eval batch) pays one allocation at its high-water mark and memsets
+    /// thereafter, instead of reallocating — and page-faulting — on every
+    /// shape change.
+    pub fn resize_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1057,6 +1072,29 @@ mod tests {
             (scratch.a_pack.capacity(), scratch.b_pack.capacity()),
             cap,
             "scratch must not regrow"
+        );
+    }
+
+    /// `resize_zeroed` keys scratch on capacity: shrinking and re-growing
+    /// within the high-water mark must reuse the allocation and leave the
+    /// buffer all-zero.
+    #[test]
+    fn resize_zeroed_reuses_allocation() {
+        let mut m = Matrix::zeros(8, 16);
+        m.as_mut_slice().iter_mut().for_each(|v| *v = 1.0);
+        let ptr = m.as_slice().as_ptr();
+        m.resize_zeroed(4, 10);
+        assert_eq!((m.rows(), m.cols()), (4, 10));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(m.as_slice().as_ptr(), ptr, "shrink must reuse allocation");
+        m.as_mut_slice().iter_mut().for_each(|v| *v = 2.0);
+        m.resize_zeroed(8, 16);
+        assert_eq!(m.len(), 128);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(
+            m.as_slice().as_ptr(),
+            ptr,
+            "regrow within capacity must reuse allocation"
         );
     }
 }

@@ -160,6 +160,55 @@ pub fn mean(vs: &[&[f32]]) -> Vec<f32> {
     out
 }
 
+/// The `idx`-th of `parts` near-equal contiguous ranges covering `0..len`.
+///
+/// The first `len % parts` chunks are one element longer; chunks are
+/// disjoint and cover the whole range, so `parts` workers can each reduce
+/// their own chunk of a shared buffer without overlap. Empty ranges
+/// (`lo == hi`) occur when `len < parts`.
+///
+/// # Panics
+/// Panics if `parts == 0` or `idx >= parts`.
+#[inline]
+pub fn chunk_range(len: usize, parts: usize, idx: usize) -> (usize, usize) {
+    assert!(parts > 0, "chunk_range: need at least one part");
+    assert!(idx < parts, "chunk_range: index {idx} out of {parts} parts");
+    let base = len / parts;
+    let rem = len % parts;
+    let lo = idx * base + idx.min(rem);
+    let hi = lo + base + usize::from(idx < rem);
+    (lo, hi)
+}
+
+/// Element-wise mean of the sub-range `lo..hi` of several equal-length
+/// vectors, written into `out` (`out.len() == hi − lo`).
+///
+/// The accumulation is *copy-first, then add in input order* — the exact
+/// association `SimNetwork::allreduce_mean` and `LocalState::average` use —
+/// so a chunked parallel reduction built from this helper is bit-identical
+/// to the sequential whole-vector mean: per element, the sum order is
+/// always input 0, 1, 2, … regardless of how the range is chunked.
+///
+/// # Panics
+/// Panics if `vs` is empty, any input is shorter than `hi`, or `out` has
+/// the wrong length.
+pub fn mean_range_into(vs: &[&[f32]], lo: usize, hi: usize, out: &mut [f32]) {
+    assert!(!vs.is_empty(), "mean_range_into: need at least one vector");
+    assert_eq!(
+        out.len(),
+        hi - lo,
+        "mean_range_into: output length mismatch"
+    );
+    if lo == hi {
+        return;
+    }
+    out.copy_from_slice(&vs[0][lo..hi]);
+    for v in &vs[1..] {
+        add_assign(out, &v[lo..hi]);
+    }
+    scale(out, 1.0 / vs.len() as f32);
+}
+
 /// Normalizes `a` to unit L2 norm in place; returns the original norm.
 ///
 /// If the norm is zero (or non-finite) the vector is left untouched and the
@@ -303,5 +352,56 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn dot_length_mismatch_panics() {
         let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_and_are_disjoint() {
+        for len in [0usize, 1, 3, 7, 8, 100, 1001] {
+            for parts in [1usize, 2, 3, 7, 16] {
+                let mut next = 0usize;
+                let mut sizes = Vec::new();
+                for idx in 0..parts {
+                    let (lo, hi) = chunk_range(len, parts, idx);
+                    assert_eq!(lo, next, "len {len} parts {parts} idx {idx}");
+                    assert!(hi >= lo);
+                    sizes.push(hi - lo);
+                    next = hi;
+                }
+                assert_eq!(next, len, "chunks must cover 0..{len}");
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "chunks must be near-equal: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_mean_is_bit_identical_to_whole_vector_mean() {
+        let mut rng = Rng::new(17);
+        let vs: Vec<Vec<f32>> = (0..5).map(|_| random_vec(&mut rng, 103)).collect();
+        let refs: Vec<&[f32]> = vs.iter().map(|v| v.as_slice()).collect();
+        // Sequential reference with the same copy-first association.
+        let mut whole = vec![0.0f32; 103];
+        mean_range_into(&refs, 0, 103, &mut whole);
+        // Chunked assembly, any number of parts.
+        for parts in [1usize, 2, 4, 7] {
+            let mut assembled = vec![0.0f32; 103];
+            for idx in 0..parts {
+                let (lo, hi) = chunk_range(103, parts, idx);
+                mean_range_into(&refs, lo, hi, &mut assembled[lo..hi]);
+            }
+            // Bit-identical, not approximately equal.
+            for (a, b) in assembled.iter().zip(&whole) {
+                assert_eq!(a.to_bits(), b.to_bits(), "parts = {parts}");
+            }
+        }
+    }
+
+    #[test]
+    fn mean_range_matches_mean() {
+        let a = vec![1.0f32, 2.0, 3.0, 4.0];
+        let b = vec![5.0f32, 6.0, 7.0, 8.0];
+        let mut out = vec![0.0f32; 2];
+        mean_range_into(&[&a, &b], 1, 3, &mut out);
+        assert_eq!(out, vec![4.0, 5.0]);
     }
 }
