@@ -5,6 +5,9 @@
 //!
 //! * the naive reference GEMM vs the blocked kernel on im2col shapes
 //!   (LeNet-scale and VGG16-scale),
+//! * `conv_layer_us`: per-layer Conv2d forward/backward wall time at
+//!   training batch size on the channel-major layout (comparable across
+//!   PRs — the layout refactor is judged on these),
 //! * end-to-end cluster `local_step` throughput (steps/sec) for the LeNet
 //!   and VGG16 zoo models, sequential and pooled-parallel,
 //! * `step_phases`: the full `Fda::step` split into local-step / monitor /
@@ -24,7 +27,11 @@ use fda_core::fda::{Fda, FdaConfig};
 use fda_core::pool::WorkerPool;
 use fda_core::strategy::Strategy as _;
 use fda_data::Partition;
+use fda_nn::conv::Conv2d;
+use fda_nn::init::Init;
+use fda_nn::layer::Layer as _;
 use fda_nn::zoo::ModelId;
+use fda_nn::Shape3;
 use fda_tensor::{matrix, Matrix, Rng};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -73,6 +80,46 @@ fn bench_gemm(tag: &'static str, m: usize, k: usize, n: usize) -> GemmResult {
         n,
         naive,
         blocked,
+    }
+}
+
+struct ConvLayerResult {
+    tag: &'static str,
+    batch: usize,
+    forward: Duration,
+    backward: Duration,
+}
+
+/// Per-layer conv forward/backward wall time at training batch size, on
+/// channel-major activations (input handed by value, clone included — the
+/// same protocol as the pre-layout-refactor baseline, so the numbers are
+/// directly comparable across PRs).
+fn bench_conv_layer(
+    tag: &'static str,
+    in_shape: Shape3,
+    out_c: usize,
+    batch: usize,
+    iters: u32,
+) -> ConvLayerResult {
+    let mut rng = Rng::new(7);
+    let mut conv = Conv2d::new(in_shape, out_c, 3, 1, Init::HeNormal, &mut rng);
+    let mut x = Matrix::zeros(in_shape.c, batch * in_shape.spatial());
+    Rng::new(9).fill_normal(x.as_mut_slice(), 0.0, 1.0);
+    let forward = best_time(5, iters, || {
+        let _ = conv.forward(x.clone(), true);
+    });
+    let out = conv.out_shape();
+    let mut dy = Matrix::zeros(out.c, batch * out.spatial());
+    Rng::new(11).fill_normal(dy.as_mut_slice(), 0.0, 1.0);
+    let _ = conv.forward(x.clone(), true);
+    let backward = best_time(5, iters, || {
+        let _ = conv.backward(dy.clone());
+    });
+    ConvLayerResult {
+        tag,
+        batch,
+        forward,
+        backward,
     }
 }
 
@@ -220,6 +267,13 @@ fn main() {
         bench_gemm("vgg16_conv", 64, 576, 9216),
         bench_gemm("dense_square", 256, 256, 256),
     ];
+    let conv_iters = if smoke { 20 } else { 200 };
+    // The LeNet conv stack plus a VGG16*-scale layer, at training batch 32.
+    let conv_layers = [
+        bench_conv_layer("lenet_conv1", Shape3::new(1, 12, 12), 6, 32, conv_iters),
+        bench_conv_layer("lenet_conv2", Shape3::new(6, 6, 6), 12, 32, conv_iters),
+        bench_conv_layer("vgg_conv2b", Shape3::new(16, 6, 6), 16, 32, conv_iters),
+    ];
     let steps = [
         bench_steps(ModelId::Lenet5, "lenet5"),
         bench_steps(ModelId::Vgg16Star, "vgg16"),
@@ -245,6 +299,18 @@ fn main() {
             g.naive.as_secs_f64() * 1e6,
             g.blocked.as_secs_f64() * 1e6,
             g.naive.as_secs_f64() / g.blocked.as_secs_f64(),
+        );
+    }
+    json.push_str("  ],\n  \"conv_layer_us\": [\n");
+    for (i, c) in conv_layers.iter().enumerate() {
+        let sep = if i + 1 < conv_layers.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"layer\": \"{}\", \"batch\": {}, \"forward_us\": {:.1}, \"backward_us\": {:.1}}}{sep}",
+            c.tag,
+            c.batch,
+            c.forward.as_secs_f64() * 1e6,
+            c.backward.as_secs_f64() * 1e6,
         );
     }
     json.push_str("  ],\n  \"local_step_k4\": [\n");
@@ -287,7 +353,7 @@ fn main() {
     let _ = writeln!(json, "  \"host_cores\": {host_cores},");
     let _ = writeln!(
         json,
-        "  \"note\": \"naive-vs-blocked measured back-to-back in one process; seed-era all-naive LeNet local_step was ~6.3ms (159 steps/sec) on this host. step_phases: Fda::step at theta=0 (sync every step), SketchAuto monitor, K=4; 'pooled' = persistent WorkerPool (ClusterConfig::parallel), 'seq' = single-thread reference. rendezvous_us compares one pool dispatch against the K scoped thread spawns PR 1 paid per step. Parallel speedups require host_cores > 1; on a single-core host the pooled numbers measure pure rendezvous overhead.\""
+        "  \"note\": \"naive-vs-blocked measured back-to-back in one process; seed-era all-naive LeNet local_step was ~6.3ms (159 steps/sec) on this host. conv_layer_us: Conv2d forward/backward on channel-major activations, input clone included; the PR 2 sample-major baseline on this host was lenet_conv1 43.1/90.7, lenet_conv2 65.9/124.8, vgg_conv2b 213.0/411.5 us (fwd/bwd). step_phases: Fda::step at theta=0 (sync every step), SketchAuto monitor, K=4; 'pooled' = persistent WorkerPool (ClusterConfig::parallel), 'seq' = single-thread reference. rendezvous_us compares one pool dispatch against the K scoped thread spawns PR 1 paid per step. Parallel speedups require host_cores > 1; on a single-core host the pooled numbers measure pure rendezvous overhead.\""
     );
     json.push('}');
 

@@ -101,9 +101,16 @@ impl Worker {
 
     /// One local training step for this worker: sample, backprop, optimize.
     /// Returns `(batch loss, #correct, #samples)`.
+    ///
+    /// The batch is gathered directly in the model's native activation
+    /// layout (channel-major for convolutional models) and handed over by
+    /// value, so the hot path performs no layout conversion and no input
+    /// clone. Sampling order and values are identical to the sample-major
+    /// path, so this is trajectory-preserving.
     fn step_once(&mut self, dataset: &Dataset) -> (f32, usize, usize) {
-        let (x, y) = self.sampler.sample(dataset);
-        let (loss, correct) = self.model.compute_gradients(&x, &y);
+        let channels = self.model.input_shape().map(|s| s.c);
+        let (x, y) = self.sampler.sample_native(dataset, channels);
+        let (loss, correct) = self.model.compute_gradients_native(x, &y);
         self.model.copy_params_to(&mut self.params_buf);
         self.model.copy_grads_to(&mut self.grads_buf);
         self.optimizer.step(&mut self.params_buf, &self.grads_buf);

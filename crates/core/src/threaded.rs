@@ -159,10 +159,13 @@ pub fn run_threaded_fda(config: ThreadedFdaConfig, task: &TaskData) -> ThreadedF
                     let mut state_buf: Vec<f32> = Vec::new();
                     let mut syncs = 0u64;
 
+                    let channels = model.input_shape().map(|s| s.c);
                     for _ in 0..config.steps {
-                        // (1) Local training.
-                        let (x, y) = sampler.sample(train);
-                        model.compute_gradients(&x, &y);
+                        // (1) Local training: batch gathered in the
+                        // model's native layout (channel-major for conv
+                        // models), no per-step conversion pass.
+                        let (x, y) = sampler.sample_native(train, channels);
+                        model.compute_gradients_native(x, &y);
                         model.copy_params_to(&mut params);
                         model.copy_grads_to(&mut grads);
                         optimizer.step(&mut params, &grads);

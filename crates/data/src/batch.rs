@@ -60,17 +60,42 @@ impl BatchSampler {
         self.cursor = 0;
     }
 
-    /// Draws the next mini-batch (wrapping and reshuffling at epoch end).
-    pub fn sample(&mut self, dataset: &Dataset) -> (Matrix, Vec<usize>) {
+    /// Advances the cursor (wrapping and reshuffling at epoch end) and
+    /// returns the index range of the next mini-batch.
+    fn advance(&mut self) -> std::ops::Range<usize> {
         let n = self.indices.len();
         let take = self.batch.min(n);
         if self.cursor + take > n {
             self.reshuffle();
         }
-        let slice = &self.indices[self.cursor..self.cursor + take];
-        let out = dataset.gather(slice);
+        let start = self.cursor;
         self.cursor += take;
-        out
+        start..start + take
+    }
+
+    /// Draws the next mini-batch (wrapping and reshuffling at epoch end).
+    pub fn sample(&mut self, dataset: &Dataset) -> (Matrix, Vec<usize>) {
+        let r = self.advance();
+        dataset.gather(&self.indices[r])
+    }
+
+    /// Like [`BatchSampler::sample`], but gathers the batch directly into
+    /// the layout a model declares as native: channel-major
+    /// (`Some(channels)`) or sample-major rows (`None`). The index stream —
+    /// and therefore the RNG state and the sampled values — is identical to
+    /// [`BatchSampler::sample`]; only the destination arrangement differs,
+    /// so switching a training loop to this entry is trajectory-preserving.
+    pub fn sample_native(
+        &mut self,
+        dataset: &Dataset,
+        channels: Option<usize>,
+    ) -> (Matrix, Vec<usize>) {
+        let r = self.advance();
+        let idx = &self.indices[r];
+        match channels {
+            Some(c) => dataset.gather_channel_major(idx, c),
+            None => dataset.gather(idx),
+        }
     }
 
     /// Returns all batch index-ranges of one fresh epoch (shuffled).
@@ -155,6 +180,33 @@ mod tests {
             assert_eq!(xa.as_slice(), xb.as_slice());
             assert_eq!(ya, yb);
         }
+    }
+
+    /// `sample_native` must consume the identical index stream as `sample`
+    /// — same RNG state, same samples — differing only in the batch layout,
+    /// so switching a training loop between the two entries is
+    /// trajectory-preserving.
+    #[test]
+    fn sample_native_matches_sample_stream() {
+        // 2-channel samples: dim 4 = 2 planes of 2.
+        let x = Matrix::from_vec(12, 4, (0..48).map(|i| i as f32).collect());
+        let d = Dataset::new(x, (0..12).map(|i| i % 2).collect(), 2);
+        let mut plain = BatchSampler::new((0..12).collect(), 5, Rng::new(21));
+        let mut native = BatchSampler::new((0..12).collect(), 5, Rng::new(21));
+        for step in 0..7 {
+            let (xs, ys) = plain.sample(&d);
+            let (xc, yc) = native.sample_native(&d, Some(2));
+            assert_eq!(ys, yc, "step {step}: labels diverged");
+            assert_eq!(
+                xc,
+                xs.to_channel_major(2),
+                "step {step}: batch values diverged"
+            );
+        }
+        // And the sample-major native path is the plain gather.
+        let (xs, ys) = plain.sample(&d);
+        let (xn, yn) = native.sample_native(&d, None);
+        assert_eq!((xs, ys), (xn, yn));
     }
 
     #[test]

@@ -80,6 +80,41 @@ impl Dataset {
         (xb, yb)
     }
 
+    /// Gathers the given sample indices directly into a **channel-major**
+    /// batch (`channels × batch·spatial`, per-sample column blocks) — the
+    /// native input layout of convolutional models, produced here so the
+    /// training hot path never pays a layout-conversion pass. Feature order
+    /// within each stored sample row is `(channel, y, x)`, so this is a
+    /// pure regrouping of the same plane copies `gather` performs.
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds, `indices` is empty, or the
+    /// feature dimension does not divide into `channels` planes.
+    pub fn gather_channel_major(&self, indices: &[usize], channels: usize) -> (Matrix, Vec<usize>) {
+        assert!(!indices.is_empty(), "gather: empty index set");
+        assert!(channels >= 1, "gather: zero channels");
+        assert_eq!(
+            self.dim() % channels,
+            0,
+            "gather: dim {} not divisible by {} channels",
+            self.dim(),
+            channels
+        );
+        let spatial = self.dim() / channels;
+        let batch = indices.len();
+        let mut xb = Matrix::zeros(channels, batch * spatial);
+        let mut yb = Vec::with_capacity(batch);
+        for (s, &i) in indices.iter().enumerate() {
+            let row = self.x.row(i);
+            for ch in 0..channels {
+                xb.row_mut(ch)[s * spatial..(s + 1) * spatial]
+                    .copy_from_slice(&row[ch * spatial..(ch + 1) * spatial]);
+            }
+            yb.push(self.y[i]);
+        }
+        (xb, yb)
+    }
+
     /// Per-class sample counts.
     pub fn class_histogram(&self) -> Vec<usize> {
         let mut h = vec![0usize; self.classes];
@@ -140,6 +175,30 @@ mod tests {
         assert_eq!(xb.row(0), &[3.0, 3.0]);
         assert_eq!(xb.row(1), &[0.0, 0.0]);
         assert_eq!(yb, vec![1, 0]);
+    }
+
+    #[test]
+    fn gather_channel_major_matches_converted_gather() {
+        // 3 samples of 2 channels × 3 spatial positions.
+        let x = Matrix::from_vec(3, 6, (0..18).map(|i| i as f32).collect());
+        let d = Dataset::new(x, vec![0, 1, 0], 2);
+        let idx = [2usize, 0];
+        let (sm, y_sm) = d.gather(&idx);
+        let (cm, y_cm) = d.gather_channel_major(&idx, 2);
+        assert_eq!(y_sm, y_cm);
+        assert_eq!((cm.rows(), cm.cols()), (2, 2 * 3));
+        assert_eq!(
+            cm,
+            sm.to_channel_major(2),
+            "direct channel-major gather must equal gather + conversion"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn gather_channel_major_indivisible_panics() {
+        let d = toy(); // dim 2
+        let _ = d.gather_channel_major(&[0], 3);
     }
 
     #[test]

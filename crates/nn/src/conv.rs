@@ -1,4 +1,4 @@
-//! 2-D convolution via batch-level im2col.
+//! 2-D convolution via batch-level im2col on channel-major activations.
 //!
 //! The paper's models (LeNet-5, VGG16*, DenseNets) are convolutional; this
 //! layer provides the same computational structure at CPU scale. The whole
@@ -8,13 +8,22 @@
 //! blocked kernel in `fda_tensor::matrix` to run at full tilt, instead of
 //! one small GEMM per sample.
 //!
-//! All lowering buffers (`cols`, the channel-major activation/gradient
-//! staging buffers and the GEMM packing [`Scratch`]) are keyed on
-//! **capacity**: they grow to the largest batch seen and are thereafter
-//! reshaped in place, so steady-state training performs no per-step
-//! allocation inside the convolution beyond its output matrix — and batch
-//! size changes (e.g. the ragged final chunk of an evaluation pass) cost a
-//! memset instead of a reallocation.
+//! Activations arrive and leave **channel-major** (`c × batch·spatial`,
+//! per-sample column blocks — see [`crate::layer`]). That is exactly the
+//! shape of the forward GEMM product `W · cols` and of the backward GEMM
+//! operand `dy`, so the layer performs **no layout staging**: the GEMM
+//! output *is* the layer output, and the incoming gradient feeds the
+//! weight/input-gradient GEMMs directly. (Earlier revisions kept
+//! sample-major activations and paid a full gather + scatter pass over
+//! `out_c × batch·spatial` staging buffers on every forward *and* backward
+//! of every conv layer.)
+//!
+//! All lowering buffers (`cols`, `dcol`, and the GEMM packing [`Scratch`])
+//! are keyed on **capacity**: they grow to the largest batch seen and are
+//! thereafter reshaped in place, so steady-state training performs no
+//! per-step allocation inside the convolution beyond its output matrix —
+//! and batch size changes (e.g. the ragged final chunk of an evaluation
+//! pass) cost a memset instead of a reallocation.
 
 use crate::init::Init;
 use crate::layer::{Layer, Shape3};
@@ -23,8 +32,8 @@ use fda_tensor::{matrix, matrix::Scratch, Matrix, Rng};
 /// A 2-D convolution with square stride-1 kernels and symmetric zero
 /// padding.
 ///
-/// Activations arrive as flattened rows (`c·h·w` per sample); the layer
-/// knows its input [`Shape3`] from construction.
+/// Consumes and produces channel-major activations; the layer knows its
+/// input [`Shape3`] from construction and asserts the incoming layout.
 pub struct Conv2d {
     in_shape: Shape3,
     out_shape: Shape3,
@@ -41,11 +50,8 @@ pub struct Conv2d {
     cols: Matrix,
     /// Batch size the lowering buffers were built for (0 = not yet built).
     cols_batch: usize,
-    /// Channel-major staging for forward outputs / backward gradients
-    /// (`out_c × batch·spatial`).
-    y_big: Matrix,
-    dy_big: Matrix,
-    /// Column-gradient buffer (`in_c·k·k × batch·spatial`).
+    /// Column-gradient buffer (`in_c·k·k × batch·spatial`), sized lazily on
+    /// first backward so inference-only use never pays for it.
     dcol: Matrix,
     /// GEMM packing arena, reused across steps.
     scratch: Scratch,
@@ -53,12 +59,16 @@ pub struct Conv2d {
     plan: Vec<CopyRun>,
 }
 
-/// One contiguous copy between a flattened sample and a column-matrix row:
-/// `cols[row][dst..dst+len] ↔ sample[src..src+len]` (dst is relative to
-/// the sample's column block).
+/// One contiguous copy between a channel plane of the input and a
+/// column-matrix row:
+/// `cols[row][col_off + dst ..+len] ↔ x[src_row][blk_off + src ..+len]`,
+/// where `col_off`/`blk_off` select the sample's column block in the
+/// respective channel-major matrix and `src` is relative to the sample's
+/// `h·w` plane.
 #[derive(Debug, Clone, Copy)]
 struct CopyRun {
     row: u32,
+    src_row: u32,
     dst: u32,
     src: u32,
     len: u32,
@@ -92,13 +102,15 @@ fn build_copy_plan(in_shape: Shape3, out_shape: Shape3, k: usize, pad: usize) ->
                     let ix0 = (ox_lo as isize + kx as isize - pad) as usize;
                     let run = CopyRun {
                         row: row_idx as u32,
+                        src_row: ch as u32,
                         dst: (oy * ow + ox_lo) as u32,
-                        src: (ch * h * w + iy as usize * w + ix0) as u32,
+                        src: (iy as usize * w + ix0) as u32,
                         len: (ox_hi - ox_lo) as u32,
                     };
                     match plan.last_mut() {
                         Some(last)
                             if last.row == run.row
+                                && last.src_row == run.src_row
                                 && last.dst + last.len == run.dst
                                 && last.src + last.len == run.src =>
                         {
@@ -113,31 +125,41 @@ fn build_copy_plan(in_shape: Shape3, out_shape: Shape3, k: usize, pad: usize) ->
     plan
 }
 
-/// Lowers one flattened sample into the shared column matrix at column
-/// offset `col_off` (the sample's `spatial`-wide block). Only in-bounds
-/// input positions are written: padded positions stay at their initial
-/// zero, which is why the buffer never needs re-clearing.
-fn im2col_into(plan: &[CopyRun], sample: &[f32], cols: &mut Matrix, col_off: usize) {
+/// Lowers one sample's planes from a channel-major batch into the shared
+/// column matrix at column offset `col_off` (the sample's `spatial`-wide
+/// block); `blk_off` is the sample's block offset in the input
+/// (`sample · in_spatial`). Only in-bounds input positions are written:
+/// padded positions stay at their initial zero, which is why the buffer
+/// never needs re-clearing.
+fn im2col_into(plan: &[CopyRun], x: &Matrix, blk_off: usize, cols: &mut Matrix, col_off: usize) {
     let ncols = cols.cols();
+    let x_ncols = x.cols();
+    let x_data = x.as_slice();
     let data = cols.as_mut_slice();
     for run in plan {
         let dst = run.row as usize * ncols + col_off + run.dst as usize;
-        let src = run.src as usize;
+        let src = run.src_row as usize * x_ncols + blk_off + run.src as usize;
         let len = run.len as usize;
-        data[dst..dst + len].copy_from_slice(&sample[src..src + len]);
+        data[dst..dst + len].copy_from_slice(&x_data[src..src + len]);
     }
 }
 
-/// Scatters one sample's column-gradient block (at column offset `col_off`)
-/// back to a flattened input gradient — the adjoint of [`im2col_into`].
-fn col2im_from(plan: &[CopyRun], dcol: &Matrix, col_off: usize, out: &mut [f32]) {
+/// Scatter-accumulates one sample's column-gradient block (at column offset
+/// `col_off`) back into a channel-major input gradient — the adjoint of
+/// [`im2col_into`].
+fn col2im_from(plan: &[CopyRun], dcol: &Matrix, col_off: usize, dx: &mut Matrix, blk_off: usize) {
     let ncols = dcol.cols();
+    let dx_ncols = dx.cols();
     let data = dcol.as_slice();
+    let dst_data = dx.as_mut_slice();
     for run in plan {
         let src = run.row as usize * ncols + col_off + run.dst as usize;
-        let dst = run.src as usize;
+        let dst = run.src_row as usize * dx_ncols + blk_off + run.src as usize;
         let len = run.len as usize;
-        for (d, s) in out[dst..dst + len].iter_mut().zip(&data[src..src + len]) {
+        for (d, s) in dst_data[dst..dst + len]
+            .iter_mut()
+            .zip(&data[src..src + len])
+        {
             *d += s;
         }
     }
@@ -182,8 +204,6 @@ impl Conv2d {
             db: vec![0.0; out_c],
             cols: Matrix::zeros(0, 0),
             cols_batch: 0,
-            y_big: Matrix::zeros(0, 0),
-            dy_big: Matrix::zeros(0, 0),
             dcol: Matrix::zeros(0, 0),
             scratch: Scratch::new(),
             plan,
@@ -200,59 +220,106 @@ impl Conv2d {
         self.out_shape
     }
 
-    /// (Re)shapes the forward lowering buffers for `batch` samples. A no-op
+    /// (Re)shapes the `cols` lowering buffer for `batch` samples. A no-op
     /// when the batch size is unchanged — the common training case. Scratch
     /// is keyed on **capacity**, not exact shape: a batch-size change
     /// reshapes in place ([`Matrix::resize_zeroed`]) and only grows the
     /// allocation past its high-water mark, so the ragged final eval chunk
     /// — which used to reallocate all lowering buffers twice per
-    /// evaluation pass — now costs a memset. The backward-only staging
-    /// buffers (`dy_big`, `dcol`) are sized lazily in
-    /// [`Conv2d::ensure_backward_buffers`] so inference-only use (e.g. the
-    /// harness eval model) never pays for them.
+    /// evaluation pass — costs a memset. The backward-only `dcol` buffer is
+    /// sized lazily in [`Conv2d::ensure_backward_buffers`] so
+    /// inference-only use (e.g. the harness eval model) never pays for it.
     fn ensure_buffers(&mut self, batch: usize) {
         if self.cols_batch == batch {
             return;
         }
         let fan_in = self.in_shape.c * self.k * self.k;
-        let spatial = self.out_shape.h * self.out_shape.w;
-        let (oc, n) = (self.out_shape.c, batch * spatial);
+        let n = batch * self.out_shape.spatial();
         // The re-zero keeps the padded-positions-stay-zero invariant that
         // the im2col gather relies on.
         self.cols.resize_zeroed(fan_in, n);
-        self.y_big.resize_zeroed(oc, n);
-        self.dy_big.resize_zeroed(0, 0);
         self.dcol.resize_zeroed(0, 0);
         self.cols_batch = batch;
     }
 
-    /// Shapes the backward staging buffers on first backward for the
-    /// current batch size (capacity-keyed like the forward buffers).
+    /// Shapes the backward staging buffer on first backward for the current
+    /// batch size (capacity-keyed like the forward buffers).
     fn ensure_backward_buffers(&mut self) {
-        let spatial = self.out_shape.h * self.out_shape.w;
-        let n = self.cols_batch * spatial;
-        if self.dy_big.cols() != n {
+        let n = self.cols_batch * self.out_shape.spatial();
+        if self.dcol.cols() != n {
             let fan_in = self.in_shape.c * self.k * self.k;
-            self.dy_big.resize_zeroed(self.out_shape.c, n);
             self.dcol.resize_zeroed(fan_in, n);
         }
     }
 
-    /// Test-only single-sample lowering (allocating), used by the adjoint
-    /// property test.
-    #[cfg(test)]
-    fn im2col(&self, sample: &[f32]) -> Matrix {
-        let fan_in = self.in_shape.c * self.k * self.k;
-        let spatial = self.out_shape.h * self.out_shape.w;
-        let mut col = Matrix::zeros(fan_in, spatial);
-        im2col_into(&self.plan, sample, &mut col, 0);
-        col
+    /// Lowers a channel-major batch into `self.cols`.
+    fn lower(&mut self, x: &Matrix, batch: usize) {
+        let (in_spatial, spatial) = (self.in_shape.spatial(), self.out_shape.spatial());
+        for s in 0..batch {
+            im2col_into(&self.plan, x, s * in_spatial, &mut self.cols, s * spatial);
+        }
     }
 
-    /// Test-only single-sample scatter (the adjoint of [`Conv2d::im2col`]).
-    #[cfg(test)]
-    fn col2im(&self, dcol: &Matrix, out: &mut [f32]) {
-        col2im_from(&self.plan, dcol, 0, out);
+    // -----------------------------------------------------------------
+    // Test / property-suite support: the lowering operators as plain
+    // matrix functions, so invariants (adjointness, plan coverage) can be
+    // checked from outside the crate.
+    // -----------------------------------------------------------------
+
+    /// Lowers a channel-major batch (`in_c × batch·in_spatial`) and
+    /// returns a copy of the column matrix
+    /// (`in_c·k·k × batch·out_spatial`). Test/diagnostic support — the hot
+    /// path keeps the buffer internal.
+    pub fn im2col_batch(&mut self, x: &Matrix) -> Matrix {
+        let batch = self.in_shape.batch_of(x, "conv im2col input");
+        self.ensure_buffers(batch);
+        self.lower(x, batch);
+        self.cols.clone()
+    }
+
+    /// The adjoint scatter: accumulates a column-matrix gradient
+    /// (`in_c·k·k × batch·out_spatial`) back into a channel-major
+    /// input-shaped matrix. Test/diagnostic support.
+    pub fn col2im_batch(&self, dcol: &Matrix) -> Matrix {
+        let spatial = self.out_shape.spatial();
+        assert_eq!(
+            dcol.rows(),
+            self.in_shape.c * self.k * self.k,
+            "conv: col2im rows mismatch"
+        );
+        assert_eq!(
+            dcol.cols() % spatial,
+            0,
+            "conv: col2im width {} is not a multiple of out spatial {spatial}",
+            dcol.cols()
+        );
+        let batch = dcol.cols() / spatial;
+        let in_spatial = self.in_shape.spatial();
+        let mut dx = Matrix::zeros(self.in_shape.c, batch * in_spatial);
+        for s in 0..batch {
+            col2im_from(&self.plan, dcol, s * spatial, &mut dx, s * in_spatial);
+        }
+        dx
+    }
+
+    /// The precomputed copy-run plan as
+    /// `(cols_row, src_channel, dst_offset, src_offset, len)` tuples —
+    /// offsets relative to a sample's output block / input plane. Exposed
+    /// so the workspace property suite can check coverage and disjointness
+    /// invariants directly.
+    pub fn plan_runs(&self) -> Vec<(usize, usize, usize, usize, usize)> {
+        self.plan
+            .iter()
+            .map(|r| {
+                (
+                    r.row as usize,
+                    r.src_row as usize,
+                    r.dst as usize,
+                    r.src as usize,
+                    r.len as usize,
+                )
+            })
+            .collect()
     }
 }
 
@@ -262,64 +329,57 @@ impl Layer for Conv2d {
     }
 
     fn forward(&mut self, x: Matrix, _train: bool) -> Matrix {
-        assert_eq!(x.cols(), self.in_shape.len(), "conv: input width mismatch");
-        let batch = x.rows();
-        let (oc, spatial) = (self.out_shape.c, self.out_shape.h * self.out_shape.w);
+        let batch = self.in_shape.batch_of(&x, "conv input");
+        let (oc, spatial) = (self.out_shape.c, self.out_shape.spatial());
         self.ensure_buffers(batch);
-        for s in 0..batch {
-            im2col_into(&self.plan, x.row(s), &mut self.cols, s * spatial);
-        }
-        // One large GEMM for the whole batch: y_big = W · cols.
-        matrix::gemm_into_with(&self.w, &self.cols, &mut self.y_big, &mut self.scratch);
-        // Scatter channel-major (oc × batch·spatial) into sample-major rows.
-        // The (s, c, spatial) visit order is exactly row-major, so the
-        // output is built by appending — no zero-fill pass over a buffer
-        // that gets fully overwritten anyway.
-        let mut data = Vec::with_capacity(batch * self.out_shape.len());
-        for s in 0..batch {
-            for c in 0..oc {
-                let src = &self.y_big.row(c)[s * spatial..(s + 1) * spatial];
-                let bias = self.b[c];
-                data.extend(src.iter().map(|v| v + bias));
+        self.lower(&x, batch);
+        // One large GEMM for the whole batch; the product is already the
+        // channel-major layer output — no staging scatter. Accumulate into
+        // the freshly zeroed output (numerically identical to the
+        // clearing `gemm_into_with`, minus one redundant pass over y).
+        let mut y = Matrix::zeros(oc, batch * spatial);
+        matrix::gemm_accumulate_with(&self.w, &self.cols, &mut y, &mut self.scratch);
+        for c in 0..oc {
+            let bias = self.b[c];
+            for v in y.row_mut(c) {
+                *v += bias;
             }
         }
-        Matrix::from_vec(batch, self.out_shape.len(), data)
+        y
     }
 
     fn backward(&mut self, dy: Matrix) -> Matrix {
-        let batch = dy.rows();
-        assert_eq!(dy.cols(), self.out_shape.len(), "conv: grad width mismatch");
+        let (oc, spatial) = (self.out_shape.c, self.out_shape.spatial());
         assert_eq!(
-            batch, self.cols_batch,
-            "conv: backward without matching forward"
+            dy.rows(),
+            oc,
+            "conv: grad not channel-major for {:?} (rows = {}, want out_c = {oc})",
+            self.out_shape,
+            dy.rows()
         );
-        let (oc, spatial) = (self.out_shape.c, self.out_shape.h * self.out_shape.w);
+        assert_eq!(
+            dy.cols(),
+            self.cols_batch * spatial,
+            "conv: backward without matching forward (grad width {}, want batch {} × spatial {spatial})",
+            dy.cols(),
+            self.cols_batch
+        );
+        let batch = self.cols_batch;
         self.ensure_backward_buffers();
-        // Gather dy into channel-major layout (oc × batch·spatial).
-        for s in 0..batch {
-            let dy_row = dy.row(s);
-            for c in 0..oc {
-                self.dy_big.row_mut(c)[s * spatial..(s + 1) * spatial]
-                    .copy_from_slice(&dy_row[c * spatial..(c + 1) * spatial]);
-            }
-        }
-        // dW += dy_big · colsᵀ — one large GEMM for the whole batch.
-        matrix::gemm_a_bt_accumulate_with(
-            &self.dy_big,
-            &self.cols,
-            &mut self.dw,
-            &mut self.scratch,
-        );
-        // db += row sums of dy_big.
+        // dW += dy · colsᵀ — one large GEMM for the whole batch; dy is
+        // already channel-major, no staging gather.
+        matrix::gemm_a_bt_accumulate_with(&dy, &self.cols, &mut self.dw, &mut self.scratch);
+        // db += row sums of dy.
         for c in 0..oc {
-            self.db[c] += fda_tensor::vector::sum(self.dy_big.row(c));
+            self.db[c] += fda_tensor::vector::sum(dy.row(c));
         }
-        // dcol = Wᵀ · dy_big, then scatter each sample's block back.
+        // dcol = Wᵀ · dy, then scatter each sample's block back.
         self.dcol.clear();
-        matrix::gemm_at_b_accumulate_with(&self.w, &self.dy_big, &mut self.dcol, &mut self.scratch);
-        let mut dx = Matrix::zeros(batch, self.in_shape.len());
+        matrix::gemm_at_b_accumulate_with(&self.w, &dy, &mut self.dcol, &mut self.scratch);
+        let in_spatial = self.in_shape.spatial();
+        let mut dx = Matrix::zeros(self.in_shape.c, batch * in_spatial);
         for s in 0..batch {
-            col2im_from(&self.plan, &self.dcol, s * spatial, dx.row_mut(s));
+            col2im_from(&self.plan, &self.dcol, s * spatial, &mut dx, s * in_spatial);
         }
         dx
     }
@@ -353,13 +413,17 @@ impl Layer for Conv2d {
         );
         self.out_shape.len()
     }
+
+    fn in_shape3(&self) -> Option<Shape3> {
+        Some(self.in_shape)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    /// A 1-channel 3×3 input with a known 2-channel 2×2 kernel (pad 0).
+    /// A 1-channel 3×3 input with a known 1-channel 2×2 kernel (pad 0).
     #[test]
     fn forward_known_values() {
         let mut rng = Rng::new(0);
@@ -368,6 +432,7 @@ mod tests {
         // Kernel = [[1, 0], [0, 1]] (trace of each 2×2 patch), bias 0.5.
         conv.w = Matrix::from_vec(1, 4, vec![1.0, 0.0, 0.0, 1.0]);
         conv.b = vec![0.5];
+        // Channel-major, 1 channel × 1 sample: one row of the 3×3 plane.
         #[rustfmt::skip]
         let x = Matrix::from_vec(1, 9, vec![
             1.0, 2.0, 3.0,
@@ -377,6 +442,7 @@ mod tests {
         let y = conv.forward(x.clone(), true);
         // Patches: (1+5), (2+6), (4+8), (5+9) plus bias.
         assert_eq!(y.as_slice(), &[6.5, 8.5, 12.5, 14.5]);
+        assert_eq!((y.rows(), y.cols()), (1, 4), "output is channel-major");
         assert_eq!(conv.out_shape(), Shape3::new(1, 2, 2));
     }
 
@@ -394,7 +460,8 @@ mod tests {
         let mut conv = Conv2d::new(Shape3::new(1, 3, 3), 2, 2, 0, Init::HeNormal, &mut rng);
         let x = Matrix::from_vec(1, 9, (0..9).map(|i| i as f32).collect());
         let _ = conv.forward(x.clone(), true);
-        let dy = Matrix::from_vec(1, 2 * 4, vec![1.0; 8]);
+        // Channel-major gradient: 2 output channels × 4 spatial positions.
+        let dy = Matrix::from_vec(2, 4, vec![1.0; 8]);
         let _ = conv.backward(dy);
         // Each output channel has 4 spatial positions with grad 1.
         assert_eq!(conv.grads()[1], &[4.0, 4.0]);
@@ -405,16 +472,16 @@ mod tests {
         // ⟨im2col(x), y⟩ == ⟨x, col2im(y)⟩ — the defining adjoint property,
         // which is exactly what makes the conv backward pass correct.
         let mut rng = Rng::new(3);
-        let conv = Conv2d::new(Shape3::new(2, 4, 4), 3, 3, 1, Init::HeNormal, &mut rng);
-        let mut x = vec![0.0f32; 2 * 16];
-        rng.clone().fill_normal(&mut x, 0.0, 1.0);
-        let col = conv.im2col(&x);
+        let mut conv = Conv2d::new(Shape3::new(2, 4, 4), 3, 3, 1, Init::HeNormal, &mut rng);
+        // Channel-major batch of 2 samples.
+        let mut x = Matrix::zeros(2, 2 * 16);
+        rng.clone().fill_normal(x.as_mut_slice(), 0.0, 1.0);
+        let col = conv.im2col_batch(&x);
         let mut y = Matrix::zeros(col.rows(), col.cols());
         rng.clone().fill_normal(y.as_mut_slice(), 0.0, 1.0);
         let forward_ip = fda_tensor::vector::dot(col.as_slice(), y.as_slice());
-        let mut back = vec![0.0f32; x.len()];
-        conv.col2im(&y, &mut back);
-        let backward_ip = fda_tensor::vector::dot(&x, &back);
+        let back = conv.col2im_batch(&y);
+        let backward_ip = fda_tensor::vector::dot(x.as_slice(), back.as_slice());
         assert!(
             (forward_ip - backward_ip).abs() < 1e-2 * (1.0 + forward_ip.abs()),
             "{forward_ip} vs {backward_ip}"
@@ -425,13 +492,21 @@ mod tests {
     fn batch_forward_matches_per_sample() {
         let mut rng = Rng::new(4);
         let mut conv = Conv2d::new(Shape3::new(1, 4, 4), 2, 3, 1, Init::HeNormal, &mut rng);
-        let mut x = Matrix::zeros(3, 16);
+        // Channel-major: 1 channel × 3 sample blocks of 16.
+        let mut x = Matrix::zeros(1, 3 * 16);
         Rng::new(9).fill_normal(x.as_mut_slice(), 0.0, 1.0);
         let y_batch = conv.forward(x.clone(), true);
+        let spatial = conv.out_shape().spatial();
         for s in 0..3 {
-            let xi = Matrix::from_vec(1, 16, x.row(s).to_vec());
+            let xi = Matrix::from_vec(1, 16, x.row(0)[s * 16..(s + 1) * 16].to_vec());
             let yi = conv.forward(xi.clone(), true);
-            assert_eq!(yi.as_slice(), y_batch.row(s));
+            for c in 0..2 {
+                assert_eq!(
+                    yi.row(c),
+                    &y_batch.row(c)[s * spatial..(s + 1) * spatial],
+                    "sample {s} channel {c}"
+                );
+            }
         }
     }
 
@@ -457,15 +532,25 @@ mod tests {
         let _ = Conv2d::new(Shape3::new(1, 3, 3), 2, 6, 1, Init::HeNormal, &mut rng);
     }
 
+    #[test]
+    #[should_panic(expected = "not channel-major")]
+    fn sample_major_input_panics() {
+        let mut rng = Rng::new(13);
+        let mut conv = Conv2d::new(Shape3::new(2, 4, 4), 3, 3, 1, Init::HeNormal, &mut rng);
+        // A sample-major batch (4 samples × 32 features) has the wrong row
+        // count for a 2-channel layer and must fail loudly.
+        let _ = conv.forward(Matrix::zeros(4, 32), true);
+    }
+
     /// Changing batch size between forwards resizes the lowering buffers
     /// and keeps results identical to a fresh layer.
     #[test]
     fn batch_size_change_is_safe() {
         let mut rng = Rng::new(7);
         let mut conv = Conv2d::new(Shape3::new(2, 5, 5), 3, 3, 1, Init::HeNormal, &mut rng);
-        let mut big = Matrix::zeros(4, 50);
+        let mut big = Matrix::zeros(2, 4 * 25);
         Rng::new(11).fill_normal(big.as_mut_slice(), 0.0, 1.0);
-        let mut small = Matrix::zeros(2, 50);
+        let mut small = Matrix::zeros(2, 2 * 25);
         Rng::new(12).fill_normal(small.as_mut_slice(), 0.0, 1.0);
         let _ = conv.forward(big.clone(), true);
         let y_small = conv.forward(small.clone(), true);
@@ -484,24 +569,18 @@ mod tests {
     fn ragged_eval_chunks_reuse_lowering_buffers() {
         let mut rng = Rng::new(8);
         let mut conv = Conv2d::new(Shape3::new(1, 6, 6), 2, 3, 1, Init::HeNormal, &mut rng);
-        let mut full = Matrix::zeros(8, 36);
+        let mut full = Matrix::zeros(1, 8 * 36);
         Rng::new(21).fill_normal(full.as_mut_slice(), 0.0, 1.0);
-        let mut ragged = Matrix::zeros(3, 36);
+        let mut ragged = Matrix::zeros(1, 3 * 36);
         Rng::new(22).fill_normal(ragged.as_mut_slice(), 0.0, 1.0);
 
         let y_full_1 = conv.forward(full.clone(), false);
         let cols_ptr = conv.cols.as_slice().as_ptr();
-        let y_big_ptr = conv.y_big.as_slice().as_ptr();
         // Ragged chunk shrinks, next pass grows back: both within capacity.
         let y_ragged_1 = conv.forward(ragged.clone(), false);
         assert_eq!(conv.cols.as_slice().as_ptr(), cols_ptr, "cols reallocated");
         let y_full_2 = conv.forward(full.clone(), false);
         assert_eq!(conv.cols.as_slice().as_ptr(), cols_ptr, "cols reallocated");
-        assert_eq!(
-            conv.y_big.as_slice().as_ptr(),
-            y_big_ptr,
-            "y_big reallocated"
-        );
         let y_ragged_2 = conv.forward(ragged.clone(), false);
 
         // Identical inputs ⇒ identical outputs across the reuse cycle.

@@ -1,8 +1,77 @@
-//! Fully-connected (dense) layer.
+//! Fully-connected (dense) layer and the [`Flatten`] layout boundary.
+//!
+//! Dense layers operate on **sample-major** activations (`batch × features`
+//! rows). A conv stack runs channel-major (see [`crate::layer`]), so the
+//! transition into the dense head goes through exactly one [`Flatten`],
+//! which converts `c × batch·spatial` back to `batch × c·spatial` — the
+//! single place in a model where the activation layout changes after entry.
 
 use crate::init::Init;
-use crate::layer::Layer;
+use crate::layer::{Layer, Shape3};
 use fda_tensor::{matrix, matrix::Scratch, Matrix, Rng};
+
+/// The conv→dense layout boundary: converts a channel-major activation
+/// (`c × batch·spatial`) into the sample-major `batch × c·spatial` matrix a
+/// [`Dense`] layer expects, and converts the gradient back on the way down.
+///
+/// Feature order within each flattened row is `(channel, y, x)` — the same
+/// order datasets use — so the flattened width equals
+/// [`Shape3::len`] and wiring stays layout-blind.
+pub struct Flatten {
+    shape: Shape3,
+    batch: usize,
+}
+
+impl Flatten {
+    /// Creates a flatten boundary for the given spatial input shape.
+    pub fn new(shape: Shape3) -> Self {
+        assert!(!shape.is_empty(), "flatten: empty shape {shape:?}");
+        Flatten { shape, batch: 0 }
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+
+    fn forward(&mut self, x: Matrix, _train: bool) -> Matrix {
+        self.batch = self.shape.batch_of(&x, "flatten input");
+        x.to_sample_major(self.batch)
+    }
+
+    fn backward(&mut self, dy: Matrix) -> Matrix {
+        assert_eq!(
+            dy.cols(),
+            self.shape.len(),
+            "flatten: grad width {} != flattened dims {} of {:?}",
+            dy.cols(),
+            self.shape.len(),
+            self.shape
+        );
+        assert_eq!(
+            dy.rows(),
+            self.batch,
+            "flatten: backward without matching forward"
+        );
+        dy.to_channel_major(self.shape.c)
+    }
+
+    fn out_dim(&self, in_dim: usize) -> usize {
+        assert_eq!(
+            in_dim,
+            self.shape.len(),
+            "flatten: wired to wrong input width (got {in_dim}, want {} for {:?})",
+            self.shape.len(),
+            self.shape
+        );
+        in_dim
+    }
+
+    fn in_shape3(&self) -> Option<Shape3> {
+        Some(self.shape)
+    }
+}
 
 /// A dense layer `y = x·W + b` with `W ∈ R^{in×out}`, `b ∈ R^{out}`.
 ///
@@ -174,6 +243,32 @@ mod tests {
         assert!(layer.grads().iter().any(|g| g.iter().any(|&v| v != 0.0)));
         layer.zero_grads();
         assert!(layer.grads().iter().all(|g| g.iter().all(|&v| v == 0.0)));
+    }
+
+    #[test]
+    fn flatten_round_trips_layout() {
+        let shape = Shape3::new(2, 2, 3);
+        let mut flat = Flatten::new(shape);
+        // Channel-major: 2 channel rows × 2 sample blocks of 6.
+        let mut x = Matrix::zeros(2, 12);
+        Rng::new(5).fill_normal(x.as_mut_slice(), 0.0, 1.0);
+        let y = flat.forward(x.clone(), true);
+        assert_eq!((y.rows(), y.cols()), (2, 12), "flatten emits sample rows");
+        // Sample 0's features are (c0 plane, c1 plane) in dataset order.
+        assert_eq!(&y.row(0)[..6], &x.row(0)[..6]);
+        assert_eq!(&y.row(0)[6..], &x.row(1)[..6]);
+        let dx = flat.backward(y.clone());
+        assert_eq!(dx.as_slice(), x.as_slice(), "backward is the inverse");
+        assert_eq!(flat.out_dim(12), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not channel-major")]
+    fn flatten_mismatched_dims_panics() {
+        // A sample-major batch arriving at Flatten (the historical silent
+        // wrong-answer) must fail loudly.
+        let mut flat = Flatten::new(Shape3::new(3, 2, 2));
+        let _ = flat.forward(Matrix::zeros(4, 12), true);
     }
 
     #[test]

@@ -47,8 +47,11 @@ impl GradCheckReport {
 /// Compares analytic parameter gradients of softmax-CE loss against central
 /// finite differences.
 ///
-/// Checks `stride`-spaced coordinates (check all with `stride = 1`).
-/// Relative error uses the standard symmetric denominator
+/// Both sides measure the **eval-mode** loss
+/// ([`Sequential::compute_gradients_eval`]): dropout is the identity, so
+/// stochastic layers do not inject probe noise and models with dropout are
+/// checkable exactly. Checks `stride`-spaced coordinates (check all with
+/// `stride = 1`). Relative error uses the standard symmetric denominator
 /// `max(1e-4, |fd| + |analytic|)`.
 pub fn check_param_gradients(
     model: &mut Sequential,
@@ -58,7 +61,7 @@ pub fn check_param_gradients(
     stride: usize,
 ) -> GradCheckReport {
     assert!(stride >= 1, "gradcheck: stride must be positive");
-    let (_, _) = model.compute_gradients(x, labels);
+    let (_, _) = model.compute_gradients_eval(x, labels);
     let analytic = model.grads_flat();
     let base = model.params_flat();
     let mut max_rel = 0.0f32;
@@ -143,11 +146,13 @@ mod tests {
         let in_shape = Shape3::new(1, 6, 6);
         let conv = Conv2d::new(in_shape, 3, 3, 1, Init::HeNormal, &mut rng);
         let pool = MaxPool2d::new(conv.out_shape(), 2);
-        let flat = pool.out_shape().len();
+        let pooled = pool.out_shape();
+        let flat = pooled.len();
         let mut m = Sequential::new("gc-conv", in_shape.len())
             .push(conv)
             .push(pool)
             .push(Tanh::new())
+            .push(crate::dense::Flatten::new(pooled))
             .push(Dense::new(flat, 3, Init::HeNormal, &mut rng));
         let x = batch(&mut rng, 3, in_shape.len());
         let labels = vec![0, 1, 2];
@@ -178,10 +183,12 @@ mod tests {
         let mut rng = Rng::new(7);
         let in_shape = Shape3::new(2, 5, 5);
         let conv = Conv2d::new(in_shape, 4, 3, 1, Init::HeNormal, &mut rng);
-        let flat = conv.out_shape().len();
+        let out = conv.out_shape();
+        let flat = out.len();
         let mut m = Sequential::new("gc-batched-conv", in_shape.len())
             .push(conv)
             .push(Tanh::new())
+            .push(crate::dense::Flatten::new(out))
             .push(Dense::new(flat, 3, Init::HeNormal, &mut rng));
         let x = batch(&mut rng, 8, in_shape.len());
         let labels = vec![0, 1, 2, 0, 1, 2, 0, 1];
@@ -192,6 +199,138 @@ mod tests {
             report.max_rel_err
         );
         assert!(report.checked > 200, "should cover all conv parameters");
+    }
+
+    /// Conv edge geometries under the channel-major layout, each in a
+    /// smooth Tanh stack so `max_rel_err` is assertable: the kernel at the
+    /// exact padded-extent boundary (1×1 output), a 1×1 kernel, a
+    /// non-square input, and padding wider than the kernel overhang.
+    #[test]
+    fn conv_edge_shape_gradients() {
+        let cases: &[(Shape3, usize, usize, usize)] = &[
+            (Shape3::new(1, 3, 3), 2, 5, 1), // k == h + 2·pad: 1×1 output
+            (Shape3::new(2, 4, 4), 3, 1, 0), // 1×1 kernel (pure channel mix)
+            (Shape3::new(2, 3, 5), 3, 3, 1), // non-square input h ≠ w
+            (Shape3::new(1, 4, 4), 2, 3, 2), // pad wider than kernel overhang
+        ];
+        for (case, &(in_shape, oc, k, pad)) in cases.iter().enumerate() {
+            let mut rng = Rng::new(40 + case as u64);
+            let conv = Conv2d::new(in_shape, oc, k, pad, Init::HeNormal, &mut rng);
+            let out = conv.out_shape();
+            let flat = out.len();
+            let mut m = Sequential::new("gc-conv-edge", in_shape.len())
+                .push(conv)
+                .push(Tanh::new())
+                .push(crate::dense::Flatten::new(out))
+                .push(Dense::new(flat, 3, Init::HeNormal, &mut rng));
+            let x = batch(&mut rng, 4, in_shape.len());
+            let labels = vec![0, 1, 2, 1];
+            let report = check_param_gradients(&mut m, &x, &labels, 1e-2, 1);
+            // Near-zero-gradient coordinates sit at the relative-error
+            // clamp where f32 probe noise registers as a few percent, so
+            // assert a tight p95 plus zero gross errors instead of a tight
+            // max (a real layout bug throws most coordinates past 0.1).
+            let ctx = format!("case {case} ({in_shape:?}, oc={oc}, k={k}, pad={pad})");
+            assert!(
+                report.quantile(0.95) < 1e-2,
+                "{ctx}: p95 relative error {} too large",
+                report.quantile(0.95)
+            );
+            assert!(
+                report.max_rel_err < 1e-1,
+                "{ctx}: gross error {}",
+                report.max_rel_err
+            );
+        }
+    }
+
+    /// Exact MaxPool ties must not destabilize the check: the tied window
+    /// feeds a dense head, whose weight perturbations cannot flip the
+    /// argmax, so both central probes and the analytic gradient measure the
+    /// same (first-in-scan-order) linear piece.
+    #[test]
+    fn maxpool_tie_gradients() {
+        let mut rng = Rng::new(50);
+        let in_shape = Shape3::new(1, 4, 4);
+        let pool = MaxPool2d::new(in_shape, 2);
+        let pooled = pool.out_shape();
+        let mut m = Sequential::new("gc-pool-tie", in_shape.len())
+            .push(pool)
+            .push(crate::dense::Flatten::new(pooled))
+            .push(Dense::new(4, 2, Init::GlorotUniform, &mut rng));
+        // Every 2×2 window is an exact four-way tie.
+        let x = Matrix::from_vec(2, 16, vec![1.5; 32]);
+        let labels = vec![0, 1];
+        let report = check_param_gradients(&mut m, &x, &labels, 1e-2, 1);
+        assert!(
+            report.max_rel_err < 2e-2,
+            "tied-pool max relative error {} too large",
+            report.max_rel_err
+        );
+    }
+
+    /// Dropout layers in the stack: the checker runs the loss in eval mode
+    /// on both sides, so dropout is the identity and the check is exact —
+    /// this is the guarantee that makes the DenseNet zoo models checkable.
+    #[test]
+    fn dropout_in_eval_gradients() {
+        let mut rng = Rng::new(60);
+        let mut m = Sequential::new("gc-dropout", 6)
+            .push(Dense::new(6, 12, Init::GlorotUniform, &mut rng))
+            .push(crate::dropout::Dropout::new(0.5, 123))
+            .push(Tanh::new())
+            .push(Dense::new(12, 3, Init::GlorotUniform, &mut rng));
+        let x = batch(&mut rng, 5, 6);
+        let labels = vec![0, 1, 2, 0, 1];
+        let report = check_param_gradients(&mut m, &x, &labels, 1e-2, 1);
+        assert!(
+            report.max_rel_err < 2e-2,
+            "dropout-in-eval max relative error {} too large",
+            report.max_rel_err
+        );
+    }
+
+    /// The whole zoo, end to end: every model (conv stacks with ReLU,
+    /// MaxPool, Dropout, dense heads) must pass the finite-difference check
+    /// under the channel-major layout. ReLU/MaxPool kinks make a sparse set
+    /// of coordinates legitimately disagree with the probe, so the asserts
+    /// are distributional (tight p95, sparse outliers).
+    #[test]
+    fn all_zoo_models_pass_gradcheck() {
+        for id in crate::zoo::ModelId::ALL {
+            let mut m = id.build(17, 99);
+            let mut rng = Rng::new(0x600D + id.paper_d() as u64);
+            let x = batch(&mut rng, 4, m.in_dim());
+            let labels: Vec<usize> = (0..4).map(|i| (i * 3) % id.classes()).collect();
+            // Budget ~220 checked coordinates per model. ε = 3e-3 balances
+            // ReLU/MaxPool kink-crossing probability (shrinks with ε)
+            // against f32 probe noise (grows as 1/ε); measured error
+            // distributions across the zoo have p90 ≤ 0.022 and
+            // frac>0.2 ≤ 0.009 there, so the asserts below carry 2–3×
+            // margin while any layout/backprop bug (which throws the
+            // majority of coordinates past 0.2) still fails loudly.
+            let stride = (m.param_count() / 220).max(1);
+            let report = check_param_gradients(&mut m, &x, &labels, 3e-3, stride);
+            assert!(report.checked >= 200, "{}: too few coords", id.name());
+            assert!(
+                report.quantile(0.90) < 5e-2,
+                "{}: p90 relative error {} too large",
+                id.name(),
+                report.quantile(0.90)
+            );
+            assert!(
+                report.frac_above(5e-2) < 0.10,
+                "{}: too many kink outliers: {}",
+                id.name(),
+                report.frac_above(5e-2)
+            );
+            assert!(
+                report.frac_above(2e-1) < 0.03,
+                "{}: gross errors: {}",
+                id.name(),
+                report.frac_above(2e-1)
+            );
+        }
     }
 
     #[test]

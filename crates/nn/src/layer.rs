@@ -1,10 +1,27 @@
 //! The [`Layer`] trait and shape metadata.
 //!
-//! Activations flow between layers as a row-major [`Matrix`] whose rows are
-//! samples and whose columns are the flattened feature dimensions
-//! (`channels × height × width` for convolutional tensors). Layers that
-//! care about the spatial structure ([`crate::conv::Conv2d`],
-//! [`crate::pool::MaxPool2d`]) carry a [`Shape3`] fixed at construction.
+//! Activations flow between layers as a row-major [`Matrix`] in one of two
+//! layouts:
+//!
+//! * **sample-major** — rows are samples, columns the flattened feature
+//!   dimensions ordered `(channel, y, x)`. This is the layout of datasets,
+//!   dense stacks, logits, and the model's public API.
+//! * **channel-major** — rows are channels, columns are `batch·spatial`
+//!   grouped into per-sample blocks (`col = sample·spatial + y·w + x`).
+//!   This is the layout the im2col GEMM produces (`out_c × batch·spatial`),
+//!   so the conv stack ([`crate::conv::Conv2d`],
+//!   [`crate::pool::MaxPool2d`]) runs on it end-to-end with no per-layer
+//!   gather/scatter staging.
+//!
+//! The layout boundary is explicit: [`crate::model::Sequential`] converts
+//! the sample-major input batch once at entry when the stack opens with a
+//! spatial layer (see [`Layer::in_shape3`]), and [`crate::dense::Flatten`]
+//! (or [`crate::pool::GlobalAvgPool`], which collapses the spatial
+//! dimensions itself) converts back exactly once at the conv→dense
+//! boundary. Element-wise layers (ReLU, tanh, dropout) are layout-agnostic.
+//! Layers that care about the spatial structure carry a [`Shape3`] fixed at
+//! construction and assert the incoming activation shape, so a wiring
+//! mistake fails loudly instead of silently rearranging features.
 
 use fda_tensor::Matrix;
 
@@ -28,6 +45,38 @@ impl Shape3 {
     /// Flattened length `c·h·w`.
     pub const fn len(&self) -> usize {
         self.c * self.h * self.w
+    }
+
+    /// Spatial plane size `h·w` (the per-sample block width of a
+    /// channel-major activation row).
+    pub const fn spatial(&self) -> usize {
+        self.h * self.w
+    }
+
+    /// Validates that `x` is a channel-major activation batch of this shape
+    /// (`rows == c`, width a whole number of `spatial` blocks) and returns
+    /// the batch size. The single home of the layout check every spatial
+    /// layer performs on entry; `ctx` names the layer for the panic
+    /// message.
+    ///
+    /// # Panics
+    /// Panics with a named layout mismatch otherwise.
+    pub fn batch_of(&self, x: &Matrix, ctx: &str) -> usize {
+        assert_eq!(
+            x.rows(),
+            self.c,
+            "{ctx}: not channel-major for {self:?} (rows = {}, want c = {})",
+            x.rows(),
+            self.c
+        );
+        let spatial = self.spatial();
+        assert_eq!(
+            x.cols() % spatial,
+            0,
+            "{ctx}: width {} is not a multiple of spatial {spatial}",
+            x.cols()
+        );
+        x.cols() / spatial
     }
 
     /// True iff any dimension is zero.
@@ -92,7 +141,22 @@ pub trait Layer: Send {
     fn zero_grads(&mut self) {}
 
     /// Output feature dimension given the (already validated) input width.
+    ///
+    /// Widths are always **logical per-sample feature counts** (`c·h·w`),
+    /// independent of the activation layout, so wiring validation in
+    /// [`crate::model::Sequential::push`] is layout-blind.
     fn out_dim(&self, in_dim: usize) -> usize;
+
+    /// The spatial input shape this layer expects, if it consumes
+    /// channel-major activations (`Some` for conv/pool layers, `None` for
+    /// dense/element-wise layers).
+    ///
+    /// [`crate::model::Sequential`] reads this off the **first** layer to
+    /// decide whether the model's input batch must be converted to
+    /// channel-major at entry.
+    fn in_shape3(&self) -> Option<Shape3> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -1,6 +1,6 @@
 //! The [`Sequential`] model container and its flat-parameter API.
 
-use crate::layer::Layer;
+use crate::layer::{Layer, Shape3};
 use crate::loss::{argmax, SoftmaxCrossEntropy};
 use fda_tensor::Matrix;
 
@@ -9,9 +9,27 @@ use fda_tensor::Matrix;
 /// Built with [`Sequential::new`] + [`Sequential::push`]; wiring is
 /// validated eagerly (each layer's expected input width must match the
 /// previous layer's output width).
+///
+/// # Activation layout
+///
+/// The public API is **sample-major**: batches arrive as `batch × features`
+/// rows, logits leave the same way. When the stack opens with a spatial
+/// layer (conv/pool — detected via [`Layer::in_shape3`] on the first
+/// `push`), the model's *native* input layout is **channel-major**
+/// (`c × batch·spatial`): [`Sequential::forward`] converts once at entry
+/// (for single-channel inputs this is a zero-cost reshape of the clone it
+/// performed anyway), and the conv stack runs channel-major until a
+/// [`crate::dense::Flatten`] / [`crate::pool::GlobalAvgPool`] converts
+/// back. Hot callers that can produce channel-major batches directly (see
+/// `fda_data::Dataset::gather_channel_major`) skip even that by using
+/// [`Sequential::forward_native`] / [`Sequential::compute_gradients_native`],
+/// which also take the batch by value instead of cloning.
 pub struct Sequential {
     in_dim: usize,
     out_dim: usize,
+    /// `Some` iff the first layer consumes channel-major activations; the
+    /// model input is converted at entry in that case.
+    input_shape: Option<Shape3>,
     layers: Vec<Box<dyn Layer>>,
     name: String,
 }
@@ -22,6 +40,7 @@ impl Sequential {
         Sequential {
             in_dim,
             out_dim: in_dim,
+            input_shape: None,
             layers: Vec::new(),
             name: name.into(),
         }
@@ -34,8 +53,28 @@ impl Sequential {
     #[must_use]
     pub fn push(mut self, layer: impl Layer + 'static) -> Self {
         self.out_dim = layer.out_dim(self.out_dim);
+        if self.layers.is_empty() {
+            self.input_shape = layer.in_shape3();
+        }
         self.layers.push(Box::new(layer));
         self
+    }
+
+    /// The spatial input shape, `Some` iff this model's native input layout
+    /// is channel-major (its first layer is a conv/pool layer).
+    pub fn input_shape(&self) -> Option<Shape3> {
+        self.input_shape
+    }
+
+    /// Converts a sample-major batch into this model's native input layout
+    /// (allocating — the hot path hands [`Sequential::forward_native`] an
+    /// owned batch instead).
+    fn native_input(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.in_dim, "model: input width mismatch");
+        match self.input_shape {
+            Some(s) => x.to_channel_major(s.c),
+            None => x.clone(),
+        }
     }
 
     /// Model name (zoo identifier).
@@ -63,10 +102,29 @@ impl Sequential {
         self.layers.iter().map(|l| l.param_count()).sum()
     }
 
-    /// Forward pass through every layer.
+    /// Forward pass through every layer (sample-major input batch; the
+    /// entry conversion to the native layout happens here if needed).
     pub fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
-        assert_eq!(x.cols(), self.in_dim, "model: input width mismatch");
-        let mut h = x.clone();
+        let h = self.native_input(x);
+        self.forward_native(h, train)
+    }
+
+    /// Forward pass over a batch **already in this model's native input
+    /// layout** (channel-major `c × batch·spatial` when
+    /// [`Sequential::input_shape`] is `Some`, sample-major rows otherwise).
+    /// Takes the batch by value — no clone, no conversion; this is the hot
+    /// training-loop entry.
+    ///
+    /// # Panics
+    /// Panics if the batch does not match the native layout.
+    pub fn forward_native(&mut self, x: Matrix, train: bool) -> Matrix {
+        match self.input_shape {
+            Some(s) => {
+                let _ = s.batch_of(&x, "model native input");
+            }
+            None => assert_eq!(x.cols(), self.in_dim, "model: input width mismatch"),
+        }
+        let mut h = x;
         for layer in &mut self.layers {
             h = layer.forward(h, train);
         }
@@ -74,6 +132,9 @@ impl Sequential {
     }
 
     /// Backward pass; parameter gradients accumulate inside the layers.
+    ///
+    /// The returned input gradient is in the model's **native** input
+    /// layout (channel-major for spatial models).
     pub fn backward(&mut self, dy: &Matrix) -> Matrix {
         let mut g = dy.clone();
         for layer in self.layers.iter_mut().rev() {
@@ -159,8 +220,29 @@ impl Sequential {
     ///
     /// Returns `(mean loss, #correct)`.
     pub fn compute_gradients(&mut self, x: &Matrix, labels: &[usize]) -> (f32, usize) {
+        let native = self.native_input(x);
+        self.compute_gradients_native(native, labels)
+    }
+
+    /// [`Sequential::compute_gradients`] over a batch already in the native
+    /// input layout, taken by value (the hot training-loop entry — no
+    /// clone, no layout conversion).
+    pub fn compute_gradients_native(&mut self, x: Matrix, labels: &[usize]) -> (f32, usize) {
         self.zero_grads();
-        let logits = self.forward(x, true);
+        let logits = self.forward_native(x, true);
+        let (loss, dlogits, correct) = SoftmaxCrossEntropy.forward(&logits, labels);
+        let _ = self.backward(&dlogits);
+        (loss, correct)
+    }
+
+    /// Like [`Sequential::compute_gradients`] but with training-only
+    /// stochasticity disabled: the forward pass runs in **eval** mode, so
+    /// dropout is the identity. The gradient checker uses this so the
+    /// analytic gradients and the finite-difference probes (which evaluate
+    /// the eval-mode loss) measure the same deterministic function.
+    pub fn compute_gradients_eval(&mut self, x: &Matrix, labels: &[usize]) -> (f32, usize) {
+        self.zero_grads();
+        let logits = self.forward(x, false);
         let (loss, dlogits, correct) = SoftmaxCrossEntropy.forward(&logits, labels);
         let _ = self.backward(&dlogits);
         (loss, correct)

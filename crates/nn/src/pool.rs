@@ -1,4 +1,4 @@
-//! Spatial pooling layers.
+//! Spatial pooling layers (channel-major activations).
 
 use crate::layer::{Layer, Shape3};
 use fda_tensor::Matrix;
@@ -7,12 +7,15 @@ use fda_tensor::Matrix;
 ///
 /// Window size equals stride (the configuration used by LeNet/VGG-style
 /// models). Input extents must be divisible by the window size.
+/// Consumes and produces channel-major activations (`c × batch·spatial`):
+/// each channel row is pooled per sample block, so the layer is a set of
+/// contiguous plane scans with no layout staging.
 pub struct MaxPool2d {
     in_shape: Shape3,
     out_shape: Shape3,
     size: usize,
-    // argmax positions (flat input offsets), batch-major flat buffer of
-    // `batch × out_len`, reused across steps.
+    // argmax positions as flat offsets into the channel-major input
+    // storage, aligned with the flat output storage; reused across steps.
     argmax: Vec<usize>,
     batch: usize,
 }
@@ -60,38 +63,35 @@ impl Layer for MaxPool2d {
     }
 
     fn forward(&mut self, x: Matrix, _train: bool) -> Matrix {
-        assert_eq!(
-            x.cols(),
-            self.in_shape.len(),
-            "maxpool: input width mismatch"
-        );
+        let batch = self.in_shape.batch_of(&x, "maxpool input");
         let Shape3 { c, h, w } = self.in_shape;
         let (oh, ow) = (self.out_shape.h, self.out_shape.w);
+        let (hw, out_hw) = (h * w, oh * ow);
         let s = self.size;
-        let batch = x.rows();
-        let out_len = self.out_shape.len();
-        let mut y = Matrix::zeros(batch, out_len);
-        self.argmax.resize(batch * out_len, 0);
+        let mut y = Matrix::zeros(c, batch * out_hw);
+        self.argmax.resize(c * batch * out_hw, 0);
         self.batch = batch;
         if s == 2 {
             // The window used by every model in the zoo: unrolled scan of
             // the four candidates with the same strict-greater comparison
             // as the generic path below (identical tie-breaks and NaN
             // behaviour).
-            for b in 0..batch {
-                let row = x.row(b);
-                let out_row = y.row_mut(b);
-                let arg = &mut self.argmax[b * out_len..(b + 1) * out_len];
-                for ch in 0..c {
-                    let plane = &row[ch * h * w..(ch + 1) * h * w];
+            for ch in 0..c {
+                let row = x.row(ch);
+                let out_row = y.row_mut(ch);
+                let arg_row = &mut self.argmax[ch * batch * out_hw..(ch + 1) * batch * out_hw];
+                for b in 0..batch {
+                    let plane = &row[b * hw..(b + 1) * hw];
+                    // Absolute base of this plane in the input storage.
+                    let base_abs = ch * batch * hw + b * hw;
                     for oy in 0..oh {
                         let top = &plane[(2 * oy) * w..(2 * oy) * w + w];
                         let bot = &plane[(2 * oy + 1) * w..(2 * oy + 1) * w + w];
-                        let out_seg = &mut out_row[(ch * oh + oy) * ow..(ch * oh + oy) * ow + ow];
-                        let arg_seg = &mut arg[(ch * oh + oy) * ow..(ch * oh + oy) * ow + ow];
+                        let out_seg = &mut out_row[b * out_hw + oy * ow..b * out_hw + oy * ow + ow];
+                        let arg_seg = &mut arg_row[b * out_hw + oy * ow..b * out_hw + oy * ow + ow];
                         for ox in 0..ow {
                             let j = 2 * ox;
-                            let base = ch * h * w + (2 * oy) * w;
+                            let base = base_abs + (2 * oy) * w;
                             let mut best = f32::NEG_INFINITY;
                             // Absolute index with the same initializer as
                             // the generic path, so even the degenerate
@@ -116,12 +116,13 @@ impl Layer for MaxPool2d {
             }
             return y;
         }
-        for b in 0..batch {
-            let row = x.row(b);
-            let out_row = y.row_mut(b);
-            let arg = &mut self.argmax[b * out_len..(b + 1) * out_len];
-            for ch in 0..c {
-                let plane = &row[ch * h * w..(ch + 1) * h * w];
+        for ch in 0..c {
+            let row = x.row(ch);
+            let out_row = y.row_mut(ch);
+            let arg_row = &mut self.argmax[ch * batch * out_hw..(ch + 1) * batch * out_hw];
+            for b in 0..batch {
+                let plane = &row[b * hw..(b + 1) * hw];
+                let base_abs = ch * batch * hw + b * hw;
                 for oy in 0..oh {
                     for ox in 0..ow {
                         let mut best = f32::NEG_INFINITY;
@@ -134,13 +135,13 @@ impl Layer for MaxPool2d {
                                 let v = plane[idx];
                                 if v > best {
                                     best = v;
-                                    best_idx = ch * h * w + idx;
+                                    best_idx = base_abs + idx;
                                 }
                             }
                         }
-                        let out_idx = (ch * oh + oy) * ow + ox;
+                        let out_idx = b * out_hw + oy * ow + ox;
                         out_row[out_idx] = best;
-                        arg[out_idx] = best_idx;
+                        arg_row[out_idx] = best_idx;
                     }
                 }
             }
@@ -150,24 +151,24 @@ impl Layer for MaxPool2d {
 
     fn backward(&mut self, dy: Matrix) -> Matrix {
         assert_eq!(
-            dy.cols(),
-            self.out_shape.len(),
-            "maxpool: grad width mismatch"
+            dy.rows(),
+            self.out_shape.c,
+            "maxpool: grad not channel-major (rows = {}, want c = {})",
+            dy.rows(),
+            self.out_shape.c
         );
         assert_eq!(
-            dy.rows(),
+            dy.cols(),
+            self.batch * self.out_shape.spatial(),
+            "maxpool: backward without matching forward (grad width {}, want batch {} × spatial {})",
+            dy.cols(),
             self.batch,
-            "maxpool: backward without matching forward"
+            self.out_shape.spatial()
         );
-        let out_len = self.out_shape.len();
-        let mut dx = Matrix::zeros(dy.rows(), self.in_shape.len());
-        for b in 0..dy.rows() {
-            let g = dy.row(b);
-            let arg = &self.argmax[b * out_len..(b + 1) * out_len];
-            let dst = dx.row_mut(b);
-            for (out_idx, &src_idx) in arg.iter().enumerate() {
-                dst[src_idx] += g[out_idx];
-            }
+        let mut dx = Matrix::zeros(self.in_shape.c, self.batch * self.in_shape.spatial());
+        let dst = dx.as_mut_slice();
+        for (&src_idx, &g) in self.argmax.iter().zip(dy.as_slice()) {
+            dst[src_idx] += g;
         }
         dx
     }
@@ -180,9 +181,18 @@ impl Layer for MaxPool2d {
         );
         self.out_shape.len()
     }
+
+    fn in_shape3(&self) -> Option<Shape3> {
+        Some(self.in_shape)
+    }
 }
 
 /// Global average pooling: collapses each channel plane to its mean.
+///
+/// This layer is a layout boundary: it consumes channel-major activations
+/// (`c × batch·spatial`) and produces the sample-major `batch × c` feature
+/// matrix a dense head expects — no separate [`crate::dense::Flatten`] is
+/// needed after it.
 pub struct GlobalAvgPool {
     in_shape: Shape3,
     batch: usize,
@@ -201,16 +211,17 @@ impl Layer for GlobalAvgPool {
     }
 
     fn forward(&mut self, x: Matrix, _train: bool) -> Matrix {
-        assert_eq!(x.cols(), self.in_shape.len(), "gap: input width mismatch");
         let Shape3 { c, h, w } = self.in_shape;
-        let plane = (h * w) as f32;
-        self.batch = x.rows();
-        let mut y = Matrix::zeros(x.rows(), c);
-        for b in 0..x.rows() {
-            let row = x.row(b);
-            let out = y.row_mut(b);
-            for (ch, o) in out.iter_mut().enumerate() {
-                *o = fda_tensor::vector::sum(&row[ch * h * w..(ch + 1) * h * w]) / plane;
+        let hw = h * w;
+        let batch = self.in_shape.batch_of(&x, "gap input");
+        let plane = hw as f32;
+        self.batch = batch;
+        let mut y = Matrix::zeros(batch, c);
+        for ch in 0..c {
+            let row = x.row(ch);
+            for b in 0..batch {
+                let v = fda_tensor::vector::sum(&row[b * hw..(b + 1) * hw]) / plane;
+                y.set(b, ch, v);
             }
         }
         y
@@ -224,14 +235,14 @@ impl Layer for GlobalAvgPool {
             "gap: backward without matching forward"
         );
         let Shape3 { c, h, w } = self.in_shape;
-        let inv_plane = 1.0 / (h * w) as f32;
-        let mut dx = Matrix::zeros(dy.rows(), self.in_shape.len());
-        for b in 0..dy.rows() {
-            let g = dy.row(b);
-            let dst = dx.row_mut(b);
-            for ch in 0..c {
-                let gv = g[ch] * inv_plane;
-                for v in &mut dst[ch * h * w..(ch + 1) * h * w] {
+        let hw = h * w;
+        let inv_plane = 1.0 / hw as f32;
+        let mut dx = Matrix::zeros(c, self.batch * hw);
+        for ch in 0..c {
+            let dst = dx.row_mut(ch);
+            for b in 0..self.batch {
+                let gv = dy.get(b, ch) * inv_plane;
+                for v in &mut dst[b * hw..(b + 1) * hw] {
                     *v = gv;
                 }
             }
@@ -247,6 +258,10 @@ impl Layer for GlobalAvgPool {
         );
         self.in_shape.c
     }
+
+    fn in_shape3(&self) -> Option<Shape3> {
+        Some(self.in_shape)
+    }
 }
 
 #[cfg(test)]
@@ -256,6 +271,7 @@ mod tests {
     #[test]
     fn maxpool_forward_known() {
         let mut pool = MaxPool2d::new(Shape3::new(1, 4, 4), 2);
+        // Channel-major, 1 channel × 1 sample: one 4×4 plane.
         #[rustfmt::skip]
         let x = Matrix::from_vec(1, 16, vec![
             1.0, 2.0,   5.0, 6.0,
@@ -303,16 +319,52 @@ mod tests {
     fn maxpool_multichannel_shapes() {
         let mut pool = MaxPool2d::new(Shape3::new(3, 6, 6), 2);
         assert_eq!(pool.out_shape(), Shape3::new(3, 3, 3));
-        let x = Matrix::zeros(2, 3 * 36);
+        // Channel-major: 3 channels × 2 sample blocks of 36.
+        let x = Matrix::zeros(3, 2 * 36);
         let y = pool.forward(x.clone(), true);
-        assert_eq!((y.rows(), y.cols()), (2, 27));
+        assert_eq!((y.rows(), y.cols()), (3, 2 * 9));
+    }
+
+    /// Multi-channel, multi-sample pooling matches pooling each sample
+    /// alone — the per-sample block indexing must not leak across blocks.
+    #[test]
+    fn maxpool_batch_matches_per_sample() {
+        use fda_tensor::Rng;
+        let shape = Shape3::new(2, 4, 4);
+        let mut pool = MaxPool2d::new(shape, 2);
+        let mut x = Matrix::zeros(2, 3 * 16);
+        Rng::new(31).fill_normal(x.as_mut_slice(), 0.0, 1.0);
+        let y = pool.forward(x.clone(), true);
+        let mut dy = Matrix::zeros(2, 3 * 4);
+        Rng::new(32).fill_normal(dy.as_mut_slice(), 0.0, 1.0);
+        let dx = pool.backward(dy.clone());
+        for s in 0..3 {
+            // Slice sample s out of the channel-major batch.
+            let mut xs = Matrix::zeros(2, 16);
+            let mut dys = Matrix::zeros(2, 4);
+            for ch in 0..2 {
+                xs.row_mut(ch)
+                    .copy_from_slice(&x.row(ch)[s * 16..(s + 1) * 16]);
+                dys.row_mut(ch)
+                    .copy_from_slice(&dy.row(ch)[s * 4..(s + 1) * 4]);
+            }
+            let mut solo = MaxPool2d::new(shape, 2);
+            let ys = solo.forward(xs, true);
+            let dxs = solo.backward(dys);
+            for ch in 0..2 {
+                assert_eq!(ys.row(ch), &y.row(ch)[s * 4..(s + 1) * 4], "fwd s={s}");
+                assert_eq!(dxs.row(ch), &dx.row(ch)[s * 16..(s + 1) * 16], "bwd s={s}");
+            }
+        }
     }
 
     #[test]
     fn gap_mean_and_backward() {
         let mut gap = GlobalAvgPool::new(Shape3::new(2, 2, 2));
-        let x = Matrix::from_vec(1, 8, vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0]);
+        // Channel-major: 2 channel rows × 1 sample block of 4.
+        let x = Matrix::from_vec(2, 4, vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0]);
         let y = gap.forward(x.clone(), true);
+        assert_eq!((y.rows(), y.cols()), (1, 2), "gap output is sample-major");
         assert_eq!(y.as_slice(), &[2.5, 10.0]);
         let dx = gap.backward(Matrix::from_vec(1, 2, vec![4.0, 8.0]));
         assert_eq!(dx.as_slice(), &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
@@ -322,5 +374,13 @@ mod tests {
     #[should_panic(expected = "pool: height")]
     fn indivisible_input_panics() {
         let _ = MaxPool2d::new(Shape3::new(1, 5, 4), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not channel-major")]
+    fn wrong_layout_panics() {
+        let mut pool = MaxPool2d::new(Shape3::new(3, 4, 4), 2);
+        // Sample-major batch (2 × 48) has the wrong row count.
+        let _ = pool.forward(Matrix::zeros(2, 48), true);
     }
 }

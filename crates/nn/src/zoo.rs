@@ -18,7 +18,7 @@
 
 use crate::activation::Relu;
 use crate::conv::Conv2d;
-use crate::dense::Dense;
+use crate::dense::{Dense, Flatten};
 use crate::dropout::Dropout;
 use crate::init::Init;
 use crate::layer::Shape3;
@@ -136,7 +136,8 @@ fn lenet5_synth(rng: &mut Rng) -> Sequential {
     let p1 = MaxPool2d::new(c1.out_shape(), 2);
     let c2 = Conv2d::new(p1.out_shape(), 12, 3, 1, Init::GlorotUniform, rng);
     let p2 = MaxPool2d::new(c2.out_shape(), 2);
-    let flat = p2.out_shape().len();
+    let p2_shape = p2.out_shape();
+    let flat = p2_shape.len();
     Sequential::new("lenet5-synth", input.len())
         .push(c1)
         .push(Relu::new())
@@ -144,6 +145,7 @@ fn lenet5_synth(rng: &mut Rng) -> Sequential {
         .push(c2)
         .push(Relu::new())
         .push(p2)
+        .push(Flatten::new(p2_shape))
         .push(Dense::new(flat, 24, Init::GlorotUniform, rng))
         .push(Relu::new())
         .push(Dense::new(24, 10, Init::GlorotUniform, rng))
@@ -159,7 +161,8 @@ fn vgg16star_synth(rng: &mut Rng) -> Sequential {
     let c2a = Conv2d::new(p1.out_shape(), 16, 3, 1, Init::GlorotUniform, rng);
     let c2b = Conv2d::new(c2a.out_shape(), 16, 3, 1, Init::GlorotUniform, rng);
     let p2 = MaxPool2d::new(c2b.out_shape(), 2);
-    let flat = p2.out_shape().len();
+    let p2_shape = p2.out_shape();
+    let flat = p2_shape.len();
     Sequential::new("vgg16star-synth", input.len())
         .push(c1a)
         .push(Relu::new())
@@ -171,6 +174,7 @@ fn vgg16star_synth(rng: &mut Rng) -> Sequential {
         .push(c2b)
         .push(Relu::new())
         .push(p2)
+        .push(Flatten::new(p2_shape))
         .push(Dense::new(flat, 48, Init::GlorotUniform, rng))
         .push(Relu::new())
         .push(Dense::new(48, 32, Init::GlorotUniform, rng))
@@ -188,7 +192,8 @@ fn densenet121_synth(rng: &mut Rng, stochastic_seed: u64) -> Sequential {
     let c2a = Conv2d::new(p1.out_shape(), 24, 3, 1, Init::HeNormal, rng);
     let c2b = Conv2d::new(c2a.out_shape(), 24, 3, 1, Init::HeNormal, rng);
     let p2 = MaxPool2d::new(c2b.out_shape(), 2);
-    let flat = p2.out_shape().len();
+    let p2_shape = p2.out_shape();
+    let flat = p2_shape.len();
     Sequential::new("densenet121-synth", input.len())
         .push(c1a)
         .push(Relu::new())
@@ -200,6 +205,7 @@ fn densenet121_synth(rng: &mut Rng, stochastic_seed: u64) -> Sequential {
         .push(c2b)
         .push(Relu::new())
         .push(p2)
+        .push(Flatten::new(p2_shape))
         .push(Dropout::new(0.2, stochastic_seed.wrapping_add(1)))
         .push(Dense::new(flat, 64, Init::HeNormal, rng))
         .push(Relu::new())
@@ -217,7 +223,8 @@ fn densenet201_synth(rng: &mut Rng, stochastic_seed: u64) -> Sequential {
     let c2a = Conv2d::new(p1.out_shape(), 32, 3, 1, Init::HeNormal, rng);
     let c2b = Conv2d::new(c2a.out_shape(), 32, 3, 1, Init::HeNormal, rng);
     let p2 = MaxPool2d::new(c2b.out_shape(), 2);
-    let flat = p2.out_shape().len();
+    let p2_shape = p2.out_shape();
+    let flat = p2_shape.len();
     Sequential::new("densenet201-synth", input.len())
         .push(c1a)
         .push(Relu::new())
@@ -229,6 +236,7 @@ fn densenet201_synth(rng: &mut Rng, stochastic_seed: u64) -> Sequential {
         .push(c2b)
         .push(Relu::new())
         .push(p2)
+        .push(Flatten::new(p2_shape))
         .push(Dropout::new(0.2, stochastic_seed.wrapping_add(1)))
         .push(Dense::new(flat, 96, Init::HeNormal, rng))
         .push(Relu::new())
@@ -315,6 +323,50 @@ mod tests {
             assert!(
                 g.iter().any(|&v| v != 0.0),
                 "{}: gradient must be nonzero",
+                id.name()
+            );
+        }
+    }
+
+    /// Conv models declare their channel-major native input; MLPs don't.
+    #[test]
+    fn input_shape_detection() {
+        assert_eq!(
+            ModelId::Lenet5.build(1, 1).input_shape(),
+            Some(Shape3::new(1, 12, 12))
+        );
+        assert_eq!(
+            ModelId::DenseNet121.build(1, 1).input_shape(),
+            Some(Shape3::new(3, 8, 8))
+        );
+        assert_eq!(ModelId::TransferHead.build(1, 1).input_shape(), None);
+    }
+
+    /// The native (channel-major, by-value) training entry must be
+    /// bit-identical to the sample-major public API for every zoo model —
+    /// this is what lets the cluster hot loop gather batches natively
+    /// without perturbing trajectories.
+    #[test]
+    fn native_path_matches_sample_major_path() {
+        use fda_tensor::Matrix;
+        for id in ModelId::ALL {
+            let mut a = id.build(3, 4);
+            let mut b = id.build(3, 4);
+            let mut x = Matrix::zeros(3, a.in_dim());
+            fda_tensor::Rng::new(5).fill_normal(x.as_mut_slice(), 0.0, 1.0);
+            let labels = vec![0, 1, id.classes() - 1];
+            let (l1, c1) = a.compute_gradients(&x, &labels);
+            let native = match b.input_shape() {
+                Some(s) => x.to_channel_major(s.c),
+                None => x.clone(),
+            };
+            let (l2, c2) = b.compute_gradients_native(native, &labels);
+            assert_eq!(l1.to_bits(), l2.to_bits(), "{}: loss diverged", id.name());
+            assert_eq!(c1, c2, "{}", id.name());
+            assert_eq!(
+                a.grads_flat(),
+                b.grads_flat(),
+                "{}: gradients diverged",
                 id.name()
             );
         }

@@ -160,6 +160,90 @@ impl Matrix {
         self.data.clear();
         self.data.resize(rows * cols, 0.0);
     }
+
+    // -----------------------------------------------------------------------
+    // Activation layout conversions
+    // -----------------------------------------------------------------------
+    //
+    // The NN crate flows activations in one of two layouts:
+    //
+    // * **sample-major** — `batch × (c·spatial)` rows, one flattened sample
+    //   per row with features ordered `(channel, y, x)`;
+    // * **channel-major** — `c × (batch·spatial)` rows, one channel per row
+    //   with columns grouped into per-sample blocks of `spatial`. This is
+    //   the layout im2col GEMMs produce and consume natively
+    //   (`out_c × batch·out_h·out_w`), so the conv stack runs on it without
+    //   staging passes.
+    //
+    // The two functions below are exact inverses:
+    // `x.to_channel_major(c).to_sample_major(x.rows()) == x` (and vice
+    // versa). Both are pure element copies, so they commute bit-exactly
+    // with any elementwise computation.
+
+    /// Sample-major (`batch × c·spatial`) → channel-major
+    /// (`c × batch·spatial`).
+    ///
+    /// # Panics
+    /// Panics unless the column count divides evenly into `channels`
+    /// planes.
+    pub fn to_channel_major(&self, channels: usize) -> Matrix {
+        assert!(channels >= 1, "to_channel_major: zero channels");
+        assert_eq!(
+            self.cols % channels,
+            0,
+            "to_channel_major: width {} not divisible by {} channels",
+            self.cols,
+            channels
+        );
+        let batch = self.rows;
+        let spatial = self.cols / channels;
+        if channels == 1 {
+            // A single channel is the same contiguous buffer in both
+            // layouts — only the (rows, cols) interpretation changes.
+            return Matrix::from_vec(1, batch * spatial, self.data.clone());
+        }
+        let mut out = Matrix::zeros(channels, batch * spatial);
+        for s in 0..batch {
+            let row = self.row(s);
+            for ch in 0..channels {
+                out.data[ch * batch * spatial + s * spatial..][..spatial]
+                    .copy_from_slice(&row[ch * spatial..(ch + 1) * spatial]);
+            }
+        }
+        out
+    }
+
+    /// Channel-major (`c × batch·spatial`) → sample-major
+    /// (`batch × c·spatial`). Exact inverse of
+    /// [`Matrix::to_channel_major`].
+    ///
+    /// # Panics
+    /// Panics unless the column count divides evenly into `batch` sample
+    /// blocks.
+    pub fn to_sample_major(&self, batch: usize) -> Matrix {
+        assert!(batch >= 1, "to_sample_major: zero batch");
+        assert_eq!(
+            self.cols % batch,
+            0,
+            "to_sample_major: width {} not divisible by batch {}",
+            self.cols,
+            batch
+        );
+        let channels = self.rows;
+        let spatial = self.cols / batch;
+        if channels == 1 {
+            return Matrix::from_vec(batch, spatial, self.data.clone());
+        }
+        let mut out = Matrix::zeros(batch, channels * spatial);
+        for s in 0..batch {
+            let dst = out.row_mut(s);
+            for ch in 0..channels {
+                dst[ch * spatial..(ch + 1) * spatial]
+                    .copy_from_slice(&self.data[ch * batch * spatial + s * spatial..][..spatial]);
+            }
+        }
+        out
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1073,6 +1157,59 @@ mod tests {
             cap,
             "scratch must not regrow"
         );
+    }
+
+    #[test]
+    fn layout_conversions_known_values() {
+        // 2 samples, 2 channels, spatial 3: rows are (c0 plane, c1 plane).
+        #[rustfmt::skip]
+        let x = Matrix::from_vec(2, 6, vec![
+            0.0, 1.0, 2.0,  10.0, 11.0, 12.0, // sample 0: c0, c1
+            3.0, 4.0, 5.0,  13.0, 14.0, 15.0, // sample 1: c0, c1
+        ]);
+        let cm = x.to_channel_major(2);
+        assert_eq!((cm.rows(), cm.cols()), (2, 6));
+        // Channel rows hold per-sample blocks of spatial.
+        assert_eq!(cm.row(0), &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(cm.row(1), &[10.0, 11.0, 12.0, 13.0, 14.0, 15.0]);
+        let back = cm.to_sample_major(2);
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn layout_conversion_single_channel_is_reshape() {
+        let x = Matrix::from_vec(3, 4, (0..12).map(|i| i as f32).collect());
+        let cm = x.to_channel_major(1);
+        assert_eq!((cm.rows(), cm.cols()), (1, 12));
+        assert_eq!(cm.as_slice(), x.as_slice(), "c = 1 keeps the buffer");
+        assert_eq!(cm.to_sample_major(3), x);
+    }
+
+    #[test]
+    fn layout_round_trip_random_shapes() {
+        let mut rng = Rng::new(0x1A_707);
+        for case in 0..50 {
+            let batch = 1 + (rng.next_u64() % 7) as usize;
+            let c = 1 + (rng.next_u64() % 5) as usize;
+            let spatial = 1 + (rng.next_u64() % 30) as usize;
+            let x = Matrix::random_normal(batch, c * spatial, 0.0, 1.0, &mut rng);
+            let cm = x.to_channel_major(c);
+            assert_eq!((cm.rows(), cm.cols()), (c, batch * spatial), "case {case}");
+            assert_eq!(cm.to_sample_major(batch), x, "case {case}: round trip");
+            // And the opposite direction: channel-major first.
+            let y = Matrix::random_normal(c, batch * spatial, 0.0, 1.0, &mut rng);
+            assert_eq!(
+                y.to_sample_major(batch).to_channel_major(c),
+                y,
+                "case {case}: inverse round trip"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn to_channel_major_indivisible_panics() {
+        let _ = Matrix::zeros(2, 7).to_channel_major(3);
     }
 
     /// `resize_zeroed` keys scratch on capacity: shrinking and re-growing

@@ -9,10 +9,29 @@
 
 use fda::core::monitor::{ExactMonitor, LinearMonitor, LocalState, SketchMonitor, VarianceMonitor};
 use fda::data::{Dataset, Partition};
+use fda::nn::conv::Conv2d;
+use fda::nn::init::Init;
+use fda::nn::layer::Shape3;
 use fda::sketch::SketchConfig;
 use fda::tensor::{vector, Matrix, Rng};
 
 const CASES: u64 = 64;
+
+/// A random (but valid) conv geometry: channels, spatial extents, kernel,
+/// padding, output channels.
+fn random_conv(rng: &mut Rng) -> (Shape3, usize, usize, usize) {
+    loop {
+        let c = 1 + (rng.next_u64() % 3) as usize;
+        let h = 2 + (rng.next_u64() % 6) as usize;
+        let w = 2 + (rng.next_u64() % 6) as usize;
+        let k = 1 + (rng.next_u64() % 4) as usize;
+        let pad = (rng.next_u64() % 3) as usize;
+        let oc = 1 + (rng.next_u64() % 4) as usize;
+        if k <= h + 2 * pad && k <= w + 2 * pad {
+            return (Shape3::new(c, h, w), oc, k, pad);
+        }
+    }
+}
 
 /// K drift vectors of dimension d with entries in `[-10, 10)`.
 fn random_drifts(rng: &mut Rng, max_k: usize, max_d: usize) -> Vec<Vec<f32>> {
@@ -159,6 +178,155 @@ fn partitions_exactly_cover() {
             shards.iter().all(|s| !s.is_empty()),
             "case {case}: empty shard"
         );
+    }
+}
+
+/// Layout conversion round trip: `to_sample_major ∘ to_channel_major = id`
+/// (and the inverse composition) over random batch/channel/spatial shapes —
+/// the invariant the conv-stack layout boundary rests on.
+#[test]
+fn layout_conversion_round_trips() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x7D_0000 + case);
+        let batch = 1 + (rng.next_u64() % 9) as usize;
+        let c = 1 + (rng.next_u64() % 6) as usize;
+        let spatial = 1 + (rng.next_u64() % 40) as usize;
+        let sm = Matrix::random_normal(batch, c * spatial, 0.0, 1.0, &mut rng);
+        let cm = sm.to_channel_major(c);
+        assert_eq!(
+            (cm.rows(), cm.cols()),
+            (c, batch * spatial),
+            "case {case}: channel-major shape"
+        );
+        assert_eq!(
+            cm.to_sample_major(batch),
+            sm,
+            "case {case}: to_sample_major ∘ to_channel_major != id"
+        );
+        let cm2 = Matrix::random_normal(c, batch * spatial, 0.0, 1.0, &mut rng);
+        assert_eq!(
+            cm2.to_sample_major(batch).to_channel_major(c),
+            cm2,
+            "case {case}: to_channel_major ∘ to_sample_major != id"
+        );
+        // Spot-check the defining element mapping on one random entry.
+        let (s, ch, p) = (
+            (rng.next_u64() as usize) % batch,
+            (rng.next_u64() as usize) % c,
+            (rng.next_u64() as usize) % spatial,
+        );
+        assert_eq!(
+            sm.get(s, ch * spatial + p).to_bits(),
+            cm.get(ch, s * spatial + p).to_bits(),
+            "case {case}: element mapping"
+        );
+    }
+}
+
+/// im2col/col2im round trip through the adjoint identity
+/// `⟨im2col(x), y⟩ = ⟨x, col2im(y)⟩` over random conv geometries and batch
+/// sizes — the property that makes the conv input-gradient exact under the
+/// channel-major layout.
+#[test]
+fn im2col_col2im_adjoint_random_geometries() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x8D_0000 + case);
+        let (in_shape, oc, k, pad) = random_conv(&mut rng);
+        let batch = 1 + (rng.next_u64() % 5) as usize;
+        let mut conv = Conv2d::new(in_shape, oc, k, pad, Init::HeNormal, &mut rng);
+        let mut x = Matrix::zeros(in_shape.c, batch * in_shape.spatial());
+        rng.fill_normal(x.as_mut_slice(), 0.0, 1.0);
+        let col = conv.im2col_batch(&x);
+        let mut y = Matrix::zeros(col.rows(), col.cols());
+        rng.fill_normal(y.as_mut_slice(), 0.0, 1.0);
+        let forward_ip_f64: f64 = col
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum();
+        let back = conv.col2im_batch(&y);
+        let backward_ip_f64: f64 = x
+            .as_slice()
+            .iter()
+            .zip(back.as_slice())
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum();
+        let tol = 1e-4 * (1.0 + forward_ip_f64.abs());
+        assert!(
+            (forward_ip_f64 - backward_ip_f64).abs() < tol,
+            "case {case} ({in_shape:?} k={k} pad={pad} batch={batch}): \
+             ⟨im2col(x), y⟩ = {forward_ip_f64} vs ⟨x, col2im(y)⟩ = {backward_ip_f64}"
+        );
+    }
+}
+
+/// The precomputed copy-run plan covers **exactly** the in-bounds
+/// (kernel-position × output-position) pairs, each exactly once
+/// (disjointness in the column matrix, correct source offsets), and never
+/// references a padded position — the invariant that lets `cols` keep its
+/// padded zeros untouched across steps.
+#[test]
+fn im2col_plan_coverage_and_disjointness() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x9D_0000 + case);
+        let (in_shape, oc, k, pad) = random_conv(&mut rng);
+        let conv = Conv2d::new(in_shape, oc, k, pad, Init::HeNormal, &mut rng);
+        let Shape3 { c, h, w } = in_shape;
+        let out = conv.out_shape();
+        let (oh, ow) = (out.h, out.w);
+        // covered[row][out_pos] = Some(src) once a run writes it.
+        let rows = c * k * k;
+        let mut covered: Vec<Vec<Option<usize>>> = vec![vec![None; oh * ow]; rows];
+        for (row, src_ch, dst, src, len) in conv.plan_runs() {
+            assert!(row < rows, "case {case}: cols row {row} out of range");
+            assert_eq!(
+                src_ch,
+                row / (k * k),
+                "case {case}: run channel must match its cols row"
+            );
+            for off in 0..len {
+                assert!(dst + off < oh * ow, "case {case}: dst overflow");
+                assert!(src + off < h * w, "case {case}: src overflow");
+                assert!(
+                    covered[row][dst + off].replace(src + off).is_none(),
+                    "case {case}: position ({row}, {}) written twice",
+                    dst + off
+                );
+            }
+        }
+        // Every in-bounds pair covered with the right source; every
+        // padded pair untouched.
+        for ch in 0..c {
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row = (ch * k + ky) * k + kx;
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let iy = oy as isize + ky as isize - pad as isize;
+                            let ix = ox as isize + kx as isize - pad as isize;
+                            let in_bounds =
+                                iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize;
+                            let got = covered[row][oy * ow + ox];
+                            if in_bounds {
+                                assert_eq!(
+                                    got,
+                                    Some(iy as usize * w + ix as usize),
+                                    "case {case} ({in_shape:?} k={k} pad={pad}): \
+                                     wrong source for row {row}, out ({oy},{ox})"
+                                );
+                            } else {
+                                assert_eq!(
+                                    got, None,
+                                    "case {case}: padded position written \
+                                     (row {row}, out ({oy},{ox}))"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 }
 
