@@ -236,6 +236,92 @@ fn bench_step_phases(
     }
 }
 
+struct NetBenchResult {
+    /// TCP wall time per FDA round, Θ = ∞ (state rendezvous only).
+    tcp_state_round_us: f64,
+    /// Sequential-simulator wall time per round, same job.
+    sim_state_round_us: f64,
+    /// TCP wall time per round, Θ = 0 (state + full model AllReduce).
+    tcp_sync_round_us: f64,
+    /// Simulator wall time per round, Θ = 0.
+    sim_sync_round_us: f64,
+    /// Charged bytes of the Θ = 0 TCP run (simulator convention).
+    charged_bytes: u64,
+    /// Same run's payload bytes measured on the sockets.
+    measured_payload_bytes: u64,
+    /// Same run's raw socket bytes (framing + control plane included).
+    raw_socket_bytes: u64,
+}
+
+/// Loopback TCP round-trip cost of the real socket transport vs the
+/// sequential simulator, per FDA round at K = 4 (thread workers speaking
+/// real TCP; handshake + per-worker task generation amortize over
+/// `steps`). On a single-core host the delta is pure transport overhead —
+/// serialization, framing, syscalls, scheduling.
+fn bench_net(k: usize, steps: u32, reps: usize) -> NetBenchResult {
+    use fda_core::wire::JobSpec;
+    use fda_data::synth::SynthSpec;
+    let spec = |theta: f32| JobSpec {
+        cluster: ClusterConfig {
+            model: ModelId::Lenet5,
+            workers: k,
+            batch_size: 16,
+            optimizer: fda_optim::OptimizerKind::paper_adam(),
+            partition: Partition::Iid,
+            seed: 3,
+            parallel: false,
+        },
+        fda: FdaConfig::sketch_auto(theta),
+        steps,
+        synth: SynthSpec {
+            n_train: 240,
+            n_test: 80,
+            ..SynthSpec::synth_mnist()
+        },
+        task_name: "net-bench".to_string(),
+    };
+    let tcp_round = |theta: f32| -> (f64, fda_net::NetReport) {
+        let mut best = f64::MAX;
+        let mut last = None;
+        for _ in 0..reps {
+            let t = Instant::now();
+            let report = fda_net::run_with_thread_workers(&spec(theta)).expect("net bench run");
+            best = best.min(t.elapsed().as_secs_f64() / steps as f64 * 1e6);
+            last = Some(report);
+        }
+        (best, last.expect("reps >= 1"))
+    };
+    let sim_round = |theta: f32| -> f64 {
+        let job = spec(theta);
+        let task = job.synth.generate(&job.task_name);
+        let mut best = f64::MAX;
+        for _ in 0..reps {
+            let t = Instant::now();
+            let mut fda = Fda::new(job.fda, job.cluster.clone(), &task);
+            for _ in 0..steps {
+                fda.step();
+            }
+            best = best.min(t.elapsed().as_secs_f64() / steps as f64 * 1e6);
+        }
+        best
+    };
+    let (tcp_state_round_us, _) = tcp_round(f32::MAX);
+    let (tcp_sync_round_us, sync_report) = tcp_round(0.0);
+    assert_eq!(
+        sync_report.measured_payload_bytes, sync_report.charged_bytes,
+        "net bench: measured socket payload diverged from charged bytes"
+    );
+    NetBenchResult {
+        tcp_state_round_us,
+        sim_state_round_us: sim_round(f32::MAX),
+        tcp_sync_round_us,
+        sim_sync_round_us: sim_round(0.0),
+        charged_bytes: sync_report.charged_bytes,
+        measured_payload_bytes: sync_report.measured_payload_bytes,
+        raw_socket_bytes: sync_report.raw_tx_bytes + sync_report.raw_rx_bytes,
+    }
+}
+
 /// Raw per-step dispatch cost: K scoped threads spawned-and-joined (what
 /// PR 1 paid every `local_step`) vs one rendezvous of the persistent pool.
 fn bench_rendezvous(k: usize, iters: u32) -> (f64, f64) {
@@ -284,6 +370,7 @@ fn main() {
         bench_step_phases(ModelId::DenseNet201, "densenet201", phase_reps, phase_steps),
     ];
     let (scoped_us, pool_us) = bench_rendezvous(4, if smoke { 20 } else { 200 });
+    let net = bench_net(4, if smoke { 3 } else { 30 }, if smoke { 1 } else { 3 });
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     let mut json = String::from("{\n  \"gemm_us\": [\n");
@@ -350,10 +437,27 @@ fn main() {
         json,
         "  \"rendezvous_us\": {{\"k\": 4, \"scoped_spawn_us\": {scoped_us:.1}, \"pool_dispatch_us\": {pool_us:.1}}},",
     );
+    let _ = writeln!(
+        json,
+        "  \"net_rendezvous_us\": {{\"k\": 4, \
+         \"state_only\": {{\"tcp_round_us\": {:.1}, \"sim_round_us\": {:.1}, \"transport_overhead_us\": {:.1}}}, \
+         \"full_sync\": {{\"tcp_round_us\": {:.1}, \"sim_round_us\": {:.1}, \"transport_overhead_us\": {:.1}}}, \
+         \"bytes\": {{\"charged\": {}, \"measured_payload\": {}, \"raw_socket\": {}, \"raw_over_charged\": {:.2}}}}},",
+        net.tcp_state_round_us,
+        net.sim_state_round_us,
+        net.tcp_state_round_us - net.sim_state_round_us,
+        net.tcp_sync_round_us,
+        net.sim_sync_round_us,
+        net.tcp_sync_round_us - net.sim_sync_round_us,
+        net.charged_bytes,
+        net.measured_payload_bytes,
+        net.raw_socket_bytes,
+        net.raw_socket_bytes as f64 / net.charged_bytes as f64,
+    );
     let _ = writeln!(json, "  \"host_cores\": {host_cores},");
     let _ = writeln!(
         json,
-        "  \"note\": \"naive-vs-blocked measured back-to-back in one process; seed-era all-naive LeNet local_step was ~6.3ms (159 steps/sec) on this host. conv_layer_us: Conv2d forward/backward on channel-major activations, input clone included; the PR 2 sample-major baseline on this host was lenet_conv1 43.1/90.7, lenet_conv2 65.9/124.8, vgg_conv2b 213.0/411.5 us (fwd/bwd). step_phases: Fda::step at theta=0 (sync every step), SketchAuto monitor, K=4; 'pooled' = persistent WorkerPool (ClusterConfig::parallel), 'seq' = single-thread reference. rendezvous_us compares one pool dispatch against the K scoped thread spawns PR 1 paid per step. Parallel speedups require host_cores > 1; on a single-core host the pooled numbers measure pure rendezvous overhead.\""
+        "  \"note\": \"naive-vs-blocked measured back-to-back in one process; seed-era all-naive LeNet local_step was ~6.3ms (159 steps/sec) on this host. conv_layer_us: Conv2d forward/backward on channel-major activations, input clone included; the PR 2 sample-major baseline on this host was lenet_conv1 43.1/90.7, lenet_conv2 65.9/124.8, vgg_conv2b 213.0/411.5 us (fwd/bwd). step_phases: Fda::step at theta=0 (sync every step), SketchAuto monitor, K=4; 'pooled' = persistent WorkerPool (ClusterConfig::parallel), 'seq' = single-thread reference. rendezvous_us compares one pool dispatch against the K scoped thread spawns PR 1 paid per step. net_rendezvous_us: the real TCP loopback transport (fda_net, thread workers speaking the socket protocol, K=4 LeNet) vs the sequential simulator on the same job; state_only = theta inf (state rendezvous every round), full_sync = theta 0 (plus a model AllReduce every round); transport_overhead_us is the per-round cost of serialization + framing + syscalls on this host. bytes.charged is the simulator convention, bytes.measured_payload the same convention measured frame-by-frame on the socket (asserted equal), bytes.raw_socket counts every byte both directions including framing, control plane and coordinator broadcasts (which the per-worker-payload convention does not charge) — hence raw_over_charged > 2. Parallel speedups require host_cores > 1; on a single-core host the pooled numbers measure pure rendezvous overhead.\""
     );
     json.push('}');
 

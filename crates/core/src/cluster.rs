@@ -66,6 +66,70 @@ impl ClusterConfig {
             parallel: false,
         }
     }
+
+    /// Builds worker `k` of this configuration **standalone** — the exact
+    /// replica (model init, `w_0`, dropout stream, shard, batch order,
+    /// optimizer state) that [`Cluster::new`] would hold at index `k`.
+    ///
+    /// This is the construction a distributed driver uses: each OS process
+    /// builds only its own worker from the shared config, and because
+    /// every stream is derived deterministically from `self.seed` and `k`,
+    /// a K-process deployment is bit-identical to the K-worker simulator.
+    ///
+    /// # Panics
+    /// Panics if `k >= self.workers` or on model/dataset dimension
+    /// mismatch.
+    pub fn build_worker(&self, train: &Dataset, k: usize) -> Worker {
+        assert!(
+            k < self.workers,
+            "build_worker: index {k} out of range for K = {}",
+            self.workers
+        );
+        let shards = self
+            .partition
+            .shards(train, self.workers, self.seed ^ 0x5AAD);
+        let template = self.model.build(self.seed, 0);
+        assert_eq!(
+            template.in_dim(),
+            train.dim(),
+            "cluster: model input ({}) != dataset dim ({})",
+            template.in_dim(),
+            train.dim()
+        );
+        let dim = template.param_count();
+        let w0 = template.params_flat();
+        make_worker(self, shards.into_iter().nth(k).expect("k < K"), k, &w0, dim)
+    }
+}
+
+/// Builds one worker from its shard — shared by [`Cluster::new`] (which
+/// maps it over all shards) and [`ClusterConfig::build_worker`] (which
+/// builds a single worker for an out-of-process driver). All randomness is
+/// a deterministic function of `(config.seed, k)`.
+fn make_worker(
+    config: &ClusterConfig,
+    shard: Vec<usize>,
+    k: usize,
+    w0: &[f32],
+    dim: usize,
+) -> Worker {
+    // Each worker gets its own dropout stream but the same w0.
+    let mut model = config
+        .model
+        .build(config.seed, config.seed ^ (k as u64 + 1));
+    model.load_params(w0);
+    let sampler = BatchSampler::new(
+        shard,
+        config.batch_size,
+        Rng::new(config.seed ^ 0xBA7C4).split(k as u64),
+    );
+    Worker {
+        model,
+        optimizer: config.optimizer.build(dim),
+        sampler,
+        params_buf: vec![0.0; dim],
+        grads_buf: vec![0.0; dim],
+    }
 }
 
 /// One worker: model replica + optimizer + shard sampler + scratch buffers.
@@ -107,7 +171,11 @@ impl Worker {
     /// value, so the hot path performs no layout conversion and no input
     /// clone. Sampling order and values are identical to the sample-major
     /// path, so this is trajectory-preserving.
-    fn step_once(&mut self, dataset: &Dataset) -> (f32, usize, usize) {
+    ///
+    /// Public so out-of-process drivers (the `fda_net` worker loop) run
+    /// the *same* training code path as the simulator — any divergence
+    /// would break their bit-identity proofs.
+    pub fn step_once(&mut self, dataset: &Dataset) -> (f32, usize, usize) {
         let channels = self.model.input_shape().map(|s| s.c);
         let (x, y) = self.sampler.sample_native(dataset, channels);
         let (loss, correct) = self.model.compute_gradients_native(x, &y);
@@ -171,25 +239,7 @@ impl Cluster {
         let workers: Vec<Worker> = shards
             .into_iter()
             .enumerate()
-            .map(|(k, shard)| {
-                // Each worker gets its own dropout stream but the same w0.
-                let mut model = config
-                    .model
-                    .build(config.seed, config.seed ^ (k as u64 + 1));
-                model.load_params(&w0);
-                let sampler = BatchSampler::new(
-                    shard,
-                    config.batch_size,
-                    Rng::new(config.seed ^ 0xBA7C4).split(k as u64),
-                );
-                Worker {
-                    model,
-                    optimizer: config.optimizer.build(dim),
-                    sampler,
-                    params_buf: vec![0.0; dim],
-                    grads_buf: vec![0.0; dim],
-                }
-            })
+            .map(|(k, shard)| make_worker(&config, shard, k, &w0, dim))
             .collect();
         let pool = (config.parallel && config.workers > 1).then(|| WorkerPool::new(config.workers));
         Cluster {
@@ -599,6 +649,28 @@ mod tests {
             4,
             "snapshot + chunk-reduce + broadcast = three rendezvous"
         );
+    }
+
+    /// `ClusterConfig::build_worker` must reconstruct worker `k`
+    /// standalone, bit-identical to the cluster-built one at every step —
+    /// the property the multi-process TCP driver rests on.
+    #[test]
+    fn standalone_worker_matches_cluster_worker() {
+        let task = tiny_task();
+        let cfg = ClusterConfig::small_test(3);
+        let mut cluster = Cluster::new(cfg.clone(), &task);
+        let mut solo: Vec<Worker> = (0..3).map(|k| cfg.build_worker(&task.train, k)).collect();
+        for step in 0..3 {
+            cluster.local_step();
+            for (k, w) in solo.iter_mut().enumerate() {
+                w.step_once(&task.train);
+                assert_eq!(
+                    w.params(),
+                    cluster.worker(k).params(),
+                    "worker {k} diverged at step {step}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -65,6 +65,21 @@ impl FdaVariant {
             FdaVariant::Exact => "ExactFDA",
         }
     }
+
+    /// Builds this variant's monitor for a `dim`-parameter model — the
+    /// single home of the variant → monitor mapping (including the
+    /// `SketchAuto` sizing rule), shared by the simulator and the
+    /// transport drivers so they cannot drift apart.
+    pub fn build_monitor(&self, dim: usize) -> Box<dyn VarianceMonitor> {
+        match self {
+            FdaVariant::Sketch(sk) => Box::new(SketchMonitor::new(*sk, dim)),
+            FdaVariant::SketchAuto => {
+                Box::new(SketchMonitor::new(SketchConfig::scaled_for(dim), dim))
+            }
+            FdaVariant::Linear => Box::new(LinearMonitor::new()),
+            FdaVariant::Exact => Box::new(ExactMonitor::new(dim)),
+        }
+    }
 }
 
 /// FDA configuration: the variant and the variance threshold Θ.
@@ -154,15 +169,7 @@ impl Fda {
     /// Builds FDA over an existing cluster (used by sweeps that pre-build
     /// clusters).
     pub fn over_cluster(config: FdaConfig, cluster: Cluster) -> Fda {
-        let dim = cluster.dim();
-        let monitor: Box<dyn VarianceMonitor> = match config.variant {
-            FdaVariant::Sketch(sk) => Box::new(SketchMonitor::new(sk, dim)),
-            FdaVariant::SketchAuto => {
-                Box::new(SketchMonitor::new(SketchConfig::scaled_for(dim), dim))
-            }
-            FdaVariant::Linear => Box::new(LinearMonitor::new()),
-            FdaVariant::Exact => Box::new(ExactMonitor::new(dim)),
-        };
+        let monitor = config.variant.build_monitor(cluster.dim());
         let w_sync = cluster.worker(0).params();
         Fda {
             cluster,

@@ -1,13 +1,14 @@
-//! Wire encoding of FDA local states.
+//! Wire encoding of FDA local states, model vectors, and job configs.
 //!
 //! The simulator usually passes [`LocalState`] values in memory and only
 //! *charges* their byte size; this module provides the actual byte-level
 //! encoding so that (a) the charged sizes are demonstrably achievable, and
-//! (b) transport-based drivers (the threaded cluster, or a future socket
-//! transport) can ship real buffers. Hand-rolled little-endian framing —
-//! the payload is a handful of `f32`s, serde would be overkill.
+//! (b) transport-based drivers ([`crate::threaded`], and the `fda_net` TCP
+//! runtime) can ship real buffers. Hand-rolled little-endian framing —
+//! the payloads are flat `f32` runs and a handful of scalars, serde would
+//! be overkill.
 //!
-//! Layout (little endian):
+//! State layout (little endian):
 //!
 //! ```text
 //! [ tag: u8 ] [ drift_sq_norm: f32 ]
@@ -15,24 +16,45 @@
 //!   tag 1 (Sketch): [ rows: u16 ] [ cols: u16 ] [ rows·cols × f32 ]
 //!   tag 2 (Exact):  [ len: u32 ]  [ len × f32 ]
 //! ```
+//!
+//! Model/delta vectors ([`encode_vector`]) are `[ len: u32 ][ len × f32 ]`;
+//! job configs ([`encode_job`]) are a versioned fixed-field frame (see
+//! [`JobSpec`]). Every decoder is total: malformed, truncated, or
+//! hostile-length inputs return a [`DecodeError`] — never a panic, and
+//! never an allocation larger than the buffer that claims to back it.
 
+use crate::cluster::ClusterConfig;
+use crate::fda::{FdaConfig, FdaVariant};
 use crate::monitor::{LocalState, StateSummary};
-use fda_sketch::AmsSketch;
+use fda_data::synth::SynthSpec;
+use fda_data::Partition;
+use fda_nn::zoo::ModelId;
+use fda_optim::OptimizerKind;
+use fda_sketch::{AmsSketch, SketchConfig};
 
-/// Errors produced when decoding a state buffer.
+/// Version byte leading every encoded [`JobSpec`] frame.
+pub const JOB_WIRE_VERSION: u8 = 1;
+
+/// Errors produced when decoding a wire buffer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DecodeError {
     /// Buffer ended before the declared payload.
     Truncated,
-    /// Unknown summary tag byte.
+    /// Unknown summary/enum tag byte.
     BadTag(u8),
+    /// Job frame carries an unsupported version byte.
+    BadVersion(u8),
+    /// A field violates its invariant (bad bool byte, invalid UTF-8, …).
+    Malformed(&'static str),
 }
 
 impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            DecodeError::Truncated => write!(f, "state buffer truncated"),
-            DecodeError::BadTag(t) => write!(f, "unknown state tag {t}"),
+            DecodeError::Truncated => write!(f, "wire buffer truncated"),
+            DecodeError::BadTag(t) => write!(f, "unknown wire tag {t}"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            DecodeError::Malformed(what) => write!(f, "malformed wire field: {what}"),
         }
     }
 }
@@ -43,15 +65,71 @@ fn put_f32(out: &mut Vec<u8>, v: f32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn get_f32(buf: &[u8], off: &mut usize) -> Result<f32, DecodeError> {
-    let end = *off + 4;
-    let bytes: [u8; 4] = buf
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(v as u8);
+}
+
+fn get_bytes<const N: usize>(buf: &[u8], off: &mut usize) -> Result<[u8; N], DecodeError> {
+    let end = off.checked_add(N).ok_or(DecodeError::Truncated)?;
+    let bytes: [u8; N] = buf
         .get(*off..end)
         .ok_or(DecodeError::Truncated)?
         .try_into()
-        .expect("slice of length 4");
+        .expect("slice of length N");
     *off = end;
-    Ok(f32::from_le_bytes(bytes))
+    Ok(bytes)
+}
+
+fn get_f32(buf: &[u8], off: &mut usize) -> Result<f32, DecodeError> {
+    Ok(f32::from_le_bytes(get_bytes(buf, off)?))
+}
+
+fn get_u8(buf: &[u8], off: &mut usize) -> Result<u8, DecodeError> {
+    Ok(u8::from_le_bytes(get_bytes(buf, off)?))
+}
+
+fn get_u16(buf: &[u8], off: &mut usize) -> Result<u16, DecodeError> {
+    Ok(u16::from_le_bytes(get_bytes(buf, off)?))
+}
+
+fn get_u32(buf: &[u8], off: &mut usize) -> Result<u32, DecodeError> {
+    Ok(u32::from_le_bytes(get_bytes(buf, off)?))
+}
+
+fn get_u64(buf: &[u8], off: &mut usize) -> Result<u64, DecodeError> {
+    Ok(u64::from_le_bytes(get_bytes(buf, off)?))
+}
+
+fn get_bool(buf: &[u8], off: &mut usize) -> Result<bool, DecodeError> {
+    match get_u8(buf, off)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(DecodeError::Malformed("bool byte must be 0 or 1")),
+    }
+}
+
+/// Verifies that `count` little-endian `f32`s actually remain in the
+/// buffer **before** any allocation is sized from a decoded length header
+/// — a hostile `rows`/`cols`/`len` field must fail with
+/// [`DecodeError::Truncated`], not trigger a multi-gigabyte allocation.
+fn check_f32_run(buf: &[u8], off: usize, count: usize) -> Result<(), DecodeError> {
+    let need = count.checked_mul(4).ok_or(DecodeError::Truncated)?;
+    if buf.len().saturating_sub(off) < need {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(())
 }
 
 /// Encodes a local state into bytes.
@@ -96,20 +174,13 @@ pub fn decode_state(buf: &[u8]) -> Result<LocalState, DecodeError> {
     let summary = match tag {
         0 => StateSummary::Linear(get_f32(buf, &mut off)?),
         1 => {
-            let rows = u16::from_le_bytes(
-                buf.get(off..off + 2)
-                    .ok_or(DecodeError::Truncated)?
-                    .try_into()
-                    .expect("len 2"),
-            ) as usize;
-            off += 2;
-            let cols = u16::from_le_bytes(
-                buf.get(off..off + 2)
-                    .ok_or(DecodeError::Truncated)?
-                    .try_into()
-                    .expect("len 2"),
-            ) as usize;
-            off += 2;
+            let rows = get_u16(buf, &mut off)? as usize;
+            let cols = get_u16(buf, &mut off)? as usize;
+            check_f32_run(
+                buf,
+                off,
+                rows.checked_mul(cols).ok_or(DecodeError::Truncated)?,
+            )?;
             let mut sk = AmsSketch::zeros(rows, cols);
             for v in sk.as_mut_slice() {
                 *v = get_f32(buf, &mut off)?;
@@ -117,13 +188,8 @@ pub fn decode_state(buf: &[u8]) -> Result<LocalState, DecodeError> {
             StateSummary::Sketch(sk)
         }
         2 => {
-            let len = u32::from_le_bytes(
-                buf.get(off..off + 4)
-                    .ok_or(DecodeError::Truncated)?
-                    .try_into()
-                    .expect("len 4"),
-            ) as usize;
-            off += 4;
+            let len = get_u32(buf, &mut off)? as usize;
+            check_f32_run(buf, off, len)?;
             let mut v = vec![0.0f32; len];
             for x in &mut v {
                 *x = get_f32(buf, &mut off)?;
@@ -138,6 +204,310 @@ pub fn decode_state(buf: &[u8]) -> Result<LocalState, DecodeError> {
     Ok(LocalState {
         drift_sq_norm,
         summary,
+    })
+}
+
+/// Encodes a flat `f32` vector (full model parameters or a drift/delta):
+/// `[ len: u32 ][ len × f32 ]`.
+///
+/// # Panics
+/// Panics if `v.len()` exceeds `u32::MAX` (a ~17 GB payload — far past any
+/// model this workspace ships).
+pub fn encode_vector(v: &[f32]) -> Vec<u8> {
+    assert!(v.len() <= u32::MAX as usize, "vector too long for the wire");
+    let mut out = Vec::with_capacity(4 + v.len() * 4);
+    put_u32(&mut out, v.len() as u32);
+    for &x in v {
+        put_f32(&mut out, x);
+    }
+    out
+}
+
+/// Decodes a vector frame produced by [`encode_vector`]. Exact consumption
+/// is required (trailing bytes are a framing bug), and the declared length
+/// is validated against the buffer before any allocation.
+pub fn decode_vector(buf: &[u8]) -> Result<Vec<f32>, DecodeError> {
+    let mut off = 0usize;
+    let len = get_u32(buf, &mut off)? as usize;
+    check_f32_run(buf, off, len)?;
+    let mut v = vec![0.0f32; len];
+    for x in &mut v {
+        *x = get_f32(buf, &mut off)?;
+    }
+    if off != buf.len() {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(v)
+}
+
+/// A complete, self-contained FDA job description — everything a remote
+/// worker process needs to reconstruct its exact replica of a simulated
+/// run: the cluster shape (model, shards, seeds, optimizer), the FDA
+/// variant and Θ, the step horizon, and the synthetic task generator spec.
+///
+/// Workers regenerate the dataset locally from `synth`/`task_name` (data
+/// staging is outside the paper's communication budget), so the config
+/// frame stays a few dozen bytes regardless of task size.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Cluster shape: model, K, batch, optimizer, partition, master seed.
+    pub cluster: ClusterConfig,
+    /// FDA variant and variance threshold Θ.
+    pub fda: FdaConfig,
+    /// Steps every worker performs.
+    pub steps: u32,
+    /// Synthetic task generator.
+    pub synth: SynthSpec,
+    /// Task name (seeds the generator alongside `synth.seed`).
+    pub task_name: String,
+}
+
+fn put_model(out: &mut Vec<u8>, m: ModelId) {
+    out.push(match m {
+        ModelId::Lenet5 => 0,
+        ModelId::Vgg16Star => 1,
+        ModelId::DenseNet121 => 2,
+        ModelId::DenseNet201 => 3,
+        ModelId::TransferHead => 4,
+    });
+}
+
+fn get_model(buf: &[u8], off: &mut usize) -> Result<ModelId, DecodeError> {
+    Ok(match get_u8(buf, off)? {
+        0 => ModelId::Lenet5,
+        1 => ModelId::Vgg16Star,
+        2 => ModelId::DenseNet121,
+        3 => ModelId::DenseNet201,
+        4 => ModelId::TransferHead,
+        t => return Err(DecodeError::BadTag(t)),
+    })
+}
+
+fn put_optimizer(out: &mut Vec<u8>, o: OptimizerKind) {
+    match o {
+        OptimizerKind::Sgd { lr } => {
+            out.push(0);
+            put_f32(out, lr);
+        }
+        OptimizerKind::SgdMomentum {
+            lr,
+            momentum,
+            nesterov,
+            weight_decay,
+        } => {
+            out.push(1);
+            put_f32(out, lr);
+            put_f32(out, momentum);
+            put_bool(out, nesterov);
+            put_f32(out, weight_decay);
+        }
+        OptimizerKind::Adam { lr } => {
+            out.push(2);
+            put_f32(out, lr);
+        }
+        OptimizerKind::AdamW { lr, weight_decay } => {
+            out.push(3);
+            put_f32(out, lr);
+            put_f32(out, weight_decay);
+        }
+    }
+}
+
+fn get_optimizer(buf: &[u8], off: &mut usize) -> Result<OptimizerKind, DecodeError> {
+    Ok(match get_u8(buf, off)? {
+        0 => OptimizerKind::Sgd {
+            lr: get_f32(buf, off)?,
+        },
+        1 => OptimizerKind::SgdMomentum {
+            lr: get_f32(buf, off)?,
+            momentum: get_f32(buf, off)?,
+            nesterov: get_bool(buf, off)?,
+            weight_decay: get_f32(buf, off)?,
+        },
+        2 => OptimizerKind::Adam {
+            lr: get_f32(buf, off)?,
+        },
+        3 => OptimizerKind::AdamW {
+            lr: get_f32(buf, off)?,
+            weight_decay: get_f32(buf, off)?,
+        },
+        t => return Err(DecodeError::BadTag(t)),
+    })
+}
+
+fn put_partition(out: &mut Vec<u8>, p: Partition) {
+    match p {
+        Partition::Iid => out.push(0),
+        Partition::NonIidPercent(f) => {
+            out.push(1);
+            put_f32(out, f);
+        }
+        Partition::NonIidLabel(y) => {
+            out.push(2);
+            put_u32(out, y as u32);
+        }
+    }
+}
+
+fn get_partition(buf: &[u8], off: &mut usize) -> Result<Partition, DecodeError> {
+    Ok(match get_u8(buf, off)? {
+        0 => Partition::Iid,
+        1 => Partition::NonIidPercent(get_f32(buf, off)?),
+        2 => Partition::NonIidLabel(get_u32(buf, off)? as usize),
+        t => return Err(DecodeError::BadTag(t)),
+    })
+}
+
+fn put_variant(out: &mut Vec<u8>, v: FdaVariant) {
+    match v {
+        FdaVariant::Sketch(sk) => {
+            out.push(0);
+            put_u16(out, sk.rows as u16);
+            put_u16(out, sk.cols as u16);
+            put_u64(out, sk.seed);
+        }
+        FdaVariant::SketchAuto => out.push(1),
+        FdaVariant::Linear => out.push(2),
+        FdaVariant::Exact => out.push(3),
+    }
+}
+
+fn get_variant(buf: &[u8], off: &mut usize) -> Result<FdaVariant, DecodeError> {
+    Ok(match get_u8(buf, off)? {
+        0 => {
+            let rows = get_u16(buf, off)? as usize;
+            let cols = get_u16(buf, off)? as usize;
+            let seed = get_u64(buf, off)?;
+            if rows == 0 || cols == 0 {
+                return Err(DecodeError::Malformed("sketch dims must be positive"));
+            }
+            FdaVariant::Sketch(SketchConfig::new(rows, cols, seed))
+        }
+        1 => FdaVariant::SketchAuto,
+        2 => FdaVariant::Linear,
+        3 => FdaVariant::Exact,
+        t => return Err(DecodeError::BadTag(t)),
+    })
+}
+
+/// Encodes a [`JobSpec`] config frame (versioned; fixed-size fields plus
+/// the task-name string).
+///
+/// # Panics
+/// Panics if the task name exceeds `u16::MAX` bytes or the sketch config
+/// dimensions exceed `u16::MAX` (neither occurs for any workspace config).
+pub fn encode_job(job: &JobSpec) -> Vec<u8> {
+    assert!(
+        job.task_name.len() <= u16::MAX as usize,
+        "task name too long for the wire"
+    );
+    if let FdaVariant::Sketch(sk) = job.fda.variant {
+        assert!(
+            sk.rows <= u16::MAX as usize && sk.cols <= u16::MAX as usize,
+            "sketch dims too large for the wire"
+        );
+    }
+    let mut out = Vec::with_capacity(96 + job.task_name.len());
+    out.push(JOB_WIRE_VERSION);
+    let c = &job.cluster;
+    put_model(&mut out, c.model);
+    put_u32(&mut out, c.workers as u32);
+    put_u32(&mut out, c.batch_size as u32);
+    put_optimizer(&mut out, c.optimizer);
+    put_partition(&mut out, c.partition);
+    put_u64(&mut out, c.seed);
+    put_bool(&mut out, c.parallel);
+    put_variant(&mut out, job.fda.variant);
+    put_f32(&mut out, job.fda.theta);
+    put_u32(&mut out, job.steps);
+    let s = &job.synth;
+    put_u32(&mut out, s.classes as u32);
+    put_u32(&mut out, s.modes_per_class as u32);
+    put_u32(&mut out, s.dim as u32);
+    match s.spatial {
+        None => out.push(0),
+        Some((c, h, w)) => {
+            out.push(1);
+            put_u32(&mut out, c as u32);
+            put_u32(&mut out, h as u32);
+            put_u32(&mut out, w as u32);
+        }
+    }
+    put_u32(&mut out, s.smooth_passes as u32);
+    put_f32(&mut out, s.noise_std);
+    put_f32(&mut out, s.prototype_scale);
+    put_f32(&mut out, s.amplitude_jitter);
+    put_u32(&mut out, s.n_train as u32);
+    put_u32(&mut out, s.n_test as u32);
+    put_u64(&mut out, s.seed);
+    put_u16(&mut out, job.task_name.len() as u16);
+    out.extend_from_slice(job.task_name.as_bytes());
+    out
+}
+
+/// Decodes a config frame produced by [`encode_job`]. Total: every
+/// malformed input maps to a [`DecodeError`].
+pub fn decode_job(buf: &[u8]) -> Result<JobSpec, DecodeError> {
+    let mut off = 0usize;
+    let version = get_u8(buf, &mut off)?;
+    if version != JOB_WIRE_VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let cluster = ClusterConfig {
+        model: get_model(buf, &mut off)?,
+        workers: get_u32(buf, &mut off)? as usize,
+        batch_size: get_u32(buf, &mut off)? as usize,
+        optimizer: get_optimizer(buf, &mut off)?,
+        partition: get_partition(buf, &mut off)?,
+        seed: get_u64(buf, &mut off)?,
+        parallel: get_bool(buf, &mut off)?,
+    };
+    let fda = FdaConfig {
+        variant: get_variant(buf, &mut off)?,
+        theta: get_f32(buf, &mut off)?,
+    };
+    let steps = get_u32(buf, &mut off)?;
+    let classes = get_u32(buf, &mut off)? as usize;
+    let modes_per_class = get_u32(buf, &mut off)? as usize;
+    let dim = get_u32(buf, &mut off)? as usize;
+    let spatial = match get_u8(buf, &mut off)? {
+        0 => None,
+        1 => Some((
+            get_u32(buf, &mut off)? as usize,
+            get_u32(buf, &mut off)? as usize,
+            get_u32(buf, &mut off)? as usize,
+        )),
+        _ => return Err(DecodeError::Malformed("spatial flag must be 0 or 1")),
+    };
+    let synth = SynthSpec {
+        classes,
+        modes_per_class,
+        dim,
+        spatial,
+        smooth_passes: get_u32(buf, &mut off)? as usize,
+        noise_std: get_f32(buf, &mut off)?,
+        prototype_scale: get_f32(buf, &mut off)?,
+        amplitude_jitter: get_f32(buf, &mut off)?,
+        n_train: get_u32(buf, &mut off)? as usize,
+        n_test: get_u32(buf, &mut off)? as usize,
+        seed: get_u64(buf, &mut off)?,
+    };
+    let name_len = get_u16(buf, &mut off)? as usize;
+    let end = off.checked_add(name_len).ok_or(DecodeError::Truncated)?;
+    let name_bytes = buf.get(off..end).ok_or(DecodeError::Truncated)?;
+    let task_name = std::str::from_utf8(name_bytes)
+        .map_err(|_| DecodeError::Malformed("task name must be UTF-8"))?
+        .to_string();
+    off = end;
+    if off != buf.len() {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(JobSpec {
+        cluster,
+        fda,
+        steps,
+        synth,
+        task_name,
     })
 }
 
@@ -233,5 +603,121 @@ mod tests {
     fn bad_tag_rejected() {
         let buf = [9u8, 0, 0, 0, 0];
         assert_eq!(decode_state(&buf), Err(DecodeError::BadTag(9)));
+    }
+
+    /// A hostile length header (u16::MAX × u16::MAX sketch, u32::MAX exact
+    /// vector) must fail as `Truncated` *before* any allocation is sized
+    /// from it — not attempt a multi-gigabyte `vec!`.
+    #[test]
+    fn hostile_length_headers_fail_without_allocating() {
+        // Sketch tag with maximal rows/cols and no payload behind them.
+        let mut sketchy = vec![1u8];
+        sketchy.extend_from_slice(&1.0f32.to_le_bytes());
+        sketchy.extend_from_slice(&u16::MAX.to_le_bytes());
+        sketchy.extend_from_slice(&u16::MAX.to_le_bytes());
+        assert_eq!(decode_state(&sketchy), Err(DecodeError::Truncated));
+        // Exact tag with a u32::MAX length.
+        let mut exact = vec![2u8];
+        exact.extend_from_slice(&1.0f32.to_le_bytes());
+        exact.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_state(&exact), Err(DecodeError::Truncated));
+        // Vector frame with a u32::MAX length.
+        let huge = u32::MAX.to_le_bytes();
+        assert_eq!(decode_vector(&huge), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn vector_roundtrip_including_empty() {
+        for v in [vec![], vec![1.5f32], drift(37)] {
+            let bytes = encode_vector(&v);
+            assert_eq!(bytes.len(), 4 + v.len() * 4);
+            let back = decode_vector(&bytes).unwrap();
+            assert_eq!(back, v);
+            assert_eq!(encode_vector(&back), bytes, "re-encode must match");
+        }
+        // Trailing garbage and truncation rejected.
+        let mut bytes = encode_vector(&drift(5));
+        bytes.push(0);
+        assert_eq!(decode_vector(&bytes), Err(DecodeError::Truncated));
+        bytes.pop();
+        assert_eq!(decode_vector(&bytes[..7]), Err(DecodeError::Truncated));
+    }
+
+    fn sample_job() -> JobSpec {
+        use fda_data::synth::SynthSpec;
+        JobSpec {
+            cluster: crate::cluster::ClusterConfig::small_test(4),
+            fda: crate::fda::FdaConfig::sketch_auto(0.02),
+            steps: 12,
+            synth: SynthSpec {
+                n_train: 240,
+                n_test: 80,
+                ..SynthSpec::synth_mnist()
+            },
+            task_name: "tiny".to_string(),
+        }
+    }
+
+    #[test]
+    fn job_roundtrip_byte_equality() {
+        use crate::fda::{FdaConfig, FdaVariant};
+        let mut jobs = vec![sample_job()];
+        // Cover every variant tag, optimizer tag and partition tag.
+        let mut j = sample_job();
+        j.fda = FdaConfig {
+            variant: FdaVariant::Sketch(SketchConfig::new(3, 17, 99)),
+            theta: 1.25,
+        };
+        j.cluster.optimizer = fda_optim::OptimizerKind::SgdMomentum {
+            lr: 0.1,
+            momentum: 0.9,
+            nesterov: true,
+            weight_decay: 1e-4,
+        };
+        j.cluster.partition = Partition::NonIidPercent(0.6);
+        jobs.push(j);
+        let mut j = sample_job();
+        j.fda = FdaConfig::linear(0.0);
+        j.cluster.optimizer = fda_optim::OptimizerKind::AdamW {
+            lr: 2e-3,
+            weight_decay: 0.01,
+        };
+        j.cluster.partition = Partition::NonIidLabel(3);
+        j.cluster.model = ModelId::TransferHead;
+        j.synth.spatial = None;
+        j.task_name = String::new();
+        jobs.push(j);
+        let mut j = sample_job();
+        j.fda = FdaConfig {
+            variant: FdaVariant::Exact,
+            theta: 0.5,
+        };
+        j.cluster.optimizer = fda_optim::OptimizerKind::Sgd { lr: 0.05 };
+        jobs.push(j);
+        for (i, job) in jobs.iter().enumerate() {
+            let bytes = encode_job(job);
+            let back = decode_job(&bytes).unwrap();
+            assert_eq!(
+                encode_job(&back),
+                bytes,
+                "job {i}: encode→decode→encode must be byte-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn job_decode_rejects_bad_version_and_garbage() {
+        let mut bytes = encode_job(&sample_job());
+        bytes[0] = 99;
+        assert!(matches!(
+            decode_job(&bytes),
+            Err(DecodeError::BadVersion(99))
+        ));
+        bytes[0] = JOB_WIRE_VERSION;
+        for cut in 0..bytes.len() {
+            assert!(decode_job(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        bytes.push(0xAB);
+        assert!(matches!(decode_job(&bytes), Err(DecodeError::Truncated)));
     }
 }

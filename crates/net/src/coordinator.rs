@@ -1,0 +1,303 @@
+//! The TCP coordinator: deposit → deterministic reduce → broadcast.
+//!
+//! One FDA round on the wire is the same three-phase rendezvous as
+//! [`fda_comm::ThreadedReducer`], with sockets in place of condvars:
+//!
+//! 1. **deposit** — every worker uploads its local state frame;
+//! 2. **reduce** — the coordinator averages the decoded states **in
+//!    worker-id order** (`LocalState::average_refs`: copy-first, then add
+//!    id-ascending — the exact association of `SimNetwork::allreduce_mean`
+//!    and the pooled `WorkerPool::chunked_mean`), evaluates `H(S̄_t)`, and
+//!    decides;
+//! 3. **broadcast** — every worker receives the averaged state plus the
+//!    decision, so the conditional model AllReduce is cluster-consistent
+//!    without an extra round.
+//!
+//! Model synchronizations run the *arithmetic and the charged accounting*
+//! through an embedded [`SimNetwork`] — the identical code path the
+//! sequential simulator executes — so a K-process TCP run is bit-identical
+//! to the simulator by construction, and the charged byte counters are the
+//! simulator's own. Independently, every data-plane frame that actually
+//! crosses a socket is *measured* (payload convention and raw bytes); the
+//! parity suite asserts measured == charged.
+
+use crate::frame::{write_frame, CountingStream, FrameKind, NetError, PROTOCOL_VERSION};
+use crate::protocol::Msg;
+use fda_comm::{AccountingMode, SimNetwork};
+use fda_core::monitor::LocalState;
+use fda_core::wire::{encode_state, encode_vector, JobSpec};
+use fda_tensor::vector;
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Outcome of a coordinated TCP run — the transport-side mirror of a
+/// simulator trajectory, for bit-parity checks and byte-accounting audits.
+#[derive(Debug, Clone)]
+pub struct NetReport {
+    /// Model synchronizations performed.
+    pub syncs: u64,
+    /// Per-round sync decisions, in step order.
+    pub decisions: Vec<bool>,
+    /// Per-round variance estimates `H(S̄_t)`, in step order.
+    pub estimates: Vec<f32>,
+    /// Bytes charged by the embedded [`SimNetwork`] — the simulator's
+    /// convention (state payload per step, `d·4` per sync, per worker).
+    pub charged_bytes: u64,
+    /// Bytes *measured* on the sockets under the same payload convention:
+    /// every data-plane frame's `f32` payload, fed through the accounting
+    /// mode as it arrived. Equals `charged_bytes` iff the traffic that
+    /// actually crossed the fabric is exactly what the simulator charges.
+    pub measured_payload_bytes: u64,
+    /// Raw bytes the coordinator transmitted (framing, control plane and
+    /// broadcasts included).
+    pub raw_tx_bytes: u64,
+    /// Raw bytes the coordinator received.
+    pub raw_rx_bytes: u64,
+    /// Every worker's final replica parameters, by worker id.
+    pub worker_params: Vec<Vec<f32>>,
+    /// Mean of the final replicas (uncharged evaluation model).
+    pub final_params: Vec<f32>,
+}
+
+/// The rendezvous server side of the transport.
+pub struct Coordinator {
+    listener: TcpListener,
+    accept_timeout: Duration,
+    read_timeout: Duration,
+}
+
+/// One accepted worker connection.
+struct Conn {
+    stream: CountingStream<TcpStream>,
+}
+
+impl Conn {
+    fn recv(&mut self) -> Result<Msg, NetError> {
+        Msg::recv(&mut self.stream)
+    }
+}
+
+impl Coordinator {
+    /// Binds the rendezvous listener. `127.0.0.1:0` picks a free loopback
+    /// port (read it back via [`Coordinator::local_addr`]).
+    pub fn bind<A: ToSocketAddrs>(addr: A) -> Result<Coordinator, NetError> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Coordinator {
+            listener,
+            accept_timeout: Duration::from_secs(30),
+            read_timeout: Duration::from_secs(60),
+        })
+    }
+
+    /// The bound address workers should connect to.
+    pub fn local_addr(&self) -> Result<std::net::SocketAddr, NetError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Replaces the hang guards: how long to wait for all `K` workers to
+    /// connect, and the per-read/per-write socket timeout thereafter. A
+    /// worker that stalls past the I/O timeout — silent on a read, or not
+    /// draining its receive buffer on a write — fails the run with an I/O
+    /// error instead of wedging the rendezvous (and CI) forever.
+    pub fn set_timeouts(&mut self, accept: Duration, io: Duration) {
+        self.accept_timeout = accept;
+        self.read_timeout = io;
+    }
+
+    /// Accepts `k` workers, handshakes, and indexes them by worker id.
+    fn accept_workers(&self, k: usize) -> Result<Vec<Conn>, NetError> {
+        self.listener.set_nonblocking(true)?;
+        let deadline = Instant::now() + self.accept_timeout;
+        let mut slots: Vec<Option<Conn>> = (0..k).map(|_| None).collect();
+        let mut accepted = 0usize;
+        while accepted < k {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    stream.set_nonblocking(false)?;
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(Some(self.read_timeout))?;
+                    stream.set_write_timeout(Some(self.read_timeout))?;
+                    let mut conn = Conn {
+                        stream: CountingStream::new(stream),
+                    };
+                    let (version, id) = match conn.recv()? {
+                        Msg::Hello { version, worker_id } => (version, worker_id as usize),
+                        other => {
+                            return Err(NetError::Protocol(format!(
+                                "expected hello, got {}",
+                                other.kind_name()
+                            )));
+                        }
+                    };
+                    if version != PROTOCOL_VERSION {
+                        return Err(NetError::Protocol(format!(
+                            "worker {id} speaks protocol v{version}, coordinator v{PROTOCOL_VERSION}"
+                        )));
+                    }
+                    if id >= k {
+                        return Err(NetError::Protocol(format!(
+                            "worker id {id} out of range for K = {k}"
+                        )));
+                    }
+                    if slots[id].is_some() {
+                        return Err(NetError::Protocol(format!("duplicate worker id {id}")));
+                    }
+                    slots[id] = Some(conn);
+                    accepted += 1;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(NetError::Protocol(format!(
+                            "only {accepted}/{k} workers connected within {:?}",
+                            self.accept_timeout
+                        )));
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(NetError::Io(e)),
+            }
+        }
+        self.listener.set_nonblocking(false)?;
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("all accepted"))
+            .collect())
+    }
+
+    /// Broadcasts one pre-encoded frame to every worker, in id order.
+    fn broadcast(conns: &mut [Conn], kind: FrameKind, payload: &[u8]) -> Result<(), NetError> {
+        for conn in conns.iter_mut() {
+            write_frame(&mut conn.stream, kind, payload)?;
+        }
+        Ok(())
+    }
+
+    /// Runs the full FDA job across `spec.cluster.workers` TCP workers and
+    /// returns the trajectory report. Blocks until the run completes or a
+    /// timeout/protocol violation fails it.
+    ///
+    /// # Panics
+    /// Panics on degenerate specs (`workers == 0` or `steps == 0`).
+    pub fn run(&self, spec: &JobSpec) -> Result<NetReport, NetError> {
+        let k = spec.cluster.workers;
+        assert!(k >= 1, "coordinator: need at least one worker");
+        assert!(spec.steps >= 1, "coordinator: need at least one step");
+        let dim = spec.cluster.model.build(spec.cluster.seed, 0).param_count();
+        let monitor = spec.fda.variant.build_monitor(dim);
+        let mode = AccountingMode::PerWorkerPayload;
+
+        let mut conns = self.accept_workers(k)?;
+        let config_payload = fda_core::wire::encode_job(spec);
+        Self::broadcast(&mut conns, FrameKind::Config, &config_payload)?;
+
+        // Charged accounting and model-AllReduce arithmetic: the
+        // simulator's own code path.
+        let mut net = SimNetwork::new(k);
+        let mut measured_payload = 0u64;
+        let mut states: Vec<Option<LocalState>> = (0..k).map(|_| None).collect();
+        let mut model_bufs: Vec<Vec<f32>> = vec![Vec::new(); k];
+        let mut decisions = Vec::with_capacity(spec.steps as usize);
+        let mut estimates = Vec::with_capacity(spec.steps as usize);
+        let mut syncs = 0u64;
+
+        for step in 0..spec.steps {
+            // (1) Deposit: one state frame per worker, read in id order.
+            for (id, conn) in conns.iter_mut().enumerate() {
+                let msg = conn.recv()?;
+                measured_payload += mode.per_worker_bytes(msg.accounted_bytes(), k);
+                match msg {
+                    Msg::State(s) => states[id] = Some(s),
+                    other => {
+                        return Err(NetError::Protocol(format!(
+                            "step {step}: expected state from worker {id}, got {}",
+                            other.kind_name()
+                        )));
+                    }
+                }
+            }
+            net.charge_allreduce(monitor.state_bytes());
+
+            // (2) Reduce in worker-id order + the decision.
+            let refs: Vec<&LocalState> = states
+                .iter()
+                .map(|s| s.as_ref().expect("state deposited"))
+                .collect();
+            let avg = LocalState::average_refs(&refs);
+            let estimate = monitor.estimate(&avg);
+            let sync = estimate > spec.fda.theta;
+            estimates.push(estimate);
+            decisions.push(sync);
+
+            // (3) Broadcast the averaged state + decision.
+            let mut payload = vec![sync as u8];
+            payload.extend_from_slice(&encode_state(&avg));
+            Self::broadcast(&mut conns, FrameKind::AvgState, &payload)?;
+
+            // (4) Conditional model AllReduce through the SimNetwork.
+            if sync {
+                for (id, conn) in conns.iter_mut().enumerate() {
+                    let msg = conn.recv()?;
+                    measured_payload += mode.per_worker_bytes(msg.accounted_bytes(), k);
+                    match msg {
+                        Msg::Model(v) if v.len() == dim => model_bufs[id] = v,
+                        Msg::Model(v) => {
+                            return Err(NetError::Protocol(format!(
+                                "step {step}: worker {id} uploaded {} params, model has {dim}",
+                                v.len()
+                            )));
+                        }
+                        other => {
+                            return Err(NetError::Protocol(format!(
+                                "step {step}: expected model from worker {id}, got {}",
+                                other.kind_name()
+                            )));
+                        }
+                    }
+                }
+                net.allreduce_mean(&mut model_bufs);
+                let payload = encode_vector(&model_bufs[0]);
+                Self::broadcast(&mut conns, FrameKind::AvgModel, &payload)?;
+                syncs += 1;
+            }
+        }
+
+        // Final collection (uncharged, like `Cluster::average_params`).
+        let mut worker_params: Vec<Vec<f32>> = Vec::with_capacity(k);
+        for (id, conn) in conns.iter_mut().enumerate() {
+            match conn.recv()? {
+                Msg::FinalModel(v) if v.len() == dim => worker_params.push(v),
+                Msg::FinalModel(v) => {
+                    return Err(NetError::Protocol(format!(
+                        "worker {id} final model has {} params, expected {dim}",
+                        v.len()
+                    )));
+                }
+                other => {
+                    return Err(NetError::Protocol(format!(
+                        "expected final model from worker {id}, got {}",
+                        other.kind_name()
+                    )));
+                }
+            }
+        }
+        Self::broadcast(&mut conns, FrameKind::Shutdown, &[])?;
+        for conn in &mut conns {
+            conn.stream.flush()?;
+        }
+
+        let refs: Vec<&[f32]> = worker_params.iter().map(|p| p.as_slice()).collect();
+        let final_params = vector::mean(&refs);
+        Ok(NetReport {
+            syncs,
+            decisions,
+            estimates,
+            charged_bytes: net.total_bytes(),
+            measured_payload_bytes: measured_payload,
+            raw_tx_bytes: conns.iter().map(|c| c.stream.tx_bytes()).sum(),
+            raw_rx_bytes: conns.iter().map(|c| c.stream.rx_bytes()).sum(),
+            worker_params,
+            final_params,
+        })
+    }
+}

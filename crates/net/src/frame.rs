@@ -1,0 +1,265 @@
+//! Length-prefixed frame protocol over a byte stream.
+//!
+//! Every message on an `fda_net` connection is one frame:
+//!
+//! ```text
+//! [ len: u32 ] [ kind: u8 ] [ payload: (len − 1) bytes ]
+//! ```
+//!
+//! `len` counts the kind byte plus the payload (little endian, like all of
+//! `fda_core::wire`), so a reader always knows exactly how many bytes to
+//! pull off the socket before touching a decoder. Frame payloads are the
+//! `fda_core::wire` encodings — the frame layer adds transport concerns
+//! only: typing, length, and a size cap so a corrupt or hostile length
+//! header cannot make the receiver allocate unboundedly.
+
+use fda_core::wire::DecodeError;
+use std::io::{Read, Write};
+
+/// Protocol version exchanged in the hello handshake. Bump on any frame
+/// or payload layout change.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Upper bound on one frame's `len` field (kind byte + payload).
+///
+/// The largest legitimate frame is a full model vector; 256 MiB covers a
+/// 67M-parameter model — far beyond the workspace zoo — while keeping a
+/// corrupted length header from looking like a 4 GiB allocation request.
+pub const MAX_FRAME_BYTES: u32 = 256 << 20;
+
+/// Frame types of the coordinator/worker protocol, in handshake order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Worker → coordinator: protocol version + worker id.
+    Hello = 1,
+    /// Coordinator → worker: the job config (`wire::encode_job`).
+    Config = 2,
+    /// Worker → coordinator: one round's local state
+    /// (`wire::encode_state`).
+    State = 3,
+    /// Coordinator → worker: averaged state + sync decision.
+    AvgState = 4,
+    /// Worker → coordinator: full model parameters for a synchronization
+    /// (`wire::encode_vector`).
+    Model = 5,
+    /// Coordinator → worker: the AllReduced consensus model.
+    AvgModel = 6,
+    /// Worker → coordinator: final replica parameters after the last step
+    /// (evaluation traffic — uncharged, like `Cluster::average_params`).
+    FinalModel = 7,
+    /// Coordinator → worker: run complete, close the connection.
+    Shutdown = 8,
+}
+
+impl FrameKind {
+    fn from_u8(b: u8) -> Option<FrameKind> {
+        match b {
+            1 => Some(FrameKind::Hello),
+            2 => Some(FrameKind::Config),
+            3 => Some(FrameKind::State),
+            4 => Some(FrameKind::AvgState),
+            5 => Some(FrameKind::Model),
+            6 => Some(FrameKind::AvgModel),
+            7 => Some(FrameKind::FinalModel),
+            8 => Some(FrameKind::Shutdown),
+            _ => None,
+        }
+    }
+}
+
+/// Errors of the socket transport.
+#[derive(Debug)]
+pub enum NetError {
+    /// Underlying socket error (includes read timeouts — the hang guard).
+    Io(std::io::Error),
+    /// A frame payload failed to decode.
+    Decode(DecodeError),
+    /// The peer violated the protocol (wrong frame kind, bad handshake,
+    /// oversized frame, …).
+    Protocol(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "net io error: {e}"),
+            NetError::Decode(e) => write!(f, "net decode error: {e}"),
+            NetError::Protocol(what) => write!(f, "net protocol error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> NetError {
+        NetError::Io(e)
+    }
+}
+
+impl From<DecodeError> for NetError {
+    fn from(e: DecodeError) -> NetError {
+        NetError::Decode(e)
+    }
+}
+
+/// A byte stream with transmit/receive byte counters — the probe that
+/// turns "charged" traffic accounting into *measured* accounting. Counts
+/// every byte that crosses the wrapped stream, framing included.
+pub struct CountingStream<S> {
+    inner: S,
+    tx: u64,
+    rx: u64,
+}
+
+impl<S> CountingStream<S> {
+    /// Wraps a stream with zeroed counters.
+    pub fn new(inner: S) -> CountingStream<S> {
+        CountingStream {
+            inner,
+            tx: 0,
+            rx: 0,
+        }
+    }
+
+    /// Bytes written to the stream so far.
+    pub fn tx_bytes(&self) -> u64 {
+        self.tx
+    }
+
+    /// Bytes read from the stream so far.
+    pub fn rx_bytes(&self) -> u64 {
+        self.rx
+    }
+
+    /// The wrapped stream.
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: Read> Read for CountingStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.rx += n as u64;
+        Ok(n)
+    }
+}
+
+impl<S: Write> Write for CountingStream<S> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.tx += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Writes one frame as a single `write_all` (header and payload composed
+/// first, so small frames cost one syscall and never interleave).
+///
+/// # Panics
+/// Panics if the payload exceeds [`MAX_FRAME_BYTES`] — a sender-side bug,
+/// not a peer-controlled condition.
+pub fn write_frame<W: Write>(w: &mut W, kind: FrameKind, payload: &[u8]) -> Result<(), NetError> {
+    let len = payload
+        .len()
+        .checked_add(1)
+        .filter(|&l| l <= MAX_FRAME_BYTES as usize)
+        .expect("frame payload exceeds MAX_FRAME_BYTES");
+    let mut buf = Vec::with_capacity(4 + len);
+    buf.extend_from_slice(&(len as u32).to_le_bytes());
+    buf.push(kind as u8);
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame, validating the length header against
+/// [`MAX_FRAME_BYTES`] before allocating the payload buffer.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<(FrameKind, Vec<u8>), NetError> {
+    let mut header = [0u8; 4];
+    r.read_exact(&mut header)?;
+    let len = u32::from_le_bytes(header);
+    if len == 0 || len > MAX_FRAME_BYTES {
+        return Err(NetError::Protocol(format!(
+            "frame length {len} outside (0, {MAX_FRAME_BYTES}]"
+        )));
+    }
+    let mut kind_byte = [0u8; 1];
+    r.read_exact(&mut kind_byte)?;
+    let kind = FrameKind::from_u8(kind_byte[0])
+        .ok_or_else(|| NetError::Protocol(format!("unknown frame kind {}", kind_byte[0])))?;
+    let mut payload = vec![0u8; len as usize - 1];
+    r.read_exact(&mut payload)?;
+    Ok((kind, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip_through_a_pipe() {
+        let mut buf: Vec<u8> = Vec::new();
+        write_frame(&mut buf, FrameKind::State, &[1, 2, 3]).unwrap();
+        write_frame(&mut buf, FrameKind::Shutdown, &[]).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let (k1, p1) = read_frame(&mut cursor).unwrap();
+        assert_eq!((k1, p1.as_slice()), (FrameKind::State, &[1u8, 2, 3][..]));
+        let (k2, p2) = read_frame(&mut cursor).unwrap();
+        assert_eq!((k2, p2.len()), (FrameKind::Shutdown, 0));
+    }
+
+    #[test]
+    fn oversized_and_zero_length_headers_rejected() {
+        let mut buf = (MAX_FRAME_BYTES + 1).to_le_bytes().to_vec();
+        buf.push(1);
+        assert!(matches!(
+            read_frame(&mut std::io::Cursor::new(buf)),
+            Err(NetError::Protocol(_))
+        ));
+        let zero = 0u32.to_le_bytes().to_vec();
+        assert!(matches!(
+            read_frame(&mut std::io::Cursor::new(zero)),
+            Err(NetError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let mut buf = 1u32.to_le_bytes().to_vec();
+        buf.push(250);
+        assert!(matches!(
+            read_frame(&mut std::io::Cursor::new(buf)),
+            Err(NetError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_stream_is_io_error() {
+        let mut buf: Vec<u8> = Vec::new();
+        write_frame(&mut buf, FrameKind::Model, &[0u8; 64]).unwrap();
+        buf.truncate(20);
+        assert!(matches!(
+            read_frame(&mut std::io::Cursor::new(buf)),
+            Err(NetError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn counting_stream_counts_both_directions() {
+        let mut inner = std::io::Cursor::new(vec![0u8; 32]);
+        let mut cs = CountingStream::new(&mut inner);
+        cs.write_all(&[1, 2, 3]).unwrap();
+        let mut sink = [0u8; 5];
+        cs.read_exact(&mut sink).unwrap();
+        assert_eq!(cs.tx_bytes(), 3);
+        assert_eq!(cs.rx_bytes(), 5);
+    }
+}

@@ -1,0 +1,215 @@
+//! Run harnesses: whole FDA jobs over loopback TCP.
+//!
+//! Two drivers around the same [`Coordinator`]:
+//!
+//! * [`run_with_thread_workers`] — workers are threads of the calling
+//!   process, each speaking real TCP to the coordinator over loopback.
+//!   Used by unit tests and the bench (no process-spawn cost in the
+//!   measurement, sockets still real).
+//! * [`run_with_spawned_workers`] — workers are **OS processes** spawned
+//!   from an `fda_node` binary; the multi-process deployment the paper's
+//!   byte accounting is ultimately about. Child processes are killed if
+//!   the coordinator fails, so a wedged worker cannot leak past the run.
+
+use crate::coordinator::{Coordinator, NetReport};
+use crate::frame::NetError;
+use crate::worker::NetWorker;
+use fda_core::wire::JobSpec;
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Default worker-connect window.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(20);
+
+/// How long spawned workers get to exit after shutdown before being
+/// killed.
+const REAP_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Runs `spec` with in-process worker threads over loopback TCP.
+///
+/// # Panics
+/// Panics if a worker thread panics.
+pub fn run_with_thread_workers(spec: &JobSpec) -> Result<NetReport, NetError> {
+    let coordinator = Coordinator::bind("127.0.0.1:0")?;
+    let addr = coordinator.local_addr()?;
+    let k = spec.cluster.workers;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..k)
+            .map(|id| {
+                scope.spawn(move || -> Result<(), NetError> {
+                    NetWorker::connect(addr, id as u32, CONNECT_TIMEOUT)?
+                        .run()
+                        .map(|_| ())
+                })
+            })
+            .collect();
+        let report = coordinator.run(spec);
+        for (id, h) in handles.into_iter().enumerate() {
+            let worker_result = h.join().expect("worker thread panicked");
+            // A coordinator error usually kills the workers too; report
+            // the coordinator's (root-cause) error first.
+            if report.is_ok() {
+                worker_result
+                    .map_err(|e| NetError::Protocol(format!("worker {id} failed: {e}")))?;
+            }
+        }
+        report
+    })
+}
+
+/// Kills still-running children on drop, so a failed run cannot leak
+/// worker processes.
+struct ReapGuard {
+    children: Vec<Child>,
+}
+
+impl ReapGuard {
+    /// Waits for every child to exit, killing laggards after
+    /// [`REAP_TIMEOUT`]. Returns an error naming the first child that
+    /// exited unsuccessfully.
+    fn reap(mut self) -> Result<(), NetError> {
+        let deadline = Instant::now() + REAP_TIMEOUT;
+        for (id, child) in self.children.iter_mut().enumerate() {
+            let status = loop {
+                match child.try_wait() {
+                    Ok(Some(status)) => break status,
+                    Ok(None) => {
+                        if Instant::now() >= deadline {
+                            let _ = child.kill();
+                            break child.wait().map_err(NetError::Io)?;
+                        }
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(e) => return Err(NetError::Io(e)),
+                }
+            };
+            if !status.success() {
+                // Return without clearing: `Drop` still kills the
+                // remaining (possibly wedged) siblings.
+                return Err(NetError::Protocol(format!(
+                    "worker process {id} exited with {status}"
+                )));
+            }
+        }
+        self.children.clear();
+        Ok(())
+    }
+}
+
+impl Drop for ReapGuard {
+    fn drop(&mut self) {
+        for child in &mut self.children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Runs `spec` with `K` spawned `fda_node` worker processes.
+///
+/// `node_bin` must be a binary accepting
+/// `worker --connect <addr> --id <k>` (the workspace's `fda_node`).
+/// Worker stderr is inherited so failures surface in test output.
+pub fn run_with_spawned_workers(spec: &JobSpec, node_bin: &Path) -> Result<NetReport, NetError> {
+    let coordinator = Coordinator::bind("127.0.0.1:0")?;
+    let addr = coordinator.local_addr()?;
+    let mut guard = ReapGuard {
+        children: Vec::new(),
+    };
+    for id in 0..spec.cluster.workers {
+        let child = Command::new(node_bin)
+            .arg("worker")
+            .arg("--connect")
+            .arg(addr.to_string())
+            .arg("--id")
+            .arg(id.to_string())
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn()?;
+        guard.children.push(child);
+    }
+    let report = coordinator.run(spec)?;
+    guard.reap()?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fda_core::cluster::ClusterConfig;
+    use fda_core::fda::{Fda, FdaConfig};
+    use fda_core::strategy::Strategy;
+    use fda_data::synth::SynthSpec;
+
+    fn tiny_spec(k: usize, fda: FdaConfig, steps: u32) -> JobSpec {
+        JobSpec {
+            cluster: ClusterConfig {
+                workers: k,
+                ..ClusterConfig::small_test(k)
+            },
+            fda,
+            steps,
+            synth: SynthSpec {
+                n_train: 240,
+                n_test: 80,
+                ..SynthSpec::synth_mnist()
+            },
+            task_name: "tiny".to_string(),
+        }
+    }
+
+    /// Thread-worker smoke parity: a K = 2 LinearFDA TCP run must retrace
+    /// the sequential simulator bit-for-bit (the full multi-process matrix
+    /// lives in the root `net_parity` integration suite).
+    #[test]
+    fn loopback_run_matches_simulator() {
+        let spec = tiny_spec(2, FdaConfig::linear(0.02), 6);
+        let report = run_with_thread_workers(&spec).expect("net run");
+
+        let task = spec.synth.generate(&spec.task_name);
+        let mut sim = Fda::new(spec.fda, spec.cluster.clone(), &task);
+        let mut decisions = Vec::new();
+        let mut estimates = Vec::new();
+        for _ in 0..spec.steps {
+            let out = sim.step();
+            decisions.push(out.synced);
+            estimates.push(out.variance_estimate.expect("fda reports estimates"));
+        }
+        assert_eq!(report.decisions, decisions, "sync schedule diverged");
+        assert_eq!(report.estimates, estimates, "estimates diverged");
+        assert!(report.syncs > 0, "horizon should exercise a sync");
+        for (kk, params) in report.worker_params.iter().enumerate() {
+            assert_eq!(
+                params,
+                &sim.cluster().worker(kk).params(),
+                "worker {kk} final params diverged"
+            );
+        }
+        assert_eq!(report.charged_bytes, sim.comm_bytes(), "charged diverged");
+        assert_eq!(
+            report.measured_payload_bytes, report.charged_bytes,
+            "socket-measured payload != charged"
+        );
+        // Framing + control plane exist but are small.
+        assert!(report.raw_rx_bytes > report.measured_payload_bytes);
+    }
+
+    /// K = 1 degenerate cluster: runs, charges nothing (the accounting
+    /// convention), still produces the simulator's exact trajectory.
+    #[test]
+    fn single_worker_run_charges_nothing() {
+        let spec = tiny_spec(1, FdaConfig::linear(0.05), 4);
+        let report = run_with_thread_workers(&spec).expect("net run");
+        assert_eq!(report.charged_bytes, 0);
+        assert_eq!(report.measured_payload_bytes, 0);
+        assert!(report.raw_rx_bytes > 0, "frames still crossed the socket");
+
+        let task = spec.synth.generate(&spec.task_name);
+        let mut sim = Fda::new(spec.fda, spec.cluster.clone(), &task);
+        let decisions: Vec<bool> = (0..spec.steps).map(|_| sim.step().synced).collect();
+        assert_eq!(report.decisions, decisions);
+        assert_eq!(report.worker_params[0], sim.cluster().worker(0).params());
+    }
+}

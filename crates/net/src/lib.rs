@@ -1,0 +1,52 @@
+//! # fda-net — FDA over real sockets.
+//!
+//! Every other driver in the workspace (sequential simulator, pooled
+//! [`fda_core::pool::WorkerPool`], [`fda_comm::ThreadedReducer`]) lives in
+//! one OS process and *charges* communication bytes analytically. This
+//! crate is the deployment path the paper's efficiency claim is about: the
+//! full FDA loop across **OS processes**, every local state and model
+//! payload actually serialized through `fda_core::wire` and shipped over
+//! TCP.
+//!
+//! Two properties are load-bearing, and both are asserted by tests:
+//!
+//! 1. **Bit-identity** — the coordinator reduces deposited states and
+//!    models in worker-id order with the repo's copy-first association
+//!    (model AllReduces literally run through [`fda_comm::SimNetwork`]),
+//!    and workers rebuild their replicas via
+//!    [`fda_core::cluster::ClusterConfig::build_worker`], so a K-process
+//!    TCP run reproduces the sequential simulator's trajectory — every
+//!    parameter bit, every estimate, every sync decision. On a single-core
+//!    host this is *the* correctness proof for a distributed runtime
+//!    (`tests/net_parity.rs` at the workspace root).
+//! 2. **Measured = charged** — the simulator's byte accounting is
+//!    validated against the payloads that actually cross the sockets:
+//!    [`coordinator::NetReport::measured_payload_bytes`] (counted
+//!    frame-by-frame as they arrive) must equal
+//!    [`coordinator::NetReport::charged_bytes`] exactly; raw socket
+//!    counters additionally expose the (small) framing overhead the
+//!    paper's convention ignores.
+//!
+//! ## Layout
+//!
+//! * [`frame`] — length-prefixed, size-capped frame protocol and byte
+//!   counters.
+//! * [`protocol`] — typed messages (hello/config/state/decision/model/
+//!   shutdown) with `fda_core::wire` payloads.
+//! * [`coordinator`] — the deposit → id-order reduce → broadcast
+//!   rendezvous.
+//! * [`worker`] — the per-process worker loop over the simulator's own
+//!   `Worker::step_once`.
+//! * [`harness`] — thread-worker and spawned-process run drivers.
+
+pub mod coordinator;
+pub mod frame;
+pub mod harness;
+pub mod protocol;
+pub mod worker;
+
+pub use coordinator::{Coordinator, NetReport};
+pub use frame::{FrameKind, NetError, PROTOCOL_VERSION};
+pub use harness::{run_with_spawned_workers, run_with_thread_workers};
+pub use protocol::Msg;
+pub use worker::{NetWorker, WorkerSummary};

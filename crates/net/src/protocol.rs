@@ -1,0 +1,236 @@
+//! Typed messages over the frame layer.
+//!
+//! A [`Msg`] is one frame; payloads are the `fda_core::wire` encodings, so
+//! the bytes a worker puts on the socket for a local state are *exactly*
+//! the bytes the simulator's accounting charges (plus the framing header,
+//! which [`Msg::accounted_bytes`] deliberately excludes — the paper's
+//! convention charges payload floats, and sub-1% framing overhead is
+//! reported separately by the measured raw counters).
+
+use crate::frame::{read_frame, write_frame, FrameKind, NetError, PROTOCOL_VERSION};
+use fda_core::monitor::LocalState;
+use fda_core::wire::{
+    decode_job, decode_state, decode_vector, encode_job, encode_state, encode_vector, JobSpec,
+};
+use std::io::{Read, Write};
+
+/// One protocol message (see [`FrameKind`] for the direction of each).
+#[derive(Debug)]
+pub enum Msg {
+    /// Worker → coordinator handshake.
+    Hello {
+        /// Must equal [`PROTOCOL_VERSION`].
+        version: u16,
+        /// The worker's stable id in `0..K` — the reduction order key.
+        worker_id: u32,
+    },
+    /// Coordinator → worker: the job.
+    Config(JobSpec),
+    /// Worker → coordinator: this round's local state.
+    State(LocalState),
+    /// Coordinator → worker: the averaged state and the round's decision.
+    AvgState {
+        /// `S̄_t`, averaged in worker-id order.
+        state: LocalState,
+        /// `H(S̄_t) > Θ` — whether a model AllReduce follows.
+        sync: bool,
+    },
+    /// Worker → coordinator: full parameters for the model AllReduce.
+    Model(Vec<f32>),
+    /// Coordinator → worker: the consensus model.
+    AvgModel(Vec<f32>),
+    /// Worker → coordinator: final replica (uncharged evaluation traffic).
+    FinalModel(Vec<f32>),
+    /// Coordinator → worker: run complete.
+    Shutdown,
+}
+
+impl Msg {
+    /// Builds the handshake message for this library's protocol version.
+    pub fn hello(worker_id: u32) -> Msg {
+        Msg::Hello {
+            version: PROTOCOL_VERSION,
+            worker_id,
+        }
+    }
+
+    /// The bytes the paper's accounting convention charges for this
+    /// message: the `f32` payload of data-plane messages (`‖u‖²` +
+    /// summary for a state, the parameter vector for a model upload), and
+    /// zero for control-plane messages (handshake, config, broadcasts —
+    /// the convention counts bytes *transmitted by workers*) and for the
+    /// uncharged final-model evaluation collection.
+    pub fn accounted_bytes(&self) -> u64 {
+        match self {
+            Msg::State(s) => 4 + s.summary_slice().len() as u64 * 4,
+            Msg::Model(v) => v.len() as u64 * 4,
+            _ => 0,
+        }
+    }
+
+    /// Writes this message as one frame.
+    pub fn send<W: Write>(&self, w: &mut W) -> Result<(), NetError> {
+        let (kind, payload) = match self {
+            Msg::Hello { version, worker_id } => {
+                let mut p = Vec::with_capacity(6);
+                p.extend_from_slice(&version.to_le_bytes());
+                p.extend_from_slice(&worker_id.to_le_bytes());
+                (FrameKind::Hello, p)
+            }
+            Msg::Config(job) => (FrameKind::Config, encode_job(job)),
+            Msg::State(s) => (FrameKind::State, encode_state(s)),
+            Msg::AvgState { state, sync } => {
+                let mut p = vec![*sync as u8];
+                p.extend_from_slice(&encode_state(state));
+                (FrameKind::AvgState, p)
+            }
+            Msg::Model(v) => (FrameKind::Model, encode_vector(v)),
+            Msg::AvgModel(v) => (FrameKind::AvgModel, encode_vector(v)),
+            Msg::FinalModel(v) => (FrameKind::FinalModel, encode_vector(v)),
+            Msg::Shutdown => (FrameKind::Shutdown, Vec::new()),
+        };
+        write_frame(w, kind, &payload)
+    }
+
+    /// Reads the next message off the stream.
+    pub fn recv<R: Read>(r: &mut R) -> Result<Msg, NetError> {
+        let (kind, payload) = read_frame(r)?;
+        Ok(match kind {
+            FrameKind::Hello => {
+                if payload.len() != 6 {
+                    return Err(NetError::Protocol(format!(
+                        "hello payload must be 6 bytes, got {}",
+                        payload.len()
+                    )));
+                }
+                Msg::Hello {
+                    version: u16::from_le_bytes(payload[0..2].try_into().expect("len 2")),
+                    worker_id: u32::from_le_bytes(payload[2..6].try_into().expect("len 4")),
+                }
+            }
+            FrameKind::Config => Msg::Config(decode_job(&payload)?),
+            FrameKind::State => Msg::State(decode_state(&payload)?),
+            FrameKind::AvgState => {
+                let (&sync_byte, state_bytes) = payload
+                    .split_first()
+                    .ok_or_else(|| NetError::Protocol("empty avg-state payload".to_string()))?;
+                let sync = match sync_byte {
+                    0 => false,
+                    1 => true,
+                    b => {
+                        return Err(NetError::Protocol(format!("bad sync byte {b}")));
+                    }
+                };
+                Msg::AvgState {
+                    state: decode_state(state_bytes)?,
+                    sync,
+                }
+            }
+            FrameKind::Model => Msg::Model(decode_vector(&payload)?),
+            FrameKind::AvgModel => Msg::AvgModel(decode_vector(&payload)?),
+            FrameKind::FinalModel => Msg::FinalModel(decode_vector(&payload)?),
+            FrameKind::Shutdown => {
+                if !payload.is_empty() {
+                    return Err(NetError::Protocol(
+                        "shutdown carries no payload".to_string(),
+                    ));
+                }
+                Msg::Shutdown
+            }
+        })
+    }
+
+    /// Short name for protocol-error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Msg::Hello { .. } => "hello",
+            Msg::Config(_) => "config",
+            Msg::State(_) => "state",
+            Msg::AvgState { .. } => "avg-state",
+            Msg::Model(_) => "model",
+            Msg::AvgModel(_) => "avg-model",
+            Msg::FinalModel(_) => "final-model",
+            Msg::Shutdown => "shutdown",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fda_core::monitor::{LinearMonitor, SketchMonitor, VarianceMonitor};
+    use fda_sketch::SketchConfig;
+
+    fn roundtrip(msg: &Msg) -> Msg {
+        let mut buf: Vec<u8> = Vec::new();
+        msg.send(&mut buf).unwrap();
+        Msg::recv(&mut std::io::Cursor::new(buf)).unwrap()
+    }
+
+    #[test]
+    fn hello_roundtrip() {
+        match roundtrip(&Msg::hello(3)) {
+            Msg::Hello { version, worker_id } => {
+                assert_eq!(version, PROTOCOL_VERSION);
+                assert_eq!(worker_id, 3);
+            }
+            other => panic!("wrong kind: {}", other.kind_name()),
+        }
+    }
+
+    #[test]
+    fn state_and_avg_state_roundtrip_bitwise() {
+        let drift: Vec<f32> = (0..96).map(|i| (i as f32 * 0.11).sin()).collect();
+        for state in [
+            LinearMonitor::new().local_state(&drift),
+            SketchMonitor::new(SketchConfig::new(3, 16, 5), drift.len()).local_state(&drift),
+        ] {
+            match roundtrip(&Msg::State(state.clone())) {
+                Msg::State(back) => assert_eq!(back, state),
+                other => panic!("wrong kind: {}", other.kind_name()),
+            }
+            match roundtrip(&Msg::AvgState {
+                state: state.clone(),
+                sync: true,
+            }) {
+                Msg::AvgState { state: back, sync } => {
+                    assert_eq!(back, state);
+                    assert!(sync);
+                }
+                other => panic!("wrong kind: {}", other.kind_name()),
+            }
+        }
+    }
+
+    #[test]
+    fn model_roundtrip_and_accounting() {
+        let v: Vec<f32> = (0..1000).map(|i| i as f32 * 0.5).collect();
+        let msg = Msg::Model(v.clone());
+        assert_eq!(msg.accounted_bytes(), 4000);
+        match roundtrip(&msg) {
+            Msg::Model(back) => assert_eq!(back, v),
+            other => panic!("wrong kind: {}", other.kind_name()),
+        }
+        // Control-plane and evaluation messages are never charged.
+        assert_eq!(Msg::AvgModel(v.clone()).accounted_bytes(), 0);
+        assert_eq!(Msg::FinalModel(v).accounted_bytes(), 0);
+        assert_eq!(Msg::Shutdown.accounted_bytes(), 0);
+    }
+
+    /// A state message's accounted bytes must equal the monitor's
+    /// `state_bytes` — the exact quantity the simulator charges per step.
+    #[test]
+    fn state_accounting_matches_monitor_convention() {
+        let drift: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        let lin = LinearMonitor::new();
+        assert_eq!(
+            Msg::State(lin.local_state(&drift)).accounted_bytes(),
+            lin.state_bytes()
+        );
+        let sk = SketchMonitor::new(SketchConfig::new(5, 25, 1), 64);
+        assert_eq!(
+            Msg::State(sk.local_state(&drift)).accounted_bytes(),
+            sk.state_bytes()
+        );
+    }
+}

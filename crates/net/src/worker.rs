@@ -1,0 +1,167 @@
+//! The TCP worker loop.
+//!
+//! A [`NetWorker`] is one OS process's half of the protocol. It rebuilds
+//! its exact simulator replica from the config frame —
+//! [`fda_core::cluster::ClusterConfig::build_worker`] derives model init, `w_0`, dropout
+//! stream, shard and batch order deterministically from `(seed, id)` — and
+//! then drives [`Worker::step_once`], the *same* training code path the
+//! simulator's `Cluster::local_step` runs. Everything that crosses the
+//! process boundary goes through `fda_core::wire`, whose decode is exact
+//! (f32 bits round-trip), so the K-process trajectory is bit-identical to
+//! the K-worker simulator.
+
+use crate::frame::{CountingStream, NetError};
+use crate::protocol::Msg;
+use fda_core::cluster::Worker;
+use fda_core::wire::JobSpec;
+use fda_tensor::vector;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Summary a worker returns after a completed run (for logging/tests; the
+/// authoritative trajectory lives in the coordinator's report).
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerSummary {
+    /// Steps performed.
+    pub steps: u64,
+    /// Synchronizations participated in.
+    pub syncs: u64,
+}
+
+/// One connected worker process.
+pub struct NetWorker {
+    stream: CountingStream<TcpStream>,
+    id: u32,
+}
+
+impl NetWorker {
+    /// Connects to the coordinator, retrying until `connect_timeout`
+    /// elapses (the coordinator may still be binding when a spawned worker
+    /// process starts), then handshakes as worker `id`.
+    pub fn connect<A: ToSocketAddrs + Clone>(
+        addr: A,
+        id: u32,
+        connect_timeout: Duration,
+    ) -> Result<NetWorker, NetError> {
+        let deadline = Instant::now() + connect_timeout;
+        let stream = loop {
+            match TcpStream::connect(addr.clone()) {
+                Ok(s) => break s,
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(NetError::Io(e));
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        };
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(60)))?;
+        let mut stream = CountingStream::new(stream);
+        Msg::hello(id).send(&mut stream)?;
+        Ok(NetWorker { stream, id })
+    }
+
+    /// Overrides the per-read/per-write socket timeout (the hang guard;
+    /// default 60 s each way).
+    pub fn set_io_timeout(&mut self, timeout: Duration) -> Result<(), NetError> {
+        self.stream.get_ref().set_read_timeout(Some(timeout))?;
+        self.stream.get_ref().set_write_timeout(Some(timeout))?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Msg, NetError> {
+        Msg::recv(&mut self.stream)
+    }
+
+    fn protocol_err(&self, expected: &str, got: &Msg) -> NetError {
+        NetError::Protocol(format!(
+            "worker {}: expected {expected}, got {}",
+            self.id,
+            got.kind_name()
+        ))
+    }
+
+    /// Receives the job and runs the full FDA worker loop: local step →
+    /// state upload → averaged state + decision → conditional model
+    /// AllReduce — the socket transcription of `Fda::step`'s phases 1–4.
+    pub fn run(&mut self) -> Result<WorkerSummary, NetError> {
+        let spec: JobSpec = match self.recv()? {
+            Msg::Config(job) => job,
+            other => return Err(self.protocol_err("config", &other)),
+        };
+        let task = spec.synth.generate(&spec.task_name);
+        let mut worker: Worker = spec.cluster.build_worker(&task.train, self.id as usize);
+        let dim = worker.model().param_count();
+        let mut monitor = spec.fda.variant.build_monitor(dim);
+
+        // `w_t0`: the model at the last synchronization (starts at w_0).
+        let mut w_sync = worker.params();
+        let mut params = vec![0.0f32; dim];
+        let mut drift = vec![0.0f32; dim];
+        let mut syncs = 0u64;
+
+        for _ in 0..spec.steps {
+            // (1) Local training — the simulator's exact code path.
+            worker.step_once(&task.train);
+            worker.model().copy_params_to(&mut params);
+
+            // (2) Local state from the drift.
+            vector::sub_into(&params, &w_sync, &mut drift);
+            let state = monitor.local_state(&drift);
+            Msg::State(state).send(&mut self.stream)?;
+
+            // (3) The averaged state. As in the threaded driver, every
+            // worker holds the same S̄ and evaluates `H(S̄) > Θ` itself —
+            // the decision byte is a cross-check, not a trusted oracle;
+            // any disagreement (a coordinator running different monitor
+            // code, a corrupted frame that still decoded) is a protocol
+            // error, not a silent divergence.
+            let (avg, sync) = match self.recv()? {
+                Msg::AvgState { state, sync } => (state, sync),
+                other => return Err(self.protocol_err("avg-state", &other)),
+            };
+            let local_decision = monitor.estimate(&avg) > spec.fda.theta;
+            if local_decision != sync {
+                return Err(NetError::Protocol(format!(
+                    "worker {}: local H(S̄) decision ({local_decision}) disagrees \
+                     with coordinator broadcast ({sync})",
+                    self.id
+                )));
+            }
+
+            // (4) Conditional model AllReduce.
+            if sync {
+                Msg::Model(params.clone()).send(&mut self.stream)?;
+                let avg = match self.recv()? {
+                    Msg::AvgModel(v) if v.len() == dim => v,
+                    Msg::AvgModel(v) => {
+                        return Err(NetError::Protocol(format!(
+                            "worker {}: consensus model has {} params, expected {dim}",
+                            self.id,
+                            v.len()
+                        )));
+                    }
+                    other => return Err(self.protocol_err("avg-model", &other)),
+                };
+                worker.model_mut().load_params(&avg);
+                monitor.on_sync(&avg, &w_sync);
+                w_sync.copy_from_slice(&avg);
+                params.copy_from_slice(&avg);
+                syncs += 1;
+            }
+        }
+
+        // Final replica collection + shutdown.
+        Msg::FinalModel(params).send(&mut self.stream)?;
+        match self.recv()? {
+            Msg::Shutdown => {}
+            other => return Err(self.protocol_err("shutdown", &other)),
+        }
+        Ok(WorkerSummary {
+            steps: spec.steps as u64,
+            syncs,
+        })
+    }
+}

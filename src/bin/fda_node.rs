@@ -1,0 +1,188 @@
+//! `fda_node` — one node of the TCP FDA cluster.
+//!
+//! Roles:
+//!
+//! * `fda_node worker --connect <addr> --id <k>` — join a coordinator as
+//!   worker `k`; the job config arrives over the socket.
+//! * `fda_node coordinator --workers <K> [options]` — bind, wait for `K`
+//!   externally started workers, run the job, print a JSON report.
+//! * `fda_node demo --workers <K> [options]` — coordinator that spawns its
+//!   own `K` worker processes from this binary (the one-command loopback
+//!   deployment; also what the parity suite drives).
+//!
+//! Common options (coordinator/demo): `--model lenet5`, `--variant
+//! sketch|linear|exact`, `--theta <f32>`, `--steps <n>`, `--seed <n>`,
+//! `--batch <n>`, `--train <n>`, `--test <n>`, `--listen <addr>`.
+
+use fda::core::cluster::ClusterConfig;
+use fda::core::fda::{FdaConfig, FdaVariant};
+use fda::core::wire::JobSpec;
+use fda::data::synth::SynthSpec;
+use fda::data::Partition;
+use fda::net::{run_with_spawned_workers, Coordinator, NetReport, NetWorker};
+use fda::nn::zoo::ModelId;
+use fda::optim::OptimizerKind;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  fda_node worker --connect <addr> --id <k> [--timeout-secs <t>]\n  \
+         fda_node coordinator --workers <K> [--listen <addr>] [job options]\n  \
+         fda_node demo --workers <K> [job options]\n\n\
+         job options: --model lenet5|vgg16|densenet121|densenet201|transfer\n               \
+         --variant sketch|linear|exact  --theta <f32>  --steps <n>\n               \
+         --seed <n>  --batch <n>  --train <n>  --test <n>"
+    );
+    std::process::exit(2);
+}
+
+/// Pulls the value following `--flag`, if present.
+fn opt_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .map(|i| args.get(i + 1).unwrap_or_else(|| usage()).clone())
+}
+
+fn parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    match opt_value(args, flag) {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("fda_node: bad value for {flag}: {v}");
+            std::process::exit(2);
+        }),
+        None => default,
+    }
+}
+
+fn job_from_args(args: &[String]) -> JobSpec {
+    let workers: usize = parse(args, "--workers", 4);
+    let model = match opt_value(args, "--model").as_deref() {
+        None | Some("lenet5") => ModelId::Lenet5,
+        Some("vgg16") => ModelId::Vgg16Star,
+        Some("densenet121") => ModelId::DenseNet121,
+        Some("densenet201") => ModelId::DenseNet201,
+        Some("transfer") => ModelId::TransferHead,
+        Some(other) => {
+            eprintln!("fda_node: unknown model {other}");
+            std::process::exit(2);
+        }
+    };
+    let variant = match opt_value(args, "--variant").as_deref() {
+        None | Some("sketch") => FdaVariant::SketchAuto,
+        Some("linear") => FdaVariant::Linear,
+        Some("exact") => FdaVariant::Exact,
+        Some(other) => {
+            eprintln!("fda_node: unknown variant {other}");
+            std::process::exit(2);
+        }
+    };
+    JobSpec {
+        cluster: ClusterConfig {
+            model,
+            workers,
+            batch_size: parse(args, "--batch", 16),
+            optimizer: OptimizerKind::paper_adam(),
+            partition: Partition::Iid,
+            seed: parse(args, "--seed", 7u64),
+            parallel: false,
+        },
+        fda: FdaConfig {
+            variant,
+            theta: parse(args, "--theta", 0.02f32),
+        },
+        steps: parse(args, "--steps", 20u32),
+        synth: SynthSpec {
+            n_train: parse(args, "--train", 960),
+            n_test: parse(args, "--test", 240),
+            ..SynthSpec::synth_mnist()
+        },
+        task_name: "fda-node".to_string(),
+    }
+}
+
+fn print_report(report: &NetReport, spec: &JobSpec) {
+    let decisions: Vec<String> = report
+        .decisions
+        .iter()
+        .map(|d| if *d { "1" } else { "0" }.to_string())
+        .collect();
+    println!(
+        "{{\n  \"workers\": {},\n  \"variant\": \"{}\",\n  \"theta\": {},\n  \"steps\": {},\n  \
+         \"syncs\": {},\n  \"decisions\": \"{}\",\n  \"charged_bytes\": {},\n  \
+         \"measured_payload_bytes\": {},\n  \"raw_tx_bytes\": {},\n  \"raw_rx_bytes\": {},\n  \
+         \"measured_equals_charged\": {}\n}}",
+        spec.cluster.workers,
+        spec.fda.variant.name(),
+        spec.fda.theta,
+        spec.steps,
+        report.syncs,
+        decisions.join(""),
+        report.charged_bytes,
+        report.measured_payload_bytes,
+        report.raw_tx_bytes,
+        report.raw_rx_bytes,
+        report.measured_payload_bytes == report.charged_bytes,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let role = args.first().map(String::as_str);
+    match role {
+        Some("worker") => {
+            let addr = opt_value(&args, "--connect").unwrap_or_else(|| usage());
+            let id: u32 = parse(&args, "--id", u32::MAX);
+            if id == u32::MAX {
+                usage();
+            }
+            let timeout = Duration::from_secs(parse(&args, "--timeout-secs", 20u64));
+            let mut worker = NetWorker::connect(addr.as_str(), id, timeout).unwrap_or_else(|e| {
+                eprintln!("fda_node worker {id}: connect failed: {e}");
+                std::process::exit(1);
+            });
+            match worker.run() {
+                Ok(summary) => {
+                    eprintln!(
+                        "fda_node worker {id}: done ({} steps, {} syncs)",
+                        summary.steps, summary.syncs
+                    );
+                }
+                Err(e) => {
+                    eprintln!("fda_node worker {id}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("coordinator") => {
+            let spec = job_from_args(&args);
+            let listen = opt_value(&args, "--listen").unwrap_or("127.0.0.1:0".to_string());
+            let coordinator = Coordinator::bind(listen.as_str()).unwrap_or_else(|e| {
+                eprintln!("fda_node coordinator: bind failed: {e}");
+                std::process::exit(1);
+            });
+            eprintln!(
+                "fda_node coordinator: waiting for {} workers on {}",
+                spec.cluster.workers,
+                coordinator.local_addr().expect("bound listener"),
+            );
+            match coordinator.run(&spec) {
+                Ok(report) => print_report(&report, &spec),
+                Err(e) => {
+                    eprintln!("fda_node coordinator: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("demo") => {
+            let spec = job_from_args(&args);
+            let node_bin = std::env::current_exe().expect("own binary path");
+            match run_with_spawned_workers(&spec, &node_bin) {
+                Ok(report) => print_report(&report, &spec),
+                Err(e) => {
+                    eprintln!("fda_node demo: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

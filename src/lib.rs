@@ -6,12 +6,16 @@
 //!   baselines (Synchronous, Local-SGD, FedAvg, FedAvgM, FedAdam).
 //! * [`nn`], [`optim`], [`data`], [`sketch`], [`comm`], [`tensor`] — the
 //!   substrates (built from scratch; see `DESIGN.md`).
+//! * [`net`] (`fda-net`) — the TCP coordinator/worker transport running
+//!   the FDA loop across OS processes, bit-identical to the simulator
+//!   (drive it with the `fda_node` binary).
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
 pub use fda_comm as comm;
 pub use fda_core as core;
 pub use fda_data as data;
+pub use fda_net as net;
 pub use fda_nn as nn;
 pub use fda_optim as optim;
 pub use fda_sketch as sketch;

@@ -7,12 +7,15 @@
 //! and values, and every failure message carries the case seed so a
 //! counterexample reproduces exactly.
 
-use fda::core::monitor::{ExactMonitor, LinearMonitor, LocalState, SketchMonitor, VarianceMonitor};
+use fda::core::monitor::{
+    ExactMonitor, LinearMonitor, LocalState, SketchMonitor, StateSummary, VarianceMonitor,
+};
+use fda::core::wire;
 use fda::data::{Dataset, Partition};
 use fda::nn::conv::Conv2d;
 use fda::nn::init::Init;
 use fda::nn::layer::Shape3;
-use fda::sketch::SketchConfig;
+use fda::sketch::{AmsSketch, SketchConfig};
 use fda::tensor::{vector, Matrix, Rng};
 
 const CASES: u64 = 64;
@@ -328,6 +331,161 @@ fn im2col_plan_coverage_and_disjointness() {
             }
         }
     }
+}
+
+/// A random local state covering all three summary tags, including the
+/// degenerate shapes a generic transport must survive: empty sketches
+/// (zero rows and/or zero cols) and length-0 exact drifts.
+fn random_state(rng: &mut Rng) -> LocalState {
+    let drift_sq_norm = rng.uniform_f32() * 100.0;
+    let summary = match rng.next_u64() % 3 {
+        0 => StateSummary::Linear(rng.uniform_f32() * 4.0 - 2.0),
+        1 => {
+            // 1-in-4 cases degenerate to an empty dimension.
+            let rows = if rng.next_u64().is_multiple_of(4) {
+                0
+            } else {
+                1 + (rng.next_u64() % 5) as usize
+            };
+            let cols = if rng.next_u64().is_multiple_of(4) {
+                0
+            } else {
+                1 + (rng.next_u64() % 17) as usize
+            };
+            let mut sk = AmsSketch::zeros(rows, cols);
+            rng.fill_uniform(sk.as_mut_slice(), -3.0, 3.0);
+            StateSummary::Sketch(sk)
+        }
+        _ => {
+            let len = (rng.next_u64() % 40) as usize; // includes 0
+            let mut v = vec![0.0f32; len];
+            rng.fill_uniform(&mut v, -3.0, 3.0);
+            StateSummary::Exact(v)
+        }
+    };
+    LocalState {
+        drift_sq_norm,
+        summary,
+    }
+}
+
+/// Wire round trip: `encode → decode → encode` must be **byte-identical**
+/// for every state tag (the transport's framing invariant), and decode
+/// must reject every strict truncation of a valid buffer.
+#[test]
+fn wire_state_roundtrip_byte_equality() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xA1_0000 + case);
+        let state = random_state(&mut rng);
+        let bytes = wire::encode_state(&state);
+        let back = wire::decode_state(&bytes)
+            .unwrap_or_else(|e| panic!("case {case}: decode failed: {e}"));
+        assert_eq!(back, state, "case {case}: state changed in roundtrip");
+        assert_eq!(
+            wire::encode_state(&back),
+            bytes,
+            "case {case}: re-encode not byte-identical"
+        );
+        // Every strict prefix must fail cleanly (never panic, never Ok).
+        for cut in 0..bytes.len() {
+            assert!(
+                wire::decode_state(&bytes[..cut]).is_err(),
+                "case {case}: cut at {cut} decoded"
+            );
+        }
+    }
+}
+
+/// Vector frames round-trip byte-identically, including length 0.
+#[test]
+fn wire_vector_roundtrip_byte_equality() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xB1_0000 + case);
+        let len = (rng.next_u64() % 200) as usize; // includes 0
+        let mut v = vec![0.0f32; len];
+        rng.fill_uniform(&mut v, -5.0, 5.0);
+        let bytes = wire::encode_vector(&v);
+        let back = wire::decode_vector(&bytes).expect("valid frame decodes");
+        assert_eq!(back, v, "case {case}");
+        assert_eq!(wire::encode_vector(&back), bytes, "case {case}");
+        for cut in 0..bytes.len() {
+            assert!(wire::decode_vector(&bytes[..cut]).is_err(), "case {case}");
+        }
+    }
+}
+
+/// Decode fuzz: random byte soup and random mutations of valid encodings
+/// must always return `Ok`/`Err` — never panic, never allocate past the
+/// buffer (a hostile length header claiming gigabytes dies as
+/// `Truncated`). The decoders are exercised by *calling* them; a panic or
+/// an OOM abort fails the test run itself.
+#[test]
+fn wire_decoders_are_total_under_fuzz() {
+    let mut rng = Rng::new(0xC1_0000);
+    let job = wire::JobSpec {
+        cluster: fda::core::cluster::ClusterConfig::small_test(3),
+        fda: fda::core::fda::FdaConfig::sketch_auto(0.01),
+        steps: 9,
+        synth: fda::data::synth::SynthSpec::synth_mnist(),
+        task_name: "fuzz".to_string(),
+    };
+    let valid: Vec<Vec<u8>> = vec![
+        wire::encode_state(&LinearMonitor::new().local_state(&[1.0, -2.0, 0.5])),
+        wire::encode_state(
+            &SketchMonitor::new(SketchConfig::new(3, 8, 5), 16)
+                .local_state(&(0..16).map(|i| i as f32).collect::<Vec<_>>()),
+        ),
+        wire::encode_state(&ExactMonitor::new(10).local_state(&[0.25; 10])),
+        wire::encode_vector(&[1.0, 2.0, 3.0]),
+        wire::encode_job(&job),
+    ];
+    let decode_all = |buf: &[u8]| {
+        let _ = wire::decode_state(buf);
+        let _ = wire::decode_vector(buf);
+        let _ = wire::decode_job(buf);
+    };
+    // Pure byte soup.
+    for _ in 0..4 * CASES {
+        let len = (rng.next_u64() % 96) as usize;
+        let buf: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 0xFF) as u8).collect();
+        decode_all(&buf);
+    }
+    // Mutations of valid frames: single-byte flips, truncations, trailing
+    // garbage, and hostile length headers spliced into real encodings.
+    for base in &valid {
+        for _ in 0..CASES {
+            let mut buf = base.clone();
+            match rng.next_u64() % 4 {
+                0 => {
+                    let i = (rng.next_u64() as usize) % buf.len();
+                    buf[i] ^= 1 << (rng.next_u64() % 8);
+                }
+                1 => {
+                    let cut = (rng.next_u64() as usize) % (buf.len() + 1);
+                    buf.truncate(cut);
+                }
+                2 => buf.push((rng.next_u64() & 0xFF) as u8),
+                _ => {
+                    // Overwrite 4 bytes somewhere with u32::MAX — the
+                    // hostile-length shape.
+                    if buf.len() >= 4 {
+                        let i = (rng.next_u64() as usize) % (buf.len() - 3);
+                        buf[i..i + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+                    }
+                }
+            }
+            decode_all(&buf);
+        }
+    }
+    // The canonical hostile headers, explicitly.
+    let mut sketch_bomb = vec![1u8, 0, 0, 0, 0];
+    sketch_bomb.extend_from_slice(&u16::MAX.to_le_bytes());
+    sketch_bomb.extend_from_slice(&u16::MAX.to_le_bytes());
+    assert!(wire::decode_state(&sketch_bomb).is_err());
+    let mut exact_bomb = vec![2u8, 0, 0, 0, 0];
+    exact_bomb.extend_from_slice(&u32::MAX.to_le_bytes());
+    assert!(wire::decode_state(&exact_bomb).is_err());
+    assert!(wire::decode_vector(&u32::MAX.to_le_bytes()).is_err());
 }
 
 /// The sketch monitor's H is within a controlled band of the exact
