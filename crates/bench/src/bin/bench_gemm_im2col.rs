@@ -4,7 +4,8 @@
 //! Measures, in one process so machine drift cancels:
 //!
 //! * the naive reference GEMM vs the blocked kernel on im2col shapes
-//!   (LeNet-scale and VGG16-scale),
+//!   (LeNet-scale and VGG16-scale), with per-shape GF/s and the dispatched
+//!   SIMD kernel arm recorded under `kernel_dispatch`,
 //! * `conv_layer_us`: per-layer Conv2d forward/backward wall time at
 //!   training batch size on the channel-major layout (comparable across
 //!   PRs — the layout refactor is judged on these),
@@ -19,7 +20,8 @@
 //! Run from the workspace root (`cargo run --release --bin
 //! bench_gemm_im2col`); the JSON is written to the current directory so
 //! future perf PRs have a baseline to compare against. Pass `--smoke` for
-//! a fast CI sanity run (reduced reps, nothing written).
+//! a fast CI sanity run (reduced reps, nothing written), or `--gemm-only`
+//! to print just the GEMM table for kernel-tuning loops (nothing written).
 
 use fda_core::cluster::{Cluster, ClusterConfig};
 use fda_core::experiments::spec_for;
@@ -57,6 +59,13 @@ struct GemmResult {
     n: usize,
     naive: Duration,
     blocked: Duration,
+}
+
+impl GemmResult {
+    /// Dispatched-kernel throughput in GFLOP/s (2·m·n·k flops per GEMM).
+    fn gflops(&self) -> f64 {
+        2.0 * (self.m * self.n * self.k) as f64 / self.blocked.as_secs_f64() / 1e9
+    }
 }
 
 fn bench_gemm(tag: &'static str, m: usize, k: usize, n: usize) -> GemmResult {
@@ -346,6 +355,7 @@ fn bench_rendezvous(k: usize, iters: u32) -> (f64, f64) {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let gemm_only = std::env::args().any(|a| a == "--gemm-only");
     // im2col GEMM shapes: (out_c) × (in_c·k·k) × (batch·out_h·out_w).
     let gemms = [
         bench_gemm("lenet_conv2", 12, 54, 1152),
@@ -353,6 +363,25 @@ fn main() {
         bench_gemm("vgg16_conv", 64, 576, 9216),
         bench_gemm("dense_square", 256, 256, 256),
     ];
+    if gemm_only {
+        // Fast kernel-tuning loop: print the GEMM table and exit without
+        // touching the JSON.
+        println!("kernel: {}", fda_tensor::simd::kernels().name());
+        for g in &gemms {
+            println!(
+                "{}_{}x{}x{}: naive {:.1} us, blocked {:.1} us ({:.2} GF/s), speedup {:.2}",
+                g.tag,
+                g.m,
+                g.k,
+                g.n,
+                g.naive.as_secs_f64() * 1e6,
+                g.blocked.as_secs_f64() * 1e6,
+                g.gflops(),
+                g.naive.as_secs_f64() / g.blocked.as_secs_f64(),
+            );
+        }
+        return;
+    }
     let conv_iters = if smoke { 20 } else { 200 };
     // The LeNet conv stack plus a VGG16*-scale layer, at training batch 32.
     let conv_layers = [
@@ -373,12 +402,34 @@ fn main() {
     let net = bench_net(4, if smoke { 3 } else { 30 }, if smoke { 1 } else { 3 });
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
-    let mut json = String::from("{\n  \"gemm_us\": [\n");
+    let kn = fda_tensor::simd::kernels();
+    let forced = std::env::var("FDA_FORCE_KERNEL").ok();
+    let available: Vec<&str> = fda_tensor::simd::all_supported()
+        .iter()
+        .map(|k| k.name())
+        .collect();
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"kernel_dispatch\": {{\"selected\": \"{}\", \"forced\": {}, \
+         \"available\": [{}], \"mr\": {}, \"nr\": {}}},",
+        kn.name(),
+        forced.map_or("null".to_string(), |f| format!("\"{f}\"")),
+        available
+            .iter()
+            .map(|a| format!("\"{a}\""))
+            .collect::<Vec<_>>()
+            .join(", "),
+        kn.mr,
+        kn.nr,
+    );
+    json.push_str("  \"gemm_us\": [\n");
     for (i, g) in gemms.iter().enumerate() {
         let sep = if i + 1 < gemms.len() { "," } else { "" };
         let _ = writeln!(
             json,
-            "    {{\"shape\": \"{}_{}x{}x{}\", \"naive_us\": {:.1}, \"blocked_us\": {:.1}, \"speedup\": {:.2}}}{sep}",
+            "    {{\"shape\": \"{}_{}x{}x{}\", \"naive_us\": {:.1}, \"blocked_us\": {:.1}, \"speedup\": {:.2}, \"gflops\": {:.1}, \"kernel\": \"{}\"}}{sep}",
             g.tag,
             g.m,
             g.k,
@@ -386,6 +437,8 @@ fn main() {
             g.naive.as_secs_f64() * 1e6,
             g.blocked.as_secs_f64() * 1e6,
             g.naive.as_secs_f64() / g.blocked.as_secs_f64(),
+            g.gflops(),
+            kn.name(),
         );
     }
     json.push_str("  ],\n  \"conv_layer_us\": [\n");
@@ -457,7 +510,7 @@ fn main() {
     let _ = writeln!(json, "  \"host_cores\": {host_cores},");
     let _ = writeln!(
         json,
-        "  \"note\": \"naive-vs-blocked measured back-to-back in one process; seed-era all-naive LeNet local_step was ~6.3ms (159 steps/sec) on this host. conv_layer_us: Conv2d forward/backward on channel-major activations, input clone included; the PR 2 sample-major baseline on this host was lenet_conv1 43.1/90.7, lenet_conv2 65.9/124.8, vgg_conv2b 213.0/411.5 us (fwd/bwd). step_phases: Fda::step at theta=0 (sync every step), SketchAuto monitor, K=4; 'pooled' = persistent WorkerPool (ClusterConfig::parallel), 'seq' = single-thread reference. rendezvous_us compares one pool dispatch against the K scoped thread spawns PR 1 paid per step. net_rendezvous_us: the real TCP loopback transport (fda_net, thread workers speaking the socket protocol, K=4 LeNet) vs the sequential simulator on the same job; state_only = theta inf (state rendezvous every round), full_sync = theta 0 (plus a model AllReduce every round); transport_overhead_us is the per-round cost of serialization + framing + syscalls on this host. bytes.charged is the simulator convention, bytes.measured_payload the same convention measured frame-by-frame on the socket (asserted equal), bytes.raw_socket counts every byte both directions including framing, control plane and coordinator broadcasts (which the per-worker-payload convention does not charge) — hence raw_over_charged > 2. Parallel speedups require host_cores > 1; on a single-core host the pooled numbers measure pure rendezvous overhead.\""
+        "  \"note\": \"naive-vs-blocked measured back-to-back in one process; seed-era all-naive LeNet local_step was ~6.3ms (159 steps/sec) on this host. gemm_us.blocked_us runs the runtime-dispatched SIMD kernel layer (kernel_dispatch.selected; override with FDA_FORCE_KERNEL); the PR 4 autovectorized-blocked baseline on this host was lenet_conv2 32.9, lenet_conv1 17.1, vgg16_conv 17542.0, dense_square 620.8 us. conv_layer_us: Conv2d forward/backward on channel-major activations, input clone included; the PR 2 sample-major baseline on this host was lenet_conv1 43.1/90.7, lenet_conv2 65.9/124.8, vgg_conv2b 213.0/411.5 us (fwd/bwd). step_phases: Fda::step at theta=0 (sync every step), SketchAuto monitor, K=4; 'pooled' = persistent WorkerPool (ClusterConfig::parallel), 'seq' = single-thread reference. rendezvous_us compares one pool dispatch against the K scoped thread spawns PR 1 paid per step. net_rendezvous_us: the real TCP loopback transport (fda_net, thread workers speaking the socket protocol, K=4 LeNet) vs the sequential simulator on the same job; state_only = theta inf (state rendezvous every round), full_sync = theta 0 (plus a model AllReduce every round); transport_overhead_us is the per-round cost of serialization + framing + syscalls on this host. bytes.charged is the simulator convention, bytes.measured_payload the same convention measured frame-by-frame on the socket (asserted equal), bytes.raw_socket counts every byte both directions including framing, control plane and coordinator broadcasts (which the per-worker-payload convention does not charge) — hence raw_over_charged > 2. Parallel speedups require host_cores > 1; on a single-core host the pooled numbers measure pure rendezvous overhead.\""
     );
     json.push('}');
 

@@ -2,13 +2,21 @@
 //!
 //! Construction is *plan-based*: a [`SketchConfig`] (shared by every worker,
 //! like the paper's common hash functions) expands into a [`SketchPlan`]
-//! that precomputes the sign and bucket of every coordinate for every row.
-//! Sketching a drift vector is then a table-driven scatter-add of cost
-//! `O(l·d)` with no hashing in the hot loop — important because SketchFDA
-//! sketches the local drift at **every** training step.
+//! that precomputes the sign and bucket of every coordinate for every row,
+//! packed into one `u32` per coordinate (bucket in the low 31 bits, sign in
+//! bit 31). Sketching a drift vector is then a table-driven scatter-add of
+//! cost `O(l·d)` with no hashing in the hot loop — important because
+//! SketchFDA sketches the local drift at **every** training step. The
+//! accumulate inner loop dispatches through the kernel layer
+//! ([`fda_tensor::simd`]); every arm shares the same single-pass scatter
+//! (the dependent bucket adds are latency-bound, so a vectorized staging
+//! pass measured slower — see the kernel tables), which makes every
+//! dispatch arm bit-identical by construction. The packed entry itself is
+//! the win: one 4-byte table stream and an XOR sign flip instead of a
+//! sign table and a multiply.
 
 use crate::hashing::FourWiseHash;
-use fda_tensor::{stats, Rng};
+use fda_tensor::{simd, stats, Rng};
 
 /// Shared sketch configuration: dimensions and the hash-family seed.
 ///
@@ -80,43 +88,46 @@ impl SketchConfig {
     /// Expands the config into a plan for `dim`-dimensional inputs.
     pub fn build_plan(&self, dim: usize) -> SketchPlan {
         let mut rng = Rng::new(self.seed);
-        let mut signs = vec![1i8; self.rows * dim];
-        let mut buckets = vec![0u32; self.rows * dim];
+        let mut entries = vec![0u32; self.rows * dim];
         for r in 0..self.rows {
             let sign_hash = FourWiseHash::random(&mut rng);
             let bucket_hash = FourWiseHash::random(&mut rng);
-            let s = &mut signs[r * dim..(r + 1) * dim];
-            let b = &mut buckets[r * dim..(r + 1) * dim];
-            for i in 0..dim {
-                s[i] = if sign_hash.sign(i as u64) > 0.0 {
-                    1
+            let e = &mut entries[r * dim..(r + 1) * dim];
+            for (i, e) in e.iter_mut().enumerate() {
+                let bucket = bucket_hash.bucket(i as u64, self.cols) as u32;
+                debug_assert!(bucket < 1 << 31, "bucket overflows the packed entry");
+                let sign = if sign_hash.sign(i as u64) > 0.0 {
+                    0
                 } else {
-                    -1
+                    SketchPlan::SIGN_BIT
                 };
-                b[i] = bucket_hash.bucket(i as u64, self.cols) as u32;
+                *e = bucket | sign;
             }
         }
         SketchPlan {
             config: *self,
             dim,
-            signs,
-            buckets,
+            entries,
         }
     }
 }
 
-/// Precomputed sign/bucket tables for sketching `dim`-dimensional vectors
-/// under a fixed [`SketchConfig`].
+/// Precomputed packed sign/bucket table for sketching `dim`-dimensional
+/// vectors under a fixed [`SketchConfig`].
 #[derive(Debug, Clone)]
 pub struct SketchPlan {
     config: SketchConfig,
     dim: usize,
-    // Row-major `rows × dim` tables.
-    signs: Vec<i8>,
-    buckets: Vec<u32>,
+    // Row-major `rows × dim`; each entry packs `bucket | sign << 31`.
+    // One table stream instead of separate sign/bucket arrays halves the
+    // table bytes pulled through the scatter-add per coordinate.
+    entries: Vec<u32>,
 }
 
 impl SketchPlan {
+    /// Bit 31 of a packed entry holds the coordinate's sign (set = −1).
+    const SIGN_BIT: u32 = 0x8000_0000;
+
     /// The underlying configuration.
     pub fn config(&self) -> SketchConfig {
         self.config
@@ -141,21 +152,27 @@ impl SketchPlan {
     /// borrow-friendly hot-path entry: SketchFDA sketches every worker's
     /// drift at every step, and reusing each worker's sketch buffer keeps
     /// the monitor phase allocation-free (and safe to run on per-worker
-    /// pool lanes, since `self` is only read).
+    /// pool lanes, since `self` is only read). Runs on the process-wide
+    /// dispatched kernel arm.
     pub fn sketch_into(&self, v: &[f32], out: &mut AmsSketch) {
+        self.sketch_into_with_kernel(simd::kernels(), v, out);
+    }
+
+    /// [`SketchPlan::sketch_into`] on an explicit kernel table — test
+    /// support for exercising every ISA arm in one process (obtain tables
+    /// via [`simd::all_supported`]). All arms produce bit-identical
+    /// sketches: the scatter-add order is ascending `i` in every arm, and
+    /// the sign is applied as an exact sign-bit flip.
+    pub fn sketch_into_with_kernel(&self, kn: &simd::Kernels, v: &[f32], out: &mut AmsSketch) {
         assert_eq!(v.len(), self.dim, "sketch: input dimension mismatch");
         assert_eq!(out.rows, self.config.rows, "sketch: row mismatch");
         assert_eq!(out.cols, self.config.cols, "sketch: col mismatch");
         out.data.iter_mut().for_each(|x| *x = 0.0);
         let cols = self.config.cols;
         for r in 0..self.config.rows {
-            let signs = &self.signs[r * self.dim..(r + 1) * self.dim];
-            let buckets = &self.buckets[r * self.dim..(r + 1) * self.dim];
+            let entries = &self.entries[r * self.dim..(r + 1) * self.dim];
             let row = &mut out.data[r * cols..(r + 1) * cols];
-            for i in 0..self.dim {
-                // signs[i] is ±1; multiply avoids a branch.
-                row[buckets[i] as usize] += signs[i] as f32 * v[i];
-            }
+            (kn.sketch_accumulate)(entries, v, row);
         }
     }
 }
@@ -370,6 +387,34 @@ mod tests {
     fn wrong_dim_panics() {
         let plan = SketchConfig::new(2, 8, 1).build_plan(10);
         let _ = plan.sketch(&[0.0; 11]);
+    }
+
+    /// Every kernel arm the host supports produces bit-identical sketches
+    /// (the arms share one single-pass scatter loop; this pins that
+    /// contract), including at dimensions that stress lane-boundary
+    /// tails.
+    #[test]
+    fn sketch_bit_identical_across_kernel_arms() {
+        use fda_tensor::simd;
+        let scalar = simd::table_for(simd::Isa::Scalar).expect("scalar always supported");
+        for dim in [1usize, 15, 16, 17, 127, 128, 129, 1000] {
+            let plan = SketchConfig::new(3, 16, 11).build_plan(dim);
+            let v = random_vec(dim as u64, dim);
+            let mut want = AmsSketch::zeros(3, 16);
+            plan.sketch_into_with_kernel(scalar, &v, &mut want);
+            for kn in simd::all_supported() {
+                let mut got = AmsSketch::zeros(3, 16);
+                plan.sketch_into_with_kernel(kn, &v, &mut got);
+                for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+                    assert_eq!(
+                        g.to_bits(),
+                        w.to_bits(),
+                        "arm {} diverged at dim {dim}",
+                        kn.name()
+                    );
+                }
+            }
+        }
     }
 
     /// `sketch_into` reuse and `copy_from` are bit-identical to the

@@ -13,6 +13,9 @@
 //! * [`vector`] — allocation-free hot-loop kernels over `&[f32]` slices
 //!   (dot, axpy, norms, in-place averaging) used by optimizers, monitors
 //!   and the communication layer.
+//! * [`simd`] — the runtime-dispatched kernel layer behind [`vector`] and
+//!   the GEMM: AVX-512 FMA, AVX2+FMA and scalar arms selected once per
+//!   process (`FDA_FORCE_KERNEL` overrides for testing).
 //! * [`matrix`] — a row-major [`Matrix`] with blocked GEMM/GEMV used by the
 //!   neural-network layers.
 //! * [`stats`] — summary statistics (median, quantiles, linear fits) used
@@ -24,6 +27,7 @@
 pub mod alloc;
 pub mod matrix;
 pub mod rng;
+pub mod simd;
 pub mod stats;
 pub mod vector;
 

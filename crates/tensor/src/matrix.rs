@@ -3,18 +3,25 @@
 //! The neural-network substrate uses matrices for dense layers and im2col
 //! convolution. GEMM is a register-blocked, panel-packed kernel (BLIS-style
 //! `MR × NR` microkernel over packed A/B panels) with a scalar fallback for
-//! tiny shapes — cache-friendly and vectorizable without an external BLAS.
-//! The [`naive`] module keeps the original scalar loops as a reference for
-//! property tests and perf baselines.
+//! tiny shapes — cache-friendly without an external BLAS. The microkernel
+//! itself comes from the runtime-dispatched [`crate::simd`] layer: AVX-512
+//! FMA (8×32 tile), AVX2+FMA (6×16) or the autovectorized scalar 4×16,
+//! selected once per process, so the packing geometry (`mr`/`nr` strip
+//! sizes) follows the dispatched arm while the blocking constants
+//! (`KC`/`MC`/`NC`) stay shared. The [`naive`] module keeps the original
+//! scalar loops as a reference for property tests and perf baselines.
 //!
 //! All four GEMM variants (`A·B`, `Aᵀ·B`, `A·Bᵀ`, accumulate forms) share
 //! one packed driver; transposition happens during packing, so the hot
 //! microkernel never branches on layout. Packing buffers live in a
-//! [`Scratch`] arena that callers (e.g. NN layers) allocate once and reuse
-//! across steps; the scratch-less entry points fall back to a thread-local
-//! arena so no call path allocates per invocation.
+//! [`Scratch`] arena (64-byte-aligned panels, see
+//! [`crate::alloc::AlignedBuf`]) that callers (e.g. NN layers) allocate
+//! once and reuse across steps; the scratch-less entry points fall back to
+//! a thread-local arena so no call path allocates per invocation.
 
+use crate::alloc::AlignedBuf;
 use crate::rng::Rng;
+use crate::simd::{self, Kernels};
 use std::cell::RefCell;
 
 /// A dense row-major `rows × cols` matrix of `f32`.
@@ -250,18 +257,17 @@ impl Matrix {
 // Blocked GEMM
 // ---------------------------------------------------------------------------
 
-/// Microkernel height (rows of `out` per register tile).
-const MR: usize = 4;
-/// Microkernel width (columns of `out` per register tile); 16 f32 lanes map
-/// onto two AVX2 or one AVX-512 vector per accumulator row.
-const NR: usize = 16;
-/// K-dimension panel depth: one packed A strip (`MR·KC` floats) plus one
-/// packed B strip (`NR·KC`) stay resident in L1.
+/// K-dimension panel depth: one packed A strip (`mr·KC` floats) plus one
+/// packed B strip (`nr·KC`) stay resident in L1 for every dispatched tile
+/// shape.
 const KC: usize = 256;
 /// Row-block height of packed A (`MC·KC` floats ≈ 128 KiB target in L2).
 const MC: usize = 128;
 /// Column-block width of packed B (`KC·NC` floats ≈ 1 MiB target in L2/L3).
 const NC: usize = 1024;
+/// Upper bound on any arm's microkernel tile height — sizes the mid
+/// kernel's stack-packed A block.
+const MR_MAX: usize = 8;
 
 /// Below this many multiply-adds the packing overhead outweighs the blocked
 /// kernel; use the scalar fallback.
@@ -269,14 +275,15 @@ const SMALL_GEMM_FLOPS: usize = 16 * 1024;
 
 /// Reusable packing arena for the blocked GEMM.
 ///
-/// Holds the packed A and B panels. Allocate one per layer (or per thread)
-/// and pass it to the `*_with` entry points; buffers grow to the high-water
-/// mark of the shapes seen and are never shrunk, so steady-state training
-/// performs no GEMM-related allocation at all.
+/// Holds the packed A and B panels, 64-byte aligned so panel bases sit on
+/// cache-line (and AVX-512 vector) boundaries. Allocate one per layer (or
+/// per thread) and pass it to the `*_with` entry points; buffers grow to
+/// the high-water mark of the shapes seen and are never shrunk, so
+/// steady-state training performs no GEMM-related allocation at all.
 #[derive(Debug, Default)]
 pub struct Scratch {
-    a_pack: Vec<f32>,
-    b_pack: Vec<f32>,
+    a_pack: AlignedBuf,
+    b_pack: AlignedBuf,
 }
 
 impl Scratch {
@@ -303,8 +310,8 @@ enum Layout {
     Transposed,
 }
 
-/// Packs `A[i0..i0+mc, p0..p0+kc]` into MR-tall strips, k-major inside each
-/// strip, zero-padding the ragged final strip so the microkernel is
+/// Packs `A[i0..i0+mc, p0..p0+kc]` into `mr`-tall strips, k-major inside
+/// each strip, zero-padding the ragged final strip so the microkernel is
 /// branch-free.
 #[allow(clippy::too_many_arguments)]
 fn pack_a(
@@ -316,13 +323,14 @@ fn pack_a(
     mc: usize,
     p0: usize,
     kc: usize,
+    mr: usize,
 ) {
     let mut w = 0;
     let mut ir = 0;
     while ir < mc {
-        let rows = MR.min(mc - ir);
+        let rows = mr.min(mc - ir);
         for p in 0..kc {
-            for r in 0..MR {
+            for r in 0..mr {
                 dst[w] = if r < rows {
                     match layout {
                         Layout::Normal => a[(i0 + ir + r) * lda + p0 + p],
@@ -334,12 +342,12 @@ fn pack_a(
                 w += 1;
             }
         }
-        ir += MR;
+        ir += mr;
     }
 }
 
-/// Packs `B[p0..p0+kc, j0..j0+nc]` into NR-wide strips, k-major inside each
-/// strip, zero-padding the ragged final strip.
+/// Packs `B[p0..p0+kc, j0..j0+nc]` into `nr`-wide strips, k-major inside
+/// each strip, zero-padding the ragged final strip.
 #[allow(clippy::too_many_arguments)]
 fn pack_b(
     dst: &mut [f32],
@@ -350,21 +358,22 @@ fn pack_b(
     kc: usize,
     j0: usize,
     nc: usize,
+    nr: usize,
 ) {
     let mut w = 0;
     let mut jr = 0;
     while jr < nc {
-        let cols = NR.min(nc - jr);
+        let cols = nr.min(nc - jr);
         for p in 0..kc {
             match layout {
                 Layout::Normal => {
                     let start = (p0 + p) * ldb + j0 + jr;
                     dst[w..w + cols].copy_from_slice(&b[start..start + cols]);
-                    dst[w + cols..w + NR].fill(0.0);
-                    w += NR;
+                    dst[w + cols..w + nr].fill(0.0);
+                    w += nr;
                 }
                 Layout::Transposed => {
-                    for j in 0..NR {
+                    for j in 0..nr {
                         dst[w] = if j < cols {
                             b[(j0 + jr + j) * ldb + p0 + p]
                         } else {
@@ -375,25 +384,7 @@ fn pack_b(
                 }
             }
         }
-        jr += NR;
-    }
-}
-
-/// The register tile: `acc[r][j] += a_strip[p·MR + r] · b_strip[p·NR + j]`
-/// over the whole panel depth. Constant trip counts and contiguous packed
-/// operands let LLVM keep `acc` in vector registers and unroll the FMA
-/// chain.
-#[inline(always)]
-fn microkernel(kc: usize, a_strip: &[f32], b_strip: &[f32], acc: &mut [[f32; NR]; MR]) {
-    for p in 0..kc {
-        let ar: &[f32; MR] = a_strip[p * MR..p * MR + MR].try_into().unwrap();
-        let br: &[f32; NR] = b_strip[p * NR..p * NR + NR].try_into().unwrap();
-        for r in 0..MR {
-            let av = ar[r];
-            for j in 0..NR {
-                acc[r][j] += av * br[j];
-            }
-        }
+        jr += nr;
     }
 }
 
@@ -541,14 +532,15 @@ fn gemm_dot_tiled(
 }
 
 /// Mid-size kernel for `out += op(A) · B` when the whole k-extent fits one
-/// panel (`k ≤ KC`): packs only the tiny `MR×k` A block (stack buffer) and
-/// streams B directly — B rows are already contiguous, so the expensive
-/// B-panel pack of the full blocked driver is pure overhead at these sizes.
-/// This is the hot path for im2col convolutions, whose GEMMs have small
-/// `m` (output channels) and `k` (c·kh·kw) but very wide `n`
-/// (batch·spatial).
+/// panel (`k ≤ KC`): packs only the tiny `mr×k` A block (stack buffer) and
+/// streams B directly through the dispatched microkernel (`b_stride =
+/// ldb`) — B rows are already contiguous, so the expensive B-panel pack of
+/// the full blocked driver is pure overhead at these sizes. This is the
+/// hot path for im2col convolutions, whose GEMMs have small `m` (output
+/// channels) and `k` (c·kh·kw) but very wide `n` (batch·spatial).
 #[allow(clippy::too_many_arguments)]
-fn gemm_mid<const MB: usize>(
+fn gemm_mid(
+    kn: &Kernels,
     m: usize,
     n: usize,
     k: usize,
@@ -560,24 +552,28 @@ fn gemm_mid<const MB: usize>(
     out: &mut [f32],
 ) {
     debug_assert!((1..=KC).contains(&k));
-    // Column chunking: every MB-row block makes a full pass over the B
+    let (mr, nr) = (kn.mr, kn.nr);
+    debug_assert!(mr <= MR_MAX);
+    // Column chunking: every mr-row block makes a full pass over the B
     // chunk, so size chunks to keep them L1-resident (~24 KiB) across all
     // row blocks. Re-packing the (tiny) A block once per chunk is noise by
     // comparison.
-    let jc_width = (24 * 1024 / (4 * k)).clamp(NR, 1024) / NR * NR;
-    let n_main = n - n % NR;
-    let mut a_block = [[0.0f32; MB]; KC];
+    let jc_width = (24 * 1024 / (4 * k)).clamp(nr, 1024) / nr * nr;
+    // Stack-packed A block, k-major with stride mr (tight).
+    let mut a_block = [0.0f32; MR_MAX * KC];
     let mut jc = 0;
-    loop {
-        let jc_hi = (jc + jc_width).min(n_main);
-        let last_chunk = jc_hi == n_main;
+    while jc < n {
+        // Chunk boundaries are nr-multiples, so only the final chunk can
+        // end on a ragged (cols < nr) tile — which the microkernel handles
+        // natively with masked B loads, no padding required.
+        let jc_hi = (jc + jc_width).min(n);
         let mut ir = 0;
         while ir < m {
-            let rows = MB.min(m - ir);
+            let rows = mr.min(m - ir);
             // Pack the A block k-major with zero padding for ragged rows.
             for p in 0..k {
-                for r in 0..MB {
-                    a_block[p][r] = if r < rows {
+                for r in 0..mr {
+                    a_block[p * mr + r] = if r < rows {
                         match a_layout {
                             Layout::Normal => a[(ir + r) * lda + p],
                             Layout::Transposed => a[p * lda + ir + r],
@@ -589,51 +585,38 @@ fn gemm_mid<const MB: usize>(
             }
             let mut jr = jc;
             while jr < jc_hi {
-                let mut acc = [[0.0f32; NR]; MB];
-                for p in 0..k {
-                    let ar = &a_block[p];
-                    let br: &[f32; NR] = b[p * ldb + jr..p * ldb + jr + NR].try_into().unwrap();
-                    for r in 0..MB {
-                        let av = ar[r];
-                        for j in 0..NR {
-                            acc[r][j] += av * br[j];
-                        }
-                    }
+                let cols = nr.min(jc_hi - jr);
+                // SAFETY (microkernel contract): the A block holds k·mr
+                // packed elements; B row p reads exactly
+                // `b[p·ldb + jr .. p·ldb + jr + cols]` with
+                // `jr + cols ≤ n = ldb`, all in bounds; the output tile
+                // `rows × cols` at `(ir, jr)` is in bounds.
+                unsafe {
+                    (kn.microkernel)(
+                        k,
+                        a_block.as_ptr(),
+                        mr,
+                        b.as_ptr().add(jr),
+                        ldb,
+                        out.as_mut_ptr().add(ir * n + jr),
+                        n,
+                        rows,
+                        cols,
+                    );
                 }
-                for r in 0..rows {
-                    let out_row = &mut out[(ir + r) * n + jr..(ir + r) * n + jr + NR];
-                    for (o, v) in out_row.iter_mut().zip(&acc[r]) {
-                        *o += v;
-                    }
-                }
-                jr += NR;
+                jr += nr;
             }
-            // Ragged final columns: scalar axpy over the packed A block.
-            if last_chunk && n_main < n {
-                for p in 0..k {
-                    let br = &b[p * ldb + n_main..p * ldb + n];
-                    for r in 0..rows {
-                        let av = a_block[p][r];
-                        let out_row = &mut out[(ir + r) * n + n_main..(ir + r) * n + n];
-                        for (o, v) in out_row.iter_mut().zip(br) {
-                            *o += av * v;
-                        }
-                    }
-                }
-            }
-            ir += MB;
-        }
-        if last_chunk {
-            break;
+            ir += mr;
         }
         jc = jc_hi;
     }
 }
 
 /// Shared blocked driver: `out += op(A) · op(B)` with `out` dense row-major
-/// `m×n`.
+/// `m×n`, register tiles running on the dispatched microkernel of `kn`.
 #[allow(clippy::too_many_arguments)]
 fn gemm_driver(
+    kn: &Kernels,
     m: usize,
     n: usize,
     k: usize,
@@ -649,7 +632,8 @@ fn gemm_driver(
     if m == 0 || n == 0 || k == 0 {
         return;
     }
-    if m * n * k < SMALL_GEMM_FLOPS || n < NR {
+    let (mr, nr) = (kn.mr, kn.nr);
+    if m * n * k < SMALL_GEMM_FLOPS || n < nr {
         gemm_small(m, n, k, a, lda, a_layout, b, ldb, b_layout, out);
         return;
     }
@@ -662,13 +646,11 @@ fn gemm_driver(
             // Worth it when m is small (few passes over B) or B itself is
             // small enough that the repeated passes stay cache-resident.
             if k <= KC && (m <= 64 || k * n <= 32 * 1024) {
-                // MB=4 keeps the 4×16 accumulator tile within the vector
-                // register budget; wider tiles measurably spill.
-                gemm_mid::<4>(m, n, k, a, lda, a_layout, b, ldb, out);
+                gemm_mid(kn, m, n, k, a, lda, a_layout, b, ldb, out);
                 return;
             }
             // Deep-k but too skinny for packing to amortize.
-            if m < 2 * MR {
+            if m < 2 * mr {
                 gemm_small(m, n, k, a, lda, a_layout, b, ldb, b_layout, out);
                 return;
             }
@@ -677,29 +659,25 @@ fn gemm_driver(
             // Transpose-packing B walks it column-wise (cache-hostile), so
             // the packed path additionally needs a large output tile to
             // amortize; below that the contiguous dot-product form wins.
-            if m * n < 4096 || m < 2 * MR || k < 16 {
+            if m * n < 4096 || m < 2 * mr || k < 16 {
                 gemm_small(m, n, k, a, lda, a_layout, b, ldb, b_layout, out);
                 return;
             }
         }
     }
-    let a_cap = MC.div_ceil(MR) * MR * KC;
-    let b_cap = NC.div_ceil(NR) * NR * KC;
-    if scratch.a_pack.len() < a_cap {
-        scratch.a_pack.resize(a_cap, 0.0);
-    }
-    if scratch.b_pack.len() < b_cap {
-        scratch.b_pack.resize(b_cap, 0.0);
-    }
+    let a_cap = MC.div_ceil(mr) * mr * KC;
+    let b_cap = NC.div_ceil(nr) * nr * KC;
+    let a_pack = scratch.a_pack.ensure(a_cap);
+    let b_pack = scratch.b_pack.ensure(b_cap);
     let mut jc = 0;
     while jc < n {
         let nc = NC.min(n - jc);
-        let nc_padded = nc.div_ceil(NR) * NR;
+        let nc_padded = nc.div_ceil(nr) * nr;
         let mut pc = 0;
         while pc < k {
             let kc = KC.min(k - pc);
             pack_b(
-                &mut scratch.b_pack[..nc_padded * kc],
+                &mut b_pack[..nc_padded * kc],
                 b,
                 ldb,
                 b_layout,
@@ -707,13 +685,14 @@ fn gemm_driver(
                 kc,
                 jc,
                 nc,
+                nr,
             );
             let mut ic = 0;
             while ic < m {
                 let mc = MC.min(m - ic);
-                let mc_padded = mc.div_ceil(MR) * MR;
+                let mc_padded = mc.div_ceil(mr) * mr;
                 pack_a(
-                    &mut scratch.a_pack[..mc_padded * kc],
+                    &mut a_pack[..mc_padded * kc],
                     a,
                     lda,
                     a_layout,
@@ -721,27 +700,37 @@ fn gemm_driver(
                     mc,
                     pc,
                     kc,
+                    mr,
                 );
                 // Register tiles over the packed block.
                 let mut jr = 0;
                 while jr < nc {
-                    let cols = NR.min(nc - jr);
-                    let b_strip = &scratch.b_pack[jr * kc..jr * kc + NR * kc];
+                    let cols = nr.min(nc - jr);
+                    let b_strip = b_pack[jr * kc..jr * kc + nr * kc].as_ptr();
                     let mut ir = 0;
                     while ir < mc {
-                        let rows = MR.min(mc - ir);
-                        let a_strip = &scratch.a_pack[ir * kc..ir * kc + MR * kc];
-                        let mut acc = [[0.0f32; NR]; MR];
-                        microkernel(kc, a_strip, b_strip, &mut acc);
-                        for r in 0..rows {
-                            let out_row = &mut out[(ic + ir + r) * n + jc + jr..];
-                            for (o, v) in out_row[..cols].iter_mut().zip(&acc[r][..cols]) {
-                                *o += v;
-                            }
+                        let rows = mr.min(mc - ir);
+                        let a_strip = a_pack[ir * kc..ir * kc + mr * kc].as_ptr();
+                        // SAFETY (microkernel contract): both strips are
+                        // fully packed (zero-padded to mr/nr), and the
+                        // `rows × cols` output tile at `(ic + ir, jc + jr)`
+                        // lies inside the `m × n` output.
+                        unsafe {
+                            (kn.microkernel)(
+                                kc,
+                                a_strip,
+                                mr,
+                                b_strip,
+                                nr,
+                                out.as_mut_ptr().add((ic + ir) * n + jc + jr),
+                                n,
+                                rows,
+                                cols,
+                            );
                         }
-                        ir += MR;
+                        ir += mr;
                     }
-                    jr += NR;
+                    jr += nr;
                 }
                 ic += MC;
             }
@@ -785,8 +774,22 @@ pub fn gemm_accumulate(a: &Matrix, b: &Matrix, out: &mut Matrix) {
 
 /// [`gemm_accumulate`] with a caller-owned packing arena.
 pub fn gemm_accumulate_with(a: &Matrix, b: &Matrix, out: &mut Matrix, scratch: &mut Scratch) {
+    gemm_accumulate_with_kernel(simd::kernels(), a, b, out, scratch);
+}
+
+/// [`gemm_accumulate_with`] on an explicit kernel table instead of the
+/// process-wide dispatched one — test/bench support for exercising every
+/// ISA arm in one process (obtain tables via [`simd::all_supported`]).
+pub fn gemm_accumulate_with_kernel(
+    kn: &Kernels,
+    a: &Matrix,
+    b: &Matrix,
+    out: &mut Matrix,
+    scratch: &mut Scratch,
+) {
     assert_shapes(a, b, out);
     gemm_driver(
+        kn,
         a.rows,
         b.cols,
         a.cols,
@@ -818,10 +821,23 @@ pub fn gemm_at_b_accumulate(a: &Matrix, b: &Matrix, out: &mut Matrix) {
 
 /// [`gemm_at_b_accumulate`] with a caller-owned packing arena.
 pub fn gemm_at_b_accumulate_with(a: &Matrix, b: &Matrix, out: &mut Matrix, scratch: &mut Scratch) {
+    gemm_at_b_accumulate_with_kernel(simd::kernels(), a, b, out, scratch);
+}
+
+/// [`gemm_at_b_accumulate_with`] on an explicit kernel table — test/bench
+/// support (see [`gemm_accumulate_with_kernel`]).
+pub fn gemm_at_b_accumulate_with_kernel(
+    kn: &Kernels,
+    a: &Matrix,
+    b: &Matrix,
+    out: &mut Matrix,
+    scratch: &mut Scratch,
+) {
     assert_eq!(a.rows, b.rows, "gemm_at_b: row mismatch");
     assert_eq!(out.rows, a.cols, "gemm_at_b: output rows mismatch");
     assert_eq!(out.cols, b.cols, "gemm_at_b: output cols mismatch");
     gemm_driver(
+        kn,
         a.cols,
         b.cols,
         a.rows,
@@ -846,10 +862,23 @@ pub fn gemm_a_bt_accumulate(a: &Matrix, b: &Matrix, out: &mut Matrix) {
 
 /// [`gemm_a_bt_accumulate`] with a caller-owned packing arena.
 pub fn gemm_a_bt_accumulate_with(a: &Matrix, b: &Matrix, out: &mut Matrix, scratch: &mut Scratch) {
+    gemm_a_bt_accumulate_with_kernel(simd::kernels(), a, b, out, scratch);
+}
+
+/// [`gemm_a_bt_accumulate_with`] on an explicit kernel table — test/bench
+/// support (see [`gemm_accumulate_with_kernel`]).
+pub fn gemm_a_bt_accumulate_with_kernel(
+    kn: &Kernels,
+    a: &Matrix,
+    b: &Matrix,
+    out: &mut Matrix,
+    scratch: &mut Scratch,
+) {
     assert_eq!(a.cols, b.cols, "gemm_a_bt: inner dimension mismatch");
     assert_eq!(out.rows, a.rows, "gemm_a_bt: output rows mismatch");
     assert_eq!(out.cols, b.rows, "gemm_a_bt: output cols mismatch");
     gemm_driver(
+        kn,
         a.rows,
         b.rows,
         a.cols,

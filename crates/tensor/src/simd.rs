@@ -1,0 +1,1376 @@
+//! Runtime-dispatched SIMD kernel layer.
+//!
+//! Every wide loop in the workspace — the GEMM microkernel, the flat-vector
+//! reductions (`dot`, `sum`, `dist_sq`), the BLAS-1 updates (`axpy`,
+//! `axpby`, `add_assign`, `scale`) and the AMS sketch bucket accumulate —
+//! funnels through one [`Kernels`] table selected **once** per process:
+//!
+//! * **`avx512`** — AVX-512F FMA: 8×32 GEMM microkernel (16 zmm
+//!   accumulators, packed-panel prefetch), 64-lane reduction blocks with
+//!   masked tails.
+//! * **`avx2`** — AVX2+FMA: 6×16 microkernel (12 ymm accumulators), 32-lane
+//!   reduction blocks with scalar tails.
+//! * **`scalar`** — no explicit intrinsics; the autovectorizable 4×16 tile
+//!   and 32-lane accumulator blocks the workspace used before this layer
+//!   existed. Always available, on every architecture; it is also the
+//!   correctness reference the other arms are property-tested against.
+//!
+//! Selection happens on first use via [`kernels`]: the `FDA_FORCE_KERNEL`
+//! environment variable (`scalar` | `avx2` | `avx512`) wins if set (and
+//! panics with a clear message if the host cannot run the forced arm);
+//! otherwise the best ISA reported by `is_x86_feature_detected!` is chosen.
+//! The choice is cached in a `OnceLock`, so every subsequent call is a
+//! branch-free indirect call through a fixed table — **deterministic within
+//! a run**: all drivers (sequential simulator, worker pool, threaded
+//! reducer, TCP transport) share the same table, which is why cross-driver
+//! bit-identity survives this layer untouched. Across *arms* the reductions
+//! reassociate (FMA and wider lanes change f32 bit patterns), which is why
+//! the golden-trajectory hashes are host-pinned and re-pinned when the
+//! default arm changes.
+//!
+//! # Safety model
+//!
+//! The intrinsics arms are `unsafe` at the leaves (`#[target_feature]`) but
+//! a `&'static Kernels` is only obtainable through [`kernels`],
+//! [`table_for`] or [`all_supported`], each of which gates on runtime
+//! feature detection — so the safe fn-pointer fields can never dispatch an
+//! instruction the host lacks.
+
+use std::sync::OnceLock;
+
+/// Instruction-set architecture of one kernel arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Isa {
+    /// Portable Rust, no explicit intrinsics (autovectorized by LLVM).
+    Scalar,
+    /// AVX2 + FMA intrinsics (256-bit lanes).
+    Avx2,
+    /// AVX-512F FMA intrinsics (512-bit lanes, masked tails).
+    Avx512,
+}
+
+impl Isa {
+    /// All arms, best first — the probe order of the default dispatch.
+    pub const ALL: [Isa; 3] = [Isa::Avx512, Isa::Avx2, Isa::Scalar];
+
+    /// The name used in `FDA_FORCE_KERNEL` and bench output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Isa::Scalar => "scalar",
+            Isa::Avx2 => "avx2",
+            Isa::Avx512 => "avx512",
+        }
+    }
+
+    /// Parses an `FDA_FORCE_KERNEL` value.
+    pub fn parse(s: &str) -> Option<Isa> {
+        match s {
+            "scalar" => Some(Isa::Scalar),
+            "avx2" => Some(Isa::Avx2),
+            "avx512" => Some(Isa::Avx512),
+            _ => None,
+        }
+    }
+
+    /// True iff the running host can execute this arm.
+    pub fn supported(self) -> bool {
+        match self {
+            Isa::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx2 => {
+                std::arch::is_x86_feature_detected!("avx2")
+                    && std::arch::is_x86_feature_detected!("fma")
+            }
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx512 => std::arch::is_x86_feature_detected!("avx512f"),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => false,
+        }
+    }
+}
+
+impl std::fmt::Display for Isa {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One arm's kernel table.
+///
+/// # Microkernel contract
+///
+/// `microkernel(kc, a, a_stride, b, b_stride, c, ldc, rows, cols)` computes
+/// `c[r·ldc + j] += Σ_p a[p·a_stride + r] · b[p·b_stride + j]` for
+/// `r < rows`, `j < cols`, with `rows ≤ mr` and `cols ≤ nr`.
+///
+/// Safety requirements on the caller:
+/// * `a` must be readable for `kc·a_stride` elements with `a_stride ≥ mr`
+///   (packed A strips are zero-padded to `mr` rows);
+/// * `b` must be readable for `(kc − 1)·b_stride + cols` elements with
+///   `0 < cols ≤ nr`: a full-width tile (`cols == nr`) uses plain wide
+///   loads, a ragged tile uses masked (or bounded) loads that touch
+///   exactly `cols` elements per row — so a streamed-B caller may offer
+///   column tails without padding;
+/// * `c` must be writable at `r·ldc + j` for `r < rows`, `j < cols`
+///   (ragged tiles use masked/bounded read-modify-write, nothing outside
+///   the live sub-block is touched).
+///
+/// The accumulation order over `p` is identical in every arm (one tile pass
+/// in ascending `p`), but lane association differs, so tiles agree across
+/// arms only to rounding.
+pub struct Kernels {
+    /// Which ISA this table runs on.
+    pub isa: Isa,
+    /// Microkernel tile height (rows of C per call).
+    pub mr: usize,
+    /// Microkernel tile width (columns of C per call).
+    pub nr: usize,
+    /// The GEMM register tile; see the struct-level contract.
+    ///
+    /// # Safety
+    /// See the microkernel contract above.
+    pub microkernel: unsafe fn(
+        kc: usize,
+        a: *const f32,
+        a_stride: usize,
+        b: *const f32,
+        b_stride: usize,
+        c: *mut f32,
+        ldc: usize,
+        rows: usize,
+        cols: usize,
+    ),
+    /// Dot product `⟨a, b⟩`; panics on length mismatch.
+    pub dot: fn(&[f32], &[f32]) -> f32,
+    /// Sum of all elements.
+    pub sum: fn(&[f32]) -> f32,
+    /// Squared Euclidean distance `‖a − b‖²`; panics on length mismatch.
+    pub dist_sq: fn(&[f32], &[f32]) -> f32,
+    /// `y ← y + α·x`; panics on length mismatch.
+    pub axpy: fn(f32, &[f32], &mut [f32]),
+    /// `y ← α·x + β·y`; panics on length mismatch.
+    pub axpby: fn(f32, &[f32], f32, &mut [f32]),
+    /// `a ← a + b`; panics on length mismatch. Element-wise (no
+    /// reassociation), so all arms agree bit-for-bit.
+    pub add_assign: fn(&mut [f32], &[f32]),
+    /// `a ← α·a`. Element-wise; all arms agree bit-for-bit.
+    pub scale: fn(&mut [f32], f32),
+    /// AMS sketch bucket accumulate: for each `i`,
+    /// `row[entries[i] & 0x7FFF_FFFF] += ±v[i]`, the sign taken from bit 31
+    /// of `entries[i]` (applied as an exact sign-bit flip, bit-identical to
+    /// multiplying by ±1.0). Iterates `i` in ascending order in every arm,
+    /// so all arms agree bit-for-bit. Panics on length mismatch;
+    /// out-of-range buckets panic via the checked scatter store.
+    pub sketch_accumulate: fn(entries: &[u32], v: &[f32], row: &mut [f32]),
+}
+
+impl std::fmt::Debug for Kernels {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernels")
+            .field("isa", &self.isa)
+            .field("mr", &self.mr)
+            .field("nr", &self.nr)
+            .finish()
+    }
+}
+
+impl Kernels {
+    /// The arm's `FDA_FORCE_KERNEL` name.
+    pub fn name(&self) -> &'static str {
+        self.isa.name()
+    }
+}
+
+/// The table for `isa`, or `None` if the host cannot run it. This is the
+/// only constructor-like gate: a `&Kernels` implies its ISA is supported.
+pub fn table_for(isa: Isa) -> Option<&'static Kernels> {
+    if !isa.supported() {
+        return None;
+    }
+    Some(match isa {
+        Isa::Scalar => &scalar::TABLE,
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => &x86::AVX2_TABLE,
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => &x86::AVX512_TABLE,
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => unreachable!("non-scalar ISA reported supported off x86_64"),
+    })
+}
+
+/// Every arm the running host supports, best first. Test suites iterate
+/// this to exercise each arm in-process regardless of the dispatched
+/// default.
+pub fn all_supported() -> Vec<&'static Kernels> {
+    Isa::ALL.iter().filter_map(|&i| table_for(i)).collect()
+}
+
+static DISPATCH: OnceLock<&'static Kernels> = OnceLock::new();
+
+/// The process-wide kernel table (selected once, then cached).
+///
+/// Honors `FDA_FORCE_KERNEL=scalar|avx2|avx512`; panics if the forced arm
+/// is unknown or unsupported on this host, so a mis-configured CI matrix
+/// job fails loudly instead of silently testing the wrong arm.
+pub fn kernels() -> &'static Kernels {
+    DISPATCH.get_or_init(|| {
+        if let Ok(name) = std::env::var("FDA_FORCE_KERNEL") {
+            let isa = Isa::parse(&name).unwrap_or_else(|| {
+                panic!(
+                    "FDA_FORCE_KERNEL={name:?}: unknown kernel \
+                     (expected scalar, avx2 or avx512)"
+                )
+            });
+            return table_for(isa).unwrap_or_else(|| {
+                panic!(
+                    "FDA_FORCE_KERNEL={name}: this host does not support the \
+                     {name} kernel arm"
+                )
+            });
+        }
+        Isa::ALL
+            .iter()
+            .find_map(|&i| table_for(i))
+            .expect("scalar arm is always supported")
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Scalar arm
+// ---------------------------------------------------------------------------
+
+/// Portable arm: no intrinsics, shaped so LLVM can autovectorize (constant
+/// trip counts, contiguous slices, block accumulators). This is the
+/// pre-dispatch behavior of the workspace, kept verbatim as the reference.
+pub(crate) mod scalar {
+    use super::{Isa, Kernels};
+
+    /// Microkernel tile height.
+    pub const MR: usize = 4;
+    /// Microkernel tile width (16 f32 = two AVX2 / one AVX-512 vector).
+    pub const NR: usize = 16;
+    /// Accumulator block width of the reductions.
+    const LANES: usize = 32;
+
+    pub static TABLE: Kernels = Kernels {
+        isa: Isa::Scalar,
+        mr: MR,
+        nr: NR,
+        microkernel,
+        dot,
+        sum,
+        dist_sq,
+        axpy,
+        axpby,
+        add_assign,
+        scale,
+        sketch_accumulate,
+    };
+
+    /// 4×16 register tile over packed strips; see the [`Kernels`] contract.
+    ///
+    /// # Safety
+    /// Caller upholds the microkernel contract (strip/output bounds).
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn microkernel(
+        kc: usize,
+        a: *const f32,
+        a_stride: usize,
+        b: *const f32,
+        b_stride: usize,
+        c: *mut f32,
+        ldc: usize,
+        rows: usize,
+        cols: usize,
+    ) {
+        debug_assert!(rows <= MR && cols <= NR && cols > 0);
+        let mut acc = [[0.0f32; NR]; MR];
+        if cols == NR {
+            for p in 0..kc {
+                let ar = std::slice::from_raw_parts(a.add(p * a_stride), MR);
+                let br = std::slice::from_raw_parts(b.add(p * b_stride), NR);
+                for r in 0..MR {
+                    let av = ar[r];
+                    for j in 0..NR {
+                        acc[r][j] += av * br[j];
+                    }
+                }
+            }
+        } else {
+            // Ragged-width tile: read exactly `cols` B elements per row.
+            for p in 0..kc {
+                let ar = std::slice::from_raw_parts(a.add(p * a_stride), MR);
+                let br = std::slice::from_raw_parts(b.add(p * b_stride), cols);
+                for r in 0..MR {
+                    let av = ar[r];
+                    for (j, &bv) in br.iter().enumerate() {
+                        acc[r][j] += av * bv;
+                    }
+                }
+            }
+        }
+        for (r, acc_row) in acc.iter().enumerate().take(rows) {
+            let out = std::slice::from_raw_parts_mut(c.add(r * ldc), cols);
+            for (o, v) in out.iter_mut().zip(acc_row) {
+                *o += v;
+            }
+        }
+    }
+
+    /// Dot product with a 32-lane accumulator block (hides the FMA latency
+    /// chain; LLVM maps the block onto a vector register group).
+    pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+        assert_eq!(a.len(), b.len(), "dot: length mismatch");
+        let mut acc = [0.0f32; LANES];
+        let mut ai = a.chunks_exact(LANES);
+        let mut bi = b.chunks_exact(LANES);
+        for (ca, cb) in (&mut ai).zip(&mut bi) {
+            for l in 0..LANES {
+                acc[l] += ca[l] * cb[l];
+            }
+        }
+        let mut tail = 0.0f32;
+        for (x, y) in ai.remainder().iter().zip(bi.remainder()) {
+            tail += x * y;
+        }
+        acc.iter().sum::<f32>() + tail
+    }
+
+    /// Sum with a 32-lane accumulator block.
+    pub fn sum(a: &[f32]) -> f32 {
+        let mut acc = [0.0f32; LANES];
+        let mut it = a.chunks_exact(LANES);
+        for chunk in &mut it {
+            for l in 0..LANES {
+                acc[l] += chunk[l];
+            }
+        }
+        let tail: f32 = it.remainder().iter().sum();
+        acc.iter().sum::<f32>() + tail
+    }
+
+    /// Squared distance; single accumulator (autovectorized).
+    pub fn dist_sq(a: &[f32], b: &[f32]) -> f32 {
+        assert_eq!(a.len(), b.len(), "dist_sq: length mismatch");
+        let mut s = 0.0f32;
+        for i in 0..a.len() {
+            let d = a[i] - b[i];
+            s += d * d;
+        }
+        s
+    }
+
+    /// `y ← y + α·x`.
+    pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+        for i in 0..x.len() {
+            y[i] += alpha * x[i];
+        }
+    }
+
+    /// `y ← α·x + β·y`.
+    pub fn axpby(alpha: f32, x: &[f32], beta: f32, y: &mut [f32]) {
+        assert_eq!(x.len(), y.len(), "axpby: length mismatch");
+        for i in 0..x.len() {
+            y[i] = alpha * x[i] + beta * y[i];
+        }
+    }
+
+    /// `a ← a + b` (element-wise, no reassociation).
+    pub fn add_assign(a: &mut [f32], b: &[f32]) {
+        assert_eq!(a.len(), b.len(), "add_assign: length mismatch");
+        for i in 0..a.len() {
+            a[i] += b[i];
+        }
+    }
+
+    /// `a ← α·a`.
+    pub fn scale(a: &mut [f32], alpha: f32) {
+        for v in a.iter_mut() {
+            *v *= alpha;
+        }
+    }
+
+    /// Reference bucket accumulate: ascending `i`, sign applied as an
+    /// exact sign-bit flip (bit-identical to multiplying by ±1.0).
+    pub fn sketch_accumulate(entries: &[u32], v: &[f32], row: &mut [f32]) {
+        assert_eq!(entries.len(), v.len(), "sketch_accumulate: length mismatch");
+        for (e, x) in entries.iter().zip(v) {
+            row[(e & 0x7FFF_FFFF) as usize] += f32::from_bits(x.to_bits() ^ (e & 0x8000_0000));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// x86-64 intrinsics arms
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! AVX2+FMA and AVX-512F arms.
+    //!
+    //! Each leaf is an `unsafe fn` annotated `#[target_feature]`; the safe
+    //! fn-pointer wrappers stored in the tables are sound because tables
+    //! are only handed out after `is_x86_feature_detected!` succeeds (see
+    //! [`super::table_for`]).
+    //!
+    //! All loads are `loadu`: the packed GEMM panels are 64-byte aligned at
+    //! the base (see `alloc::AlignedBuf`), but ragged `kc` panels and
+    //! streamed-B tiles are not, and on every AVX-512 core `loadu` on data
+    //! that *happens* to be aligned costs the same as an aligned load —
+    //! without faulting on the tiles that are not.
+
+    use super::{Isa, Kernels};
+    use std::arch::x86_64::*;
+
+    // -- AVX-512 ----------------------------------------------------------
+
+    /// AVX-512 microkernel height.
+    pub const MR_512: usize = 8;
+    /// AVX-512 microkernel width (two zmm per accumulator row).
+    pub const NR_512: usize = 32;
+
+    pub static AVX512_TABLE: Kernels = Kernels {
+        isa: Isa::Avx512,
+        mr: MR_512,
+        nr: NR_512,
+        microkernel: microkernel_avx512,
+        dot: |a, b| unsafe { dot_avx512(a, b) },
+        sum: |a| unsafe { sum_avx512(a) },
+        dist_sq: |a, b| unsafe { dist_sq_avx512(a, b) },
+        axpy: |alpha, x, y| unsafe { axpy_avx512(alpha, x, y) },
+        axpby: |alpha, x, beta, y| unsafe { axpby_avx512(alpha, x, beta, y) },
+        add_assign: |a, b| unsafe { add_assign_avx512(a, b) },
+        scale: |a, alpha| unsafe { scale_avx512(a, alpha) },
+        // The scatter-add is latency-bound on the dependent bucket adds; a
+        // staged variant (vectorized sign flip into a stack block, then
+        // scalar scatter) measured ~8% *slower* than the single-pass loop
+        // at d = 44 000, and AVX-512 scatter needs conflict detection to
+        // be correct under bucket collisions. The packed sign|bucket entry
+        // (one 4-byte table stream, XOR instead of i8-convert-and-
+        // multiply) is the win here, and the shared loop keeps every arm
+        // bit-identical for free.
+        sketch_accumulate: super::scalar::sketch_accumulate,
+    };
+
+    /// 8×32 FMA register tile: 16 zmm accumulators + 2 B vectors + 1
+    /// broadcast stay within the 32-register file. B rows are prefetched a
+    /// few panel rows ahead — the packed panel walk is perfectly
+    /// sequential, so a short prefetch distance suffices to hide L2
+    /// latency.
+    ///
+    /// # Safety
+    /// Caller upholds the microkernel contract; host supports AVX-512F.
+    #[target_feature(enable = "avx512f")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn microkernel_avx512(
+        kc: usize,
+        a: *const f32,
+        a_stride: usize,
+        b: *const f32,
+        b_stride: usize,
+        c: *mut f32,
+        ldc: usize,
+        rows: usize,
+        cols: usize,
+    ) {
+        debug_assert!(rows <= MR_512 && cols <= NR_512 && cols > 0);
+        let mut acc = [_mm512_setzero_ps(); 16];
+        if cols == NR_512 {
+            // Full-width tile: unmasked B loads.
+            for p in 0..kc {
+                let bp = b.add(p * b_stride);
+                // Prefetch B 4 panel rows ahead (wrapping_add: the address
+                // may run past the strip, which prefetch tolerates but
+                // pointer arithmetic must not assume in-bounds).
+                _mm_prefetch::<_MM_HINT_T0>(bp.wrapping_add(4 * b_stride) as *const i8);
+                let b0 = _mm512_loadu_ps(bp);
+                let b1 = _mm512_loadu_ps(bp.add(16));
+                let ap = a.add(p * a_stride);
+                for r in 0..MR_512 {
+                    let av = _mm512_set1_ps(*ap.add(r));
+                    acc[2 * r] = _mm512_fmadd_ps(av, b0, acc[2 * r]);
+                    acc[2 * r + 1] = _mm512_fmadd_ps(av, b1, acc[2 * r + 1]);
+                }
+            }
+        } else {
+            // Ragged-width tile: masked B loads read exactly `cols`
+            // elements per row (zero-filling the dead lanes), so callers
+            // may offer column tails without padding.
+            let (m0, m1) = col_masks16(cols);
+            for p in 0..kc {
+                let bp = b.add(p * b_stride);
+                let b0 = _mm512_maskz_loadu_ps(m0, bp);
+                let b1 = if m1 != 0 {
+                    _mm512_maskz_loadu_ps(m1, bp.add(16))
+                } else {
+                    _mm512_setzero_ps()
+                };
+                let ap = a.add(p * a_stride);
+                for r in 0..MR_512 {
+                    let av = _mm512_set1_ps(*ap.add(r));
+                    acc[2 * r] = _mm512_fmadd_ps(av, b0, acc[2 * r]);
+                    acc[2 * r + 1] = _mm512_fmadd_ps(av, b1, acc[2 * r + 1]);
+                }
+            }
+        }
+        if cols == NR_512 {
+            for r in 0..rows {
+                let cp = c.add(r * ldc);
+                _mm512_storeu_ps(cp, _mm512_add_ps(_mm512_loadu_ps(cp), acc[2 * r]));
+                let cp1 = cp.add(16);
+                _mm512_storeu_ps(cp1, _mm512_add_ps(_mm512_loadu_ps(cp1), acc[2 * r + 1]));
+            }
+        } else {
+            // Masked read-modify-write touches exactly `cols` outputs per
+            // row — no scalar spill.
+            let (m0, m1) = col_masks16(cols);
+            for r in 0..rows {
+                let cp = c.add(r * ldc);
+                let sum0 = _mm512_add_ps(_mm512_maskz_loadu_ps(m0, cp), acc[2 * r]);
+                _mm512_mask_storeu_ps(cp, m0, sum0);
+                if m1 != 0 {
+                    let cp1 = cp.add(16);
+                    let sum1 = _mm512_add_ps(_mm512_maskz_loadu_ps(m1, cp1), acc[2 * r + 1]);
+                    _mm512_mask_storeu_ps(cp1, m1, sum1);
+                }
+            }
+        }
+    }
+
+    /// Lane masks for a `cols ≤ 32` wide tile: low vector, high vector.
+    #[inline]
+    fn col_masks16(cols: usize) -> (__mmask16, __mmask16) {
+        debug_assert!(cols <= 32);
+        if cols >= 16 {
+            (
+                0xFFFF,
+                if cols == 32 {
+                    0xFFFF
+                } else {
+                    (1u16 << (cols - 16)) - 1
+                },
+            )
+        } else {
+            ((1u16 << cols) - 1, 0)
+        }
+    }
+
+    /// Load mask for an `n < 16` element tail.
+    #[inline]
+    fn tail_mask16(n: usize) -> __mmask16 {
+        debug_assert!(n < 16);
+        (1u16 << n) - 1
+    }
+
+    /// Dot product: 4×16-lane FMA accumulators, masked tail.
+    ///
+    /// # Safety
+    /// Host supports AVX-512F.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn dot_avx512(a: &[f32], b: &[f32]) -> f32 {
+        assert_eq!(a.len(), b.len(), "dot: length mismatch");
+        let n = a.len();
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let mut acc0 = _mm512_setzero_ps();
+        let mut acc1 = _mm512_setzero_ps();
+        let mut acc2 = _mm512_setzero_ps();
+        let mut acc3 = _mm512_setzero_ps();
+        let mut i = 0;
+        while i + 64 <= n {
+            acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(ap.add(i)), _mm512_loadu_ps(bp.add(i)), acc0);
+            acc1 = _mm512_fmadd_ps(
+                _mm512_loadu_ps(ap.add(i + 16)),
+                _mm512_loadu_ps(bp.add(i + 16)),
+                acc1,
+            );
+            acc2 = _mm512_fmadd_ps(
+                _mm512_loadu_ps(ap.add(i + 32)),
+                _mm512_loadu_ps(bp.add(i + 32)),
+                acc2,
+            );
+            acc3 = _mm512_fmadd_ps(
+                _mm512_loadu_ps(ap.add(i + 48)),
+                _mm512_loadu_ps(bp.add(i + 48)),
+                acc3,
+            );
+            i += 64;
+        }
+        while i + 16 <= n {
+            acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(ap.add(i)), _mm512_loadu_ps(bp.add(i)), acc0);
+            i += 16;
+        }
+        if i < n {
+            let m = tail_mask16(n - i);
+            acc1 = _mm512_fmadd_ps(
+                _mm512_maskz_loadu_ps(m, ap.add(i)),
+                _mm512_maskz_loadu_ps(m, bp.add(i)),
+                acc1,
+            );
+        }
+        let s01 = _mm512_add_ps(acc0, acc1);
+        let s23 = _mm512_add_ps(acc2, acc3);
+        _mm512_reduce_add_ps(_mm512_add_ps(s01, s23))
+    }
+
+    /// Sum: 4×16-lane accumulators, masked tail.
+    ///
+    /// # Safety
+    /// Host supports AVX-512F.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn sum_avx512(a: &[f32]) -> f32 {
+        let n = a.len();
+        let ap = a.as_ptr();
+        let mut acc0 = _mm512_setzero_ps();
+        let mut acc1 = _mm512_setzero_ps();
+        let mut acc2 = _mm512_setzero_ps();
+        let mut acc3 = _mm512_setzero_ps();
+        let mut i = 0;
+        while i + 64 <= n {
+            acc0 = _mm512_add_ps(acc0, _mm512_loadu_ps(ap.add(i)));
+            acc1 = _mm512_add_ps(acc1, _mm512_loadu_ps(ap.add(i + 16)));
+            acc2 = _mm512_add_ps(acc2, _mm512_loadu_ps(ap.add(i + 32)));
+            acc3 = _mm512_add_ps(acc3, _mm512_loadu_ps(ap.add(i + 48)));
+            i += 64;
+        }
+        while i + 16 <= n {
+            acc0 = _mm512_add_ps(acc0, _mm512_loadu_ps(ap.add(i)));
+            i += 16;
+        }
+        if i < n {
+            acc1 = _mm512_add_ps(acc1, _mm512_maskz_loadu_ps(tail_mask16(n - i), ap.add(i)));
+        }
+        let s01 = _mm512_add_ps(acc0, acc1);
+        let s23 = _mm512_add_ps(acc2, acc3);
+        _mm512_reduce_add_ps(_mm512_add_ps(s01, s23))
+    }
+
+    /// Squared distance: subtract + FMA, 2×16-lane accumulators.
+    ///
+    /// # Safety
+    /// Host supports AVX-512F.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn dist_sq_avx512(a: &[f32], b: &[f32]) -> f32 {
+        assert_eq!(a.len(), b.len(), "dist_sq: length mismatch");
+        let n = a.len();
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let mut acc0 = _mm512_setzero_ps();
+        let mut acc1 = _mm512_setzero_ps();
+        let mut i = 0;
+        while i + 32 <= n {
+            let d0 = _mm512_sub_ps(_mm512_loadu_ps(ap.add(i)), _mm512_loadu_ps(bp.add(i)));
+            let d1 = _mm512_sub_ps(
+                _mm512_loadu_ps(ap.add(i + 16)),
+                _mm512_loadu_ps(bp.add(i + 16)),
+            );
+            acc0 = _mm512_fmadd_ps(d0, d0, acc0);
+            acc1 = _mm512_fmadd_ps(d1, d1, acc1);
+            i += 32;
+        }
+        while i + 16 <= n {
+            let d = _mm512_sub_ps(_mm512_loadu_ps(ap.add(i)), _mm512_loadu_ps(bp.add(i)));
+            acc0 = _mm512_fmadd_ps(d, d, acc0);
+            i += 16;
+        }
+        if i < n {
+            let m = tail_mask16(n - i);
+            let d = _mm512_sub_ps(
+                _mm512_maskz_loadu_ps(m, ap.add(i)),
+                _mm512_maskz_loadu_ps(m, bp.add(i)),
+            );
+            acc1 = _mm512_fmadd_ps(d, d, acc1);
+        }
+        _mm512_reduce_add_ps(_mm512_add_ps(acc0, acc1))
+    }
+
+    /// `y ← y + α·x` with FMA, masked tail store.
+    ///
+    /// # Safety
+    /// Host supports AVX-512F.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn axpy_avx512(alpha: f32, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+        let n = x.len();
+        let xp = x.as_ptr();
+        let yp = y.as_mut_ptr();
+        let av = _mm512_set1_ps(alpha);
+        let mut i = 0;
+        while i + 16 <= n {
+            let r = _mm512_fmadd_ps(av, _mm512_loadu_ps(xp.add(i)), _mm512_loadu_ps(yp.add(i)));
+            _mm512_storeu_ps(yp.add(i), r);
+            i += 16;
+        }
+        if i < n {
+            let m = tail_mask16(n - i);
+            let r = _mm512_fmadd_ps(
+                av,
+                _mm512_maskz_loadu_ps(m, xp.add(i)),
+                _mm512_maskz_loadu_ps(m, yp.add(i)),
+            );
+            _mm512_mask_storeu_ps(yp.add(i), m, r);
+        }
+    }
+
+    /// `y ← α·x + β·y` as `fma(α, x, β·y)`.
+    ///
+    /// # Safety
+    /// Host supports AVX-512F.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn axpby_avx512(alpha: f32, x: &[f32], beta: f32, y: &mut [f32]) {
+        assert_eq!(x.len(), y.len(), "axpby: length mismatch");
+        let n = x.len();
+        let xp = x.as_ptr();
+        let yp = y.as_mut_ptr();
+        let av = _mm512_set1_ps(alpha);
+        let bv = _mm512_set1_ps(beta);
+        let mut i = 0;
+        while i + 16 <= n {
+            let by = _mm512_mul_ps(bv, _mm512_loadu_ps(yp.add(i)));
+            let r = _mm512_fmadd_ps(av, _mm512_loadu_ps(xp.add(i)), by);
+            _mm512_storeu_ps(yp.add(i), r);
+            i += 16;
+        }
+        if i < n {
+            let m = tail_mask16(n - i);
+            let by = _mm512_mul_ps(bv, _mm512_maskz_loadu_ps(m, yp.add(i)));
+            let r = _mm512_fmadd_ps(av, _mm512_maskz_loadu_ps(m, xp.add(i)), by);
+            _mm512_mask_storeu_ps(yp.add(i), m, r);
+        }
+    }
+
+    /// `a ← a + b`, element-wise (bit-identical to the scalar arm).
+    ///
+    /// # Safety
+    /// Host supports AVX-512F.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn add_assign_avx512(a: &mut [f32], b: &[f32]) {
+        assert_eq!(a.len(), b.len(), "add_assign: length mismatch");
+        let n = a.len();
+        let ap = a.as_mut_ptr();
+        let bp = b.as_ptr();
+        let mut i = 0;
+        while i + 16 <= n {
+            let r = _mm512_add_ps(_mm512_loadu_ps(ap.add(i)), _mm512_loadu_ps(bp.add(i)));
+            _mm512_storeu_ps(ap.add(i), r);
+            i += 16;
+        }
+        if i < n {
+            let m = tail_mask16(n - i);
+            let r = _mm512_add_ps(
+                _mm512_maskz_loadu_ps(m, ap.add(i)),
+                _mm512_maskz_loadu_ps(m, bp.add(i)),
+            );
+            _mm512_mask_storeu_ps(ap.add(i), m, r);
+        }
+    }
+
+    /// `a ← α·a`, element-wise (bit-identical to the scalar arm).
+    ///
+    /// # Safety
+    /// Host supports AVX-512F.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn scale_avx512(a: &mut [f32], alpha: f32) {
+        let n = a.len();
+        let ap = a.as_mut_ptr();
+        let av = _mm512_set1_ps(alpha);
+        let mut i = 0;
+        while i + 16 <= n {
+            _mm512_storeu_ps(ap.add(i), _mm512_mul_ps(av, _mm512_loadu_ps(ap.add(i))));
+            i += 16;
+        }
+        if i < n {
+            let m = tail_mask16(n - i);
+            let r = _mm512_mul_ps(av, _mm512_maskz_loadu_ps(m, ap.add(i)));
+            _mm512_mask_storeu_ps(ap.add(i), m, r);
+        }
+    }
+
+    // -- AVX2 + FMA -------------------------------------------------------
+
+    /// AVX2 microkernel height.
+    pub const MR_256: usize = 6;
+    /// AVX2 microkernel width (two ymm per accumulator row).
+    pub const NR_256: usize = 16;
+
+    pub static AVX2_TABLE: Kernels = Kernels {
+        isa: Isa::Avx2,
+        mr: MR_256,
+        nr: NR_256,
+        microkernel: microkernel_avx2,
+        dot: |a, b| unsafe { dot_avx2(a, b) },
+        sum: |a| unsafe { sum_avx2(a) },
+        dist_sq: |a, b| unsafe { dist_sq_avx2(a, b) },
+        axpy: |alpha, x, y| unsafe { axpy_avx2(alpha, x, y) },
+        axpby: |alpha, x, beta, y| unsafe { axpby_avx2(alpha, x, beta, y) },
+        add_assign: |a, b| unsafe { add_assign_avx2(a, b) },
+        scale: |a, alpha| unsafe { scale_avx2(a, alpha) },
+        // Shared single-pass loop; see the AVX-512 table for the
+        // measurement that retired the staged variant.
+        sketch_accumulate: super::scalar::sketch_accumulate,
+    };
+
+    /// Horizontal sum of one ymm.
+    ///
+    /// # Safety
+    /// Host supports AVX.
+    #[target_feature(enable = "avx")]
+    unsafe fn hsum256(v: __m256) -> f32 {
+        let hi = _mm256_extractf128_ps(v, 1);
+        let lo = _mm256_castps256_ps128(v);
+        let s = _mm_add_ps(lo, hi);
+        let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+        let s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+        _mm_cvtss_f32(s)
+    }
+
+    /// 6×16 FMA register tile: 12 ymm accumulators + 2 B vectors + 1
+    /// broadcast within the 16-register file — the classic AVX2 GEMM
+    /// shape.
+    ///
+    /// # Safety
+    /// Caller upholds the microkernel contract; host supports AVX2+FMA.
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn microkernel_avx2(
+        kc: usize,
+        a: *const f32,
+        a_stride: usize,
+        b: *const f32,
+        b_stride: usize,
+        c: *mut f32,
+        ldc: usize,
+        rows: usize,
+        cols: usize,
+    ) {
+        debug_assert!(rows <= MR_256 && cols <= NR_256 && cols > 0);
+        let mut acc = [_mm256_setzero_ps(); 12];
+        if cols == NR_256 {
+            for p in 0..kc {
+                let bp = b.add(p * b_stride);
+                _mm_prefetch::<_MM_HINT_T0>(bp.wrapping_add(4 * b_stride) as *const i8);
+                let b0 = _mm256_loadu_ps(bp);
+                let b1 = _mm256_loadu_ps(bp.add(8));
+                let ap = a.add(p * a_stride);
+                for r in 0..MR_256 {
+                    let av = _mm256_set1_ps(*ap.add(r));
+                    acc[2 * r] = _mm256_fmadd_ps(av, b0, acc[2 * r]);
+                    acc[2 * r + 1] = _mm256_fmadd_ps(av, b1, acc[2 * r + 1]);
+                }
+            }
+        } else {
+            // Ragged-width tile: AVX maskload reads exactly `cols`
+            // elements per row, so callers may offer column tails without
+            // padding.
+            let (m0, m1) = col_masks8(cols);
+            for p in 0..kc {
+                let bp = b.add(p * b_stride);
+                let b0 = _mm256_maskload_ps(bp, m0);
+                let b1 = if cols > 8 {
+                    _mm256_maskload_ps(bp.add(8), m1)
+                } else {
+                    _mm256_setzero_ps()
+                };
+                let ap = a.add(p * a_stride);
+                for r in 0..MR_256 {
+                    let av = _mm256_set1_ps(*ap.add(r));
+                    acc[2 * r] = _mm256_fmadd_ps(av, b0, acc[2 * r]);
+                    acc[2 * r + 1] = _mm256_fmadd_ps(av, b1, acc[2 * r + 1]);
+                }
+            }
+        }
+        if cols == NR_256 {
+            for r in 0..rows {
+                let cp = c.add(r * ldc);
+                _mm256_storeu_ps(cp, _mm256_add_ps(_mm256_loadu_ps(cp), acc[2 * r]));
+                let cp1 = cp.add(8);
+                _mm256_storeu_ps(cp1, _mm256_add_ps(_mm256_loadu_ps(cp1), acc[2 * r + 1]));
+            }
+        } else {
+            let (m0, m1) = col_masks8(cols);
+            for r in 0..rows {
+                let cp = c.add(r * ldc);
+                let sum0 = _mm256_add_ps(_mm256_maskload_ps(cp, m0), acc[2 * r]);
+                _mm256_maskstore_ps(cp, m0, sum0);
+                if cols > 8 {
+                    let cp1 = cp.add(8);
+                    let sum1 = _mm256_add_ps(_mm256_maskload_ps(cp1, m1), acc[2 * r + 1]);
+                    _mm256_maskstore_ps(cp1, m1, sum1);
+                }
+            }
+        }
+    }
+
+    /// Per-lane maskload masks for a `cols ≤ 16` wide tile: low vector,
+    /// high vector (a lane participates iff its sign bit is set).
+    #[inline]
+    fn col_masks8(cols: usize) -> (__m256i, __m256i) {
+        debug_assert!(cols <= 16);
+        // 8 set lanes followed by 8 clear lanes; sliding a window of 8
+        // over this table yields any 0..=8-lane prefix mask.
+        const TABLE: [i32; 16] = [-1, -1, -1, -1, -1, -1, -1, -1, 0, 0, 0, 0, 0, 0, 0, 0];
+        let lo = cols.min(8);
+        let hi = cols - lo;
+        unsafe {
+            (
+                _mm256_loadu_si256(TABLE.as_ptr().add(8 - lo) as *const __m256i),
+                _mm256_loadu_si256(TABLE.as_ptr().add(8 - hi) as *const __m256i),
+            )
+        }
+    }
+
+    /// Dot product: 4×8-lane FMA accumulators, scalar tail.
+    ///
+    /// # Safety
+    /// Host supports AVX2+FMA.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn dot_avx2(a: &[f32], b: &[f32]) -> f32 {
+        assert_eq!(a.len(), b.len(), "dot: length mismatch");
+        let n = a.len();
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut acc2 = _mm256_setzero_ps();
+        let mut acc3 = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 32 <= n {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)), acc0);
+            acc1 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(ap.add(i + 8)),
+                _mm256_loadu_ps(bp.add(i + 8)),
+                acc1,
+            );
+            acc2 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(ap.add(i + 16)),
+                _mm256_loadu_ps(bp.add(i + 16)),
+                acc2,
+            );
+            acc3 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(ap.add(i + 24)),
+                _mm256_loadu_ps(bp.add(i + 24)),
+                acc3,
+            );
+            i += 32;
+        }
+        while i + 8 <= n {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)), acc0);
+            i += 8;
+        }
+        let mut tail = 0.0f32;
+        while i < n {
+            tail += a[i] * b[i];
+            i += 1;
+        }
+        let s = _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3));
+        hsum256(s) + tail
+    }
+
+    /// Sum: 4×8-lane accumulators, scalar tail.
+    ///
+    /// # Safety
+    /// Host supports AVX2+FMA.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn sum_avx2(a: &[f32]) -> f32 {
+        let n = a.len();
+        let ap = a.as_ptr();
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut acc2 = _mm256_setzero_ps();
+        let mut acc3 = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 32 <= n {
+            acc0 = _mm256_add_ps(acc0, _mm256_loadu_ps(ap.add(i)));
+            acc1 = _mm256_add_ps(acc1, _mm256_loadu_ps(ap.add(i + 8)));
+            acc2 = _mm256_add_ps(acc2, _mm256_loadu_ps(ap.add(i + 16)));
+            acc3 = _mm256_add_ps(acc3, _mm256_loadu_ps(ap.add(i + 24)));
+            i += 32;
+        }
+        while i + 8 <= n {
+            acc0 = _mm256_add_ps(acc0, _mm256_loadu_ps(ap.add(i)));
+            i += 8;
+        }
+        let mut tail = 0.0f32;
+        while i < n {
+            tail += a[i];
+            i += 1;
+        }
+        let s = _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3));
+        hsum256(s) + tail
+    }
+
+    /// Squared distance: subtract + FMA, scalar tail.
+    ///
+    /// # Safety
+    /// Host supports AVX2+FMA.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn dist_sq_avx2(a: &[f32], b: &[f32]) -> f32 {
+        assert_eq!(a.len(), b.len(), "dist_sq: length mismatch");
+        let n = a.len();
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 16 <= n {
+            let d0 = _mm256_sub_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)));
+            let d1 = _mm256_sub_ps(
+                _mm256_loadu_ps(ap.add(i + 8)),
+                _mm256_loadu_ps(bp.add(i + 8)),
+            );
+            acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+            acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+            i += 16;
+        }
+        while i + 8 <= n {
+            let d = _mm256_sub_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)));
+            acc0 = _mm256_fmadd_ps(d, d, acc0);
+            i += 8;
+        }
+        let mut tail = 0.0f32;
+        while i < n {
+            let d = a[i] - b[i];
+            tail += d * d;
+            i += 1;
+        }
+        hsum256(_mm256_add_ps(acc0, acc1)) + tail
+    }
+
+    /// `y ← y + α·x` with FMA, scalar tail.
+    ///
+    /// # Safety
+    /// Host supports AVX2+FMA.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn axpy_avx2(alpha: f32, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+        let n = x.len();
+        let xp = x.as_ptr();
+        let yp = y.as_mut_ptr();
+        let av = _mm256_set1_ps(alpha);
+        let mut i = 0;
+        while i + 8 <= n {
+            let r = _mm256_fmadd_ps(av, _mm256_loadu_ps(xp.add(i)), _mm256_loadu_ps(yp.add(i)));
+            _mm256_storeu_ps(yp.add(i), r);
+            i += 8;
+        }
+        while i < n {
+            // Match the vector body's fused multiply-add so every element
+            // of the result is computed the same way.
+            y[i] = alpha.mul_add(x[i], y[i]);
+            i += 1;
+        }
+    }
+
+    /// `y ← α·x + β·y` as `fma(α, x, β·y)`, scalar tail to match.
+    ///
+    /// # Safety
+    /// Host supports AVX2+FMA.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn axpby_avx2(alpha: f32, x: &[f32], beta: f32, y: &mut [f32]) {
+        assert_eq!(x.len(), y.len(), "axpby: length mismatch");
+        let n = x.len();
+        let xp = x.as_ptr();
+        let yp = y.as_mut_ptr();
+        let av = _mm256_set1_ps(alpha);
+        let bv = _mm256_set1_ps(beta);
+        let mut i = 0;
+        while i + 8 <= n {
+            let by = _mm256_mul_ps(bv, _mm256_loadu_ps(yp.add(i)));
+            let r = _mm256_fmadd_ps(av, _mm256_loadu_ps(xp.add(i)), by);
+            _mm256_storeu_ps(yp.add(i), r);
+            i += 8;
+        }
+        while i < n {
+            y[i] = alpha.mul_add(x[i], beta * y[i]);
+            i += 1;
+        }
+    }
+
+    /// `a ← a + b`, element-wise (bit-identical to the scalar arm).
+    ///
+    /// # Safety
+    /// Host supports AVX2+FMA.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn add_assign_avx2(a: &mut [f32], b: &[f32]) {
+        assert_eq!(a.len(), b.len(), "add_assign: length mismatch");
+        let n = a.len();
+        let ap = a.as_mut_ptr();
+        let bp = b.as_ptr();
+        let mut i = 0;
+        while i + 8 <= n {
+            let r = _mm256_add_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)));
+            _mm256_storeu_ps(ap.add(i), r);
+            i += 8;
+        }
+        while i < n {
+            a[i] += b[i];
+            i += 1;
+        }
+    }
+
+    /// `a ← α·a`, element-wise (bit-identical to the scalar arm).
+    ///
+    /// # Safety
+    /// Host supports AVX2+FMA.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn scale_avx2(a: &mut [f32], alpha: f32) {
+        let n = a.len();
+        let ap = a.as_mut_ptr();
+        let av = _mm256_set1_ps(alpha);
+        let mut i = 0;
+        while i + 8 <= n {
+            _mm256_storeu_ps(ap.add(i), _mm256_mul_ps(av, _mm256_loadu_ps(ap.add(i))));
+            i += 8;
+        }
+        while i < n {
+            a[i] *= alpha;
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn random_vec(rng: &mut Rng, n: usize) -> Vec<f32> {
+        let mut v = vec![0.0f32; n];
+        rng.fill_normal(&mut v, 0.0, 1.0);
+        v
+    }
+
+    /// Lengths straddling every block/lane boundary of every arm.
+    const LENS: [usize; 12] = [0, 1, 7, 8, 15, 16, 17, 31, 32, 63, 64, 257];
+
+    #[test]
+    fn scalar_arm_always_listed() {
+        let arms = all_supported();
+        assert!(arms.iter().any(|k| k.isa == Isa::Scalar));
+        if std::env::var("FDA_FORCE_KERNEL").is_err() {
+            // Best-first: the dispatched default is the first entry.
+            assert_eq!(arms[0].isa, kernels().isa);
+        } else {
+            // A forced arm must be one the host supports (dispatch would
+            // have panicked otherwise).
+            assert!(arms.iter().any(|k| k.isa == kernels().isa));
+        }
+    }
+
+    #[test]
+    fn isa_parse_round_trips() {
+        for isa in Isa::ALL {
+            assert_eq!(Isa::parse(isa.name()), Some(isa));
+        }
+        assert_eq!(Isa::parse("sse9"), None);
+    }
+
+    #[test]
+    fn table_for_unsupported_is_none_or_consistent() {
+        for isa in Isa::ALL {
+            assert_eq!(table_for(isa).is_some(), isa.supported());
+            if let Some(t) = table_for(isa) {
+                assert_eq!(t.isa, isa);
+            }
+        }
+    }
+
+    /// Every supported arm's reductions agree with the scalar reference
+    /// within f64-accumulator tolerance, on lengths straddling all lane
+    /// boundaries.
+    #[test]
+    fn reductions_match_f64_reference_on_every_arm() {
+        let mut rng = Rng::new(0x51D);
+        for &n in &LENS {
+            let a = random_vec(&mut rng, n);
+            let b = random_vec(&mut rng, n);
+            let dot64: f64 = a.iter().zip(&b).map(|(&x, &y)| x as f64 * y as f64).sum();
+            let sum64: f64 = a.iter().map(|&x| x as f64).sum();
+            let dist64: f64 = a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &y)| (x as f64 - y as f64).powi(2))
+                .sum();
+            let tol = 1e-5 * (1.0 + n as f64).sqrt();
+            for k in all_supported() {
+                let name = k.name();
+                let d = (k.dot)(&a, &b) as f64;
+                assert!(
+                    (d - dot64).abs() <= tol * (1.0 + dot64.abs()),
+                    "{name} dot n={n}: {d} vs {dot64}"
+                );
+                let s = (k.sum)(&a) as f64;
+                assert!(
+                    (s - sum64).abs() <= tol * (1.0 + sum64.abs()),
+                    "{name} sum n={n}: {s} vs {sum64}"
+                );
+                let q = (k.dist_sq)(&a, &b) as f64;
+                assert!(
+                    (q - dist64).abs() <= tol * (1.0 + dist64.abs()),
+                    "{name} dist_sq n={n}: {q} vs {dist64}"
+                );
+            }
+        }
+    }
+
+    /// axpy/axpby agree with an f64 per-element reference on every arm.
+    #[test]
+    fn updates_match_f64_reference_on_every_arm() {
+        let mut rng = Rng::new(0xAE5);
+        for &n in &LENS {
+            let x = random_vec(&mut rng, n);
+            let y0 = random_vec(&mut rng, n);
+            for k in all_supported() {
+                let name = k.name();
+                let mut y = y0.clone();
+                (k.axpy)(0.37, &x, &mut y);
+                for i in 0..n {
+                    let want = 0.37f64 * x[i] as f64 + y0[i] as f64;
+                    assert!(
+                        (y[i] as f64 - want).abs() <= 1e-6 * (1.0 + want.abs()),
+                        "{name} axpy n={n} i={i}"
+                    );
+                }
+                let mut y = y0.clone();
+                (k.axpby)(-1.3, &x, 0.7, &mut y);
+                for i in 0..n {
+                    let want = -1.3f64 * x[i] as f64 + 0.7f64 * y0[i] as f64;
+                    assert!(
+                        (y[i] as f64 - want).abs() <= 1e-6 * (1.0 + want.abs()),
+                        "{name} axpby n={n} i={i}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// add_assign and scale are element-wise with no reassociation, so all
+    /// arms must agree with the scalar arm bit-for-bit, on every length.
+    #[test]
+    fn elementwise_ops_bit_identical_across_arms() {
+        let mut rng = Rng::new(0xB17);
+        let scalar = table_for(Isa::Scalar).unwrap();
+        for &n in &LENS {
+            let a0 = random_vec(&mut rng, n);
+            let b = random_vec(&mut rng, n);
+            let mut want_add = a0.clone();
+            (scalar.add_assign)(&mut want_add, &b);
+            let mut want_scale = a0.clone();
+            (scalar.scale)(&mut want_scale, 0.816);
+            for k in all_supported() {
+                let mut got = a0.clone();
+                (k.add_assign)(&mut got, &b);
+                for (g, w) in got.iter().zip(&want_add) {
+                    assert_eq!(g.to_bits(), w.to_bits(), "{} add_assign n={n}", k.name());
+                }
+                let mut got = a0.clone();
+                (k.scale)(&mut got, 0.816);
+                for (g, w) in got.iter().zip(&want_scale) {
+                    assert_eq!(g.to_bits(), w.to_bits(), "{} scale n={n}", k.name());
+                }
+            }
+        }
+    }
+
+    /// Every arm's sketch accumulate is bit-identical to the scalar arm
+    /// (they share one single-pass loop; this pins that contract),
+    /// including bucket collisions and ragged tails.
+    #[test]
+    fn sketch_accumulate_bit_identical_across_arms() {
+        let mut rng = Rng::new(0x5E7C);
+        let scalar = table_for(Isa::Scalar).unwrap();
+        for &n in &LENS {
+            let v = random_vec(&mut rng, n);
+            let buckets = 5; // few buckets => plenty of collisions
+            let entries: Vec<u32> = (0..n)
+                .map(|_| {
+                    let b = (rng.next_u64() % buckets) as u32;
+                    let s = if rng.next_u64().is_multiple_of(2) {
+                        0x8000_0000
+                    } else {
+                        0
+                    };
+                    b | s
+                })
+                .collect();
+            let mut want = vec![0.1f32; buckets as usize];
+            (scalar.sketch_accumulate)(&entries, &v, &mut want);
+            for k in all_supported() {
+                let mut got = vec![0.1f32; buckets as usize];
+                (k.sketch_accumulate)(&entries, &v, &mut got);
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(
+                        g.to_bits(),
+                        w.to_bits(),
+                        "{} sketch_accumulate n={n}",
+                        k.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// The sign-bit flip is bit-identical to multiplying by ±1.0 — the
+    /// pre-dispatch formulation of the sketch scatter.
+    #[test]
+    fn sign_flip_equals_mul_by_unit() {
+        let mut rng = Rng::new(0xF11);
+        let mut vals = random_vec(&mut rng, 64);
+        vals.extend([0.0, -0.0, f32::MIN_POSITIVE, 1e-45, f32::MAX]);
+        for v in vals {
+            let flipped = f32::from_bits(v.to_bits() ^ 0x8000_0000);
+            #[allow(clippy::neg_multiply)]
+            let mul_neg = (v * -1.0f32).to_bits();
+            assert_eq!(flipped.to_bits(), mul_neg);
+            assert_eq!(v.to_bits(), (v * 1.0f32).to_bits());
+        }
+    }
+
+    /// Each arm's microkernel over packed-style strips matches an f64
+    /// reference, full and ragged tiles.
+    #[test]
+    fn microkernel_matches_f64_reference_on_every_arm() {
+        let mut rng = Rng::new(0x111C);
+        for k in all_supported() {
+            let (mr, nr) = (k.mr, k.nr);
+            for kc in [1usize, 2, 7, 64] {
+                // a: kc × mr strip (k-major), b: kc × nr strip.
+                let a = random_vec(&mut rng, kc * mr);
+                let b = random_vec(&mut rng, kc * nr);
+                for (rows, cols) in [(mr, nr), (1, nr), (mr, 1), (mr - 1, nr - 3)] {
+                    let mut c = vec![0.5f32; rows * cols.max(1)];
+                    let ldc = cols.max(1);
+                    unsafe {
+                        (k.microkernel)(
+                            kc,
+                            a.as_ptr(),
+                            mr,
+                            b.as_ptr(),
+                            nr,
+                            c.as_mut_ptr(),
+                            ldc,
+                            rows,
+                            cols,
+                        );
+                    }
+                    for r in 0..rows {
+                        for j in 0..cols {
+                            let want: f64 = 0.5
+                                + (0..kc)
+                                    .map(|p| a[p * mr + r] as f64 * b[p * nr + j] as f64)
+                                    .sum::<f64>();
+                            let got = c[r * ldc + j] as f64;
+                            assert!(
+                                (got - want).abs() <= 1e-5 * (1.0 + want.abs()),
+                                "{} ukr kc={kc} rows={rows} cols={cols} ({r},{j}): \
+                                 {got} vs {want}",
+                                k.name()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

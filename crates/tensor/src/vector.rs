@@ -3,8 +3,16 @@
 //! FDA manipulates models as flat `f32` vectors: local drifts
 //! `u_t^(k) = w_t^(k) − w_t0`, their squared norms, dot products with the
 //! heuristic direction ξ, and element-wise averages across workers
-//! (AllReduce). These kernels are the hot loops of the whole system, so they
-//! are written to be allocation-free and auto-vectorizable.
+//! (AllReduce). These kernels are the hot loops of the whole system, so the
+//! wide ones (`dot`, `sum`, `dist_sq`, `axpy`, `axpby`, `add_assign`,
+//! `scale` — and through them `norm_sq` and `mean_range_into`) delegate to
+//! the process-wide [`crate::simd`] kernel table: AVX-512 FMA or AVX2+FMA
+//! when the host has them, the original autovectorized scalar loops
+//! otherwise. Dispatch happens once per process, so every call within a
+//! run takes the same arithmetic path — the determinism arguments
+//! (copy-first reductions, chunked means) are unaffected.
+
+use crate::simd;
 
 /// Dot product `⟨a, b⟩`.
 ///
@@ -12,40 +20,14 @@
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    assert_eq!(a.len(), b.len(), "dot: length mismatch");
-    // A 32-lane accumulator block (two full AVX-512 vectors, four AVX2
-    // vectors) hides the FMA latency chain and gives LLVM a whole vector
-    // register group to map onto.
-    const LANES: usize = 32;
-    let mut acc = [0.0f32; LANES];
-    let mut ai = a.chunks_exact(LANES);
-    let mut bi = b.chunks_exact(LANES);
-    for (ca, cb) in (&mut ai).zip(&mut bi) {
-        for l in 0..LANES {
-            acc[l] += ca[l] * cb[l];
-        }
-    }
-    let mut tail = 0.0f32;
-    for (x, y) in ai.remainder().iter().zip(bi.remainder()) {
-        tail += x * y;
-    }
-    acc.iter().sum::<f32>() + tail
+    (simd::kernels().dot)(a, b)
 }
 
-/// Sum of all elements, with a 32-lane accumulator block so the adds
-/// vectorize instead of forming one serial dependency chain.
+/// Sum of all elements, accumulated in wide lane blocks so the adds do not
+/// form one serial dependency chain.
 #[inline]
 pub fn sum(a: &[f32]) -> f32 {
-    const LANES: usize = 32;
-    let mut acc = [0.0f32; LANES];
-    let mut it = a.chunks_exact(LANES);
-    for chunk in &mut it {
-        for l in 0..LANES {
-            acc[l] += chunk[l];
-        }
-    }
-    let tail: f32 = it.remainder().iter().sum();
-    acc.iter().sum::<f32>() + tail
+    (simd::kernels().sum)(a)
 }
 
 /// Squared Euclidean norm `‖a‖₂²`.
@@ -63,39 +45,26 @@ pub fn norm(a: &[f32]) -> f32 {
 /// Squared Euclidean distance `‖a − b‖₂²` without allocating the difference.
 #[inline]
 pub fn dist_sq(a: &[f32], b: &[f32]) -> f32 {
-    assert_eq!(a.len(), b.len(), "dist_sq: length mismatch");
-    let mut s = 0.0f32;
-    for i in 0..a.len() {
-        let d = a[i] - b[i];
-        s += d * d;
-    }
-    s
+    (simd::kernels().dist_sq)(a, b)
 }
 
 /// `y ← y + alpha * x` (BLAS axpy).
 #[inline]
 pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
-    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    for i in 0..x.len() {
-        y[i] += alpha * x[i];
-    }
+    (simd::kernels().axpy)(alpha, x, y)
 }
 
 /// `y ← alpha * x + beta * y`.
 #[inline]
 pub fn axpby(alpha: f32, x: &[f32], beta: f32, y: &mut [f32]) {
-    assert_eq!(x.len(), y.len(), "axpby: length mismatch");
-    for i in 0..x.len() {
-        y[i] = alpha * x[i] + beta * y[i];
-    }
+    (simd::kernels().axpby)(alpha, x, beta, y)
 }
 
-/// `a ← a * alpha`.
+/// `a ← a * alpha`. Element-wise, so every dispatch arm produces the same
+/// bits.
 #[inline]
 pub fn scale(a: &mut [f32], alpha: f32) {
-    for v in a.iter_mut() {
-        *v *= alpha;
-    }
+    (simd::kernels().scale)(a, alpha)
 }
 
 /// `out ← a − b`, writing into a caller-provided buffer.
@@ -108,13 +77,12 @@ pub fn sub_into(a: &[f32], b: &[f32], out: &mut [f32]) {
     }
 }
 
-/// `a ← a + b`.
+/// `a ← a + b`. Element-wise, so every dispatch arm produces the same
+/// bits — chunked parallel means built on this stay bit-identical to the
+/// sequential whole-vector form under any kernel arm.
 #[inline]
 pub fn add_assign(a: &mut [f32], b: &[f32]) {
-    assert_eq!(a.len(), b.len(), "add_assign: length mismatch");
-    for i in 0..a.len() {
-        a[i] += b[i];
-    }
+    (simd::kernels().add_assign)(a, b)
 }
 
 /// `a ← a − b`.
@@ -187,7 +155,9 @@ pub fn chunk_range(len: usize, parts: usize, idx: usize) -> (usize, usize) {
 /// association `SimNetwork::allreduce_mean` and `LocalState::average` use —
 /// so a chunked parallel reduction built from this helper is bit-identical
 /// to the sequential whole-vector mean: per element, the sum order is
-/// always input 0, 1, 2, … regardless of how the range is chunked.
+/// always input 0, 1, 2, … regardless of how the range is chunked. The
+/// adds and the final scale run on the dispatched SIMD kernels, which are
+/// element-wise and therefore preserve this property under every arm.
 ///
 /// # Panics
 /// Panics if `vs` is empty, any input is shorter than `hi`, or `out` has

@@ -13,13 +13,18 @@
 //!    sequential trajectory bit-for-bit, per the repo's copy-first
 //!    worker-order reduction convention.
 //! 2. **Pinned hashes** (host-pinned): the sequential K = 4 trajectory must
-//!    match the constants below exactly. The arithmetic is pure Rust f32
-//!    (no FMA contraction), so these bits are stable across rebuilds and
-//!    optimization levels on one platform; the softmax `exp` comes from
-//!    libm, so a different libm *could* shift them. If a deliberate numeric
-//!    change (or a new build host) moves the trajectory, re-pin once by
-//!    running with `GOLDEN_PRINT=1` and pasting the printed list — after
-//!    convincing yourself the change is intentional.
+//!    match the constants below exactly. The wide arithmetic runs on the
+//!    dispatched SIMD kernel arm (`fda_tensor::simd`), so the bits are
+//!    bound to the build host's best ISA (AVX-512 FMA on the perf host) —
+//!    a host without that arm, or a run under `FDA_FORCE_KERNEL`, lands on
+//!    different (equally deterministic) bits; the softmax `exp` comes from
+//!    libm, so a different libm *could* shift them too. Within one host and
+//!    arm the bits are stable across rebuilds and optimization levels. If
+//!    a deliberate numeric change (or a new build host) moves the
+//!    trajectory, re-pin once by running with `GOLDEN_PRINT=1` and pasting
+//!    the printed list — after convincing yourself the change is
+//!    intentional. (Pinned under the AVX-512 arm since the SIMD dispatch
+//!    layer landed.)
 
 use fda::core::cluster::ClusterConfig;
 use fda::core::fda::{Fda, FdaConfig};
@@ -35,14 +40,14 @@ const ROUNDS: usize = 8;
 /// (sequential LeNet, linear monitor, Θ = 0.02, seed 0x601D). Re-pin with
 /// `GOLDEN_PRINT=1 cargo test --test golden_trajectory -- --nocapture`.
 const GOLDEN_HASHES: [u64; ROUNDS] = [
-    0x73bd83d23d7ecfd1,
-    0x1eadf922b8c10f4b,
-    0x48e706932b27f39e,
-    0x03c129bbba6edd4e,
-    0x4efe0e83ccd4b0f2,
-    0x3a4f7d3660d70ac5,
-    0x1bfa3baeec6d5360,
-    0xb03e9e19f2307e83,
+    0x223364979a77ed3e,
+    0x7b047caaa230b67f,
+    0x11a52cfa9b399f0a,
+    0xcca6ef051b18db2c,
+    0xa0850abfdcb277fc,
+    0xcfa8afd0120f6b1c,
+    0x66032717c68600fb,
+    0x876ba893cb0923e9,
 ];
 
 fn task() -> TaskData {
@@ -128,9 +133,21 @@ fn pooled_k124_bit_identical_to_sequential() {
 /// golden hashes exactly.
 #[test]
 fn sequential_trajectory_matches_golden_hashes() {
-    let task = task();
-    let got = run_trajectory(4, false, &task);
+    // The constants above are pinned under the AVX-512 kernel arm (the
+    // build host's dispatch default). On a host — or CI runner — whose
+    // dispatched arm differs, the trajectory lands on different (equally
+    // deterministic) bits, so comparing against these constants would be
+    // noise, not signal: skip with a note instead of failing. GitHub's
+    // shared runner fleet mixes AVX-512 and non-AVX-512 CPUs, so this
+    // gate is what keeps plain `cargo test` green there while the perf
+    // build host still exercises the pinned layer via tier-1.
+    let arm = fda::tensor::simd::kernels();
     if std::env::var("GOLDEN_PRINT").is_ok() {
+        // Re-pinning is valid on any arm (the constants then belong to
+        // that arm — note it in the comment above), so the print path
+        // runs before the arm gate.
+        let got = run_trajectory(4, false, &task());
+        println!("// pinned under the {} arm", arm.name());
         println!("const GOLDEN_HASHES: [u64; ROUNDS] = [");
         for h in &got {
             println!("    {h:#018x},");
@@ -138,6 +155,15 @@ fn sequential_trajectory_matches_golden_hashes() {
         println!("];");
         return;
     }
+    if arm.isa != fda::tensor::simd::Isa::Avx512 {
+        eprintln!(
+            "skipping pinned-hash layer: hashes are pinned under the avx512 \
+             arm, dispatched arm here is {}",
+            arm.name()
+        );
+        return;
+    }
+    let got = run_trajectory(4, false, &task());
     assert_eq!(
         got, GOLDEN_HASHES,
         "trajectory moved; if intentional, re-pin with GOLDEN_PRINT=1 \

@@ -488,6 +488,162 @@ fn wire_decoders_are_total_under_fuzz() {
     assert!(wire::decode_vector(&u32::MAX.to_le_bytes()).is_err());
 }
 
+// ---------------------------------------------------------------------------
+// SIMD kernel dispatch arms
+// ---------------------------------------------------------------------------
+
+/// `out += op(A)·op(B)` reference in f64 (the tolerance anchor: summing in
+/// f64 removes the reference's own rounding from the error budget).
+fn gemm_ref_f64(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &Matrix,
+    b: &Matrix,
+    at: bool,
+    bt: bool,
+) -> Vec<f64> {
+    let mut out = vec![0.0f64; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut s = 0.0f64;
+            for p in 0..k {
+                let av = if at { a.get(p, i) } else { a.get(i, p) };
+                let bv = if bt { b.get(j, p) } else { b.get(p, j) };
+                s += av as f64 * bv as f64;
+            }
+            out[i * n + j] = s;
+        }
+    }
+    out
+}
+
+/// Every kernel arm the host supports drives all three GEMM entry points
+/// to the naive/f64 reference over random geometries — including ragged
+/// K/N tails not divisible by any arm's lane or tile width, the
+/// small-GEMM fallback region, and the KC panel boundary.
+#[test]
+fn dispatched_gemm_matches_reference_under_every_kernel_arm() {
+    use fda::tensor::matrix::{
+        gemm_a_bt_accumulate_with_kernel, gemm_accumulate_with_kernel,
+        gemm_at_b_accumulate_with_kernel, Scratch,
+    };
+    use fda::tensor::simd;
+    let mut rng = Rng::new(0x51_3D00);
+    // Fixed geometries straddling tile boundaries of every arm (mr ∈
+    // {4, 6, 8}, nr ∈ {16, 32}, KC = 256), plus random fuzz.
+    let mut shapes = vec![
+        (1usize, 1usize, 1usize),
+        (8, 32, 256),   // exact AVX-512 tiles, one full panel
+        (6, 16, 64),    // exact AVX2 tile
+        (9, 33, 257),   // +1 off every boundary
+        (7, 31, 255),   // −1 off every boundary
+        (65, 100, 300), // KC-spanning with ragged everything
+        (16, 120, 432), // LeNet dense forward shape
+        (130, 47, 260), // tall, blocked-driver path
+    ];
+    for _ in 0..24 {
+        shapes.push((
+            1 + (rng.next_u64() % 70) as usize,
+            1 + (rng.next_u64() % 140) as usize,
+            1 + (rng.next_u64() % 300) as usize,
+        ));
+    }
+    for &(m, n, k) in &shapes {
+        let a = Matrix::random_normal(m, k, 0.0, 1.0, &mut rng);
+        let b = Matrix::random_normal(k, n, 0.0, 1.0, &mut rng);
+        let at = a.transposed();
+        let bt = b.transposed();
+        let want = gemm_ref_f64(m, n, k, &a, &b, false, false);
+        let tol = 1e-5f64 * (1.0 + k as f64).sqrt();
+        for kn in simd::all_supported() {
+            let mut scratch = Scratch::new();
+            let check = |got: &Matrix, label: &str| {
+                for (i, (&g, &w)) in got.as_slice().iter().zip(&want).enumerate() {
+                    assert!(
+                        (g as f64 - w).abs() <= tol * (1.0 + w.abs()),
+                        "{} {label} {m}x{k}x{n} elem {i}: {g} vs {w}",
+                        kn.name()
+                    );
+                }
+            };
+            let mut out = Matrix::zeros(m, n);
+            gemm_accumulate_with_kernel(kn, &a, &b, &mut out, &mut scratch);
+            check(&out, "a_b");
+            let mut out = Matrix::zeros(m, n);
+            gemm_at_b_accumulate_with_kernel(kn, &at, &b, &mut out, &mut scratch);
+            check(&out, "at_b");
+            let mut out = Matrix::zeros(m, n);
+            gemm_a_bt_accumulate_with_kernel(kn, &a, &bt, &mut out, &mut scratch);
+            check(&out, "a_bt");
+        }
+    }
+}
+
+/// Every kernel arm sketches bit-identically to the scalar arm (the arms
+/// share one single-pass scatter loop; this pins that contract) and lands
+/// within f64-accumulator tolerance of a from-scratch f64 scatter, over
+/// random dims with ragged lane tails.
+#[test]
+fn dispatched_sketch_matches_reference_under_every_kernel_arm() {
+    use fda::sketch::AmsSketch;
+    use fda::tensor::simd;
+    let scalar = simd::table_for(simd::Isa::Scalar).expect("scalar arm always available");
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x5E_7C00 + case);
+        // Dims biased onto lane boundaries ±1 (16/32/64 ±1) and odd sizes.
+        let dim = match case % 4 {
+            0 => 1 + (rng.next_u64() % 200) as usize,
+            1 => 16 * (1 + (rng.next_u64() % 8) as usize),
+            2 => 16 * (1 + (rng.next_u64() % 8) as usize) + 1,
+            _ => 16 * (1 + (rng.next_u64() % 8) as usize) - 1,
+        };
+        let rows = 1 + (case as usize % 4);
+        let cols = 8 + (rng.next_u64() % 60) as usize;
+        let config = SketchConfig::new(rows, cols, 0xC0FE + case);
+        let plan = config.build_plan(dim);
+        let mut v = vec![0.0f32; dim];
+        rng.fill_uniform(&mut v, -5.0, 5.0);
+        let mut want = AmsSketch::zeros(rows, cols);
+        plan.sketch_into_with_kernel(scalar, &v, &mut want);
+        // f64 anchor: ‖sk(v)‖ entries recomputed with f64 accumulation via
+        // linearity over unit vectors is O(d·l·m); instead verify the f32
+        // scalar reference against f64 row sums of the *same* scatter.
+        for kn in simd::all_supported() {
+            let mut got = AmsSketch::zeros(rows, cols);
+            plan.sketch_into_with_kernel(kn, &v, &mut got);
+            for (i, (g, w)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+                assert_eq!(
+                    g.to_bits(),
+                    w.to_bits(),
+                    "case {case}: arm {} bucket {i} diverged from scalar (dim {dim})",
+                    kn.name()
+                );
+            }
+        }
+        // The packed-entry scatter itself is checked against an f64
+        // accumulation of the same ±v assignments, reconstructed through
+        // sketch linearity: sk(v) == Σ_i v_i · sk(e_i), with each sk(e_i)
+        // exact (1-sparse inputs collide with nothing inside one row).
+        let mut f64_rows = vec![0.0f64; rows * cols];
+        for i in 0..dim {
+            let mut unit = vec![0.0f32; dim];
+            unit[i] = 1.0;
+            let sk = plan.sketch(&unit);
+            for (acc, &s) in f64_rows.iter_mut().zip(sk.as_slice()) {
+                *acc += v[i] as f64 * s as f64;
+            }
+        }
+        let tol = 1e-4f64 * (1.0 + dim as f64).sqrt();
+        for (i, (&g, &w)) in want.as_slice().iter().zip(&f64_rows).enumerate() {
+            assert!(
+                (g as f64 - w).abs() <= tol * (1.0 + w.abs()),
+                "case {case}: bucket {i}: sketched {g} vs f64 anchor {w} (dim {dim})"
+            );
+        }
+    }
+}
+
 /// The sketch monitor's H is within a controlled band of the exact
 /// variance: never wildly below (soundness), never above the trivial bound
 /// mean‖u‖² by more than sketch noise (usefulness).
