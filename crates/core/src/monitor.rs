@@ -56,6 +56,17 @@ impl LocalState {
         }
     }
 
+    /// Whether two states carry the same summary variant and payload
+    /// length — the precondition [`LocalState::average_refs`] panics on.
+    /// A transport coordinator validates each deposit against a template
+    /// state with this, so a well-framed but wrong-shaped state from a
+    /// broken peer becomes a per-worker protocol drop instead of a
+    /// process abort.
+    pub fn same_shape(&self, other: &LocalState) -> bool {
+        std::mem::discriminant(&self.summary) == std::mem::discriminant(&other.summary)
+            && self.summary_slice().len() == other.summary_slice().len()
+    }
+
     /// Averages `K` local states component-wise — the arithmetic the state
     /// AllReduce performs. All states must come from the same monitor.
     ///

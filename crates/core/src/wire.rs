@@ -223,17 +223,27 @@ pub fn encode_vector(v: &[f32]) -> Vec<u8> {
     out
 }
 
+/// Decodes one `[ len: u32 ][ len × f32 ]` vector starting at `*off`,
+/// advancing `*off` past it — the building block for frames that carry
+/// more than one vector (e.g. the transport's `Resume` handoff). The
+/// declared length is validated against the remaining buffer before any
+/// allocation.
+pub fn decode_vector_at(buf: &[u8], off: &mut usize) -> Result<Vec<f32>, DecodeError> {
+    let len = get_u32(buf, off)? as usize;
+    check_f32_run(buf, *off, len)?;
+    let mut v = vec![0.0f32; len];
+    for x in &mut v {
+        *x = get_f32(buf, off)?;
+    }
+    Ok(v)
+}
+
 /// Decodes a vector frame produced by [`encode_vector`]. Exact consumption
 /// is required (trailing bytes are a framing bug), and the declared length
 /// is validated against the buffer before any allocation.
 pub fn decode_vector(buf: &[u8]) -> Result<Vec<f32>, DecodeError> {
     let mut off = 0usize;
-    let len = get_u32(buf, &mut off)? as usize;
-    check_f32_run(buf, off, len)?;
-    let mut v = vec![0.0f32; len];
-    for x in &mut v {
-        *x = get_f32(buf, &mut off)?;
-    }
+    let v = decode_vector_at(buf, &mut off)?;
     if off != buf.len() {
         return Err(DecodeError::Truncated);
     }

@@ -1,17 +1,18 @@
-//! The TCP coordinator: deposit → deterministic reduce → broadcast.
+//! The TCP coordinator: deposit → deterministic reduce → broadcast,
+//! surviving worker churn.
 //!
 //! One FDA round on the wire is the same three-phase rendezvous as
 //! [`fda_comm::ThreadedReducer`], with sockets in place of condvars:
 //!
-//! 1. **deposit** — every worker uploads its local state frame;
+//! 1. **deposit** — every live worker uploads its local state frame;
 //! 2. **reduce** — the coordinator averages the decoded states **in
 //!    worker-id order** (`LocalState::average_refs`: copy-first, then add
 //!    id-ascending — the exact association of `SimNetwork::allreduce_mean`
 //!    and the pooled `WorkerPool::chunked_mean`), evaluates `H(S̄_t)`, and
 //!    decides;
-//! 3. **broadcast** — every worker receives the averaged state plus the
-//!    decision, so the conditional model AllReduce is cluster-consistent
-//!    without an extra round.
+//! 3. **broadcast** — every live worker receives the averaged state plus
+//!    the decision, so the conditional model AllReduce is
+//!    cluster-consistent without an extra round.
 //!
 //! Model synchronizations run the *arithmetic and the charged accounting*
 //! through an embedded [`SimNetwork`] — the identical code path the
@@ -20,9 +21,24 @@
 //! simulator's own. Independently, every data-plane frame that actually
 //! crosses a socket is *measured* (payload convention and raw bytes); the
 //! parity suite asserts measured == charged.
+//!
+//! # Failure model
+//!
+//! Each round has a deposit deadline and a `min_workers` quorum
+//! ([`RoundPolicy`]). A worker that times out, disconnects, or sends a
+//! malformed frame is **dropped from the round**: its deposit is
+//! discarded, the id-order reduce runs over the survivor set, and the run
+//! continues with K′ < K. Every membership change bumps the **epoch**;
+//! frames are stamped with it, and a connection's deposits are validated
+//! against the epoch last announced *to that connection* — a zombie's
+//! stale frames are skipped, never averaged. Dropping below quorum aborts
+//! the run with [`NetError::Quorum`] instead of hanging or half-finishing.
+//! A dropped worker may be re-admitted at a scheduled round
+//! ([`RoundPolicy::admissions`]) via the versioned `Resume` handoff. The
+//! full argument lives in DESIGN.md § "Failure model".
 
 use crate::frame::{write_frame, CountingStream, FrameKind, NetError, PROTOCOL_VERSION};
-use crate::protocol::Msg;
+use crate::protocol::{recv_at_epoch, Msg};
 use fda_comm::{AccountingMode, SimNetwork};
 use fda_core::monitor::LocalState;
 use fda_core::wire::{encode_state, encode_vector, JobSpec};
@@ -30,6 +46,82 @@ use fda_tensor::vector;
 use std::io::Write as _;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
+
+/// Why the coordinator dropped a worker from the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Missed the round's deposit deadline.
+    Timeout,
+    /// Socket closed or reset mid-protocol.
+    Disconnect,
+    /// Sent a frame that failed checksum/decode/shape validation, or the
+    /// wrong message kind for the phase.
+    Protocol,
+}
+
+impl DropReason {
+    /// Stable lowercase name for reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DropReason::Timeout => "timeout",
+            DropReason::Disconnect => "disconnect",
+            DropReason::Protocol => "protocol",
+        }
+    }
+}
+
+/// What happened to one worker's membership.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemberEvent {
+    /// The worker entered the run — at formation (`rejoin: false`) or via
+    /// a scheduled re-admission after a drop (`rejoin: true`).
+    Joined {
+        /// Whether this join is a reconnect of a previously dropped worker.
+        rejoin: bool,
+    },
+    /// The worker was dropped from the run.
+    Dropped(DropReason),
+}
+
+/// One membership change, anchored to the round it took effect in.
+/// Drops during the final replica collection use `round == steps`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MembershipEvent {
+    /// Round index the event took effect at.
+    pub round: u32,
+    /// Worker id.
+    pub worker: u32,
+    /// The change.
+    pub event: MemberEvent,
+}
+
+/// Per-round liveness policy: deadline, quorum, and the deterministic
+/// re-admission schedule.
+#[derive(Debug, Clone)]
+pub struct RoundPolicy {
+    /// Abort with [`NetError::Quorum`] when fewer workers remain.
+    pub min_workers: usize,
+    /// Budget for collecting all of a round's deposits; a worker whose
+    /// state has not arrived when the budget runs out is dropped.
+    pub deposit_timeout: Duration,
+    /// `(round, worker_id)`: re-admit `worker_id` at the start of `round`,
+    /// *waiting* for it if it has not reconnected yet. Scheduling
+    /// admissions — rather than admitting whenever a reconnect happens to
+    /// land — is what makes a churn trajectory replayable: reconnect
+    /// timing depends on OS scheduling and backoff jitter, the schedule
+    /// does not.
+    pub admissions: Vec<(u32, u32)>,
+}
+
+impl Default for RoundPolicy {
+    fn default() -> RoundPolicy {
+        RoundPolicy {
+            min_workers: 1,
+            deposit_timeout: Duration::from_secs(30),
+            admissions: Vec::new(),
+        }
+    }
+}
 
 /// Outcome of a coordinated TCP run — the transport-side mirror of a
 /// simulator trajectory, for bit-parity checks and byte-accounting audits.
@@ -42,22 +134,31 @@ pub struct NetReport {
     /// Per-round variance estimates `H(S̄_t)`, in step order.
     pub estimates: Vec<f32>,
     /// Bytes charged by the embedded [`SimNetwork`] — the simulator's
-    /// convention (state payload per step, `d·4` per sync, per worker).
+    /// convention (state payload per step, `d·4` per sync, per worker),
+    /// summed across membership eras when the worker set changed.
     pub charged_bytes: u64,
     /// Bytes *measured* on the sockets under the same payload convention:
-    /// every data-plane frame's `f32` payload, fed through the accounting
-    /// mode as it arrived. Equals `charged_bytes` iff the traffic that
-    /// actually crossed the fabric is exactly what the simulator charges.
+    /// every data-plane frame that was actually averaged, fed through the
+    /// accounting mode at the round's live worker count. Equals
+    /// `charged_bytes` iff the traffic that crossed the fabric is exactly
+    /// what the simulator charges.
     pub measured_payload_bytes: u64,
     /// Raw bytes the coordinator transmitted (framing, control plane and
-    /// broadcasts included).
+    /// broadcasts included), dropped connections included.
     pub raw_tx_bytes: u64,
     /// Raw bytes the coordinator received.
     pub raw_rx_bytes: u64,
-    /// Every worker's final replica parameters, by worker id.
+    /// Final replica parameters of each worker that finished the run, in
+    /// [`NetReport::survivors`] order (== worker-id order). On a fault-free
+    /// run this is every worker, indexed by id.
     pub worker_params: Vec<Vec<f32>>,
-    /// Mean of the final replicas (uncharged evaluation model).
+    /// Mean of the surviving final replicas (uncharged evaluation model).
     pub final_params: Vec<f32>,
+    /// Worker ids that completed the run, ascending.
+    pub survivors: Vec<u32>,
+    /// Every membership change, in occurrence order: K `Joined` events at
+    /// round 0, then drops/rejoins as they happened.
+    pub events: Vec<MembershipEvent>,
 }
 
 /// The rendezvous server side of the transport.
@@ -65,16 +166,53 @@ pub struct Coordinator {
     listener: TcpListener,
     accept_timeout: Duration,
     read_timeout: Duration,
+    policy: RoundPolicy,
 }
 
 /// One accepted worker connection.
+///
+/// `epoch` is the membership epoch last *stamped on a frame sent to this
+/// peer* — the epoch the worker will echo back, and therefore the one its
+/// deposits are validated against. It intentionally lags the
+/// coordinator's global epoch until the next send: a worker that deposited
+/// before learning of a concurrent membership change is not a zombie.
 struct Conn {
     stream: CountingStream<TcpStream>,
+    epoch: u32,
 }
 
 impl Conn {
-    fn recv(&mut self) -> Result<Msg, NetError> {
-        Msg::recv(&mut self.stream)
+    fn send_raw(&mut self, epoch: u32, kind: FrameKind, payload: &[u8]) -> Result<(), NetError> {
+        self.epoch = epoch;
+        write_frame(&mut self.stream, epoch, kind, payload)
+    }
+
+    fn recv_current(&mut self) -> Result<Msg, NetError> {
+        recv_at_epoch(&mut self.stream, self.epoch)
+    }
+
+    fn set_read_timeout(&self, t: Duration) -> Result<(), NetError> {
+        self.stream.get_ref().set_read_timeout(Some(t))?;
+        Ok(())
+    }
+}
+
+/// Closes a connection and banks its raw byte counters.
+fn retire(conn: Conn, raw: &mut (u64, u64)) {
+    raw.0 += conn.stream.tx_bytes();
+    raw.1 += conn.stream.rx_bytes();
+    let _ = conn.stream.get_ref().shutdown(std::net::Shutdown::Both);
+}
+
+/// Maps a per-connection receive/send error to the drop bucket the
+/// membership log records.
+fn drop_reason(e: &NetError) -> DropReason {
+    match e {
+        NetError::Timeout(_) => DropReason::Timeout,
+        NetError::Disconnect(_) | NetError::Io(_) => DropReason::Disconnect,
+        NetError::Decode(_) | NetError::Protocol(_) | NetError::Quorum { .. } => {
+            DropReason::Protocol
+        }
     }
 }
 
@@ -87,6 +225,7 @@ impl Coordinator {
             listener,
             accept_timeout: Duration::from_secs(30),
             read_timeout: Duration::from_secs(60),
+            policy: RoundPolicy::default(),
         })
     }
 
@@ -96,13 +235,60 @@ impl Coordinator {
     }
 
     /// Replaces the hang guards: how long to wait for all `K` workers to
-    /// connect, and the per-read/per-write socket timeout thereafter. A
+    /// connect (also the wait budget for a scheduled re-admission), and
+    /// the per-read/per-write socket timeout outside the deposit phase. A
     /// worker that stalls past the I/O timeout — silent on a read, or not
-    /// draining its receive buffer on a write — fails the run with an I/O
-    /// error instead of wedging the rendezvous (and CI) forever.
+    /// draining its receive buffer on a write — is dropped (or fails the
+    /// run, during formation) instead of wedging the rendezvous forever.
     pub fn set_timeouts(&mut self, accept: Duration, io: Duration) {
         self.accept_timeout = accept;
         self.read_timeout = io;
+    }
+
+    /// Replaces the per-round liveness policy (quorum, deposit deadline,
+    /// admission schedule).
+    pub fn set_policy(&mut self, policy: RoundPolicy) {
+        self.policy = policy;
+    }
+
+    /// Accepts one connection and completes the hello handshake, returning
+    /// the claimed worker id and last-seen epoch.
+    fn handshake(&self, stream: TcpStream, k: usize) -> Result<(usize, u32, Conn), NetError> {
+        stream.set_nonblocking(false)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(self.read_timeout))?;
+        stream.set_write_timeout(Some(self.read_timeout))?;
+        let mut conn = Conn {
+            stream: CountingStream::new(stream),
+            epoch: 0,
+        };
+        let (version, id, last_epoch) = match Msg::recv(&mut conn.stream)? {
+            (
+                Msg::Hello {
+                    version,
+                    worker_id,
+                    last_epoch,
+                },
+                _,
+            ) => (version, worker_id as usize, last_epoch),
+            (other, _) => {
+                return Err(NetError::Protocol(format!(
+                    "expected hello, got {}",
+                    other.kind_name()
+                )));
+            }
+        };
+        if version != PROTOCOL_VERSION {
+            return Err(NetError::Protocol(format!(
+                "worker {id} speaks protocol v{version}, coordinator v{PROTOCOL_VERSION}"
+            )));
+        }
+        if id >= k {
+            return Err(NetError::Protocol(format!(
+                "worker id {id} out of range for K = {k}"
+            )));
+        }
+        Ok((id, last_epoch, conn))
     }
 
     /// Accepts `k` workers, handshakes, and indexes them by worker id.
@@ -114,32 +300,7 @@ impl Coordinator {
         while accepted < k {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
-                    stream.set_nonblocking(false)?;
-                    stream.set_nodelay(true)?;
-                    stream.set_read_timeout(Some(self.read_timeout))?;
-                    stream.set_write_timeout(Some(self.read_timeout))?;
-                    let mut conn = Conn {
-                        stream: CountingStream::new(stream),
-                    };
-                    let (version, id) = match conn.recv()? {
-                        Msg::Hello { version, worker_id } => (version, worker_id as usize),
-                        other => {
-                            return Err(NetError::Protocol(format!(
-                                "expected hello, got {}",
-                                other.kind_name()
-                            )));
-                        }
-                    };
-                    if version != PROTOCOL_VERSION {
-                        return Err(NetError::Protocol(format!(
-                            "worker {id} speaks protocol v{version}, coordinator v{PROTOCOL_VERSION}"
-                        )));
-                    }
-                    if id >= k {
-                        return Err(NetError::Protocol(format!(
-                            "worker id {id} out of range for K = {k}"
-                        )));
-                    }
+                    let (id, _last_epoch, conn) = self.handshake(stream, k)?;
                     if slots[id].is_some() {
                         return Err(NetError::Protocol(format!("duplicate worker id {id}")));
                     }
@@ -158,24 +319,50 @@ impl Coordinator {
                 Err(e) => return Err(NetError::Io(e)),
             }
         }
-        self.listener.set_nonblocking(false)?;
         Ok(slots
             .into_iter()
             .map(|s| s.expect("all accepted"))
             .collect())
     }
 
-    /// Broadcasts one pre-encoded frame to every worker, in id order.
-    fn broadcast(conns: &mut [Conn], kind: FrameKind, payload: &[u8]) -> Result<(), NetError> {
-        for conn in conns.iter_mut() {
-            write_frame(&mut conn.stream, kind, payload)?;
+    /// Drains pending reconnects into the parking lot without blocking.
+    /// A hello claiming a currently-live id is a zombie and its connection
+    /// is closed; a second reconnect of the same parked id replaces the
+    /// first (the worker retried).
+    fn drain_accepts(
+        &self,
+        k: usize,
+        conns: &[Option<Conn>],
+        pending: &mut Vec<(usize, Conn)>,
+        raw: &mut (u64, u64),
+    ) -> Result<(), NetError> {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => match self.handshake(stream, k) {
+                    Ok((id, _last_epoch, conn)) => {
+                        if conns[id].is_some() {
+                            retire(conn, raw);
+                            continue;
+                        }
+                        if let Some(pos) = pending.iter().position(|(pid, _)| *pid == id) {
+                            retire(pending.swap_remove(pos).1, raw);
+                        }
+                        pending.push((id, conn));
+                    }
+                    // A reconnect that fails its own handshake harms only
+                    // itself; the run goes on.
+                    Err(NetError::Io(e)) => return Err(NetError::Io(e)),
+                    Err(_) => continue,
+                },
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) => return Err(NetError::Io(e)),
+            }
         }
-        Ok(())
     }
 
     /// Runs the full FDA job across `spec.cluster.workers` TCP workers and
-    /// returns the trajectory report. Blocks until the run completes or a
-    /// timeout/protocol violation fails it.
+    /// returns the trajectory report. Blocks until the run completes, a
+    /// membership drop takes it below quorum, or a formation failure.
     ///
     /// # Panics
     /// Panics on degenerate specs (`workers == 0` or `steps == 0`).
@@ -183,45 +370,172 @@ impl Coordinator {
         let k = spec.cluster.workers;
         assert!(k >= 1, "coordinator: need at least one worker");
         assert!(spec.steps >= 1, "coordinator: need at least one step");
-        let dim = spec.cluster.model.build(spec.cluster.seed, 0).param_count();
+        let template = spec.cluster.model.build(spec.cluster.seed, 0);
+        let dim = template.param_count();
+        let w0 = template.params_flat();
         let monitor = spec.fda.variant.build_monitor(dim);
+        // Template for validating deposit shapes before `average_refs`.
+        let state_shape = monitor.local_state(&vec![0.0f32; dim]);
         let mode = AccountingMode::PerWorkerPayload;
 
-        let mut conns = self.accept_workers(k)?;
+        // Formation: accept all K, then the uniform join handshake —
+        // Config followed by the versioned handoff. At formation the
+        // handoff is `Resume { round: 0, model: w_0, prev: None }`, a
+        // bitwise no-op for a fresh replica, so there is exactly one join
+        // path for first joins and rejoins alike.
+        let mut epoch: u32 = 1;
+        let formed = self.accept_workers(k)?;
+        let mut conns: Vec<Option<Conn>> = formed.into_iter().map(Some).collect();
         let config_payload = fda_core::wire::encode_job(spec);
-        Self::broadcast(&mut conns, FrameKind::Config, &config_payload)?;
+        let mut resume_model = w0;
+        let mut resume_prev: Option<Vec<f32>> = None;
+        for conn in conns.iter_mut().flatten() {
+            conn.send_raw(epoch, FrameKind::Config, &config_payload)?;
+            let (kind, payload) = resume_msg(0, &resume_model, &resume_prev);
+            conn.send_raw(epoch, kind, &payload)?;
+        }
 
         // Charged accounting and model-AllReduce arithmetic: the
-        // simulator's own code path.
+        // simulator's own code path. On a membership change the fabric is
+        // rebuilt at the new K′ and the old era's charges are banked; a
+        // fault-free run keeps one fabric end to end.
         let mut net = SimNetwork::new(k);
+        let mut charged_banked = 0u64;
         let mut measured_payload = 0u64;
-        let mut states: Vec<Option<LocalState>> = (0..k).map(|_| None).collect();
-        let mut model_bufs: Vec<Vec<f32>> = vec![Vec::new(); k];
+        let mut raw_retired = (0u64, 0u64); // (tx, rx) of closed conns
+        let mut pending: Vec<(usize, Conn)> = Vec::new();
+        let mut events: Vec<MembershipEvent> = (0..k as u32)
+            .map(|w| MembershipEvent {
+                round: 0,
+                worker: w,
+                event: MemberEvent::Joined { rejoin: false },
+            })
+            .collect();
         let mut decisions = Vec::with_capacity(spec.steps as usize);
         let mut estimates = Vec::with_capacity(spec.steps as usize);
         let mut syncs = 0u64;
 
+        // Applies a batch of drops: close, log, bump the epoch once.
+        let apply_drops = |drops: &[(usize, DropReason)],
+                           round: u32,
+                           conns: &mut Vec<Option<Conn>>,
+                           events: &mut Vec<MembershipEvent>,
+                           epoch: &mut u32,
+                           raw: &mut (u64, u64)| {
+            if drops.is_empty() {
+                return;
+            }
+            for &(id, reason) in drops {
+                let conn = conns[id].take().expect("dropping a live conn");
+                retire(conn, raw);
+                events.push(MembershipEvent {
+                    round,
+                    worker: id as u32,
+                    event: MemberEvent::Dropped(reason),
+                });
+            }
+            *epoch += 1;
+        };
+        let alive_ids =
+            |conns: &Vec<Option<Conn>>| (0..k).filter(|&i| conns[i].is_some()).collect::<Vec<_>>();
+        let quorum = |alive: usize, round: u32| -> Result<(), NetError> {
+            if alive < self.policy.min_workers {
+                Err(NetError::Quorum {
+                    round,
+                    alive,
+                    min_workers: self.policy.min_workers,
+                })
+            } else {
+                Ok(())
+            }
+        };
+
         for step in 0..spec.steps {
-            // (1) Deposit: one state frame per worker, read in id order.
-            for (id, conn) in conns.iter_mut().enumerate() {
-                let msg = conn.recv()?;
-                measured_payload += mode.per_worker_bytes(msg.accounted_bytes(), k);
-                match msg {
-                    Msg::State(s) => states[id] = Some(s),
-                    other => {
+            // (0) Scheduled re-admissions: wait for each worker due this
+            // round, then replay the join handshake at the bumped epoch
+            // with the current consensus state.
+            let due: Vec<u32> = self
+                .policy
+                .admissions
+                .iter()
+                .filter(|&&(r, _)| r == step)
+                .map(|&(_, w)| w)
+                .collect();
+            for w in due {
+                let id = w as usize;
+                if id >= k || conns[id].is_some() {
+                    return Err(NetError::Protocol(format!(
+                        "admission schedule: worker {w} at round {step} is not a dropped worker"
+                    )));
+                }
+                let deadline = Instant::now() + self.accept_timeout;
+                let mut conn = loop {
+                    self.drain_accepts(k, &conns, &mut pending, &mut raw_retired)?;
+                    if let Some(pos) = pending.iter().position(|(pid, _)| *pid == id) {
+                        break pending.swap_remove(pos).1;
+                    }
+                    if Instant::now() >= deadline {
                         return Err(NetError::Protocol(format!(
-                            "step {step}: expected state from worker {id}, got {}",
-                            other.kind_name()
+                            "scheduled rejoin of worker {w} at round {step} did not arrive \
+                             within {:?}",
+                            self.accept_timeout
                         )));
                     }
+                    std::thread::sleep(Duration::from_millis(2));
+                };
+                epoch += 1;
+                conn.send_raw(epoch, FrameKind::Config, &config_payload)?;
+                let (kind, payload) = resume_msg(step, &resume_model, &resume_prev);
+                conn.send_raw(epoch, kind, &payload)?;
+                conns[id] = Some(conn);
+                events.push(MembershipEvent {
+                    round: step,
+                    worker: w,
+                    event: MemberEvent::Joined { rejoin: true },
+                });
+            }
+
+            // (1) Deposit: one state frame per live worker, read in id
+            // order under the round's deadline.
+            let deposit_deadline = Instant::now() + self.policy.deposit_timeout;
+            let mut states: Vec<Option<LocalState>> = (0..k).map(|_| None).collect();
+            let mut drops: Vec<(usize, DropReason)> = Vec::new();
+            for id in 0..k {
+                let Some(conn) = conns[id].as_mut() else {
+                    continue;
+                };
+                let remaining = deposit_deadline
+                    .saturating_duration_since(Instant::now())
+                    .max(Duration::from_millis(1));
+                conn.set_read_timeout(remaining)?;
+                match conn.recv_current() {
+                    Ok(Msg::State(s)) if s.same_shape(&state_shape) => states[id] = Some(s),
+                    Ok(_) => drops.push((id, DropReason::Protocol)),
+                    Err(e) => drops.push((id, drop_reason(&e))),
                 }
             }
-            net.charge_allreduce(monitor.state_bytes());
+            apply_drops(&drops, step, &mut conns, &mut events, &mut epoch, &mut raw_retired);
+            let alive = alive_ids(&conns);
+            quorum(alive.len(), step)?;
+            for &id in &alive {
+                conns[id].as_ref().expect("alive").set_read_timeout(self.read_timeout)?;
+            }
 
-            // (2) Reduce in worker-id order + the decision.
-            let refs: Vec<&LocalState> = states
+            // Charge the state AllReduce at the surviving K′ and measure
+            // the deposits that were actually averaged.
+            ensure_net(&mut net, &mut charged_banked, alive.len());
+            net.charge_allreduce(monitor.state_bytes());
+            for &id in &alive {
+                let s = states[id].as_ref().expect("alive worker deposited");
+                let bytes = 4 + s.summary_slice().len() as u64 * 4;
+                measured_payload += mode.per_worker_bytes(bytes, alive.len());
+            }
+
+            // (2) Reduce over the survivor set in worker-id order + the
+            // decision.
+            let refs: Vec<&LocalState> = alive
                 .iter()
-                .map(|s| s.as_ref().expect("state deposited"))
+                .map(|&id| states[id].as_ref().expect("alive worker deposited"))
                 .collect();
             let avg = LocalState::average_refs(&refs);
             let estimate = monitor.estimate(&avg);
@@ -229,75 +543,135 @@ impl Coordinator {
             estimates.push(estimate);
             decisions.push(sync);
 
-            // (3) Broadcast the averaged state + decision.
+            // (3) Broadcast the averaged state + decision; a failed write
+            // is a drop, not a run abort.
             let mut payload = vec![sync as u8];
             payload.extend_from_slice(&encode_state(&avg));
-            Self::broadcast(&mut conns, FrameKind::AvgState, &payload)?;
+            let mut drops: Vec<(usize, DropReason)> = Vec::new();
+            for &id in &alive {
+                let conn = conns[id].as_mut().expect("alive");
+                if let Err(e) = conn.send_raw(epoch, FrameKind::AvgState, &payload) {
+                    drops.push((id, drop_reason(&e)));
+                }
+            }
+            apply_drops(&drops, step, &mut conns, &mut events, &mut epoch, &mut raw_retired);
+            let alive = alive_ids(&conns);
+            quorum(alive.len(), step)?;
 
             // (4) Conditional model AllReduce through the SimNetwork.
             if sync {
-                for (id, conn) in conns.iter_mut().enumerate() {
-                    let msg = conn.recv()?;
-                    measured_payload += mode.per_worker_bytes(msg.accounted_bytes(), k);
-                    match msg {
-                        Msg::Model(v) if v.len() == dim => model_bufs[id] = v,
-                        Msg::Model(v) => {
-                            return Err(NetError::Protocol(format!(
-                                "step {step}: worker {id} uploaded {} params, model has {dim}",
-                                v.len()
-                            )));
-                        }
-                        other => {
-                            return Err(NetError::Protocol(format!(
-                                "step {step}: expected model from worker {id}, got {}",
-                                other.kind_name()
-                            )));
-                        }
+                let mut models: Vec<Option<Vec<f32>>> = (0..k).map(|_| None).collect();
+                let mut drops: Vec<(usize, DropReason)> = Vec::new();
+                for &id in &alive {
+                    let conn = conns[id].as_mut().expect("alive");
+                    match conn.recv_current() {
+                        Ok(Msg::Model(v)) if v.len() == dim => models[id] = Some(v),
+                        Ok(_) => drops.push((id, DropReason::Protocol)),
+                        Err(e) => drops.push((id, drop_reason(&e))),
                     }
                 }
-                net.allreduce_mean(&mut model_bufs);
-                let payload = encode_vector(&model_bufs[0]);
-                Self::broadcast(&mut conns, FrameKind::AvgModel, &payload)?;
+                apply_drops(&drops, step, &mut conns, &mut events, &mut epoch, &mut raw_retired);
+                let alive = alive_ids(&conns);
+                quorum(alive.len(), step)?;
+
+                ensure_net(&mut net, &mut charged_banked, alive.len());
+                let mut bufs: Vec<Vec<f32>> = alive
+                    .iter()
+                    .map(|&id| models[id].take().expect("alive worker uploaded"))
+                    .collect();
+                net.allreduce_mean(&mut bufs);
+                for _ in &alive {
+                    measured_payload += mode.per_worker_bytes(dim as u64 * 4, alive.len());
+                }
+
+                let payload = encode_vector(&bufs[0]);
+                let mut drops: Vec<(usize, DropReason)> = Vec::new();
+                for &id in &alive {
+                    let conn = conns[id].as_mut().expect("alive");
+                    if let Err(e) = conn.send_raw(epoch, FrameKind::AvgModel, &payload) {
+                        drops.push((id, drop_reason(&e)));
+                    }
+                }
+                apply_drops(&drops, step, &mut conns, &mut events, &mut epoch, &mut raw_retired);
+                quorum(alive_ids(&conns).len(), step)?;
+
+                // The versioned handoff advances with the consensus.
+                resume_prev = Some(std::mem::replace(&mut resume_model, bufs.swap_remove(0)));
                 syncs += 1;
             }
         }
 
         // Final collection (uncharged, like `Cluster::average_params`).
-        let mut worker_params: Vec<Vec<f32>> = Vec::with_capacity(k);
-        for (id, conn) in conns.iter_mut().enumerate() {
-            match conn.recv()? {
-                Msg::FinalModel(v) if v.len() == dim => worker_params.push(v),
-                Msg::FinalModel(v) => {
-                    return Err(NetError::Protocol(format!(
-                        "worker {id} final model has {} params, expected {dim}",
-                        v.len()
-                    )));
+        let alive = alive_ids(&conns);
+        let mut survivors: Vec<u32> = Vec::with_capacity(alive.len());
+        let mut worker_params: Vec<Vec<f32>> = Vec::with_capacity(alive.len());
+        let mut drops: Vec<(usize, DropReason)> = Vec::new();
+        for &id in &alive {
+            let conn = conns[id].as_mut().expect("alive");
+            match conn.recv_current() {
+                Ok(Msg::FinalModel(v)) if v.len() == dim => {
+                    survivors.push(id as u32);
+                    worker_params.push(v);
                 }
-                other => {
-                    return Err(NetError::Protocol(format!(
-                        "expected final model from worker {id}, got {}",
-                        other.kind_name()
-                    )));
-                }
+                Ok(_) => drops.push((id, DropReason::Protocol)),
+                Err(e) => drops.push((id, drop_reason(&e))),
             }
         }
-        Self::broadcast(&mut conns, FrameKind::Shutdown, &[])?;
-        for conn in &mut conns {
+        apply_drops(
+            &drops,
+            spec.steps,
+            &mut conns,
+            &mut events,
+            &mut epoch,
+            &mut raw_retired,
+        );
+        quorum(survivors.len(), spec.steps)?;
+        for conn in conns.iter_mut().flatten() {
+            conn.send_raw(epoch, FrameKind::Shutdown, &[])?;
             conn.stream.flush()?;
         }
 
         let refs: Vec<&[f32]> = worker_params.iter().map(|p| p.as_slice()).collect();
         let final_params = vector::mean(&refs);
+        let live_tx: u64 = conns.iter().flatten().map(|c| c.stream.tx_bytes()).sum();
+        let live_rx: u64 = conns.iter().flatten().map(|c| c.stream.rx_bytes()).sum();
+        let parked_tx: u64 = pending.iter().map(|(_, c)| c.stream.tx_bytes()).sum();
+        let parked_rx: u64 = pending.iter().map(|(_, c)| c.stream.rx_bytes()).sum();
         Ok(NetReport {
             syncs,
             decisions,
             estimates,
-            charged_bytes: net.total_bytes(),
+            charged_bytes: charged_banked + net.total_bytes(),
             measured_payload_bytes: measured_payload,
-            raw_tx_bytes: conns.iter().map(|c| c.stream.tx_bytes()).sum(),
-            raw_rx_bytes: conns.iter().map(|c| c.stream.rx_bytes()).sum(),
+            raw_tx_bytes: raw_retired.0 + live_tx + parked_tx,
+            raw_rx_bytes: raw_retired.1 + live_rx + parked_rx,
             worker_params,
             final_params,
+            survivors,
+            events,
         })
+    }
+}
+
+/// Encodes the `Resume` handoff without cloning the model vectors into a
+/// `Msg`.
+fn resume_msg(round: u32, model: &[f32], prev: &Option<Vec<f32>>) -> (FrameKind, Vec<u8>) {
+    let mut p = Vec::with_capacity(9 + model.len() * 4);
+    p.extend_from_slice(&round.to_le_bytes());
+    p.push(prev.is_some() as u8);
+    p.extend_from_slice(&encode_vector(model));
+    if let Some(prev) = prev {
+        p.extend_from_slice(&encode_vector(prev));
+    }
+    (FrameKind::Resume, p)
+}
+
+/// Rebuilds the charged fabric when the live worker count changes, banking
+/// the finished era's charges. A fault-free run never rebuilds, so its
+/// charged counters are the simulator's, untouched.
+fn ensure_net(net: &mut SimNetwork, banked: &mut u64, k: usize) {
+    if net.workers() != k {
+        *banked += net.total_bytes();
+        *net = SimNetwork::new(k);
     }
 }

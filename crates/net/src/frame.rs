@@ -1,24 +1,38 @@
-//! Length-prefixed frame protocol over a byte stream.
+//! Length-prefixed, checksummed, epoch-stamped frame protocol.
 //!
 //! Every message on an `fda_net` connection is one frame:
 //!
 //! ```text
-//! [ len: u32 ] [ kind: u8 ] [ payload: (len − 1) bytes ]
+//! [ len: u32 ] [ epoch: u32 ] [ crc: u32 ] [ kind: u8 ] [ payload: (len − 1) bytes ]
 //! ```
 //!
 //! `len` counts the kind byte plus the payload (little endian, like all of
 //! `fda_core::wire`), so a reader always knows exactly how many bytes to
 //! pull off the socket before touching a decoder. Frame payloads are the
 //! `fda_core::wire` encodings — the frame layer adds transport concerns
-//! only: typing, length, and a size cap so a corrupt or hostile length
-//! header cannot make the receiver allocate unboundedly.
+//! only:
+//!
+//! * **typing and length** — plus a size cap so a corrupt or hostile
+//!   length header cannot make the receiver allocate unboundedly;
+//! * **integrity** — `crc` is an FNV-1a checksum over
+//!   `[epoch][kind][payload]`, so a bit-flipped frame becomes a clean
+//!   per-connection protocol error instead of a silently-wrong decode (the
+//!   `len` field is the only unchecksummed region, and a corrupted length
+//!   desynchronizes the stream into a checksum or I/O error anyway);
+//! * **membership versioning** — `epoch` is the coordinator's membership
+//!   epoch (bumped on every worker drop or rejoin), so a stale deposit
+//!   from a zombie connection is rejected instead of averaged (see
+//!   `protocol::recv_at_epoch` and the coordinator's failure model).
 
 use fda_core::wire::DecodeError;
 use std::io::{Read, Write};
 
 /// Protocol version exchanged in the hello handshake. Bump on any frame
 /// or payload layout change.
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// v2: checksummed + epoch-stamped frame headers, extended hello
+/// (`last_epoch`), and the `Resume` handoff frame.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Upper bound on one frame's `len` field (kind byte + payload).
 ///
@@ -27,11 +41,27 @@ pub const PROTOCOL_VERSION: u16 = 1;
 /// corrupted length header from looking like a 4 GiB allocation request.
 pub const MAX_FRAME_BYTES: u32 = 256 << 20;
 
+/// FNV-1a 32-bit hash — the frame checksum. Dependency-free, one
+/// multiply per byte, and more than strong enough to turn random
+/// corruption into a detected protocol error (it is an integrity check
+/// against faults, not an authenticator against adversaries).
+pub fn fnv1a_32(chunks: &[&[u8]]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for chunk in chunks {
+        for &b in *chunk {
+            h ^= b as u32;
+            h = h.wrapping_mul(0x0100_0193);
+        }
+    }
+    h
+}
+
 /// Frame types of the coordinator/worker protocol, in handshake order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
 pub enum FrameKind {
-    /// Worker → coordinator: protocol version + worker id.
+    /// Worker → coordinator: protocol version + worker id + last-seen
+    /// membership epoch (0 on a fresh join).
     Hello = 1,
     /// Coordinator → worker: the job config (`wire::encode_job`).
     Config = 2,
@@ -50,6 +80,10 @@ pub enum FrameKind {
     FinalModel = 7,
     /// Coordinator → worker: run complete, close the connection.
     Shutdown = 8,
+    /// Coordinator → worker: versioned state handoff on (re)join — the
+    /// round to resume from, the consensus model, and (when a sync has
+    /// happened) the previous consensus for monitor reconstruction.
+    Resume = 9,
 }
 
 impl FrameKind {
@@ -63,29 +97,86 @@ impl FrameKind {
             6 => Some(FrameKind::AvgModel),
             7 => Some(FrameKind::FinalModel),
             8 => Some(FrameKind::Shutdown),
+            9 => Some(FrameKind::Resume),
             _ => None,
         }
     }
 }
 
-/// Errors of the socket transport.
+/// Errors of the socket transport, split by what the retry policy and the
+/// coordinator's drop accounting need to distinguish.
 #[derive(Debug)]
 pub enum NetError {
-    /// Underlying socket error (includes read timeouts — the hang guard).
+    /// Underlying socket error that is neither a timeout nor a peer
+    /// disappearance (address in use, permission, …).
     Io(std::io::Error),
+    /// A read or write exceeded its liveness deadline — the peer is slow
+    /// or stalled, not (yet) known dead. Retryable.
+    Timeout(std::io::Error),
+    /// The peer went away: EOF, connection reset, broken pipe. Retryable
+    /// via the reconnect path.
+    Disconnect(std::io::Error),
     /// A frame payload failed to decode.
     Decode(DecodeError),
     /// The peer violated the protocol (wrong frame kind, bad handshake,
-    /// oversized frame, …).
+    /// oversized frame, checksum mismatch, epoch from the future, …).
+    /// Not retryable on the same connection.
     Protocol(String),
+    /// The coordinator's live membership fell below the configured
+    /// quorum — the typed abort of an unsurvivable run.
+    Quorum {
+        /// Round at which the quorum was lost.
+        round: u32,
+        /// Workers still alive.
+        alive: usize,
+        /// The configured `min_workers` floor.
+        min_workers: usize,
+    },
+}
+
+impl NetError {
+    /// Classifies a raw I/O error into [`NetError::Timeout`],
+    /// [`NetError::Disconnect`], or [`NetError::Io`].
+    pub fn from_io(e: std::io::Error) -> NetError {
+        use std::io::ErrorKind as K;
+        match e.kind() {
+            K::TimedOut | K::WouldBlock => NetError::Timeout(e),
+            K::UnexpectedEof
+            | K::ConnectionReset
+            | K::ConnectionAborted
+            | K::BrokenPipe
+            | K::NotConnected => NetError::Disconnect(e),
+            _ => NetError::Io(e),
+        }
+    }
+
+    /// Whether a worker's rejoin policy may retry after this error
+    /// (timeouts and disconnects — a protocol violation or decode failure
+    /// on our own stream would just repeat).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            NetError::Timeout(_) | NetError::Disconnect(_) | NetError::Io(_)
+        )
+    }
 }
 
 impl std::fmt::Display for NetError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             NetError::Io(e) => write!(f, "net io error: {e}"),
+            NetError::Timeout(e) => write!(f, "net timeout: {e}"),
+            NetError::Disconnect(e) => write!(f, "net disconnect: {e}"),
             NetError::Decode(e) => write!(f, "net decode error: {e}"),
             NetError::Protocol(what) => write!(f, "net protocol error: {what}"),
+            NetError::Quorum {
+                round,
+                alive,
+                min_workers,
+            } => write!(
+                f,
+                "quorum lost at round {round}: {alive} workers alive, need {min_workers}"
+            ),
         }
     }
 }
@@ -94,7 +185,7 @@ impl std::error::Error for NetError {}
 
 impl From<std::io::Error> for NetError {
     fn from(e: std::io::Error) -> NetError {
-        NetError::Io(e)
+        NetError::from_io(e)
     }
 }
 
@@ -159,45 +250,76 @@ impl<S: Write> Write for CountingStream<S> {
     }
 }
 
-/// Writes one frame as a single `write_all` (header and payload composed
-/// first, so small frames cost one syscall and never interleave).
+/// Composes one frame's full byte image — header, checksum, kind and
+/// payload. Exposed (besides [`write_frame`]) so the fault-injection layer
+/// can corrupt or truncate a *realistic* frame before it hits the socket.
 ///
 /// # Panics
 /// Panics if the payload exceeds [`MAX_FRAME_BYTES`] — a sender-side bug,
 /// not a peer-controlled condition.
-pub fn write_frame<W: Write>(w: &mut W, kind: FrameKind, payload: &[u8]) -> Result<(), NetError> {
+pub fn encode_frame(epoch: u32, kind: FrameKind, payload: &[u8]) -> Vec<u8> {
     let len = payload
         .len()
         .checked_add(1)
         .filter(|&l| l <= MAX_FRAME_BYTES as usize)
         .expect("frame payload exceeds MAX_FRAME_BYTES");
-    let mut buf = Vec::with_capacity(4 + len);
+    let epoch_bytes = epoch.to_le_bytes();
+    let crc = fnv1a_32(&[&epoch_bytes, &[kind as u8], payload]);
+    let mut buf = Vec::with_capacity(12 + len);
     buf.extend_from_slice(&(len as u32).to_le_bytes());
+    buf.extend_from_slice(&epoch_bytes);
+    buf.extend_from_slice(&crc.to_le_bytes());
     buf.push(kind as u8);
     buf.extend_from_slice(payload);
+    buf
+}
+
+/// Writes one frame as a single `write_all` (header and payload composed
+/// first, so small frames cost one syscall and never interleave).
+///
+/// # Panics
+/// Panics if the payload exceeds [`MAX_FRAME_BYTES`].
+pub fn write_frame<W: Write>(
+    w: &mut W,
+    epoch: u32,
+    kind: FrameKind,
+    payload: &[u8],
+) -> Result<(), NetError> {
+    let buf = encode_frame(epoch, kind, payload);
     w.write_all(&buf)?;
     w.flush()?;
     Ok(())
 }
 
 /// Reads one frame, validating the length header against
-/// [`MAX_FRAME_BYTES`] before allocating the payload buffer.
-pub fn read_frame<R: Read>(r: &mut R) -> Result<(FrameKind, Vec<u8>), NetError> {
-    let mut header = [0u8; 4];
+/// [`MAX_FRAME_BYTES`] before allocating the payload buffer and verifying
+/// the checksum before handing the payload to any decoder. Returns the
+/// frame's kind, its membership epoch stamp, and the payload.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<(FrameKind, u32, Vec<u8>), NetError> {
+    let mut header = [0u8; 12];
     r.read_exact(&mut header)?;
-    let len = u32::from_le_bytes(header);
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("len 4"));
+    let epoch_bytes: [u8; 4] = header[4..8].try_into().expect("len 4");
+    let epoch = u32::from_le_bytes(epoch_bytes);
+    let crc = u32::from_le_bytes(header[8..12].try_into().expect("len 4"));
     if len == 0 || len > MAX_FRAME_BYTES {
         return Err(NetError::Protocol(format!(
             "frame length {len} outside (0, {MAX_FRAME_BYTES}]"
         )));
     }
-    let mut kind_byte = [0u8; 1];
-    r.read_exact(&mut kind_byte)?;
-    let kind = FrameKind::from_u8(kind_byte[0])
-        .ok_or_else(|| NetError::Protocol(format!("unknown frame kind {}", kind_byte[0])))?;
-    let mut payload = vec![0u8; len as usize - 1];
-    r.read_exact(&mut payload)?;
-    Ok((kind, payload))
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    let (kind_byte, payload) = body.split_first().expect("len >= 1");
+    let actual = fnv1a_32(&[&epoch_bytes, &[*kind_byte], payload]);
+    if actual != crc {
+        return Err(NetError::Protocol(format!(
+            "frame checksum mismatch (declared {crc:#010x}, computed {actual:#010x})"
+        )));
+    }
+    let kind = FrameKind::from_u8(*kind_byte)
+        .ok_or_else(|| NetError::Protocol(format!("unknown frame kind {kind_byte}")))?;
+    let payload = payload.to_vec();
+    Ok((kind, epoch, payload))
 }
 
 #[cfg(test)]
@@ -207,24 +329,29 @@ mod tests {
     #[test]
     fn frame_roundtrip_through_a_pipe() {
         let mut buf: Vec<u8> = Vec::new();
-        write_frame(&mut buf, FrameKind::State, &[1, 2, 3]).unwrap();
-        write_frame(&mut buf, FrameKind::Shutdown, &[]).unwrap();
+        write_frame(&mut buf, 3, FrameKind::State, &[1, 2, 3]).unwrap();
+        write_frame(&mut buf, 7, FrameKind::Shutdown, &[]).unwrap();
         let mut cursor = std::io::Cursor::new(buf);
-        let (k1, p1) = read_frame(&mut cursor).unwrap();
-        assert_eq!((k1, p1.as_slice()), (FrameKind::State, &[1u8, 2, 3][..]));
-        let (k2, p2) = read_frame(&mut cursor).unwrap();
-        assert_eq!((k2, p2.len()), (FrameKind::Shutdown, 0));
+        let (k1, e1, p1) = read_frame(&mut cursor).unwrap();
+        assert_eq!(
+            (k1, e1, p1.as_slice()),
+            (FrameKind::State, 3, &[1u8, 2, 3][..])
+        );
+        let (k2, e2, p2) = read_frame(&mut cursor).unwrap();
+        assert_eq!((k2, e2, p2.len()), (FrameKind::Shutdown, 7, 0));
     }
 
     #[test]
     fn oversized_and_zero_length_headers_rejected() {
         let mut buf = (MAX_FRAME_BYTES + 1).to_le_bytes().to_vec();
+        buf.extend_from_slice(&[0u8; 8]);
         buf.push(1);
         assert!(matches!(
             read_frame(&mut std::io::Cursor::new(buf)),
             Err(NetError::Protocol(_))
         ));
-        let zero = 0u32.to_le_bytes().to_vec();
+        let mut zero = 0u32.to_le_bytes().to_vec();
+        zero.extend_from_slice(&[0u8; 8]);
         assert!(matches!(
             read_frame(&mut std::io::Cursor::new(zero)),
             Err(NetError::Protocol(_))
@@ -233,7 +360,13 @@ mod tests {
 
     #[test]
     fn unknown_kind_rejected() {
+        // Compose a frame with a valid checksum but an unassigned kind
+        // byte: the checksum passes, the kind dispatch must still reject.
+        let epoch = 5u32.to_le_bytes();
+        let crc = fnv1a_32(&[&epoch, &[250u8]]);
         let mut buf = 1u32.to_le_bytes().to_vec();
+        buf.extend_from_slice(&epoch);
+        buf.extend_from_slice(&crc.to_le_bytes());
         buf.push(250);
         assert!(matches!(
             read_frame(&mut std::io::Cursor::new(buf)),
@@ -242,14 +375,78 @@ mod tests {
     }
 
     #[test]
-    fn truncated_stream_is_io_error() {
+    fn truncated_stream_is_disconnect() {
         let mut buf: Vec<u8> = Vec::new();
-        write_frame(&mut buf, FrameKind::Model, &[0u8; 64]).unwrap();
+        write_frame(&mut buf, 1, FrameKind::Model, &[0u8; 64]).unwrap();
         buf.truncate(20);
         assert!(matches!(
             read_frame(&mut std::io::Cursor::new(buf)),
-            Err(NetError::Io(_))
+            Err(NetError::Disconnect(_))
         ));
+    }
+
+    /// The bit-flip regression: every single-bit corruption of the frame
+    /// image past the length field must surface as a clean error (checksum
+    /// mismatch or unknown kind), never as a silently different decode.
+    #[test]
+    fn every_bit_flip_past_len_is_detected() {
+        let frame = encode_frame(42, FrameKind::State, &[9, 8, 7, 6, 5]);
+        for byte in 4..frame.len() {
+            for bit in 0..8 {
+                let mut corrupt = frame.clone();
+                corrupt[byte] ^= 1 << bit;
+                let res = read_frame(&mut std::io::Cursor::new(corrupt));
+                assert!(
+                    matches!(res, Err(NetError::Protocol(_))),
+                    "flip of byte {byte} bit {bit} was not detected"
+                );
+            }
+        }
+    }
+
+    /// Length-field corruption desynchronizes the stream: it must fail
+    /// (checksum, bounds, or I/O) — the property is totality, not which
+    /// error.
+    #[test]
+    fn len_field_bit_flips_never_decode() {
+        let frame = encode_frame(1, FrameKind::AvgState, &[1; 40]);
+        for byte in 0..4 {
+            for bit in 0..8 {
+                let mut corrupt = frame.clone();
+                corrupt[byte] ^= 1 << bit;
+                assert!(
+                    read_frame(&mut std::io::Cursor::new(corrupt)).is_err(),
+                    "len flip byte {byte} bit {bit} decoded"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn io_error_classification() {
+        use std::io::{Error, ErrorKind};
+        assert!(matches!(
+            NetError::from_io(Error::new(ErrorKind::TimedOut, "t")),
+            NetError::Timeout(_)
+        ));
+        assert!(matches!(
+            NetError::from_io(Error::new(ErrorKind::WouldBlock, "t")),
+            NetError::Timeout(_)
+        ));
+        assert!(matches!(
+            NetError::from_io(Error::new(ErrorKind::ConnectionReset, "r")),
+            NetError::Disconnect(_)
+        ));
+        assert!(matches!(
+            NetError::from_io(Error::new(ErrorKind::UnexpectedEof, "e")),
+            NetError::Disconnect(_)
+        ));
+        assert!(matches!(
+            NetError::from_io(Error::new(ErrorKind::AddrInUse, "a")),
+            NetError::Io(_)
+        ));
+        assert!(NetError::from_io(Error::new(ErrorKind::TimedOut, "t")).is_retryable());
+        assert!(!NetError::Protocol("x".into()).is_retryable());
     }
 
     #[test]
@@ -261,5 +458,13 @@ mod tests {
         cs.read_exact(&mut sink).unwrap();
         assert_eq!(cs.tx_bytes(), 3);
         assert_eq!(cs.rx_bytes(), 5);
+    }
+
+    #[test]
+    fn fnv1a_chunking_is_concatenation() {
+        let whole = fnv1a_32(&[b"abcdef"]);
+        let chunked = fnv1a_32(&[b"ab", b"cd", b"ef"]);
+        assert_eq!(whole, chunked);
+        assert_ne!(fnv1a_32(&[b"abcdef"]), fnv1a_32(&[b"abcdeg"]));
     }
 }

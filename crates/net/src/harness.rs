@@ -1,6 +1,6 @@
 //! Run harnesses: whole FDA jobs over loopback TCP.
 //!
-//! Two drivers around the same [`Coordinator`]:
+//! Drivers around the same [`Coordinator`]:
 //!
 //! * [`run_with_thread_workers`] — workers are threads of the calling
 //!   process, each speaking real TCP to the coordinator over loopback.
@@ -10,10 +10,17 @@
 //!   from an `fda_node` binary; the multi-process deployment the paper's
 //!   byte accounting is ultimately about. Child processes are killed if
 //!   the coordinator fails, so a wedged worker cannot leak past the run.
+//! * [`run_chaos_with_thread_workers`] / [`run_chaos_with_spawned_workers`]
+//!   — the same two drivers under a scripted [`FaultPlan`]: scripted
+//!   deaths are *expected* (the thread variant returns every worker's
+//!   individual result; the spawned variant accepts any exit status from
+//!   a worker the plan targets), and the coordinator result is returned
+//!   even when it is a typed failure like [`NetError::Quorum`].
 
-use crate::coordinator::{Coordinator, NetReport};
+use crate::coordinator::{Coordinator, NetReport, RoundPolicy};
+use crate::fault::{FaultPlan, RejoinPolicy};
 use crate::frame::NetError;
-use crate::worker::NetWorker;
+use crate::worker::{run_worker, WorkerOptions, WorkerOutcome};
 use fda_core::wire::JobSpec;
 use std::path::Path;
 use std::process::{Child, Command, Stdio};
@@ -38,9 +45,11 @@ pub fn run_with_thread_workers(spec: &JobSpec) -> Result<NetReport, NetError> {
         let handles: Vec<_> = (0..k)
             .map(|id| {
                 scope.spawn(move || -> Result<(), NetError> {
-                    NetWorker::connect(addr, id as u32, CONNECT_TIMEOUT)?
-                        .run()
-                        .map(|_| ())
+                    let opts = WorkerOptions {
+                        connect_timeout: CONNECT_TIMEOUT,
+                        ..WorkerOptions::default()
+                    };
+                    run_worker(addr, id as u32, &opts).map(|_| ())
                 })
             })
             .collect();
@@ -58,6 +67,69 @@ pub fn run_with_thread_workers(spec: &JobSpec) -> Result<NetReport, NetError> {
     })
 }
 
+/// Runs `spec` with thread workers under a scripted fault plan.
+///
+/// Returns the coordinator's result **and** every worker's individual
+/// result, because under chaos both sides' endings are assertions: a
+/// worker may legitimately finish [`WorkerOutcome::Faulted`] or with a
+/// disconnect error while the coordinator completes with K′ survivors —
+/// or the coordinator may abort with [`NetError::Quorum`] while workers
+/// ran fine. `io_timeout` bounds every socket wait so an injected hang
+/// converts to a timeout instead of wedging the scope join.
+///
+/// # Panics
+/// Panics if a worker thread panics.
+pub fn run_chaos_with_thread_workers(
+    spec: &JobSpec,
+    plan: &FaultPlan,
+    policy: RoundPolicy,
+    rejoin: Option<RejoinPolicy>,
+    io_timeout: Duration,
+) -> (
+    Result<NetReport, NetError>,
+    Vec<Result<WorkerOutcome, NetError>>,
+) {
+    let mut coordinator = match Coordinator::bind("127.0.0.1:0") {
+        Ok(c) => c,
+        Err(e) => return (Err(e), Vec::new()),
+    };
+    let addr = match coordinator.local_addr() {
+        Ok(a) => a,
+        Err(e) => return (Err(e), Vec::new()),
+    };
+    coordinator.set_timeouts(CONNECT_TIMEOUT, io_timeout);
+    coordinator.set_policy(policy);
+    let k = spec.cluster.workers;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..k)
+            .map(|id| {
+                let faults = plan.faults_for(id as u32);
+                scope.spawn(move || {
+                    let opts = WorkerOptions {
+                        connect_timeout: Duration::from_secs(5),
+                        io_timeout,
+                        rejoin,
+                        faults,
+                        exit_process_on_fault: false,
+                        backoff_seed: 0x0DDB_A11 ^ id as u64,
+                    };
+                    run_worker(addr, id as u32, &opts)
+                })
+            })
+            .collect();
+        let report = coordinator.run(spec);
+        // Unbind the listener before joining: a worker still retrying a
+        // rejoin gets connection-refused promptly instead of parking on a
+        // dead rendezvous until its io timeout.
+        drop(coordinator);
+        let worker_results = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect();
+        (report, worker_results)
+    })
+}
+
 /// Kills still-running children on drop, so a failed run cannot leak
 /// worker processes.
 struct ReapGuard {
@@ -67,8 +139,11 @@ struct ReapGuard {
 impl ReapGuard {
     /// Waits for every child to exit, killing laggards after
     /// [`REAP_TIMEOUT`]. Returns an error naming the first child that
-    /// exited unsuccessfully.
-    fn reap(mut self) -> Result<(), NetError> {
+    /// exited unsuccessfully, unless `fault_expected` marks it as a
+    /// scripted casualty (any exit status accepted — a scripted death may
+    /// surface as [`crate::fault::FAULT_EXIT_CODE`] or as a nonzero error
+    /// exit, depending on where the fault cut the protocol).
+    fn reap(mut self, fault_expected: &[bool]) -> Result<(), NetError> {
         let deadline = Instant::now() + REAP_TIMEOUT;
         for (id, child) in self.children.iter_mut().enumerate() {
             let status = loop {
@@ -84,7 +159,7 @@ impl ReapGuard {
                     Err(e) => return Err(NetError::Io(e)),
                 }
             };
-            if !status.success() {
+            if !status.success() && !fault_expected.get(id).copied().unwrap_or(false) {
                 // Return without clearing: `Drop` still kills the
                 // remaining (possibly wedged) siblings.
                 return Err(NetError::Protocol(format!(
@@ -106,6 +181,32 @@ impl Drop for ReapGuard {
     }
 }
 
+fn spawn_workers(
+    spec: &JobSpec,
+    node_bin: &Path,
+    addr: &str,
+    plan: &FaultPlan,
+) -> Result<ReapGuard, NetError> {
+    let mut guard = ReapGuard {
+        children: Vec::new(),
+    };
+    for id in 0..spec.cluster.workers {
+        let child = Command::new(node_bin)
+            .arg("worker")
+            .arg("--connect")
+            .arg(addr)
+            .arg("--id")
+            .arg(id.to_string())
+            .args(plan.worker_args(id as u32))
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn()?;
+        guard.children.push(child);
+    }
+    Ok(guard)
+}
+
 /// Runs `spec` with `K` spawned `fda_node` worker processes.
 ///
 /// `node_bin` must be a binary accepting
@@ -114,25 +215,37 @@ impl Drop for ReapGuard {
 pub fn run_with_spawned_workers(spec: &JobSpec, node_bin: &Path) -> Result<NetReport, NetError> {
     let coordinator = Coordinator::bind("127.0.0.1:0")?;
     let addr = coordinator.local_addr()?;
-    let mut guard = ReapGuard {
-        children: Vec::new(),
-    };
-    for id in 0..spec.cluster.workers {
-        let child = Command::new(node_bin)
-            .arg("worker")
-            .arg("--connect")
-            .arg(addr.to_string())
-            .arg("--id")
-            .arg(id.to_string())
-            .stdin(Stdio::null())
-            .stdout(Stdio::null())
-            .stderr(Stdio::inherit())
-            .spawn()?;
-        guard.children.push(child);
-    }
+    let guard = spawn_workers(spec, node_bin, &addr.to_string(), &FaultPlan::new())?;
     let report = coordinator.run(spec)?;
-    guard.reap()?;
+    guard.reap(&vec![false; spec.cluster.workers])?;
     Ok(report)
+}
+
+/// Runs `spec` with spawned worker processes under a scripted fault plan:
+/// the multi-process chaos driver. Workers the plan targets are passed
+/// their `--fault` scripts on the command line and may exit with any
+/// status; untargeted workers must still exit cleanly. The coordinator's
+/// result is returned as-is — a typed [`NetError::Quorum`] is a valid,
+/// asserted-on ending.
+pub fn run_chaos_with_spawned_workers(
+    spec: &JobSpec,
+    node_bin: &Path,
+    plan: &FaultPlan,
+    policy: RoundPolicy,
+    io_timeout: Duration,
+) -> Result<NetReport, NetError> {
+    let mut coordinator = Coordinator::bind("127.0.0.1:0")?;
+    let addr = coordinator.local_addr()?;
+    coordinator.set_timeouts(CONNECT_TIMEOUT, io_timeout);
+    coordinator.set_policy(policy);
+    let guard = spawn_workers(spec, node_bin, &addr.to_string(), plan)?;
+    let report = coordinator.run(spec);
+    drop(coordinator);
+    let fault_expected: Vec<bool> = (0..spec.cluster.workers)
+        .map(|id| plan.has_fault(id as u32) || report.is_err())
+        .collect();
+    guard.reap(&fault_expected)?;
+    report
 }
 
 #[cfg(test)]
@@ -194,6 +307,9 @@ mod tests {
         );
         // Framing + control plane exist but are small.
         assert!(report.raw_rx_bytes > report.measured_payload_bytes);
+        // A fault-free run keeps everyone: K joins, zero drops.
+        assert_eq!(report.survivors, vec![0, 1]);
+        assert_eq!(report.events.len(), 2);
     }
 
     /// K = 1 degenerate cluster: runs, charges nothing (the accounting

@@ -27,26 +27,46 @@
 //!    counters additionally expose the (small) framing overhead the
 //!    paper's convention ignores.
 //!
+//! A third property arrived with the failure layer: **churn survival**.
+//! Rounds have a deposit deadline and a `min_workers` quorum; a worker
+//! that times out, disconnects or corrupts a frame is dropped from the
+//! round (the id-order reduce runs over the survivors), dropped workers
+//! can rejoin through a versioned `Resume` handoff, every frame carries a
+//! membership epoch so zombie deposits are rejected, and the whole thing
+//! is driven by a seeded, replayable [`fault::FaultPlan`]
+//! (`tests/net_faults.rs` at the workspace root; DESIGN.md § "Failure
+//! model").
+//!
 //! ## Layout
 //!
-//! * [`frame`] — length-prefixed, size-capped frame protocol and byte
-//!   counters.
-//! * [`protocol`] — typed messages (hello/config/state/decision/model/
-//!   shutdown) with `fda_core::wire` payloads.
+//! * [`frame`] — length-prefixed, checksummed, epoch-stamped frame
+//!   protocol and byte counters.
+//! * [`protocol`] — typed messages (hello/config/resume/state/decision/
+//!   model/shutdown) with `fda_core::wire` payloads and the stale-epoch
+//!   receive filter.
 //! * [`coordinator`] — the deposit → id-order reduce → broadcast
-//!   rendezvous.
+//!   rendezvous, with per-round drop/quorum/rejoin handling.
 //! * [`worker`] — the per-process worker loop over the simulator's own
-//!   `Worker::step_once`.
-//! * [`harness`] — thread-worker and spawned-process run drivers.
+//!   `Worker::step_once`, with backoff reconnect and scripted faults.
+//! * [`fault`] — deterministic fault plans, backoff, rejoin policy.
+//! * [`harness`] — thread-worker and spawned-process run drivers, clean
+//!   and chaos variants.
 
 pub mod coordinator;
+pub mod fault;
 pub mod frame;
 pub mod harness;
 pub mod protocol;
 pub mod worker;
 
-pub use coordinator::{Coordinator, NetReport};
+pub use coordinator::{
+    Coordinator, DropReason, MemberEvent, MembershipEvent, NetReport, RoundPolicy,
+};
+pub use fault::{Backoff, FaultAction, FaultPlan, RejoinPolicy, FAULT_EXIT_CODE};
 pub use frame::{FrameKind, NetError, PROTOCOL_VERSION};
-pub use harness::{run_with_spawned_workers, run_with_thread_workers};
-pub use protocol::Msg;
-pub use worker::{NetWorker, WorkerSummary};
+pub use harness::{
+    run_chaos_with_spawned_workers, run_chaos_with_thread_workers, run_with_spawned_workers,
+    run_with_thread_workers,
+};
+pub use protocol::{recv_at_epoch, Msg, MAX_STALE_FRAMES};
+pub use worker::{run_worker, WorkerOptions, WorkerOutcome, WorkerSummary};

@@ -6,13 +6,27 @@
 //! which [`Msg::accounted_bytes`] deliberately excludes — the paper's
 //! convention charges payload floats, and sub-1% framing overhead is
 //! reported separately by the measured raw counters).
+//!
+//! Every frame carries the coordinator's **membership epoch** in its
+//! header. Senders stamp frames with the last epoch they were told;
+//! receivers validate with [`recv_at_epoch`], which *discards* frames from
+//! an older epoch (a zombie connection's in-flight deposit racing a drop/
+//! rejoin) instead of averaging them, and rejects frames claiming a future
+//! epoch as protocol violations.
 
 use crate::frame::{read_frame, write_frame, FrameKind, NetError, PROTOCOL_VERSION};
 use fda_core::monitor::LocalState;
 use fda_core::wire::{
-    decode_job, decode_state, decode_vector, encode_job, encode_state, encode_vector, JobSpec,
+    decode_job, decode_state, decode_vector, decode_vector_at, encode_job, encode_state,
+    encode_vector, JobSpec,
 };
 use std::io::{Read, Write};
+
+/// How many consecutive stale-epoch frames [`recv_at_epoch`] will discard
+/// on one connection before declaring the peer a protocol violator. A
+/// legitimate zombie has at most a handful of in-flight frames; an
+/// endless stale stream is a broken or hostile peer.
+pub const MAX_STALE_FRAMES: u32 = 8;
 
 /// One protocol message (see [`FrameKind`] for the direction of each).
 #[derive(Debug)]
@@ -23,6 +37,10 @@ pub enum Msg {
         version: u16,
         /// The worker's stable id in `0..K` — the reduction order key.
         worker_id: u32,
+        /// The membership epoch the worker last observed — 0 on a fresh
+        /// join, the last broadcast epoch on a reconnect (so the
+        /// coordinator can tell a rejoin from a restart).
+        last_epoch: u32,
     },
     /// Coordinator → worker: the job.
     Config(JobSpec),
@@ -30,7 +48,7 @@ pub enum Msg {
     State(LocalState),
     /// Coordinator → worker: the averaged state and the round's decision.
     AvgState {
-        /// `S̄_t`, averaged in worker-id order.
+        /// `S̄_t`, averaged in worker-id order over the round's survivors.
         state: LocalState,
         /// `H(S̄_t) > Θ` — whether a model AllReduce follows.
         sync: bool,
@@ -41,25 +59,39 @@ pub enum Msg {
     AvgModel(Vec<f32>),
     /// Worker → coordinator: final replica (uncharged evaluation traffic).
     FinalModel(Vec<f32>),
+    /// Coordinator → worker: the versioned state handoff sent on every
+    /// (re)join, right after [`Msg::Config`].
+    Resume {
+        /// The round the worker resumes at (0 at initial formation).
+        round: u32,
+        /// The consensus model — `w_0` before any sync, the last
+        /// AllReduced model after.
+        model: Vec<f32>,
+        /// The consensus model of the *previous* synchronization, when one
+        /// exists — what `LinearMonitor::on_sync` needs to reconstruct ξ
+        /// bit-identically to the workers that never left.
+        prev_model: Option<Vec<f32>>,
+    },
     /// Coordinator → worker: run complete.
     Shutdown,
 }
 
 impl Msg {
     /// Builds the handshake message for this library's protocol version.
-    pub fn hello(worker_id: u32) -> Msg {
+    pub fn hello(worker_id: u32, last_epoch: u32) -> Msg {
         Msg::Hello {
             version: PROTOCOL_VERSION,
             worker_id,
+            last_epoch,
         }
     }
 
     /// The bytes the paper's accounting convention charges for this
     /// message: the `f32` payload of data-plane messages (`‖u‖²` +
     /// summary for a state, the parameter vector for a model upload), and
-    /// zero for control-plane messages (handshake, config, broadcasts —
-    /// the convention counts bytes *transmitted by workers*) and for the
-    /// uncharged final-model evaluation collection.
+    /// zero for control-plane messages (handshake, config, resume,
+    /// broadcasts — the convention counts bytes *transmitted by workers*)
+    /// and for the uncharged final-model evaluation collection.
     pub fn accounted_bytes(&self) -> u64 {
         match self {
             Msg::State(s) => 4 + s.summary_slice().len() as u64 * 4,
@@ -68,13 +100,18 @@ impl Msg {
         }
     }
 
-    /// Writes this message as one frame.
-    pub fn send<W: Write>(&self, w: &mut W) -> Result<(), NetError> {
-        let (kind, payload) = match self {
-            Msg::Hello { version, worker_id } => {
-                let mut p = Vec::with_capacity(6);
+    /// Serializes this message's frame kind and payload.
+    pub fn encode(&self) -> (FrameKind, Vec<u8>) {
+        match self {
+            Msg::Hello {
+                version,
+                worker_id,
+                last_epoch,
+            } => {
+                let mut p = Vec::with_capacity(10);
                 p.extend_from_slice(&version.to_le_bytes());
                 p.extend_from_slice(&worker_id.to_le_bytes());
+                p.extend_from_slice(&last_epoch.to_le_bytes());
                 (FrameKind::Hello, p)
             }
             Msg::Config(job) => (FrameKind::Config, encode_job(job)),
@@ -87,29 +124,48 @@ impl Msg {
             Msg::Model(v) => (FrameKind::Model, encode_vector(v)),
             Msg::AvgModel(v) => (FrameKind::AvgModel, encode_vector(v)),
             Msg::FinalModel(v) => (FrameKind::FinalModel, encode_vector(v)),
+            Msg::Resume {
+                round,
+                model,
+                prev_model,
+            } => {
+                let mut p = Vec::with_capacity(9 + model.len() * 4);
+                p.extend_from_slice(&round.to_le_bytes());
+                p.push(prev_model.is_some() as u8);
+                p.extend_from_slice(&encode_vector(model));
+                if let Some(prev) = prev_model {
+                    p.extend_from_slice(&encode_vector(prev));
+                }
+                (FrameKind::Resume, p)
+            }
             Msg::Shutdown => (FrameKind::Shutdown, Vec::new()),
-        };
-        write_frame(w, kind, &payload)
+        }
     }
 
-    /// Reads the next message off the stream.
-    pub fn recv<R: Read>(r: &mut R) -> Result<Msg, NetError> {
-        let (kind, payload) = read_frame(r)?;
+    /// Writes this message as one frame stamped with `epoch`.
+    pub fn send<W: Write>(&self, w: &mut W, epoch: u32) -> Result<(), NetError> {
+        let (kind, payload) = self.encode();
+        write_frame(w, epoch, kind, &payload)
+    }
+
+    /// Decodes a message from a frame's kind + payload.
+    pub fn decode(kind: FrameKind, payload: &[u8]) -> Result<Msg, NetError> {
         Ok(match kind {
             FrameKind::Hello => {
-                if payload.len() != 6 {
+                if payload.len() != 10 {
                     return Err(NetError::Protocol(format!(
-                        "hello payload must be 6 bytes, got {}",
+                        "hello payload must be 10 bytes, got {}",
                         payload.len()
                     )));
                 }
                 Msg::Hello {
                     version: u16::from_le_bytes(payload[0..2].try_into().expect("len 2")),
                     worker_id: u32::from_le_bytes(payload[2..6].try_into().expect("len 4")),
+                    last_epoch: u32::from_le_bytes(payload[6..10].try_into().expect("len 4")),
                 }
             }
-            FrameKind::Config => Msg::Config(decode_job(&payload)?),
-            FrameKind::State => Msg::State(decode_state(&payload)?),
+            FrameKind::Config => Msg::Config(decode_job(payload)?),
+            FrameKind::State => Msg::State(decode_state(payload)?),
             FrameKind::AvgState => {
                 let (&sync_byte, state_bytes) = payload
                     .split_first()
@@ -126,9 +182,39 @@ impl Msg {
                     sync,
                 }
             }
-            FrameKind::Model => Msg::Model(decode_vector(&payload)?),
-            FrameKind::AvgModel => Msg::AvgModel(decode_vector(&payload)?),
-            FrameKind::FinalModel => Msg::FinalModel(decode_vector(&payload)?),
+            FrameKind::Model => Msg::Model(decode_vector(payload)?),
+            FrameKind::AvgModel => Msg::AvgModel(decode_vector(payload)?),
+            FrameKind::FinalModel => Msg::FinalModel(decode_vector(payload)?),
+            FrameKind::Resume => {
+                if payload.len() < 5 {
+                    return Err(NetError::Protocol("resume payload too short".to_string()));
+                }
+                let round = u32::from_le_bytes(payload[0..4].try_into().expect("len 4"));
+                let has_prev = match payload[4] {
+                    0 => false,
+                    1 => true,
+                    b => {
+                        return Err(NetError::Protocol(format!("bad resume prev flag {b}")));
+                    }
+                };
+                let mut off = 5usize;
+                let model = decode_vector_at(payload, &mut off)?;
+                let prev_model = if has_prev {
+                    Some(decode_vector_at(payload, &mut off)?)
+                } else {
+                    None
+                };
+                if off != payload.len() {
+                    return Err(NetError::Protocol(
+                        "trailing bytes after resume payload".to_string(),
+                    ));
+                }
+                Msg::Resume {
+                    round,
+                    model,
+                    prev_model,
+                }
+            }
             FrameKind::Shutdown => {
                 if !payload.is_empty() {
                     return Err(NetError::Protocol(
@@ -138,6 +224,13 @@ impl Msg {
                 Msg::Shutdown
             }
         })
+    }
+
+    /// Reads the next message off the stream, returning it with the epoch
+    /// its frame was stamped with.
+    pub fn recv<R: Read>(r: &mut R) -> Result<(Msg, u32), NetError> {
+        let (kind, epoch, payload) = read_frame(r)?;
+        Ok((Msg::decode(kind, &payload)?, epoch))
     }
 
     /// Short name for protocol-error messages.
@@ -150,7 +243,37 @@ impl Msg {
             Msg::Model(_) => "model",
             Msg::AvgModel(_) => "avg-model",
             Msg::FinalModel(_) => "final-model",
+            Msg::Resume { .. } => "resume",
             Msg::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// Receives the next message stamped with exactly `epoch`.
+///
+/// Frames from an **older** epoch are discarded (up to
+/// [`MAX_STALE_FRAMES`]): they are the in-flight deposits of a connection
+/// that raced a membership change — a zombie's state must be dropped, not
+/// averaged into `S̄`. A frame claiming a **future** epoch is a protocol
+/// violation (the coordinator is the only epoch authority).
+pub fn recv_at_epoch<R: Read>(r: &mut R, epoch: u32) -> Result<Msg, NetError> {
+    let mut stale = 0u32;
+    loop {
+        let (msg, frame_epoch) = Msg::recv(r)?;
+        if frame_epoch == epoch {
+            return Ok(msg);
+        }
+        if frame_epoch > epoch {
+            return Err(NetError::Protocol(format!(
+                "frame from future epoch {frame_epoch} (current {epoch})"
+            )));
+        }
+        stale += 1;
+        if stale > MAX_STALE_FRAMES {
+            return Err(NetError::Protocol(format!(
+                "more than {MAX_STALE_FRAMES} stale-epoch frames (last {frame_epoch}, \
+                 current {epoch})"
+            )));
         }
     }
 }
@@ -161,20 +284,29 @@ mod tests {
     use fda_core::monitor::{LinearMonitor, SketchMonitor, VarianceMonitor};
     use fda_sketch::SketchConfig;
 
-    fn roundtrip(msg: &Msg) -> Msg {
+    fn roundtrip(msg: &Msg) -> (Msg, u32) {
         let mut buf: Vec<u8> = Vec::new();
-        msg.send(&mut buf).unwrap();
+        msg.send(&mut buf, 11).unwrap();
         Msg::recv(&mut std::io::Cursor::new(buf)).unwrap()
     }
 
     #[test]
     fn hello_roundtrip() {
-        match roundtrip(&Msg::hello(3)) {
-            Msg::Hello { version, worker_id } => {
+        match roundtrip(&Msg::hello(3, 42)) {
+            (
+                Msg::Hello {
+                    version,
+                    worker_id,
+                    last_epoch,
+                },
+                epoch,
+            ) => {
                 assert_eq!(version, PROTOCOL_VERSION);
                 assert_eq!(worker_id, 3);
+                assert_eq!(last_epoch, 42);
+                assert_eq!(epoch, 11);
             }
-            other => panic!("wrong kind: {}", other.kind_name()),
+            (other, _) => panic!("wrong kind: {}", other.kind_name()),
         }
     }
 
@@ -186,19 +318,51 @@ mod tests {
             SketchMonitor::new(SketchConfig::new(3, 16, 5), drift.len()).local_state(&drift),
         ] {
             match roundtrip(&Msg::State(state.clone())) {
-                Msg::State(back) => assert_eq!(back, state),
-                other => panic!("wrong kind: {}", other.kind_name()),
+                (Msg::State(back), epoch) => {
+                    assert_eq!(back, state);
+                    assert_eq!(epoch, 11);
+                }
+                (other, _) => panic!("wrong kind: {}", other.kind_name()),
             }
             match roundtrip(&Msg::AvgState {
                 state: state.clone(),
                 sync: true,
             }) {
-                Msg::AvgState { state: back, sync } => {
+                (Msg::AvgState { state: back, sync }, _) => {
                     assert_eq!(back, state);
                     assert!(sync);
                 }
-                other => panic!("wrong kind: {}", other.kind_name()),
+                (other, _) => panic!("wrong kind: {}", other.kind_name()),
             }
+        }
+    }
+
+    #[test]
+    fn resume_roundtrip_with_and_without_prev() {
+        let model: Vec<f32> = (0..50).map(|i| i as f32 * 0.25).collect();
+        let prev: Vec<f32> = (0..50).map(|i| i as f32 * -0.5).collect();
+        for prev_model in [None, Some(prev.clone())] {
+            let msg = Msg::Resume {
+                round: 6,
+                model: model.clone(),
+                prev_model: prev_model.clone(),
+            };
+            match roundtrip(&msg) {
+                (
+                    Msg::Resume {
+                        round,
+                        model: m,
+                        prev_model: p,
+                    },
+                    _,
+                ) => {
+                    assert_eq!(round, 6);
+                    assert_eq!(m, model);
+                    assert_eq!(p, prev_model);
+                }
+                (other, _) => panic!("wrong kind: {}", other.kind_name()),
+            }
+            assert_eq!(msg.accounted_bytes(), 0, "resume is control plane");
         }
     }
 
@@ -208,8 +372,8 @@ mod tests {
         let msg = Msg::Model(v.clone());
         assert_eq!(msg.accounted_bytes(), 4000);
         match roundtrip(&msg) {
-            Msg::Model(back) => assert_eq!(back, v),
-            other => panic!("wrong kind: {}", other.kind_name()),
+            (Msg::Model(back), _) => assert_eq!(back, v),
+            (other, _) => panic!("wrong kind: {}", other.kind_name()),
         }
         // Control-plane and evaluation messages are never charged.
         assert_eq!(Msg::AvgModel(v.clone()).accounted_bytes(), 0);
@@ -232,5 +396,41 @@ mod tests {
             Msg::State(sk.local_state(&drift)).accounted_bytes(),
             sk.state_bytes()
         );
+    }
+
+    /// The zombie guard: stale-epoch frames are skipped, the current-epoch
+    /// frame behind them is delivered, future epochs and stale floods are
+    /// protocol errors.
+    #[test]
+    fn stale_epochs_skipped_future_rejected() {
+        let state = LinearMonitor::new().local_state(&[1.0, 2.0, 3.0]);
+        let mut buf: Vec<u8> = Vec::new();
+        Msg::State(state.clone()).send(&mut buf, 3).unwrap(); // stale
+        Msg::State(state.clone()).send(&mut buf, 4).unwrap(); // stale
+        Msg::Model(vec![9.0]).send(&mut buf, 5).unwrap(); // current
+        let mut cursor = std::io::Cursor::new(buf);
+        match recv_at_epoch(&mut cursor, 5).unwrap() {
+            Msg::Model(v) => assert_eq!(v, vec![9.0]),
+            other => panic!("wrong kind: {}", other.kind_name()),
+        }
+
+        // Future epoch → protocol violation.
+        let mut buf: Vec<u8> = Vec::new();
+        Msg::State(state.clone()).send(&mut buf, 9).unwrap();
+        assert!(matches!(
+            recv_at_epoch(&mut std::io::Cursor::new(buf), 5),
+            Err(NetError::Protocol(_))
+        ));
+
+        // A flood of stale frames → protocol violation, not an endless
+        // discard loop.
+        let mut buf: Vec<u8> = Vec::new();
+        for _ in 0..(MAX_STALE_FRAMES + 2) {
+            Msg::State(state.clone()).send(&mut buf, 1).unwrap();
+        }
+        assert!(matches!(
+            recv_at_epoch(&mut std::io::Cursor::new(buf), 5),
+            Err(NetError::Protocol(_))
+        ));
     }
 }

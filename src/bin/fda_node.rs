@@ -3,35 +3,48 @@
 //! Roles:
 //!
 //! * `fda_node worker --connect <addr> --id <k>` — join a coordinator as
-//!   worker `k`; the job config arrives over the socket.
+//!   worker `k`; the job config arrives over the socket. `--fault <spec>`
+//!   (repeatable; e.g. `kill@3`, `stall@2:500`, `flip@4:17`, `trunc@1:9`,
+//!   `exit@5`) injects scripted faults, `--rejoin <attempts>` enables
+//!   reconnect-with-resume after a lost session. A terminal scripted
+//!   fault exits with code 86 so harnesses can tell scripted deaths from
+//!   crashes.
 //! * `fda_node coordinator --workers <K> [options]` — bind, wait for `K`
 //!   externally started workers, run the job, print a JSON report.
 //! * `fda_node demo --workers <K> [options]` — coordinator that spawns its
 //!   own `K` worker processes from this binary (the one-command loopback
-//!   deployment; also what the parity suite drives).
+//!   deployment; also what the parity suite drives). `--fault <w>:<spec>`
+//!   scripts a fault into spawned worker `w`.
 //!
 //! Common options (coordinator/demo): `--model lenet5`, `--variant
 //! sketch|linear|exact`, `--theta <f32>`, `--steps <n>`, `--seed <n>`,
-//! `--batch <n>`, `--train <n>`, `--test <n>`, `--listen <addr>`.
+//! `--batch <n>`, `--train <n>`, `--test <n>`, `--listen <addr>`,
+//! `--min-workers <n>`, `--deposit-timeout-ms <ms>`.
 
 use fda::core::cluster::ClusterConfig;
 use fda::core::fda::{FdaConfig, FdaVariant};
 use fda::core::wire::JobSpec;
 use fda::data::synth::SynthSpec;
 use fda::data::Partition;
-use fda::net::{run_with_spawned_workers, Coordinator, NetReport, NetWorker};
+use fda::net::{
+    run_chaos_with_spawned_workers, run_worker, Coordinator, FaultAction, FaultPlan, MemberEvent,
+    NetReport, RejoinPolicy, RoundPolicy, WorkerOptions, WorkerOutcome, FAULT_EXIT_CODE,
+};
 use fda::nn::zoo::ModelId;
 use fda::optim::OptimizerKind;
 use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  fda_node worker --connect <addr> --id <k> [--timeout-secs <t>]\n  \
+        "usage:\n  fda_node worker --connect <addr> --id <k> [--timeout-secs <t>]\n               \
+         [--fault <spec>]... [--rejoin <attempts>]\n  \
          fda_node coordinator --workers <K> [--listen <addr>] [job options]\n  \
-         fda_node demo --workers <K> [job options]\n\n\
+         fda_node demo --workers <K> [--fault <w>:<spec>]... [job options]\n\n\
          job options: --model lenet5|vgg16|densenet121|densenet201|transfer\n               \
          --variant sketch|linear|exact  --theta <f32>  --steps <n>\n               \
-         --seed <n>  --batch <n>  --train <n>  --test <n>"
+         --seed <n>  --batch <n>  --train <n>  --test <n>\n               \
+         --min-workers <n>  --deposit-timeout-ms <ms>\n\n\
+         fault specs: kill@N  exit@N  stall@N:<ms>  flip@N:<bit>  trunc@N:<keep>"
     );
     std::process::exit(2);
 }
@@ -41,6 +54,15 @@ fn opt_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
         .position(|a| a == flag)
         .map(|i| args.get(i + 1).unwrap_or_else(|| usage()).clone())
+}
+
+/// Pulls every value following a repeatable `--flag`.
+fn opt_values(args: &[String], flag: &str) -> Vec<String> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == flag)
+        .map(|(i, _)| args.get(i + 1).unwrap_or_else(|| usage()).clone())
+        .collect()
 }
 
 fn parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
@@ -99,17 +121,38 @@ fn job_from_args(args: &[String]) -> JobSpec {
     }
 }
 
+fn round_policy_from_args(args: &[String]) -> RoundPolicy {
+    RoundPolicy {
+        min_workers: parse(args, "--min-workers", 1usize),
+        deposit_timeout: Duration::from_millis(parse(args, "--deposit-timeout-ms", 30_000u64)),
+        admissions: Vec::new(),
+    }
+}
+
 fn print_report(report: &NetReport, spec: &JobSpec) {
     let decisions: Vec<String> = report
         .decisions
         .iter()
         .map(|d| if *d { "1" } else { "0" }.to_string())
         .collect();
+    let survivors: Vec<String> = report.survivors.iter().map(|w| w.to_string()).collect();
+    let events: Vec<String> = report
+        .events
+        .iter()
+        .map(|e| {
+            let what = match e.event {
+                MemberEvent::Joined { rejoin: false } => "join".to_string(),
+                MemberEvent::Joined { rejoin: true } => "rejoin".to_string(),
+                MemberEvent::Dropped(reason) => format!("drop-{}", reason.as_str()),
+            };
+            format!("\"r{}:w{}:{}\"", e.round, e.worker, what)
+        })
+        .collect();
     println!(
         "{{\n  \"workers\": {},\n  \"variant\": \"{}\",\n  \"theta\": {},\n  \"steps\": {},\n  \
          \"syncs\": {},\n  \"decisions\": \"{}\",\n  \"charged_bytes\": {},\n  \
          \"measured_payload_bytes\": {},\n  \"raw_tx_bytes\": {},\n  \"raw_rx_bytes\": {},\n  \
-         \"measured_equals_charged\": {}\n}}",
+         \"measured_equals_charged\": {},\n  \"survivors\": [{}],\n  \"membership\": [{}]\n}}",
         spec.cluster.workers,
         spec.fda.variant.name(),
         spec.fda.theta,
@@ -121,6 +164,8 @@ fn print_report(report: &NetReport, spec: &JobSpec) {
         report.raw_tx_bytes,
         report.raw_rx_bytes,
         report.measured_payload_bytes == report.charged_bytes,
+        survivors.join(", "),
+        events.join(", "),
     );
 }
 
@@ -135,16 +180,42 @@ fn main() {
                 usage();
             }
             let timeout = Duration::from_secs(parse(&args, "--timeout-secs", 20u64));
-            let mut worker = NetWorker::connect(addr.as_str(), id, timeout).unwrap_or_else(|e| {
-                eprintln!("fda_node worker {id}: connect failed: {e}");
-                std::process::exit(1);
-            });
-            match worker.run() {
-                Ok(summary) => {
+            let faults: Vec<FaultAction> = opt_values(&args, "--fault")
+                .iter()
+                .map(|s| {
+                    FaultAction::parse_arg(s).unwrap_or_else(|e| {
+                        eprintln!("fda_node worker {id}: {e}");
+                        std::process::exit(2);
+                    })
+                })
+                .collect();
+            let rejoin_attempts: u32 = parse(&args, "--rejoin", 0u32);
+            let opts = WorkerOptions {
+                connect_timeout: timeout,
+                rejoin: (rejoin_attempts > 0).then(|| RejoinPolicy {
+                    max_attempts: rejoin_attempts,
+                    ..RejoinPolicy::default()
+                }),
+                faults,
+                exit_process_on_fault: true,
+                backoff_seed: u64::from(id),
+                ..WorkerOptions::default()
+            };
+            match run_worker(addr.as_str(), id, &opts) {
+                Ok(WorkerOutcome::Completed(summary)) => {
                     eprintln!(
-                        "fda_node worker {id}: done ({} steps, {} syncs)",
-                        summary.steps, summary.syncs
+                        "fda_node worker {id}: done ({} steps, {} syncs, {} rejoins)",
+                        summary.steps, summary.syncs, summary.rejoins
                     );
+                }
+                // `exit_process_on_fault` normally exits before this arm;
+                // keep it as a backstop so the contract holds regardless.
+                Ok(WorkerOutcome::Faulted { step, action }) => {
+                    eprintln!(
+                        "fda_node worker {id}: scripted fault {} at step {step}",
+                        action.to_arg()
+                    );
+                    std::process::exit(FAULT_EXIT_CODE);
                 }
                 Err(e) => {
                     eprintln!("fda_node worker {id}: {e}");
@@ -155,10 +226,11 @@ fn main() {
         Some("coordinator") => {
             let spec = job_from_args(&args);
             let listen = opt_value(&args, "--listen").unwrap_or("127.0.0.1:0".to_string());
-            let coordinator = Coordinator::bind(listen.as_str()).unwrap_or_else(|e| {
+            let mut coordinator = Coordinator::bind(listen.as_str()).unwrap_or_else(|e| {
                 eprintln!("fda_node coordinator: bind failed: {e}");
                 std::process::exit(1);
             });
+            coordinator.set_policy(round_policy_from_args(&args));
             eprintln!(
                 "fda_node coordinator: waiting for {} workers on {}",
                 spec.cluster.workers,
@@ -174,8 +246,34 @@ fn main() {
         }
         Some("demo") => {
             let spec = job_from_args(&args);
+            let mut plan = FaultPlan::new();
+            for spec_str in opt_values(&args, "--fault") {
+                let parsed = spec_str
+                    .split_once(':')
+                    .ok_or_else(|| format!("demo fault '{spec_str}': expected <worker>:<spec>"))
+                    .and_then(|(w, rest)| {
+                        let worker: u32 = w
+                            .parse()
+                            .map_err(|_| format!("demo fault '{spec_str}': bad worker '{w}'"))?;
+                        Ok((worker, FaultAction::parse_arg(rest)?))
+                    });
+                match parsed {
+                    Ok((worker, action)) => plan = plan.fault(worker, action),
+                    Err(e) => {
+                        eprintln!("fda_node demo: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             let node_bin = std::env::current_exe().expect("own binary path");
-            match run_with_spawned_workers(&spec, &node_bin) {
+            let policy = round_policy_from_args(&args);
+            match run_chaos_with_spawned_workers(
+                &spec,
+                &node_bin,
+                &plan,
+                policy,
+                Duration::from_secs(60),
+            ) {
                 Ok(report) => print_report(&report, &spec),
                 Err(e) => {
                     eprintln!("fda_node demo: {e}");

@@ -489,6 +489,192 @@ fn wire_decoders_are_total_under_fuzz() {
 }
 
 // ---------------------------------------------------------------------------
+// Transport frames: checksummed, epoch-stamped, hostile-input-total
+// ---------------------------------------------------------------------------
+
+/// A random protocol message covering every frame kind the transport
+/// ships, including the elastic-transport kinds (extended hello, the
+/// versioned `Resume` handoff with and without a previous model).
+fn random_msg(rng: &mut Rng) -> fda::net::Msg {
+    use fda::net::Msg;
+    let vec_of = |rng: &mut Rng, max: u64| {
+        let len = (rng.next_u64() % max) as usize;
+        let mut v = vec![0.0f32; len];
+        rng.fill_uniform(&mut v, -4.0, 4.0);
+        v
+    };
+    match rng.next_u64() % 8 {
+        0 => Msg::hello((rng.next_u64() % 64) as u32, (rng.next_u64() % 1000) as u32),
+        1 => Msg::State(random_state(rng)),
+        2 => Msg::AvgState {
+            state: random_state(rng),
+            sync: rng.next_u64() % 2 == 0,
+        },
+        3 => Msg::Model(vec_of(rng, 60)),
+        4 => Msg::AvgModel(vec_of(rng, 60)),
+        5 => Msg::FinalModel(vec_of(rng, 60)),
+        6 => {
+            let model = vec_of(rng, 60);
+            let prev_model = if rng.next_u64() % 2 == 0 {
+                let mut p = vec![0.0f32; model.len()];
+                rng.fill_uniform(&mut p, -4.0, 4.0);
+                Some(p)
+            } else {
+                None
+            };
+            Msg::Resume {
+                round: (rng.next_u64() % 500) as u32,
+                model,
+                prev_model,
+            }
+        }
+        _ => Msg::Shutdown,
+    }
+}
+
+/// Every protocol message — extended hello and `Resume` included — must
+/// survive `send → recv` with its epoch stamp intact and re-encode to the
+/// exact same frame bytes (the transport's framing invariant, now over
+/// the epoch-stamped checksummed header).
+#[test]
+fn frame_msg_roundtrip_preserves_epoch_and_bytes() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xD1_0000 + case);
+        let msg = random_msg(&mut rng);
+        let epoch = (rng.next_u64() % 10_000) as u32;
+        let mut bytes: Vec<u8> = Vec::new();
+        msg.send(&mut bytes, epoch).expect("encode");
+        let (back, back_epoch) =
+            fda::net::Msg::recv(&mut std::io::Cursor::new(&bytes)).expect("decode");
+        assert_eq!(back_epoch, epoch, "case {case}: epoch stamp changed");
+        assert_eq!(
+            back.kind_name(),
+            msg.kind_name(),
+            "case {case}: kind changed"
+        );
+        let mut re: Vec<u8> = Vec::new();
+        back.send(&mut re, epoch).expect("re-encode");
+        assert_eq!(re, bytes, "case {case}: re-encode not byte-identical");
+        // Any strict truncation of the stream must fail cleanly, and a
+        // truncation that cuts the payload (past the checksummed header's
+        // length field) must look like a disconnect, never decode.
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                fda::net::Msg::recv(&mut std::io::Cursor::new(&bytes[..cut])).is_err(),
+                "case {case}: cut at {cut} decoded"
+            );
+        }
+    }
+}
+
+/// Frame-level decode totality: byte soup and random mutations of valid
+/// frames through `read_frame` must return `Ok`/`Err`, never panic, and a
+/// mutated frame body must never pass the checksum silently.
+#[test]
+fn frame_reader_is_total_and_checksummed_under_fuzz() {
+    use fda::net::frame::{encode_frame, read_frame};
+    let mut rng = Rng::new(0xE1_0000);
+    // Pure byte soup.
+    for _ in 0..4 * CASES {
+        let len = (rng.next_u64() % 80) as usize;
+        let buf: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 0xFF) as u8).collect();
+        let _ = read_frame(&mut std::io::Cursor::new(buf));
+    }
+    // Single-byte mutations of valid frames: any flip past the length
+    // field must be rejected (checksum); flips inside the length field
+    // must never decode to the original payload.
+    for case in 0..CASES {
+        let mut inner = Rng::new(0xE2_0000 + case);
+        let msg = random_msg(&mut inner);
+        let (kind, payload) = msg.encode();
+        let frame = encode_frame((inner.next_u64() % 100) as u32, kind, &payload);
+        let i = (inner.next_u64() as usize) % frame.len();
+        let mut corrupt = frame.clone();
+        corrupt[i] ^= 1 << (inner.next_u64() % 8);
+        match read_frame(&mut std::io::Cursor::new(&corrupt)) {
+            Err(_) => {}
+            Ok((k, _, p)) => {
+                assert!(
+                    i < 4 && !(k == kind && p == payload),
+                    "case {case}: flipped byte {i} decoded to the original frame"
+                );
+            }
+        }
+        // FrameKind bytes outside the enum must be rejected even with a
+        // valid checksum (splice an unknown kind and re-checksum).
+        let unknown = 200 + (inner.next_u64() % 50) as u8;
+        let mut spliced = Vec::with_capacity(frame.len());
+        let epoch_bytes = &frame[4..8];
+        let crc = fda::net::frame::fnv1a_32(&[epoch_bytes, &[unknown], &payload]);
+        spliced.extend_from_slice(&frame[0..4]);
+        spliced.extend_from_slice(epoch_bytes);
+        spliced.extend_from_slice(&crc.to_le_bytes());
+        spliced.push(unknown);
+        spliced.extend_from_slice(&payload);
+        assert!(
+            read_frame(&mut std::io::Cursor::new(&spliced)).is_err(),
+            "case {case}: unknown kind {unknown} decoded"
+        );
+    }
+}
+
+/// The zombie filter: frames spliced in from older epochs are skipped (up
+/// to the flood bound), the current-epoch frame behind them is delivered
+/// intact, and future-epoch frames are protocol violations.
+#[test]
+fn spliced_stale_epoch_frames_are_rejected() {
+    use fda::net::{recv_at_epoch, Msg, NetError, MAX_STALE_FRAMES};
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xF1_0000 + case);
+        let current = 2 + (rng.next_u64() % 1000) as u32;
+        let stale_count = (rng.next_u64() % u64::from(MAX_STALE_FRAMES + 1)) as u32;
+        let mut stream: Vec<u8> = Vec::new();
+        // A zombie's leftovers: deposits stamped with earlier epochs.
+        for _ in 0..stale_count {
+            let stale_epoch = rng.next_u64() as u32 % current;
+            Msg::State(random_state(&mut rng))
+                .send(&mut stream, stale_epoch)
+                .expect("encode stale");
+        }
+        let live = vec![1.5f32, -2.5, 3.5];
+        Msg::Model(live.clone())
+            .send(&mut stream, current)
+            .expect("encode live");
+        match recv_at_epoch(&mut std::io::Cursor::new(&stream), current) {
+            Ok(Msg::Model(v)) => assert_eq!(v, live, "case {case}: live frame mangled"),
+            other => panic!("case {case}: expected the live model, got {other:?}"),
+        }
+
+        // A future epoch is a protocol violation — only the coordinator
+        // advances the epoch.
+        let mut stream: Vec<u8> = Vec::new();
+        Msg::Model(live.clone())
+            .send(&mut stream, current + 1 + rng.next_u64() as u32 % 50)
+            .expect("encode future");
+        assert!(
+            matches!(
+                recv_at_epoch(&mut std::io::Cursor::new(&stream), current),
+                Err(NetError::Protocol(_))
+            ),
+            "case {case}: future epoch accepted"
+        );
+    }
+    // The flood bound: one more stale frame than the filter tolerates.
+    let mut stream: Vec<u8> = Vec::new();
+    for _ in 0..(MAX_STALE_FRAMES + 1) {
+        Msg::Shutdown.send(&mut stream, 1).expect("encode");
+    }
+    Msg::Shutdown.send(&mut stream, 5).expect("encode");
+    assert!(
+        matches!(
+            recv_at_epoch(&mut std::io::Cursor::new(&stream), 5),
+            Err(NetError::Protocol(_))
+        ),
+        "a stale flood must not be skipped forever"
+    );
+}
+
+// ---------------------------------------------------------------------------
 // SIMD kernel dispatch arms
 // ---------------------------------------------------------------------------
 
