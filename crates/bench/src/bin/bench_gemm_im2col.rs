@@ -281,6 +281,7 @@ fn bench_net(k: usize, steps: u32, reps: usize) -> NetBenchResult {
             parallel: false,
         },
         fda: FdaConfig::sketch_auto(theta),
+        codec: fda_comm::CodecSpec::Dense,
         steps,
         synth: SynthSpec {
             n_train: 240,
@@ -329,6 +330,75 @@ fn bench_net(k: usize, steps: u32, reps: usize) -> NetBenchResult {
         measured_payload_bytes: sync_report.measured_payload_bytes,
         raw_socket_bytes: sync_report.raw_tx_bytes + sync_report.raw_rx_bytes,
     }
+}
+
+struct CodecBenchResult {
+    codec: &'static str,
+    /// Charged payload bytes over the whole Θ = ∞ horizon (state
+    /// rendezvous every round, no model AllReduce — isolates the state
+    /// payload the codec compresses).
+    charged_bytes: u64,
+    /// TCP wall time per FDA round under this codec.
+    tcp_round_us: f64,
+}
+
+/// Per-codec state-payload cost on the wire: the same K = 4 LeNet job as
+/// `bench_net`, Θ = ∞ so every round is a state rendezvous and the
+/// charged bytes are pure state payload. Dense is the baseline the
+/// compression ratios are quoted against.
+fn bench_codecs(k: usize, steps: u32, reps: usize) -> Vec<CodecBenchResult> {
+    use fda_comm::CodecSpec;
+    use fda_core::wire::JobSpec;
+    use fda_data::synth::SynthSpec;
+    let matrix: [(&'static str, CodecSpec); 4] = [
+        ("dense", CodecSpec::Dense),
+        ("uniform8", CodecSpec::Uniform8 { chunk: 256 }),
+        ("topk64", CodecSpec::TopK { k: 64 }),
+        ("driftmask0.2", CodecSpec::DriftMask { threshold: 0.2 }),
+    ];
+    matrix
+        .into_iter()
+        .map(|(name, codec)| {
+            let spec = JobSpec {
+                cluster: ClusterConfig {
+                    model: ModelId::Lenet5,
+                    workers: k,
+                    batch_size: 16,
+                    optimizer: fda_optim::OptimizerKind::paper_adam(),
+                    partition: Partition::Iid,
+                    seed: 3,
+                    parallel: false,
+                },
+                fda: FdaConfig::sketch_auto(f32::MAX),
+                codec,
+                steps,
+                synth: SynthSpec {
+                    n_train: 240,
+                    n_test: 80,
+                    ..SynthSpec::synth_mnist()
+                },
+                task_name: "codec-bench".to_string(),
+            };
+            let mut best = f64::MAX;
+            let mut report = None;
+            for _ in 0..reps {
+                let t = Instant::now();
+                let r = fda_net::run_with_thread_workers(&spec).expect("codec bench run");
+                best = best.min(t.elapsed().as_secs_f64() / steps as f64 * 1e6);
+                report = Some(r);
+            }
+            let report = report.expect("reps >= 1");
+            assert_eq!(
+                report.measured_payload_bytes, report.charged_bytes,
+                "codec bench {name}: measured socket payload diverged from charged bytes"
+            );
+            CodecBenchResult {
+                codec: name,
+                charged_bytes: report.charged_bytes,
+                tcp_round_us: best,
+            }
+        })
+        .collect()
 }
 
 /// Raw per-step dispatch cost: K scoped threads spawned-and-joined (what
@@ -400,6 +470,7 @@ fn main() {
     ];
     let (scoped_us, pool_us) = bench_rendezvous(4, if smoke { 20 } else { 200 });
     let net = bench_net(4, if smoke { 3 } else { 30 }, if smoke { 1 } else { 3 });
+    let codec_runs = bench_codecs(4, if smoke { 3 } else { 30 }, if smoke { 1 } else { 3 });
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     let kn = fda_tensor::simd::kernels();
@@ -507,10 +578,24 @@ fn main() {
         net.raw_socket_bytes,
         net.raw_socket_bytes as f64 / net.charged_bytes as f64,
     );
+    json.push_str("  \"codec_state_bytes\": [\n");
+    let dense_bytes = codec_runs[0].charged_bytes;
+    for (i, c) in codec_runs.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"codec\": \"{}\", \"charged_bytes\": {}, \"dense_over_codec\": {:.2}, \"tcp_round_us\": {:.1}}}{}",
+            c.codec,
+            c.charged_bytes,
+            dense_bytes as f64 / c.charged_bytes as f64,
+            c.tcp_round_us,
+            if i + 1 == codec_runs.len() { "" } else { "," },
+        );
+    }
+    json.push_str("  ],\n");
     let _ = writeln!(json, "  \"host_cores\": {host_cores},");
     let _ = writeln!(
         json,
-        "  \"note\": \"naive-vs-blocked measured back-to-back in one process; seed-era all-naive LeNet local_step was ~6.3ms (159 steps/sec) on this host. gemm_us.blocked_us runs the runtime-dispatched SIMD kernel layer (kernel_dispatch.selected; override with FDA_FORCE_KERNEL); the PR 4 autovectorized-blocked baseline on this host was lenet_conv2 32.9, lenet_conv1 17.1, vgg16_conv 17542.0, dense_square 620.8 us. conv_layer_us: Conv2d forward/backward on channel-major activations, input clone included; the PR 2 sample-major baseline on this host was lenet_conv1 43.1/90.7, lenet_conv2 65.9/124.8, vgg_conv2b 213.0/411.5 us (fwd/bwd). step_phases: Fda::step at theta=0 (sync every step), SketchAuto monitor, K=4; 'pooled' = persistent WorkerPool (ClusterConfig::parallel), 'seq' = single-thread reference. rendezvous_us compares one pool dispatch against the K scoped thread spawns PR 1 paid per step. net_rendezvous_us: the real TCP loopback transport (fda_net, thread workers speaking the socket protocol, K=4 LeNet) vs the sequential simulator on the same job; state_only = theta inf (state rendezvous every round), full_sync = theta 0 (plus a model AllReduce every round); transport_overhead_us is the per-round cost of serialization + framing + syscalls on this host. bytes.charged is the simulator convention, bytes.measured_payload the same convention measured frame-by-frame on the socket (asserted equal), bytes.raw_socket counts every byte both directions including framing, control plane and coordinator broadcasts (which the per-worker-payload convention does not charge) — hence raw_over_charged > 2. Parallel speedups require host_cores > 1; on a single-core host the pooled numbers measure pure rendezvous overhead.\""
+        "  \"note\": \"naive-vs-blocked measured back-to-back in one process; seed-era all-naive LeNet local_step was ~6.3ms (159 steps/sec) on this host. gemm_us.blocked_us runs the runtime-dispatched SIMD kernel layer (kernel_dispatch.selected; override with FDA_FORCE_KERNEL); the PR 4 autovectorized-blocked baseline on this host was lenet_conv2 32.9, lenet_conv1 17.1, vgg16_conv 17542.0, dense_square 620.8 us. conv_layer_us: Conv2d forward/backward on channel-major activations, input clone included; the PR 2 sample-major baseline on this host was lenet_conv1 43.1/90.7, lenet_conv2 65.9/124.8, vgg_conv2b 213.0/411.5 us (fwd/bwd). step_phases: Fda::step at theta=0 (sync every step), SketchAuto monitor, K=4; 'pooled' = persistent WorkerPool (ClusterConfig::parallel), 'seq' = single-thread reference. rendezvous_us compares one pool dispatch against the K scoped thread spawns PR 1 paid per step. net_rendezvous_us: the real TCP loopback transport (fda_net, thread workers speaking the socket protocol, K=4 LeNet) vs the sequential simulator on the same job; state_only = theta inf (state rendezvous every round), full_sync = theta 0 (plus a model AllReduce every round); transport_overhead_us is the per-round cost of serialization + framing + syscalls on this host. bytes.charged is the simulator convention, bytes.measured_payload the same convention measured frame-by-frame on the socket (asserted equal), bytes.raw_socket counts every byte both directions including framing, control plane and coordinator broadcasts (which the per-worker-payload convention does not charge) — hence raw_over_charged > 2. Parallel speedups require host_cores > 1; on a single-core host the pooled numbers measure pure rendezvous overhead. codec_state_bytes: the same K=4 LeNet TCP job at theta inf (state rendezvous every round, no model AllReduce) under each uplink codec; charged_bytes is the horizon's accounted state payload (measured==charged asserted), dense_over_codec the compression ratio vs the dense baseline.\""
     );
     json.push('}');
 

@@ -1,34 +1,107 @@
-//! Payload compression codecs.
+//! Payload compression codecs with a real byte surface.
 //!
 //! The paper (§2, "Compression") emphasizes that FDA is *orthogonal* to
 //! message-size reduction: FDA decides **when** to synchronize; codecs
 //! shrink **what** is transmitted, and any technique effective under
-//! BSP/Local-SGD transfers unchanged. This module provides the two
-//! standard families so that composition can be demonstrated and measured:
+//! BSP/Local-SGD transfers unchanged. This module provides the standard
+//! families so that composition can be demonstrated, measured, and — since
+//! these codecs are the actual `fda_net` wire payloads — deployed:
 //!
+//! * [`Dense32`] — the identity codec: a raw little-endian `f32` run, so a
+//!   dense-coded payload is byte-identical to the uncoded layout;
 //! * [`Uniform8Bit`] — linear quantization of each chunk to `u8` with a
-//!   per-chunk scale (4× smaller payloads, bounded per-element error);
+//!   per-chunk `[lo, hi]` range (≈4× smaller payloads, bounded error);
 //! * [`TopK`] — magnitude sparsification keeping the `k` largest entries
-//!   as (index, value) pairs.
+//!   as (index, value) pairs;
+//! * [`DriftMask`] — selective masking à la Ji et al. 2020: transmit only
+//!   coordinates whose drift magnitude exceeds a fixed threshold, the
+//!   natural per-coordinate composition with FDA's drift monitor.
 //!
-//! Codecs report their exact wire size so the byte accounting stays
-//! honest when a synchronization payload is compressed.
+//! Three contracts hold for every codec, and the property suite pins them:
+//!
+//! 1. **Exact accounting** — [`Codec::encoded_bytes`] equals
+//!    `encode(v).len()` exactly, so charged bytes are emitted bytes.
+//! 2. **Total decoding** — [`Codec::decode`] never panics and never
+//!    allocates more than the caller-supplied element count implies, no
+//!    matter how hostile the byte buffer (the `core::wire` convention).
+//! 3. **Byte idempotence** — `encode(decode(encode(v))) == encode(v)`:
+//!    one encode reaches the codec's fixed point, so re-encoding a
+//!    reconstruction (as the simulator's accounting does) charges the
+//!    same bytes the socket carried.
+//!
+//! [`Codec::roundtrip`] is *defined* as `decode(encode(v))`, so the
+//! simulator and the socket transport share one lossy path by
+//! construction — bit-identical reconstructions on both sides.
+//!
+//! Non-finite policy: values are never silently corrupted. `TopK` and
+//! `DriftMask` carry raw bit patterns, and order magnitudes by
+//! `f32::total_cmp` (NaN sorts above `+inf`, so a NaN coordinate is
+//! always "largest" and survives selection bit-for-bit). `Uniform8Bit`
+//! escapes any chunk containing a non-finite value (or whose range
+//! degenerates) to a raw `f32` run, propagating every bit pattern
+//! exactly.
 
-/// A lossy vector codec with exact wire-size accounting.
+/// Decode failure of a codec payload. Mirrors the shape of
+/// `fda_core::wire::DecodeError` (comm sits below core, so the net layer
+/// converts; see `From<CodecError>` there).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the declared content.
+    Truncated,
+    /// Structurally invalid content (bad length multiple, out-of-range or
+    /// unsorted indices, degenerate chunk header, trailing bytes).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "codec payload truncated"),
+            CodecError::Malformed(what) => write!(f, "malformed codec payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A lossy vector codec over real byte buffers, with exact wire-size
+/// accounting and hostile-input-safe decoding.
 pub trait Codec: Send {
     /// Codec name for reports.
     fn name(&self) -> &'static str;
 
-    /// Encoded size in bytes for a vector of length `n`.
-    fn encoded_bytes(&self, n: usize) -> u64;
+    /// Encodes `v` into the codec's wire payload.
+    fn encode(&self, v: &[f32]) -> Vec<u8>;
 
-    /// Encodes and immediately decodes (the simulator never materializes
-    /// byte buffers for payloads; fidelity loss and size are what matter).
-    /// Returns the reconstruction.
-    fn roundtrip(&self, v: &[f32]) -> Vec<f32>;
+    /// Decodes a payload back into a length-`n` vector. Total: any byte
+    /// buffer either decodes or returns an error, and nothing larger than
+    /// `n` elements is ever allocated. `n` is caller knowledge (the
+    /// expected vector length), never taken from the untrusted buffer.
+    fn decode(&self, buf: &[u8], n: usize) -> Result<Vec<f32>, CodecError>;
+
+    /// Exact encoded size in bytes for this input — equal to
+    /// `encode(v).len()` (the property suite asserts it). Codecs with a
+    /// closed form override this to skip the encode.
+    fn encoded_bytes(&self, v: &[f32]) -> u64 {
+        self.encode(v).len() as u64
+    }
+
+    /// The reconstruction a receiver computes: `decode(encode(v))`. The
+    /// simulator charges [`Codec::encoded_bytes`] and applies exactly
+    /// this, so sim and socket share one lossy path by construction.
+    ///
+    /// # Panics
+    /// Panics only if the codec fails to decode its own encoding — an
+    /// internal bug, not an input condition.
+    fn roundtrip(&self, v: &[f32]) -> Vec<f32> {
+        self.decode(&self.encode(v), v.len())
+            .expect("codec decodes its own encoding")
+    }
 }
 
-/// The identity codec: full-precision `f32` payloads.
+/// The identity codec: full-precision `f32` payloads as a raw
+/// little-endian run (no header), so dense-coded wire frames are
+/// byte-identical to the pre-codec dense layouts.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Dense32;
 
@@ -37,20 +110,69 @@ impl Codec for Dense32 {
         "dense-f32"
     }
 
-    fn encoded_bytes(&self, n: usize) -> u64 {
-        n as u64 * 4
+    fn encode(&self, v: &[f32]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(v.len() * 4);
+        for &x in v {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        out
     }
 
-    fn roundtrip(&self, v: &[f32]) -> Vec<f32> {
-        v.to_vec()
+    fn decode(&self, buf: &[u8], n: usize) -> Result<Vec<f32>, CodecError> {
+        let want = n
+            .checked_mul(4)
+            .ok_or(CodecError::Malformed("length overflow"))?;
+        if buf.len() < want {
+            return Err(CodecError::Truncated);
+        }
+        if buf.len() > want {
+            return Err(CodecError::Malformed("trailing bytes after dense run"));
+        }
+        let mut out = Vec::with_capacity(n);
+        for c in buf.chunks_exact(4) {
+            out.push(f32::from_le_bytes(c.try_into().expect("len 4")));
+        }
+        Ok(out)
     }
+
+    fn encoded_bytes(&self, v: &[f32]) -> u64 {
+        v.len() as u64 * 4
+    }
+}
+
+/// The `lo` sentinel marking a raw (escaped) chunk: a canonical quiet
+/// NaN. A quantized chunk's `lo` is the minimum of finite values, so a
+/// NaN header can never be emitted for one — the escape is unambiguous.
+const ESCAPE_BITS: u32 = 0x7fc0_0000;
+
+/// How one quantizer chunk is carried on the wire.
+enum ChunkPlan {
+    /// `[lo f32][hi f32]` + one `u8` level per element.
+    Quantized { lo: f32, hi: f32, scale: f32 },
+    /// `[NaN][NaN]` + raw `f32` bits per element — used when the chunk
+    /// holds a non-finite value or its range cannot be quantized
+    /// losslessly-idempotently (overflowed/degenerate scale, or levels
+    /// that collapse below `f32` resolution near a huge `lo`).
+    Raw,
 }
 
 /// Linear 8-bit quantization with per-chunk min/max scaling.
 ///
-/// Each chunk of `chunk` values is mapped to `u8` levels over its own
-/// `[min, max]` range; wire cost is `n` bytes plus 8 bytes (two `f32`) per
-/// chunk. Maximum per-element error is `(max − min)/510` per chunk.
+/// Wire format, per chunk of up to `chunk` values:
+///
+/// ```text
+/// [ lo: f32 ] [ hi: f32 ] [ q: u8 × len ]        (quantized chunk)
+/// [ NaN ] [ NaN ] [ raw f32 bits × len ]         (escaped chunk)
+/// ```
+///
+/// Decoding maps level `q` to `lo + q·scale` with `scale = (hi−lo)/255`,
+/// pinning `q = 0` to `lo` and `q = 255` to `hi` exactly and clamping to
+/// `[lo, hi]`. A chunk escapes to raw `f32` when it contains a
+/// non-finite value (bit-for-bit propagation — the non-finite policy) or
+/// when quantization would not be byte-idempotent (the encoder certifies
+/// all 256 levels re-quantize to themselves; a chunk spanning
+/// `[−MAX, MAX]` or sitting on a huge offset fails and ships raw).
+/// Maximum per-element error of a quantized chunk is `(hi − lo)/510`.
 #[derive(Debug, Clone, Copy)]
 pub struct Uniform8Bit {
     chunk: usize,
@@ -65,6 +187,66 @@ impl Uniform8Bit {
         assert!(chunk >= 1, "quantizer: chunk must be positive");
         Uniform8Bit { chunk }
     }
+
+    /// Chunk length.
+    pub fn chunk(&self) -> usize {
+        self.chunk
+    }
+
+    /// The value level `q` decodes to. Shared by the decoder and the
+    /// encoder's idempotence certification so they cannot drift.
+    fn level(lo: f32, hi: f32, scale: f32, q: u8) -> f32 {
+        match q {
+            0 => lo,
+            255 => hi,
+            q => (lo + q as f32 * scale).clamp(lo, hi),
+        }
+    }
+
+    /// Quantizes one value to its level byte.
+    fn quantize(lo: f32, scale: f32, x: f32) -> u8 {
+        if scale > 0.0 {
+            ((x - lo) / scale).round().clamp(0.0, 255.0) as u8
+        } else {
+            0
+        }
+    }
+
+    /// Decides how a chunk travels. Quantized only when every value is
+    /// finite, the scale is usable, and all 256 levels re-quantize to
+    /// themselves (the byte-idempotence certificate).
+    fn plan(chunk: &[f32]) -> ChunkPlan {
+        if chunk.iter().any(|x| !x.is_finite()) {
+            return ChunkPlan::Raw;
+        }
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for &x in chunk {
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        if hi == lo {
+            // Constant chunk: every level byte is 0 and decodes to `lo`
+            // exactly. `hi` is normalized to `lo`'s bit pattern (they can
+            // differ across ±0.0) so re-encoding the reconstruction emits
+            // an identical header.
+            return ChunkPlan::Quantized {
+                lo,
+                hi: lo,
+                scale: 0.0,
+            };
+        }
+        let scale = (hi - lo) / 255.0;
+        if !scale.is_finite() || scale <= 0.0 {
+            return ChunkPlan::Raw;
+        }
+        for q in 0..=255u8 {
+            if Self::quantize(lo, scale, Self::level(lo, hi, scale, q)) != q {
+                return ChunkPlan::Raw;
+            }
+        }
+        ChunkPlan::Quantized { lo, hi, scale }
+    }
 }
 
 impl Default for Uniform8Bit {
@@ -78,37 +260,145 @@ impl Codec for Uniform8Bit {
         "uniform-8bit"
     }
 
-    fn encoded_bytes(&self, n: usize) -> u64 {
-        let chunks = n.div_ceil(self.chunk) as u64;
-        n as u64 + chunks * 8
-    }
-
-    fn roundtrip(&self, v: &[f32]) -> Vec<f32> {
-        let mut out = Vec::with_capacity(v.len());
+    fn encode(&self, v: &[f32]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(v.len() + v.len().div_ceil(self.chunk) * 8);
         for chunk in v.chunks(self.chunk) {
-            let mut lo = f32::INFINITY;
-            let mut hi = f32::NEG_INFINITY;
-            for &x in chunk {
-                lo = lo.min(x);
-                hi = hi.max(x);
-            }
-            if !lo.is_finite() || !hi.is_finite() || hi <= lo {
-                // Constant (or degenerate) chunk: transmit the midpoint.
-                out.extend(chunk.iter().map(|_| if hi <= lo { lo } else { 0.0 }));
-                continue;
-            }
-            let scale = (hi - lo) / 255.0;
-            for &x in chunk {
-                let q = ((x - lo) / scale).round().clamp(0.0, 255.0) as u8;
-                out.push(lo + q as f32 * scale);
+            match Uniform8Bit::plan(chunk) {
+                ChunkPlan::Quantized { lo, hi, scale } => {
+                    out.extend_from_slice(&lo.to_le_bytes());
+                    out.extend_from_slice(&hi.to_le_bytes());
+                    for &x in chunk {
+                        out.push(Uniform8Bit::quantize(lo, scale, x));
+                    }
+                }
+                ChunkPlan::Raw => {
+                    out.extend_from_slice(&f32::from_bits(ESCAPE_BITS).to_le_bytes());
+                    out.extend_from_slice(&f32::from_bits(ESCAPE_BITS).to_le_bytes());
+                    for &x in chunk {
+                        out.extend_from_slice(&x.to_le_bytes());
+                    }
+                }
             }
         }
         out
     }
+
+    fn decode(&self, buf: &[u8], n: usize) -> Result<Vec<f32>, CodecError> {
+        // Every chunk costs an 8-byte header plus at least one byte per
+        // element, so any buffer below that floor cannot encode `n`
+        // elements. Rejecting here bounds the allocation below by the
+        // buffer that claims to back it (saturating: a hostile `n` must
+        // not overflow its own guard).
+        let floor = n.div_ceil(self.chunk).saturating_mul(8).saturating_add(n);
+        if buf.len() < floor {
+            return Err(CodecError::Truncated);
+        }
+        let mut out = Vec::with_capacity(n);
+        let mut off = 0usize;
+        while out.len() < n {
+            let len = self.chunk.min(n - out.len());
+            if buf.len() - off < 8 {
+                return Err(CodecError::Truncated);
+            }
+            let lo = f32::from_le_bytes(buf[off..off + 4].try_into().expect("len 4"));
+            let hi = f32::from_le_bytes(buf[off + 4..off + 8].try_into().expect("len 4"));
+            off += 8;
+            if lo.is_nan() {
+                // Escaped chunk: raw f32 bit patterns.
+                let want = len * 4;
+                if buf.len() - off < want {
+                    return Err(CodecError::Truncated);
+                }
+                for c in buf[off..off + want].chunks_exact(4) {
+                    out.push(f32::from_le_bytes(c.try_into().expect("len 4")));
+                }
+                off += want;
+            } else {
+                if !lo.is_finite() || !hi.is_finite() || hi < lo {
+                    return Err(CodecError::Malformed("degenerate quantizer chunk header"));
+                }
+                if buf.len() - off < len {
+                    return Err(CodecError::Truncated);
+                }
+                let scale = (hi - lo) / 255.0;
+                for &q in &buf[off..off + len] {
+                    out.push(Uniform8Bit::level(lo, hi, scale, q));
+                }
+                off += len;
+            }
+        }
+        if off != buf.len() {
+            return Err(CodecError::Malformed(
+                "trailing bytes after quantizer chunks",
+            ));
+        }
+        Ok(out)
+    }
+
+    fn encoded_bytes(&self, v: &[f32]) -> u64 {
+        let mut total = 0u64;
+        for chunk in v.chunks(self.chunk) {
+            total += 8 + match Uniform8Bit::plan(chunk) {
+                ChunkPlan::Quantized { .. } => chunk.len() as u64,
+                ChunkPlan::Raw => chunk.len() as u64 * 4,
+            };
+        }
+        total
+    }
 }
 
-/// Magnitude top-k sparsification: keeps the `k` largest-|·| entries,
-/// zeroing the rest. Wire cost is `k` (index, value) pairs of 8 bytes.
+/// Encodes a sparse selection as `[index u32][value f32]` pairs in
+/// ascending index order — the shared wire format of [`TopK`] and
+/// [`DriftMask`]. Values travel as raw bit patterns (NaN-safe).
+fn encode_pairs(v: &[f32], keep: &[usize]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(keep.len() * 8);
+    for &i in keep {
+        out.extend_from_slice(&(i as u32).to_le_bytes());
+        out.extend_from_slice(&v[i].to_le_bytes());
+    }
+    out
+}
+
+/// Decodes an `[index u32][value f32]` pair run into a length-`n` vector
+/// (zeros elsewhere). Indices must be strictly increasing and in range —
+/// the canonical form `encode_pairs` emits — so decode→encode is
+/// byte-identical and duplicates cannot double-write.
+fn decode_pairs(buf: &[u8], n: usize) -> Result<Vec<f32>, CodecError> {
+    if !buf.len().is_multiple_of(8) {
+        return Err(CodecError::Malformed("pair run not a multiple of 8 bytes"));
+    }
+    let count = buf.len() / 8;
+    if count > n {
+        return Err(CodecError::Malformed("more pairs than vector elements"));
+    }
+    let mut out = vec![0.0f32; n];
+    let mut prev: Option<u32> = None;
+    for pair in buf.chunks_exact(8) {
+        let idx = u32::from_le_bytes(pair[0..4].try_into().expect("len 4"));
+        let val = f32::from_le_bytes(pair[4..8].try_into().expect("len 4"));
+        if idx as usize >= n {
+            return Err(CodecError::Malformed("pair index out of range"));
+        }
+        if prev.is_some_and(|p| idx <= p) {
+            return Err(CodecError::Malformed(
+                "pair indices not strictly increasing",
+            ));
+        }
+        prev = Some(idx);
+        out[idx as usize] = val;
+    }
+    Ok(out)
+}
+
+/// Magnitude top-k sparsification: keeps up to `k` largest-|·| entries,
+/// zeroing the rest. Wire cost is 8 bytes per *kept* entry — exactly the
+/// emitted pair count, which is less than `k` when the input has fewer
+/// than `k` nonzero coordinates (zeros are never transmitted; a `−0.0`
+/// therefore reconstructs as `+0.0`).
+///
+/// Magnitudes are ordered by `f32::total_cmp`, which is total over NaN:
+/// a NaN coordinate sorts above `+inf`, is always selected, and its bit
+/// pattern survives the wire unchanged.
 #[derive(Debug, Clone, Copy)]
 pub struct TopK {
     k: usize,
@@ -129,6 +419,46 @@ impl TopK {
         assert!((0.0..=1.0).contains(&frac), "top-k: fraction in [0, 1]");
         TopK::new(((n as f64 * frac) as usize).max(1))
     }
+
+    /// Entries kept.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The indices this codec transmits, ascending. Zeros (±0.0) are
+    /// never kept; NaN magnitudes order above everything via `total_cmp`.
+    fn keep(&self, v: &[f32]) -> Vec<usize> {
+        let is_zero = |x: f32| x.abs().to_bits() == 0;
+        if self.k >= v.len() {
+            return (0..v.len()).filter(|&i| !is_zero(v[i])).collect();
+        }
+        // Select the k-th largest magnitude without a full sort.
+        let mut mags: Vec<f32> = v.iter().map(|x| x.abs()).collect();
+        let idx = mags.len() - self.k;
+        mags.select_nth_unstable_by(idx, f32::total_cmp);
+        let threshold = mags[idx];
+        let mut keep = Vec::with_capacity(self.k);
+        // Keep strictly-above first, then fill ties up to k in index order.
+        for (i, &x) in v.iter().enumerate() {
+            if x.abs().total_cmp(&threshold) == std::cmp::Ordering::Greater {
+                keep.push(i);
+            }
+        }
+        if keep.len() < self.k {
+            let mut fill = Vec::with_capacity(self.k - keep.len());
+            for (i, &x) in v.iter().enumerate() {
+                if fill.len() + keep.len() == self.k {
+                    break;
+                }
+                if x.abs().total_cmp(&threshold) == std::cmp::Ordering::Equal && !is_zero(x) {
+                    fill.push(i);
+                }
+            }
+            keep.extend(fill);
+            keep.sort_unstable();
+        }
+        keep
+    }
 }
 
 impl Codec for TopK {
@@ -136,40 +466,163 @@ impl Codec for TopK {
         "top-k"
     }
 
-    fn encoded_bytes(&self, n: usize) -> u64 {
-        (self.k.min(n) as u64) * 8
+    fn encode(&self, v: &[f32]) -> Vec<u8> {
+        encode_pairs(v, &self.keep(v))
     }
 
-    fn roundtrip(&self, v: &[f32]) -> Vec<f32> {
-        if self.k >= v.len() {
-            return v.to_vec();
+    fn decode(&self, buf: &[u8], n: usize) -> Result<Vec<f32>, CodecError> {
+        decode_pairs(buf, n)
+    }
+}
+
+/// Drift-threshold selective masking (Ji et al. 2020 composed with FDA):
+/// transmit only coordinates whose magnitude strictly exceeds a fixed
+/// per-coordinate threshold. Applied to FDA's drift payloads this sends
+/// exactly the coordinates that moved since the last synchronization —
+/// the per-coordinate refinement of the monitor's global drift decision.
+///
+/// Same `[index u32][value f32]` pair format as [`TopK`]; the emitted
+/// count is data-dependent (possibly zero). Comparison is
+/// `f32::total_cmp` on magnitudes, so NaN coordinates always transmit
+/// (bit-for-bit) and ±0.0 never does.
+#[derive(Debug, Clone, Copy)]
+pub struct DriftMask {
+    threshold: f32,
+}
+
+impl DriftMask {
+    /// Creates the codec with the given magnitude threshold.
+    ///
+    /// # Panics
+    /// Panics unless `threshold` is finite and non-negative.
+    pub fn new(threshold: f32) -> DriftMask {
+        assert!(
+            threshold.is_finite() && threshold >= 0.0,
+            "drift-mask: threshold must be finite and non-negative"
+        );
+        DriftMask { threshold }
+    }
+
+    /// The magnitude threshold.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    fn keep(&self, v: &[f32]) -> Vec<usize> {
+        (0..v.len())
+            .filter(|&i| v[i].abs().total_cmp(&self.threshold) == std::cmp::Ordering::Greater)
+            .collect()
+    }
+}
+
+impl Codec for DriftMask {
+    fn name(&self) -> &'static str {
+        "drift-mask"
+    }
+
+    fn encode(&self, v: &[f32]) -> Vec<u8> {
+        encode_pairs(v, &self.keep(v))
+    }
+
+    fn decode(&self, buf: &[u8], n: usize) -> Result<Vec<f32>, CodecError> {
+        decode_pairs(buf, n)
+    }
+
+    fn encoded_bytes(&self, v: &[f32]) -> u64 {
+        self.keep(v).len() as u64 * 8
+    }
+}
+
+/// Wire-encodable codec selection: which codec a job runs and its
+/// parameters. Carried in the `JobSpec` config frame so every process of
+/// a run builds the identical codec, and in the simulator so both sides
+/// share one lossy path.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum CodecSpec {
+    /// [`Dense32`] — identity payloads (the default; byte-identical to
+    /// the pre-codec wire layout).
+    #[default]
+    Dense,
+    /// [`Uniform8Bit`] with the given chunk length.
+    Uniform8 { chunk: u32 },
+    /// [`TopK`] keeping `k` entries.
+    TopK { k: u32 },
+    /// [`DriftMask`] with the given magnitude threshold.
+    DriftMask { threshold: f32 },
+}
+
+impl CodecSpec {
+    /// Codec name, matching what [`Codec::name`] reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CodecSpec::Dense => "dense-f32",
+            CodecSpec::Uniform8 { .. } => "uniform-8bit",
+            CodecSpec::TopK { .. } => "top-k",
+            CodecSpec::DriftMask { .. } => "drift-mask",
         }
-        // Select the k-th largest magnitude without a full sort.
-        let mut mags: Vec<f32> = v.iter().map(|x| x.abs()).collect();
-        let idx = mags.len() - self.k;
-        mags.select_nth_unstable_by(idx, |a, b| a.partial_cmp(b).expect("finite magnitudes"));
-        let threshold = mags[idx];
-        let mut kept = 0usize;
-        let mut out = vec![0.0f32; v.len()];
-        // Keep strictly-above first, then fill ties up to k deterministically.
-        for (o, &x) in out.iter_mut().zip(v) {
-            if x.abs() > threshold {
-                *o = x;
-                kept += 1;
+    }
+
+    /// Whether this is the identity codec (callers keep the uncoded fast
+    /// paths — and their byte-for-byte accounting — when it is).
+    pub fn is_dense(&self) -> bool {
+        matches!(self, CodecSpec::Dense)
+    }
+
+    /// Validates the parameters (a wire-decoded spec is untrusted).
+    pub fn validate(&self) -> Result<(), &'static str> {
+        match *self {
+            CodecSpec::Dense => Ok(()),
+            CodecSpec::Uniform8 { chunk: 0 } => Err("uniform8 chunk must be positive"),
+            CodecSpec::Uniform8 { .. } => Ok(()),
+            CodecSpec::TopK { k: 0 } => Err("top-k k must be positive"),
+            CodecSpec::TopK { .. } => Ok(()),
+            CodecSpec::DriftMask { threshold } if !(threshold.is_finite() && threshold >= 0.0) => {
+                Err("drift-mask threshold must be finite and non-negative")
             }
+            CodecSpec::DriftMask { .. } => Ok(()),
         }
-        if kept < self.k {
-            for (o, &x) in out.iter_mut().zip(v) {
-                if kept == self.k {
-                    break;
-                }
-                if *o == 0.0 && x.abs() == threshold && x != 0.0 {
-                    *o = x;
-                    kept += 1;
-                }
-            }
+    }
+
+    /// Builds the codec.
+    ///
+    /// # Panics
+    /// Panics if the spec fails [`CodecSpec::validate`] — wire decoders
+    /// validate before building, so this is a caller bug.
+    pub fn build(&self) -> Box<dyn Codec> {
+        self.validate().expect("valid codec spec");
+        match *self {
+            CodecSpec::Dense => Box::new(Dense32),
+            CodecSpec::Uniform8 { chunk } => Box::new(Uniform8Bit::new(chunk as usize)),
+            CodecSpec::TopK { k } => Box::new(TopK::new(k as usize)),
+            CodecSpec::DriftMask { threshold } => Box::new(DriftMask::new(threshold)),
         }
-        out
+    }
+
+    /// Parses a CLI spec: `dense`, `uniform8[:chunk]`, `topk:<k>`,
+    /// `driftmask:<threshold>`.
+    pub fn parse(s: &str) -> Result<CodecSpec, String> {
+        let (name, arg) = match s.split_once(':') {
+            Some((n, a)) => (n, Some(a)),
+            None => (s, None),
+        };
+        let spec = match (name, arg) {
+            ("dense", None) => CodecSpec::Dense,
+            ("uniform8", None) => CodecSpec::Uniform8 { chunk: 1024 },
+            ("uniform8", Some(a)) => CodecSpec::Uniform8 {
+                chunk: a.parse().map_err(|_| format!("bad uniform8 chunk '{a}'"))?,
+            },
+            ("topk", Some(a)) => CodecSpec::TopK {
+                k: a.parse().map_err(|_| format!("bad topk k '{a}'"))?,
+            },
+            ("driftmask", Some(a)) => CodecSpec::DriftMask {
+                threshold: a
+                    .parse()
+                    .map_err(|_| format!("bad driftmask threshold '{a}'"))?,
+            },
+            _ => return Err(format!("unknown codec spec '{s}'")),
+        };
+        spec.validate().map_err(String::from)?;
+        Ok(spec)
     }
 }
 
@@ -184,11 +637,24 @@ mod tests {
         v
     }
 
+    fn all_codecs() -> Vec<Box<dyn Codec>> {
+        vec![
+            Box::new(Dense32),
+            Box::new(Uniform8Bit::new(64)),
+            Box::new(TopK::new(17)),
+            Box::new(DriftMask::new(0.5)),
+        ]
+    }
+
     #[test]
-    fn dense_is_lossless() {
+    fn dense_is_lossless_and_byte_exact() {
         let v = sample(100, 1);
         assert_eq!(Dense32.roundtrip(&v), v);
-        assert_eq!(Dense32.encoded_bytes(100), 400);
+        assert_eq!(Dense32.encoded_bytes(&v), 400);
+        assert_eq!(Dense32.encode(&v).len(), 400);
+        // The dense payload is the raw LE f32 run — no header.
+        let enc = Dense32.encode(&v);
+        assert_eq!(&enc[0..4], &v[0].to_le_bytes());
     }
 
     #[test]
@@ -206,7 +672,7 @@ mod tests {
             );
         }
         // 4×-ish compression.
-        assert!(codec.encoded_bytes(5_000) < Dense32.encoded_bytes(5_000) / 3);
+        assert!(codec.encoded_bytes(&v) < Dense32.encoded_bytes(&v) / 3);
     }
 
     #[test]
@@ -216,6 +682,92 @@ mod tests {
         assert_eq!(r, v, "constant chunks must be exact");
     }
 
+    /// Regression (pre-fix: a NaN element quantized to the chunk minimum,
+    /// an all-NaN chunk reconstructed as `+inf`, and a chunk containing
+    /// `±inf` reconstructed as all-zeros): non-finite values now propagate
+    /// bit-for-bit through the raw-chunk escape.
+    #[test]
+    fn uniform8_propagates_non_finite_bit_for_bit() {
+        let codec = Uniform8Bit::new(8);
+        // One NaN (with a distinctive payload) among finite values.
+        let weird_nan = f32::from_bits(0x7fc1_2345);
+        let mut v = sample(24, 7);
+        v[3] = weird_nan;
+        v[10] = f32::INFINITY;
+        v[17] = f32::NEG_INFINITY;
+        let r = codec.roundtrip(&v);
+        assert_eq!(
+            r[3].to_bits(),
+            weird_nan.to_bits(),
+            "NaN payload must survive"
+        );
+        assert_eq!(r[10], f32::INFINITY);
+        assert_eq!(r[17], f32::NEG_INFINITY);
+        // The whole escaped chunk is bit-exact, not just the non-finite
+        // elements.
+        for i in [0, 1, 2, 4, 5, 6, 7, 8, 9, 11, 16, 18, 23] {
+            assert_eq!(r[i].to_bits(), v[i].to_bits(), "raw chunk element {i}");
+        }
+        // All-NaN input reconstructs all-NaN (pre-fix: +inf).
+        let nans = vec![f32::NAN; 16];
+        for (a, b) in nans.iter().zip(codec.roundtrip(&nans)) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// A chunk whose range overflows f32 (or collapses below resolution)
+    /// escapes to raw and is therefore exact.
+    #[test]
+    fn uniform8_escapes_degenerate_ranges_exactly() {
+        let codec = Uniform8Bit::new(4);
+        let v = vec![f32::MAX, -f32::MAX, 1.0, -1.0];
+        assert_eq!(codec.roundtrip(&v), v, "overflowed range ships raw");
+        // Huge offset, tiny range: levels collapse below ulp(lo) — the
+        // idempotence certificate must reject quantization.
+        let lo = 16_777_216.0f32; // 2^24, ulp = 2
+        let w = vec![lo, lo + 2.0, lo, lo + 2.0];
+        let r = codec.roundtrip(&w);
+        assert_eq!(r, w, "sub-resolution chunk ships raw");
+    }
+
+    /// Regression (pre-fix: `partial_cmp(..).expect("finite magnitudes")`
+    /// panicked): a NaN gradient must not crash the codec; it orders above
+    /// +inf via `total_cmp`, is always kept, and survives bit-for-bit.
+    #[test]
+    fn topk_roundtrip_survives_nan_gradients() {
+        let weird_nan = f32::from_bits(0xffc0_0042);
+        let mut v = sample(64, 9);
+        v[5] = weird_nan;
+        let codec = TopK::new(4);
+        let r = codec.roundtrip(&v); // pre-fix: panic
+        assert_eq!(
+            r[5].to_bits(),
+            weird_nan.to_bits(),
+            "NaN is kept, bit-exact"
+        );
+        assert_eq!(r.iter().filter(|x| x.to_bits() != 0).count(), 4);
+    }
+
+    /// Regression (pre-fix: `encoded_bytes` charged `min(k, n)` pairs even
+    /// when fewer were kept): charged bytes equal emitted bytes exactly on
+    /// sparse inputs.
+    #[test]
+    fn topk_encoded_bytes_equals_emitted_on_sparse_input() {
+        let codec = TopK::new(10);
+        let mut v = vec![0.0f32; 100];
+        v[4] = 1.0;
+        v[40] = -2.0;
+        v[44] = 3.0;
+        let enc = codec.encode(&v);
+        assert_eq!(enc.len(), 3 * 8, "only 3 nonzeros exist to transmit");
+        assert_eq!(
+            codec.encoded_bytes(&v),
+            enc.len() as u64, // pre-fix: charged 10 * 8
+            "charged bytes must equal emitted bytes"
+        );
+        assert_eq!(codec.roundtrip(&v), v);
+    }
+
     #[test]
     fn topk_keeps_exactly_k_nonzeros() {
         let v = sample(1_000, 3);
@@ -223,6 +775,7 @@ mod tests {
         let r = codec.roundtrip(&v);
         let nonzero = r.iter().filter(|&&x| x != 0.0).count();
         assert_eq!(nonzero, 50);
+        assert_eq!(codec.encode(&v).len(), 50 * 8);
         // Every kept value is one of the originals.
         for (a, b) in v.iter().zip(&r) {
             assert!(*b == 0.0 || a == b);
@@ -239,12 +792,131 @@ mod tests {
     #[test]
     fn topk_fraction_and_bytes() {
         let codec = TopK::fraction(10_000, 0.01);
-        assert_eq!(codec.encoded_bytes(10_000), 100 * 8);
+        let v = sample(10_000, 11);
+        assert_eq!(codec.encoded_bytes(&v), 100 * 8);
         let full = TopK::new(20);
         assert_eq!(
             full.roundtrip(&[1.0, 2.0]),
             vec![1.0, 2.0],
             "k >= n is lossless"
+        );
+    }
+
+    #[test]
+    fn driftmask_transmits_only_above_threshold() {
+        let codec = DriftMask::new(1.0);
+        let v = vec![0.5f32, -3.0, 1.0, 2.0, -0.25, f32::NAN];
+        let enc = codec.encode(&v);
+        // |−3| and |2| exceed 1.0 strictly; |1.0| ties and stays home;
+        // NaN orders above +inf and always transmits.
+        assert_eq!(enc.len(), 3 * 8);
+        assert_eq!(codec.encoded_bytes(&v), 3 * 8);
+        let r = codec.decode(&enc, v.len()).unwrap();
+        assert_eq!(r[0], 0.0);
+        assert_eq!(r[1], -3.0);
+        assert_eq!(r[2], 0.0);
+        assert_eq!(r[3], 2.0);
+        assert!(r[5].is_nan());
+        // Empty mask is a legal zero-byte payload.
+        let quiet = vec![0.1f32; 8];
+        assert_eq!(codec.encode(&quiet).len(), 0);
+        assert_eq!(codec.decode(&[], 8).unwrap(), vec![0.0; 8]);
+    }
+
+    /// The shared byte-idempotence contract: one encode reaches the fixed
+    /// point, so `encode(decode(encode(v)))` is byte-identical.
+    #[test]
+    fn encode_decode_encode_is_byte_identical() {
+        let mut v = sample(3_000, 13);
+        v[7] = f32::NAN;
+        v[100] = f32::INFINITY;
+        v[2_000] = 0.0;
+        for codec in all_codecs() {
+            let e1 = codec.encode(&v);
+            let d = codec.decode(&e1, v.len()).unwrap();
+            let e2 = codec.encode(&d);
+            assert_eq!(e1, e2, "{} is not byte-idempotent", codec.name());
+            assert_eq!(codec.encoded_bytes(&v), e1.len() as u64, "{}", codec.name());
+        }
+    }
+
+    /// Decoders are total: truncations and mutations of valid payloads,
+    /// and raw byte soup, never panic and never succeed with trailing
+    /// bytes.
+    #[test]
+    fn decoders_are_total_on_hostile_input() {
+        let v = sample(300, 17);
+        for codec in all_codecs() {
+            let enc = codec.encode(&v);
+            for cut in 0..enc.len().min(64) {
+                let _ = codec.decode(&enc[..cut], v.len());
+                let _ = codec.decode(&enc[..enc.len() - cut], v.len());
+            }
+            let mut junk = enc.clone();
+            junk.extend_from_slice(&[0xAB; 9]);
+            assert!(codec.decode(&junk, v.len()).is_err(), "{}", codec.name());
+        }
+        // Pair runs: out-of-range and non-increasing indices are rejected.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&999u32.to_le_bytes());
+        bad.extend_from_slice(&1.0f32.to_le_bytes());
+        assert!(TopK::new(4).decode(&bad, 10).is_err());
+        let mut dup = Vec::new();
+        for _ in 0..2 {
+            dup.extend_from_slice(&3u32.to_le_bytes());
+            dup.extend_from_slice(&1.0f32.to_le_bytes());
+        }
+        assert!(DriftMask::new(0.0).decode(&dup, 10).is_err());
+    }
+
+    #[test]
+    fn codec_spec_builds_parses_and_validates() {
+        for (s, name) in [
+            ("dense", "dense-f32"),
+            ("uniform8", "uniform-8bit"),
+            ("uniform8:256", "uniform-8bit"),
+            ("topk:32", "top-k"),
+            ("driftmask:0.01", "drift-mask"),
+        ] {
+            let spec = CodecSpec::parse(s).unwrap();
+            assert_eq!(spec.name(), name);
+            assert_eq!(spec.build().name(), name);
+        }
+        assert!(CodecSpec::parse("topk").is_err());
+        assert!(CodecSpec::parse("topk:0").is_err());
+        assert!(CodecSpec::parse("uniform8:0").is_err());
+        assert!(CodecSpec::parse("driftmask:nan").is_err());
+        assert!(CodecSpec::parse("driftmask:-1").is_err());
+        assert!(CodecSpec::parse("gzip").is_err());
+        assert!(CodecSpec::Dense.is_dense());
+        assert!(!CodecSpec::TopK { k: 5 }.is_dense());
+        assert_eq!(CodecSpec::default(), CodecSpec::Dense);
+    }
+
+    #[test]
+    fn hostile_length_claims_fail_before_allocating() {
+        // Regression: `Uniform8Bit::decode` used to reserve `n` output
+        // slots before looking at the buffer at all, so a hostile length
+        // claim aborted the process inside the allocator instead of
+        // returning an error. Buffer-bounded codecs must reject an `n`
+        // the buffer cannot possibly back *before* allocating for it.
+        let tiny = [0u8; 16];
+        for n in [usize::MAX, usize::MAX >> 8, 1 << 40] {
+            // Dense rejects via its length-overflow/size check.
+            assert!(Dense32.decode(&tiny, n).is_err());
+            assert_eq!(
+                Uniform8Bit::new(64).decode(&tiny, n),
+                Err(CodecError::Truncated)
+            );
+            assert_eq!(
+                Uniform8Bit::new(1).decode(&tiny, n),
+                Err(CodecError::Truncated)
+            );
+        }
+        // And an `n` that saturates its own floor arithmetic still errors.
+        assert_eq!(
+            Uniform8Bit::new(1).decode(&[], usize::MAX),
+            Err(CodecError::Truncated)
         );
     }
 

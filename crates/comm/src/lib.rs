@@ -23,7 +23,7 @@ pub mod cost;
 pub mod sim;
 pub mod threaded;
 
-pub use compress::{Codec, Dense32, TopK, Uniform8Bit};
+pub use compress::{Codec, CodecError, CodecSpec, Dense32, DriftMask, TopK, Uniform8Bit};
 pub use cost::{AccountingMode, Environment};
 pub use sim::SimNetwork;
 pub use threaded::ThreadedReducer;

@@ -63,12 +63,30 @@ impl SimNetwork {
     /// ragged.
     pub fn allreduce_mean(&mut self, buffers: &mut [Vec<f32>]) {
         assert_eq!(buffers.len(), self.k, "allreduce: buffer count != K");
+        let payload = buffers[0].len() as u64 * 4;
+        let payloads = vec![payload; self.k];
+        self.allreduce_mean_with(buffers, &payloads);
+    }
+
+    /// [`SimNetwork::allreduce_mean`] with per-worker payload sizes: the
+    /// identical arithmetic, but worker `i` is charged for `payloads[i]`
+    /// bytes instead of the dense `n·4`. This is the accounting shape of a
+    /// content-dependent codec (top-k / drift-mask emit different byte
+    /// counts per worker); callers roundtrip the buffers through the codec
+    /// *before* this call so the averaged values match what a receiver
+    /// reconstructs.
+    ///
+    /// # Panics
+    /// Panics if buffer or payload counts differ from `K`, or buffer
+    /// lengths are ragged.
+    pub fn allreduce_mean_with(&mut self, buffers: &mut [Vec<f32>], payloads: &[u64]) {
+        assert_eq!(payloads.len(), self.k, "allreduce: payload count != K");
+        assert_eq!(buffers.len(), self.k, "allreduce: buffer count != K");
         let n = buffers[0].len();
         assert!(
             buffers.iter().all(|b| b.len() == n),
             "allreduce: ragged buffers"
         );
-        // Sum into the first buffer, then scale and broadcast.
         let inv_k = 1.0 / self.k as f32;
         let (first, rest) = buffers.split_first_mut().expect("k >= 1");
         for b in rest.iter() {
@@ -79,7 +97,7 @@ impl SimNetwork {
         for b in rest.iter_mut() {
             b.copy_from_slice(&mean);
         }
-        self.charge_all(n as u64 * 4);
+        self.charge_per_worker(payloads);
     }
 
     /// AllReduce-average over one scalar per worker; returns the mean and
@@ -103,6 +121,21 @@ impl SimNetwork {
         let per = self.mode.per_worker_bytes(payload_bytes, self.k);
         for s in &mut self.per_worker {
             s.bytes += per;
+            s.messages += 1;
+        }
+    }
+
+    /// Charges worker `i` for an AllReduce participation with its own
+    /// payload size `payloads[i]` — the accounting entry point for codecs
+    /// whose emitted byte count is content-dependent and therefore varies
+    /// per worker.
+    ///
+    /// # Panics
+    /// Panics if `payloads.len() != K`.
+    pub fn charge_per_worker(&mut self, payloads: &[u64]) {
+        assert_eq!(payloads.len(), self.k, "charge: payload count != K");
+        for (s, &payload) in self.per_worker.iter_mut().zip(payloads) {
+            s.bytes += self.mode.per_worker_bytes(payload, self.k);
             s.messages += 1;
         }
     }
@@ -196,6 +229,29 @@ mod tests {
         net.reset();
         assert_eq!(net.total_bytes(), 0);
         assert_eq!(net.total_messages(), 0);
+    }
+
+    #[test]
+    fn per_worker_payload_charging() {
+        let mut net = SimNetwork::new(3);
+        net.charge_per_worker(&[100, 0, 50]);
+        assert_eq!(net.worker_stats(0).bytes, 100);
+        assert_eq!(net.worker_stats(1).bytes, 0);
+        assert_eq!(net.worker_stats(2).bytes, 50);
+        assert_eq!(net.total_messages(), 3);
+        // k == 1 charges nothing under the paper convention.
+        let mut solo = SimNetwork::new(1);
+        solo.charge_per_worker(&[100]);
+        assert_eq!(solo.total_bytes(), 0);
+        // allreduce_mean_with does the same arithmetic as allreduce_mean
+        // while charging the supplied per-worker payloads.
+        let mut bufs = vec![vec![1.0f32, 4.0], vec![2.0, 5.0], vec![3.0, 6.0]];
+        let mut net2 = SimNetwork::new(3);
+        net2.allreduce_mean_with(&mut bufs, &[8, 16, 24]);
+        for b in &bufs {
+            assert_eq!(b, &vec![2.0, 5.0]);
+        }
+        assert_eq!(net2.total_bytes(), 48);
     }
 
     #[test]

@@ -447,6 +447,39 @@ impl Cluster {
         }
     }
 
+    /// [`Cluster::allreduce_models`] with an uplink codec: each worker's
+    /// parameters are encoded, charged at exactly the emitted byte count,
+    /// and reconstructed (decoded) before the worker-order mean — the same
+    /// arithmetic a coordinator receiving coded uploads performs. The
+    /// consensus broadcast stays dense, mirroring the `fda_net` downlink.
+    /// Runs sequentially even in pooled mode: the lossy reconstruction
+    /// must follow the single code path the socket coordinator uses, or
+    /// the bit-identity proofs break.
+    ///
+    /// # Panics
+    /// Panics if the codec fails to decode its own output (a codec
+    /// contract violation, not an input condition).
+    pub fn allreduce_models_coded(&mut self, codec: &dyn fda_comm::Codec) -> Vec<f32> {
+        let k = self.workers.len();
+        let mut bufs: Vec<Vec<f32>> = Vec::with_capacity(k);
+        let mut payloads: Vec<u64> = Vec::with_capacity(k);
+        for w in &self.workers {
+            let params = w.model.params_flat();
+            let enc = codec.encode(&params);
+            payloads.push(enc.len() as u64);
+            bufs.push(
+                codec
+                    .decode(&enc, params.len())
+                    .expect("codec decodes own output"),
+            );
+        }
+        self.net.allreduce_mean_with(&mut bufs, &payloads);
+        for (w, buf) in self.workers.iter_mut().zip(&bufs) {
+            w.model.load_params(buf);
+        }
+        bufs.into_iter().next().expect("k >= 1")
+    }
+
     /// The average of the current worker models **without** any
     /// communication charge — used only for evaluation, mirroring the
     /// paper's convention that accuracy is measured on the (conceptual)

@@ -17,6 +17,7 @@ use crate::cluster::{Cluster, ClusterConfig};
 use crate::monitor::{ExactMonitor, LinearMonitor, LocalState, SketchMonitor, VarianceMonitor};
 use crate::pool::SendPtr;
 use crate::strategy::{StepOutcome, Strategy};
+use fda_comm::{Codec, CodecSpec};
 use fda_data::TaskData;
 use fda_sketch::SketchConfig;
 use fda_tensor::vector;
@@ -133,6 +134,11 @@ pub struct Fda {
     /// Reused slot for the averaged state `S̄_t` in the pooled reduction
     /// (the sequential reference path allocates, as it always did).
     avg_state: Option<LocalState>,
+    /// The uplink payload codec. [`CodecSpec::Dense`] by default.
+    codec: CodecSpec,
+    /// Built codec — `None` on the dense path, which keeps its historical
+    /// byte-for-byte behaviour (pooled reductions, `charge_allreduce`).
+    codec_impl: Option<Box<dyn Codec>>,
 }
 
 impl Fda {
@@ -163,6 +169,8 @@ impl Fda {
             drift_bufs: Vec::new(),
             states: Vec::new(),
             avg_state: None,
+            codec: CodecSpec::Dense,
+            codec_impl: None,
         }
     }
 
@@ -181,7 +189,29 @@ impl Fda {
             drift_bufs: Vec::new(),
             states: Vec::new(),
             avg_state: None,
+            codec: CodecSpec::Dense,
+            codec_impl: None,
         }
+    }
+
+    /// Selects the uplink payload codec: worker → coordinator state
+    /// summaries and model uploads are roundtripped through it (the lossy
+    /// reconstruction a receiver of encoded payloads computes) and charged
+    /// at exactly the emitted byte counts. The drift scalar and the
+    /// consensus downlink stay dense. [`CodecSpec::Dense`] restores the
+    /// historical byte-for-byte behaviour.
+    ///
+    /// # Panics
+    /// Panics if the spec fails [`CodecSpec::validate`].
+    pub fn set_codec(&mut self, spec: CodecSpec) {
+        spec.validate().expect("fda: invalid codec spec");
+        self.codec_impl = (!spec.is_dense()).then(|| spec.build());
+        self.codec = spec;
+    }
+
+    /// The configured uplink codec.
+    pub fn codec_spec(&self) -> CodecSpec {
+        self.codec
     }
 
     /// The variance threshold Θ.
@@ -300,8 +330,25 @@ impl Fda {
         // (3) AllReduce of the states — charged at the monitor's state
         //     size. The arithmetic is the component-wise average; the
         //     estimate `H(S̄_t)` comes straight off the averaged state.
-        let state_bytes = self.monitor.state_bytes();
-        self.cluster.net_mut().charge_allreduce(state_bytes);
+        if let Some(codec) = &self.codec_impl {
+            // Coded uplink: roundtrip every worker's summary through the
+            // codec — what a coordinator reconstructs from an encoded
+            // deposit — and charge exactly the emitted bytes plus the raw
+            // 4-byte drift scalar (the codec covers the summary only).
+            let mut payloads = Vec::with_capacity(self.states.len());
+            for s in &mut self.states {
+                let enc = codec.encode(s.summary_slice());
+                payloads.push(4 + enc.len() as u64);
+                let dec = codec
+                    .decode(&enc, s.summary_slice().len())
+                    .expect("codec decodes own output");
+                s.summary_slice_mut().copy_from_slice(&dec);
+            }
+            self.cluster.net_mut().charge_per_worker(&payloads);
+        } else {
+            let state_bytes = self.monitor.state_bytes();
+            self.cluster.net_mut().charge_allreduce(state_bytes);
+        }
         let estimate = self.averaged_estimate();
         let t2 = Instant::now();
 
@@ -309,7 +356,10 @@ impl Fda {
         let mut synced = false;
         if estimate > self.theta {
             let w_prev = std::mem::take(&mut self.w_sync);
-            let w_new = self.cluster.allreduce_models();
+            let w_new = match &self.codec_impl {
+                Some(codec) => self.cluster.allreduce_models_coded(codec.as_ref()),
+                None => self.cluster.allreduce_models(),
+            };
             self.monitor.on_sync(&w_new, &w_prev);
             self.w_sync = w_new;
             self.syncs += 1;

@@ -26,6 +26,7 @@
 use crate::cluster::ClusterConfig;
 use crate::fda::{FdaConfig, FdaVariant};
 use crate::monitor::{LocalState, StateSummary};
+use fda_comm::compress::{Codec, CodecError, CodecSpec};
 use fda_data::synth::SynthSpec;
 use fda_data::Partition;
 use fda_nn::zoo::ModelId;
@@ -33,7 +34,10 @@ use fda_optim::OptimizerKind;
 use fda_sketch::{AmsSketch, SketchConfig};
 
 /// Version byte leading every encoded [`JobSpec`] frame.
-pub const JOB_WIRE_VERSION: u8 = 1;
+///
+/// v2: the job carries its payload codec ([`CodecSpec`]) so every process
+/// of a run encodes and decodes sync payloads identically.
+pub const JOB_WIRE_VERSION: u8 = 2;
 
 /// Errors produced when decoding a wire buffer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,6 +64,15 @@ impl std::fmt::Display for DecodeError {
 }
 
 impl std::error::Error for DecodeError {}
+
+impl From<CodecError> for DecodeError {
+    fn from(e: CodecError) -> DecodeError {
+        match e {
+            CodecError::Truncated => DecodeError::Truncated,
+            CodecError::Malformed(what) => DecodeError::Malformed(what),
+        }
+    }
+}
 
 fn put_f32(out: &mut Vec<u8>, v: f32) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -132,34 +145,11 @@ fn check_f32_run(buf: &[u8], off: usize, count: usize) -> Result<(), DecodeError
     Ok(())
 }
 
-/// Encodes a local state into bytes.
+/// Encodes a local state into bytes — the dense layout, i.e.
+/// [`encode_state_coded`] under the identity codec (one code path, so the
+/// layouts cannot diverge).
 pub fn encode_state(state: &LocalState) -> Vec<u8> {
-    let mut out = Vec::with_capacity(16);
-    match &state.summary {
-        StateSummary::Linear(proj) => {
-            out.push(0);
-            put_f32(&mut out, state.drift_sq_norm);
-            put_f32(&mut out, *proj);
-        }
-        StateSummary::Sketch(sk) => {
-            out.push(1);
-            put_f32(&mut out, state.drift_sq_norm);
-            out.extend_from_slice(&(sk.rows() as u16).to_le_bytes());
-            out.extend_from_slice(&(sk.cols() as u16).to_le_bytes());
-            for &v in sk.as_slice() {
-                put_f32(&mut out, v);
-            }
-        }
-        StateSummary::Exact(v) => {
-            out.push(2);
-            put_f32(&mut out, state.drift_sq_norm);
-            out.extend_from_slice(&(v.len() as u32).to_le_bytes());
-            for &x in v {
-                put_f32(&mut out, x);
-            }
-        }
-    }
-    out
+    encode_state_coded(state, &fda_comm::compress::Dense32)
 }
 
 /// Decodes a state buffer.
@@ -214,13 +204,7 @@ pub fn decode_state(buf: &[u8]) -> Result<LocalState, DecodeError> {
 /// Panics if `v.len()` exceeds `u32::MAX` (a ~17 GB payload — far past any
 /// model this workspace ships).
 pub fn encode_vector(v: &[f32]) -> Vec<u8> {
-    assert!(v.len() <= u32::MAX as usize, "vector too long for the wire");
-    let mut out = Vec::with_capacity(4 + v.len() * 4);
-    put_u32(&mut out, v.len() as u32);
-    for &x in v {
-        put_f32(&mut out, x);
-    }
-    out
+    encode_vector_coded(v, &fda_comm::compress::Dense32)
 }
 
 /// Decodes one `[ len: u32 ][ len × f32 ]` vector starting at `*off`,
@@ -250,6 +234,131 @@ pub fn decode_vector(buf: &[u8]) -> Result<Vec<f32>, DecodeError> {
     Ok(v)
 }
 
+/// Writes the self-describing head of a state frame — tag, drift scalar,
+/// and summary shape — shared by the dense and coded state encoders so
+/// the layouts cannot drift apart.
+fn put_state_header(out: &mut Vec<u8>, state: &LocalState) {
+    match &state.summary {
+        StateSummary::Linear(_) => {
+            out.push(0);
+            put_f32(out, state.drift_sq_norm);
+        }
+        StateSummary::Sketch(sk) => {
+            out.push(1);
+            put_f32(out, state.drift_sq_norm);
+            put_u16(out, sk.rows() as u16);
+            put_u16(out, sk.cols() as u16);
+        }
+        StateSummary::Exact(v) => {
+            out.push(2);
+            put_f32(out, state.drift_sq_norm);
+            put_u32(out, v.len() as u32);
+        }
+    }
+}
+
+/// Self-description bytes of a state frame (tag byte + shape dims) that
+/// the paper's accounting convention does **not** charge; the frame's
+/// remaining bytes — the drift scalar and the codec payload — are the
+/// accounted state payload.
+pub fn state_frame_overhead(state: &LocalState) -> u64 {
+    1 + match &state.summary {
+        StateSummary::Linear(_) => 0,
+        StateSummary::Sketch(_) => 4,
+        StateSummary::Exact(_) => 4,
+    }
+}
+
+/// Encodes a local state with its summary run carried as a codec payload:
+/// the [`encode_state`] header (tag, drift scalar, shape dims) followed by
+/// `codec.encode(summary)`. With [`fda_comm::compress::Dense32`] the
+/// output is byte-identical to [`encode_state`] — the dense codec payload
+/// *is* the raw `f32` run — so dense-coded wire traffic is unchanged from
+/// the pre-codec layout.
+pub fn encode_state_coded(state: &LocalState, codec: &dyn Codec) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    put_state_header(&mut out, state);
+    out.extend_from_slice(&codec.encode(state.summary_slice()));
+    out
+}
+
+/// Decodes a coded state frame against an `expected` shape template
+/// (receiver knowledge — the monitor's own state layout). The wire
+/// header's tag and dimensions must match the template **before** any
+/// allocation is sized, so a hostile header cannot request gigabytes; the
+/// remainder of the buffer is the codec payload, decoded totally.
+pub fn decode_state_coded(
+    buf: &[u8],
+    expected: &LocalState,
+    codec: &dyn Codec,
+) -> Result<LocalState, DecodeError> {
+    let tag = *buf.first().ok_or(DecodeError::Truncated)?;
+    let mut off = 1usize;
+    let drift_sq_norm = get_f32(buf, &mut off)?;
+    let summary = match (&expected.summary, tag) {
+        (StateSummary::Linear(_), 0) => {
+            let values = codec.decode(&buf[off..], 1)?;
+            StateSummary::Linear(values[0])
+        }
+        (StateSummary::Sketch(want), 1) => {
+            let rows = get_u16(buf, &mut off)? as usize;
+            let cols = get_u16(buf, &mut off)? as usize;
+            if rows != want.rows() || cols != want.cols() {
+                return Err(DecodeError::Malformed("sketch shape mismatch"));
+            }
+            let values = codec.decode(&buf[off..], rows * cols)?;
+            let mut sk = AmsSketch::zeros(rows, cols);
+            sk.as_mut_slice().copy_from_slice(&values);
+            StateSummary::Sketch(sk)
+        }
+        (StateSummary::Exact(want), 2) => {
+            let len = get_u32(buf, &mut off)? as usize;
+            if len != want.len() {
+                return Err(DecodeError::Malformed("exact summary length mismatch"));
+            }
+            StateSummary::Exact(codec.decode(&buf[off..], len)?)
+        }
+        (_, 0..=2) => return Err(DecodeError::Malformed("state tag mismatch")),
+        (_, other) => return Err(DecodeError::BadTag(other)),
+    };
+    Ok(LocalState {
+        drift_sq_norm,
+        summary,
+    })
+}
+
+/// Encodes a vector with the run carried as a codec payload:
+/// `[ len: u32 ][ codec payload ]`. Byte-identical to [`encode_vector`]
+/// under the dense codec.
+///
+/// # Panics
+/// Panics if `v.len()` exceeds `u32::MAX`.
+pub fn encode_vector_coded(v: &[f32], codec: &dyn Codec) -> Vec<u8> {
+    assert!(v.len() <= u32::MAX as usize, "vector too long for the wire");
+    let payload = codec.encode(v);
+    let mut out = Vec::with_capacity(4 + payload.len());
+    put_u32(&mut out, v.len() as u32);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decodes a coded vector frame against the receiver's `expected_len`
+/// (e.g. the model dimension). The length header must match the
+/// expectation before any allocation — the untrusted header never sizes
+/// memory — and the rest of the buffer is the codec payload.
+pub fn decode_vector_coded(
+    buf: &[u8],
+    expected_len: usize,
+    codec: &dyn Codec,
+) -> Result<Vec<f32>, DecodeError> {
+    let mut off = 0usize;
+    let len = get_u32(buf, &mut off)? as usize;
+    if len != expected_len {
+        return Err(DecodeError::Malformed("vector length mismatch"));
+    }
+    Ok(codec.decode(&buf[off..], len)?)
+}
+
 /// A complete, self-contained FDA job description — everything a remote
 /// worker process needs to reconstruct its exact replica of a simulated
 /// run: the cluster shape (model, shards, seeds, optimizer), the FDA
@@ -264,6 +373,10 @@ pub struct JobSpec {
     pub cluster: ClusterConfig,
     /// FDA variant and variance threshold Θ.
     pub fda: FdaConfig,
+    /// Payload codec for worker-uplink sync traffic (state deposits and
+    /// model uploads). Downlink broadcasts stay dense so every worker
+    /// receives the consensus bit-exactly.
+    pub codec: CodecSpec,
     /// Steps every worker performs.
     pub steps: u32,
     /// Synthetic task generator.
@@ -368,6 +481,42 @@ fn get_partition(buf: &[u8], off: &mut usize) -> Result<Partition, DecodeError> 
     })
 }
 
+fn put_codec(out: &mut Vec<u8>, c: CodecSpec) {
+    match c {
+        CodecSpec::Dense => out.push(0),
+        CodecSpec::Uniform8 { chunk } => {
+            out.push(1);
+            put_u32(out, chunk);
+        }
+        CodecSpec::TopK { k } => {
+            out.push(2);
+            put_u32(out, k);
+        }
+        CodecSpec::DriftMask { threshold } => {
+            out.push(3);
+            put_f32(out, threshold);
+        }
+    }
+}
+
+fn get_codec(buf: &[u8], off: &mut usize) -> Result<CodecSpec, DecodeError> {
+    let spec = match get_u8(buf, off)? {
+        0 => CodecSpec::Dense,
+        1 => CodecSpec::Uniform8 {
+            chunk: get_u32(buf, off)?,
+        },
+        2 => CodecSpec::TopK {
+            k: get_u32(buf, off)?,
+        },
+        3 => CodecSpec::DriftMask {
+            threshold: get_f32(buf, off)?,
+        },
+        t => return Err(DecodeError::BadTag(t)),
+    };
+    spec.validate().map_err(DecodeError::Malformed)?;
+    Ok(spec)
+}
+
 fn put_variant(out: &mut Vec<u8>, v: FdaVariant) {
     match v {
         FdaVariant::Sketch(sk) => {
@@ -429,6 +578,7 @@ pub fn encode_job(job: &JobSpec) -> Vec<u8> {
     put_bool(&mut out, c.parallel);
     put_variant(&mut out, job.fda.variant);
     put_f32(&mut out, job.fda.theta);
+    put_codec(&mut out, job.codec);
     put_u32(&mut out, job.steps);
     let s = &job.synth;
     put_u32(&mut out, s.classes as u32);
@@ -476,6 +626,7 @@ pub fn decode_job(buf: &[u8]) -> Result<JobSpec, DecodeError> {
         variant: get_variant(buf, &mut off)?,
         theta: get_f32(buf, &mut off)?,
     };
+    let codec = get_codec(buf, &mut off)?;
     let steps = get_u32(buf, &mut off)?;
     let classes = get_u32(buf, &mut off)? as usize;
     let modes_per_class = get_u32(buf, &mut off)? as usize;
@@ -515,6 +666,7 @@ pub fn decode_job(buf: &[u8]) -> Result<JobSpec, DecodeError> {
     Ok(JobSpec {
         cluster,
         fda,
+        codec,
         steps,
         synth,
         task_name,
@@ -658,6 +810,7 @@ mod tests {
         JobSpec {
             cluster: crate::cluster::ClusterConfig::small_test(4),
             fda: crate::fda::FdaConfig::sketch_auto(0.02),
+            codec: CodecSpec::Dense,
             steps: 12,
             synth: SynthSpec {
                 n_train: 240,
@@ -704,6 +857,16 @@ mod tests {
         };
         j.cluster.optimizer = fda_optim::OptimizerKind::Sgd { lr: 0.05 };
         jobs.push(j);
+        // Cover every codec tag.
+        for codec in [
+            CodecSpec::Uniform8 { chunk: 512 },
+            CodecSpec::TopK { k: 100 },
+            CodecSpec::DriftMask { threshold: 0.01 },
+        ] {
+            let mut j = sample_job();
+            j.codec = codec;
+            jobs.push(j);
+        }
         for (i, job) in jobs.iter().enumerate() {
             let bytes = encode_job(job);
             let back = decode_job(&bytes).unwrap();
@@ -729,5 +892,105 @@ mod tests {
         }
         bytes.push(0xAB);
         assert!(matches!(decode_job(&bytes), Err(DecodeError::Truncated)));
+    }
+
+    #[test]
+    fn job_decode_rejects_invalid_codec_params() {
+        // A wire-decoded codec spec is untrusted: zero chunk / zero k /
+        // non-finite threshold must fail validation, not build a panicky
+        // codec later.
+        let mut j = sample_job();
+        j.codec = CodecSpec::Uniform8 { chunk: 1 };
+        let bytes = encode_job(&j);
+        // The codec field sits right after variant tag (1) + theta (4);
+        // locate it by re-encoding with a marker value instead of byte
+        // surgery: encode specs that validate, then corrupt the param.
+        let good = decode_job(&bytes).unwrap();
+        assert_eq!(good.codec, CodecSpec::Uniform8 { chunk: 1 });
+        let pos = bytes
+            .windows(5)
+            .position(|w| w == [1u8, 1, 0, 0, 0])
+            .expect("codec tag + chunk=1 in frame");
+        let mut bad = bytes.clone();
+        bad[pos + 1..pos + 5].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(decode_job(&bad), Err(DecodeError::Malformed(_))));
+    }
+
+    /// Dense-coded frames are byte-identical to the pre-codec layouts —
+    /// the invariant that keeps golden hashes and dense byte accounting
+    /// unchanged with the codec layer threaded through.
+    #[test]
+    fn dense_coded_frames_match_uncoded_layouts() {
+        use fda_comm::compress::Dense32;
+        let states = [
+            LinearMonitor::new().local_state(&drift(16)),
+            SketchMonitor::new(SketchConfig::new(3, 16, 9), 64).local_state(&drift(64)),
+            ExactMonitor::new(32).local_state(&drift(32)),
+        ];
+        for s in &states {
+            assert_eq!(encode_state(s), encode_state_coded(s, &Dense32));
+            let back = decode_state_coded(&encode_state(s), s, &Dense32).unwrap();
+            assert_eq!(encode_state(&back), encode_state(s));
+        }
+        let v = drift(97);
+        assert_eq!(encode_vector(&v), encode_vector_coded(&v, &Dense32));
+        assert_eq!(
+            decode_vector_coded(&encode_vector(&v), 97, &Dense32).unwrap(),
+            v
+        );
+    }
+
+    #[test]
+    fn coded_state_roundtrips_and_validates_shape() {
+        use fda_comm::compress::{TopK, Uniform8Bit};
+        let m = ExactMonitor::new(64);
+        let s = m.local_state(&drift(64));
+        let codec = TopK::new(5);
+        let bytes = encode_state_coded(&s, &codec);
+        // Exact header (1 tag + 4 drift + 4 len) + 5 pairs.
+        assert_eq!(bytes.len() as u64, state_frame_overhead(&s) + 4 + 5 * 8);
+        let back = decode_state_coded(&bytes, &s, &codec).unwrap();
+        assert_eq!(back.drift_sq_norm, s.drift_sq_norm);
+        match &back.summary {
+            StateSummary::Exact(v) => {
+                assert_eq!(v.len(), 64);
+                assert_eq!(v.iter().filter(|x| **x != 0.0).count(), 5);
+            }
+            _ => panic!("summary kind changed"),
+        }
+        // Re-encoding the reconstruction is byte-identical (the simulator
+        // charges exactly what the socket carried).
+        assert_eq!(encode_state_coded(&back, &codec), bytes);
+        // A mismatched template is rejected before decoding values.
+        let other = ExactMonitor::new(63).local_state(&drift(63));
+        assert!(decode_state_coded(&bytes, &other, &codec).is_err());
+        let linear = LinearMonitor::new().local_state(&drift(64));
+        assert!(decode_state_coded(&bytes, &linear, &codec).is_err());
+        // Sketch states quantize, too.
+        let sm = SketchMonitor::new(SketchConfig::new(5, 50, 7), 64);
+        let ss = sm.local_state(&drift(64));
+        let q = Uniform8Bit::new(64);
+        let qb = encode_state_coded(&ss, &q);
+        let qback = decode_state_coded(&qb, &ss, &q).unwrap();
+        assert!(ss.same_shape(&qback));
+        assert_eq!(encode_state_coded(&qback, &q), qb);
+    }
+
+    #[test]
+    fn coded_vector_rejects_length_mismatch_and_truncation() {
+        use fda_comm::compress::Uniform8Bit;
+        let codec = Uniform8Bit::new(32);
+        let v = drift(100);
+        let bytes = encode_vector_coded(&v, &codec);
+        let back = decode_vector_coded(&bytes, 100, &codec).unwrap();
+        assert_eq!(encode_vector_coded(&back, &codec), bytes);
+        // Wrong expectation: rejected before any allocation.
+        assert!(matches!(
+            decode_vector_coded(&bytes, 99, &codec),
+            Err(DecodeError::Malformed(_))
+        ));
+        for cut in 0..bytes.len() {
+            assert!(decode_vector_coded(&bytes[..cut], 100, &codec).is_err());
+        }
     }
 }

@@ -38,10 +38,13 @@
 //! full argument lives in DESIGN.md § "Failure model".
 
 use crate::frame::{write_frame, CountingStream, FrameKind, NetError, PROTOCOL_VERSION};
-use crate::protocol::{recv_at_epoch, Msg};
+use crate::protocol::{recv_at_epoch, recv_frame_at_epoch, Msg};
 use fda_comm::{AccountingMode, SimNetwork};
 use fda_core::monitor::LocalState;
-use fda_core::wire::{encode_state, encode_vector, JobSpec};
+use fda_core::wire::{
+    decode_state_coded, decode_vector_coded, encode_state, encode_vector, state_frame_overhead,
+    JobSpec,
+};
 use fda_tensor::vector;
 use std::io::Write as _;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
@@ -189,6 +192,12 @@ impl Conn {
 
     fn recv_current(&mut self) -> Result<Msg, NetError> {
         recv_at_epoch(&mut self.stream, self.epoch)
+    }
+
+    /// Current-epoch receive at the frame layer — for uplink payloads
+    /// whose decoding needs the job's codec and an expected shape.
+    fn recv_frame_current(&mut self) -> Result<(FrameKind, Vec<u8>), NetError> {
+        recv_frame_at_epoch(&mut self.stream, self.epoch)
     }
 
     fn set_read_timeout(&self, t: Duration) -> Result<(), NetError> {
@@ -377,6 +386,15 @@ impl Coordinator {
         // Template for validating deposit shapes before `average_refs`.
         let state_shape = monitor.local_state(&vec![0.0f32; dim]);
         let mode = AccountingMode::PerWorkerPayload;
+        // The job's uplink codec: State/Model payloads arrive encoded and
+        // are decoded against the expected shape. Accounted bytes follow
+        // the simulator's convention — a state charges its raw 4-byte
+        // drift scalar plus the encoded summary (the tag/dims header is
+        // uncharged self-description), a model charges its encoded
+        // payload (minus the 4-byte length header).
+        let codec = spec.codec.build();
+        let coded = !spec.codec.is_dense();
+        let state_overhead = state_frame_overhead(&state_shape);
 
         // Formation: accept all K, then the uniform join handshake —
         // Config followed by the versioned handoff. At formation the
@@ -499,6 +517,7 @@ impl Coordinator {
             // order under the round's deadline.
             let deposit_deadline = Instant::now() + self.policy.deposit_timeout;
             let mut states: Vec<Option<LocalState>> = (0..k).map(|_| None).collect();
+            let mut state_bytes: Vec<u64> = vec![0; k];
             let mut drops: Vec<(usize, DropReason)> = Vec::new();
             for id in 0..k {
                 let Some(conn) = conns[id].as_mut() else {
@@ -508,27 +527,54 @@ impl Coordinator {
                     .saturating_duration_since(Instant::now())
                     .max(Duration::from_millis(1));
                 conn.set_read_timeout(remaining)?;
-                match conn.recv_current() {
-                    Ok(Msg::State(s)) if s.same_shape(&state_shape) => states[id] = Some(s),
+                match conn.recv_frame_current() {
+                    // The coded decoder validates tag, dims and payload
+                    // totality against the expected template before any
+                    // allocation; a mismatch is the same protocol drop a
+                    // wrong-shaped dense deposit always was.
+                    Ok((FrameKind::State, payload)) => {
+                        match decode_state_coded(&payload, &state_shape, codec.as_ref()) {
+                            Ok(s) => {
+                                states[id] = Some(s);
+                                state_bytes[id] = payload.len() as u64 - state_overhead;
+                            }
+                            Err(_) => drops.push((id, DropReason::Protocol)),
+                        }
+                    }
                     Ok(_) => drops.push((id, DropReason::Protocol)),
                     Err(e) => drops.push((id, drop_reason(&e))),
                 }
             }
-            apply_drops(&drops, step, &mut conns, &mut events, &mut epoch, &mut raw_retired);
+            apply_drops(
+                &drops,
+                step,
+                &mut conns,
+                &mut events,
+                &mut epoch,
+                &mut raw_retired,
+            );
             let alive = alive_ids(&conns);
             quorum(alive.len(), step)?;
             for &id in &alive {
-                conns[id].as_ref().expect("alive").set_read_timeout(self.read_timeout)?;
+                conns[id]
+                    .as_ref()
+                    .expect("alive")
+                    .set_read_timeout(self.read_timeout)?;
             }
 
             // Charge the state AllReduce at the surviving K′ and measure
-            // the deposits that were actually averaged.
+            // the deposits that were actually averaged. Dense keeps the
+            // historical flat charge (`monitor.state_bytes()` per worker);
+            // coded payloads charge exactly what each worker emitted.
             ensure_net(&mut net, &mut charged_banked, alive.len());
-            net.charge_allreduce(monitor.state_bytes());
+            if coded {
+                let payloads: Vec<u64> = alive.iter().map(|&id| state_bytes[id]).collect();
+                net.charge_per_worker(&payloads);
+            } else {
+                net.charge_allreduce(monitor.state_bytes());
+            }
             for &id in &alive {
-                let s = states[id].as_ref().expect("alive worker deposited");
-                let bytes = 4 + s.summary_slice().len() as u64 * 4;
-                measured_payload += mode.per_worker_bytes(bytes, alive.len());
+                measured_payload += mode.per_worker_bytes(state_bytes[id], alive.len());
             }
 
             // (2) Reduce over the survivor set in worker-id order + the
@@ -554,23 +600,48 @@ impl Coordinator {
                     drops.push((id, drop_reason(&e)));
                 }
             }
-            apply_drops(&drops, step, &mut conns, &mut events, &mut epoch, &mut raw_retired);
+            apply_drops(
+                &drops,
+                step,
+                &mut conns,
+                &mut events,
+                &mut epoch,
+                &mut raw_retired,
+            );
             let alive = alive_ids(&conns);
             quorum(alive.len(), step)?;
 
             // (4) Conditional model AllReduce through the SimNetwork.
             if sync {
                 let mut models: Vec<Option<Vec<f32>>> = (0..k).map(|_| None).collect();
+                let mut model_bytes: Vec<u64> = vec![0; k];
                 let mut drops: Vec<(usize, DropReason)> = Vec::new();
                 for &id in &alive {
                     let conn = conns[id].as_mut().expect("alive");
-                    match conn.recv_current() {
-                        Ok(Msg::Model(v)) if v.len() == dim => models[id] = Some(v),
+                    match conn.recv_frame_current() {
+                        Ok((FrameKind::Model, payload)) => {
+                            match decode_vector_coded(&payload, dim, codec.as_ref()) {
+                                Ok(v) => {
+                                    models[id] = Some(v);
+                                    // Charge the encoded payload; the
+                                    // 4-byte length header is framing.
+                                    model_bytes[id] = payload.len() as u64 - 4;
+                                }
+                                Err(_) => drops.push((id, DropReason::Protocol)),
+                            }
+                        }
                         Ok(_) => drops.push((id, DropReason::Protocol)),
                         Err(e) => drops.push((id, drop_reason(&e))),
                     }
                 }
-                apply_drops(&drops, step, &mut conns, &mut events, &mut epoch, &mut raw_retired);
+                apply_drops(
+                    &drops,
+                    step,
+                    &mut conns,
+                    &mut events,
+                    &mut epoch,
+                    &mut raw_retired,
+                );
                 let alive = alive_ids(&conns);
                 quorum(alive.len(), step)?;
 
@@ -579,9 +650,14 @@ impl Coordinator {
                     .iter()
                     .map(|&id| models[id].take().expect("alive worker uploaded"))
                     .collect();
-                net.allreduce_mean(&mut bufs);
-                for _ in &alive {
-                    measured_payload += mode.per_worker_bytes(dim as u64 * 4, alive.len());
+                if coded {
+                    let payloads: Vec<u64> = alive.iter().map(|&id| model_bytes[id]).collect();
+                    net.allreduce_mean_with(&mut bufs, &payloads);
+                } else {
+                    net.allreduce_mean(&mut bufs);
+                }
+                for &id in &alive {
+                    measured_payload += mode.per_worker_bytes(model_bytes[id], alive.len());
                 }
 
                 let payload = encode_vector(&bufs[0]);
@@ -592,7 +668,14 @@ impl Coordinator {
                         drops.push((id, drop_reason(&e)));
                     }
                 }
-                apply_drops(&drops, step, &mut conns, &mut events, &mut epoch, &mut raw_retired);
+                apply_drops(
+                    &drops,
+                    step,
+                    &mut conns,
+                    &mut events,
+                    &mut epoch,
+                    &mut raw_retired,
+                );
                 quorum(alive_ids(&conns).len(), step)?;
 
                 // The versioned handoff advances with the consensus.

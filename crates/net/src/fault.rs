@@ -164,9 +164,9 @@ impl FaultPlan {
         for w in 0..workers {
             // ~1 in 3 workers faults; never all of them (worker 0 is spared
             // so a drawn plan always keeps quorum ≥ 1).
-            if w > 0 && rng.next() % 3 == 0 && steps > 1 {
+            if w > 0 && rng.next().is_multiple_of(3) && steps > 1 {
                 let step = 1 + (rng.next() % u64::from(steps - 1)) as u32;
-                let action = if rng.next() % 2 == 0 {
+                let action = if rng.next().is_multiple_of(2) {
                     FaultAction::KillBeforeState(step)
                 } else {
                     FaultAction::ExitBeforeState(step)
@@ -282,6 +282,7 @@ impl SplitMix64 {
     }
 
     /// Next 64-bit value.
+    #[allow(clippy::should_implement_trait)] // not an Iterator; infinite stream
     pub fn next(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;
@@ -346,7 +347,10 @@ mod tests {
     fn backoff_grows_and_respects_cap() {
         let mut b = Backoff::new(Duration::from_millis(10), Duration::from_millis(100), 7);
         let d0 = b.next_delay();
-        assert!(d0 >= Duration::from_millis(5) && d0 < Duration::from_millis(10) + Duration::from_micros(1));
+        assert!(
+            d0 >= Duration::from_millis(5)
+                && d0 < Duration::from_millis(10) + Duration::from_micros(1)
+        );
         // After many attempts every delay sits in [cap/2, cap].
         for _ in 0..10 {
             b.next_delay();

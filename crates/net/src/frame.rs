@@ -32,7 +32,12 @@ use std::io::{Read, Write};
 ///
 /// v2: checksummed + epoch-stamped frame headers, extended hello
 /// (`last_epoch`), and the `Resume` handoff frame.
-pub const PROTOCOL_VERSION: u16 = 2;
+///
+/// v3: the config frame carries the uplink payload codec (`JobSpec` wire
+/// v2), and `State`/`Model` uplink payloads are codec-encoded — dense
+/// runs stay byte-identical to v2, but a v2 peer cannot decode a
+/// non-dense upload, so the version gates the pairing.
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Upper bound on one frame's `len` field (kind byte + payload).
 ///

@@ -111,7 +111,7 @@ pub fn run_chaos_with_thread_workers(
                         rejoin,
                         faults,
                         exit_process_on_fault: false,
-                        backoff_seed: 0x0DDB_A11 ^ id as u64,
+                        backoff_seed: 0x0DD_BA11 ^ id as u64,
                     };
                     run_worker(addr, id as u32, &opts)
                 })
@@ -263,6 +263,7 @@ mod tests {
                 ..ClusterConfig::small_test(k)
             },
             fda,
+            codec: fda_comm::CodecSpec::Dense,
             steps,
             synth: SynthSpec {
                 n_train: 240,

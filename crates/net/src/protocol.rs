@@ -257,11 +257,25 @@ impl Msg {
 /// averaged into `S̄`. A frame claiming a **future** epoch is a protocol
 /// violation (the coordinator is the only epoch authority).
 pub fn recv_at_epoch<R: Read>(r: &mut R, epoch: u32) -> Result<Msg, NetError> {
+    let (kind, payload) = recv_frame_at_epoch(r, epoch)?;
+    Msg::decode(kind, &payload)
+}
+
+/// [`recv_at_epoch`] at the frame layer: returns the current-epoch frame's
+/// kind and raw payload without interpreting it. This is the receive path
+/// for payloads whose decoding needs out-of-band context (a coded state or
+/// model upload needs the negotiated codec and the expected shape);
+/// stale-epoch frames are skipped on their headers alone — a zombie's
+/// coded deposit must be discardable without being decodable.
+pub fn recv_frame_at_epoch<R: Read>(
+    r: &mut R,
+    epoch: u32,
+) -> Result<(FrameKind, Vec<u8>), NetError> {
     let mut stale = 0u32;
     loop {
-        let (msg, frame_epoch) = Msg::recv(r)?;
+        let (kind, frame_epoch, payload) = read_frame(r)?;
         if frame_epoch == epoch {
-            return Ok(msg);
+            return Ok((kind, payload));
         }
         if frame_epoch > epoch {
             return Err(NetError::Protocol(format!(

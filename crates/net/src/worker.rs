@@ -26,10 +26,10 @@
 //! of the dropped session's local trajectory.
 
 use crate::fault::{Backoff, FaultAction, RejoinPolicy, FAULT_EXIT_CODE};
-use crate::frame::{encode_frame, CountingStream, NetError};
+use crate::frame::{encode_frame, write_frame, CountingStream, FrameKind, NetError};
 use crate::protocol::Msg;
 use fda_core::cluster::Worker;
-use fda_core::wire::JobSpec;
+use fda_core::wire::{encode_state_coded, encode_vector_coded, JobSpec};
 use fda_tensor::vector;
 use std::io::Write as _;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -157,6 +157,13 @@ impl Session {
         msg.send(&mut self.stream, self.epoch)
     }
 
+    /// Sends a pre-encoded payload as one frame — the uplink path for
+    /// codec-encoded state/model payloads, which `Msg` cannot represent
+    /// (their byte form depends on the job's negotiated codec).
+    fn send_frame(&mut self, kind: FrameKind, payload: &[u8]) -> Result<(), NetError> {
+        write_frame(&mut self.stream, self.epoch, kind, payload)
+    }
+
     fn protocol_err(&self, expected: &str, got: &Msg) -> NetError {
         NetError::Protocol(format!(
             "worker {}: expected {expected}, got {}",
@@ -247,6 +254,11 @@ fn run_session(
     let mut worker: Worker = spec.cluster.build_worker(&task.train, session.id as usize);
     let dim = worker.model().param_count();
     let mut monitor = spec.fda.variant.build_monitor(dim);
+    // The job's uplink codec: every State/Model upload is its encoding.
+    // For `Dense` the encoded frames are byte-identical to the historical
+    // layouts, so dense runs are bitwise indistinguishable from pre-codec
+    // peers.
+    let codec = spec.codec.build();
     if resume_model.len() != dim {
         return Err(NetError::Protocol(format!(
             "worker {}: resume model has {} params, replica has {dim}",
@@ -283,7 +295,8 @@ fn run_session(
         // (2) Local state from the drift — the point scripted faults hit.
         vector::sub_into(&params, &w_sync, &mut drift);
         let state = monitor.local_state(&drift);
-        match apply_faults(session, step, opts, &state)? {
+        let state_payload = encode_state_coded(&state, codec.as_ref());
+        match apply_faults(session, step, opts, &state_payload)? {
             FaultOutcome::Sent => {}
             FaultOutcome::Terminal(action) => {
                 return Ok(SessionEnd::Faulted { step, action });
@@ -311,7 +324,10 @@ fn run_session(
 
         // (4) Conditional model AllReduce.
         if sync {
-            session.send(&Msg::Model(params.clone()))?;
+            session.send_frame(
+                FrameKind::Model,
+                &encode_vector_coded(&params, codec.as_ref()),
+            )?;
             let avg = match session.recv()? {
                 Msg::AvgModel(v) if v.len() == dim => v,
                 Msg::AvgModel(v) => {
@@ -350,12 +366,13 @@ enum FaultOutcome {
 }
 
 /// Applies every scripted fault anchored to `step` in place of (or around)
-/// the state upload.
+/// the state upload. `state_payload` is the already codec-encoded state —
+/// faults mangle the exact bytes a clean send would have produced.
 fn apply_faults(
     session: &mut Session,
     step: u32,
     opts: &WorkerOptions,
-    state: &fda_core::monitor::LocalState,
+    state_payload: &[u8],
 ) -> Result<FaultOutcome, NetError> {
     let mut actions: Vec<FaultAction> = opts
         .faults
@@ -382,8 +399,7 @@ fn apply_faults(
                 // Corrupt the frame past the length field so the
                 // coordinator reads a complete frame and the checksum —
                 // not a short read — must catch it.
-                let (kind, payload) = Msg::State(state.clone()).encode();
-                let mut frame = encode_frame(session.epoch, kind, &payload);
+                let mut frame = encode_frame(session.epoch, FrameKind::State, state_payload);
                 let body_bits = (frame.len() - 4) * 8;
                 let b = bit as usize % body_bits;
                 frame[4 + b / 8] ^= 1 << (b % 8);
@@ -392,8 +408,7 @@ fn apply_faults(
                 return Ok(FaultOutcome::Sent);
             }
             FaultAction::TruncateState { keep, .. } => {
-                let (kind, payload) = Msg::State(state.clone()).encode();
-                let frame = encode_frame(session.epoch, kind, &payload);
+                let frame = encode_frame(session.epoch, FrameKind::State, state_payload);
                 let keep = (keep as usize).min(frame.len().saturating_sub(1));
                 session.stream.write_all(&frame[..keep])?;
                 session.stream.flush()?;
@@ -408,6 +423,6 @@ fn apply_faults(
             }
         }
     }
-    session.send(&Msg::State(state.clone()))?;
+    session.send_frame(FrameKind::State, state_payload)?;
     Ok(FaultOutcome::Sent)
 }

@@ -20,6 +20,7 @@ fn main() {
     let spec = JobSpec {
         cluster: ClusterConfig::small_test(4),
         fda: FdaConfig::sketch_auto(0.02),
+        codec: fda::comm::CodecSpec::Dense,
         steps: 12,
         synth: SynthSpec {
             n_train: 480,

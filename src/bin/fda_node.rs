@@ -43,6 +43,7 @@ fn usage() -> ! {
          job options: --model lenet5|vgg16|densenet121|densenet201|transfer\n               \
          --variant sketch|linear|exact  --theta <f32>  --steps <n>\n               \
          --seed <n>  --batch <n>  --train <n>  --test <n>\n               \
+         --codec dense|uniform8[:chunk]|topk:<k>|driftmask:<t>\n               \
          --min-workers <n>  --deposit-timeout-ms <ms>\n\n\
          fault specs: kill@N  exit@N  stall@N:<ms>  flip@N:<bit>  trunc@N:<keep>"
     );
@@ -97,6 +98,13 @@ fn job_from_args(args: &[String]) -> JobSpec {
             std::process::exit(2);
         }
     };
+    let codec = match opt_value(args, "--codec") {
+        None => fda::comm::CodecSpec::Dense,
+        Some(v) => fda::comm::CodecSpec::parse(&v).unwrap_or_else(|e| {
+            eprintln!("fda_node: bad --codec {v}: {e}");
+            std::process::exit(2);
+        }),
+    };
     JobSpec {
         cluster: ClusterConfig {
             model,
@@ -111,6 +119,7 @@ fn job_from_args(args: &[String]) -> JobSpec {
             variant,
             theta: parse(args, "--theta", 0.02f32),
         },
+        codec,
         steps: parse(args, "--steps", 20u32),
         synth: SynthSpec {
             n_train: parse(args, "--train", 960),

@@ -34,6 +34,7 @@ fn spec(k: usize, steps: u32) -> JobSpec {
             ..ClusterConfig::small_test(k)
         },
         fda: FdaConfig::linear(0.01),
+        codec: fda::comm::CodecSpec::Dense,
         steps,
         synth: SynthSpec {
             n_train: 240,
@@ -74,7 +75,10 @@ fn assert_bit_identical(a: &NetReport, b: &NetReport, case: &str) {
         a.worker_params, b.worker_params,
         "{case}: final replicas diverged"
     );
-    assert_eq!(a.final_params, b.final_params, "{case}: final mean diverged");
+    assert_eq!(
+        a.final_params, b.final_params,
+        "{case}: final mean diverged"
+    );
     assert_eq!(
         a.charged_bytes, b.charged_bytes,
         "{case}: charged accounting diverged"
@@ -201,13 +205,7 @@ fn corrupt_frame_drops_worker_as_protocol_violation() {
 #[test]
 fn stalled_worker_is_dropped_on_deposit_deadline() {
     let spec = spec(3, 5);
-    let plan = FaultPlan::new().fault(
-        2,
-        FaultAction::StallState {
-            step: 1,
-            ms: 4_000,
-        },
-    );
+    let plan = FaultPlan::new().fault(2, FaultAction::StallState { step: 1, ms: 4_000 });
     let tight = RoundPolicy {
         min_workers: 1,
         deposit_timeout: Duration::from_millis(1_000),
@@ -253,9 +251,8 @@ fn truncated_worker_rejoins_at_scheduled_round_bit_identically() {
         max_backoff: Duration::from_millis(50),
     };
 
-    let run = || {
-        run_chaos_with_thread_workers(&spec, &plan, policy.clone(), Some(rejoin), IO_TIMEOUT)
-    };
+    let run =
+        || run_chaos_with_thread_workers(&spec, &plan, policy.clone(), Some(rejoin), IO_TIMEOUT);
     let (a, workers_a) = run();
     let (b, _) = run();
     let a = a.expect("elastic run completes");

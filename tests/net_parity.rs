@@ -32,6 +32,7 @@ fn spec(k: usize, fda: FdaConfig) -> JobSpec {
             ..ClusterConfig::small_test(k)
         },
         fda,
+        codec: fda::comm::CodecSpec::Dense,
         steps: STEPS,
         synth: SynthSpec {
             n_train: 240,

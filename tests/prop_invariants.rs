@@ -425,6 +425,7 @@ fn wire_decoders_are_total_under_fuzz() {
     let job = wire::JobSpec {
         cluster: fda::core::cluster::ClusterConfig::small_test(3),
         fda: fda::core::fda::FdaConfig::sketch_auto(0.01),
+        codec: fda::comm::CodecSpec::Dense,
         steps: 9,
         synth: fda::data::synth::SynthSpec::synth_mnist(),
         task_name: "fuzz".to_string(),
@@ -508,14 +509,14 @@ fn random_msg(rng: &mut Rng) -> fda::net::Msg {
         1 => Msg::State(random_state(rng)),
         2 => Msg::AvgState {
             state: random_state(rng),
-            sync: rng.next_u64() % 2 == 0,
+            sync: rng.next_u64().is_multiple_of(2),
         },
         3 => Msg::Model(vec_of(rng, 60)),
         4 => Msg::AvgModel(vec_of(rng, 60)),
         5 => Msg::FinalModel(vec_of(rng, 60)),
         6 => {
             let model = vec_of(rng, 60);
-            let prev_model = if rng.next_u64() % 2 == 0 {
+            let prev_model = if rng.next_u64().is_multiple_of(2) {
                 let mut p = vec![0.0f32; model.len()];
                 rng.fill_uniform(&mut p, -4.0, 4.0);
                 Some(p)
@@ -855,5 +856,206 @@ fn sketch_h_band() {
             est <= trivial + slack,
             "case {case}: est {est} far above trivial bound {trivial}"
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codec layer: the three contracts every `comm::compress` codec must hold
+// (exact accounting, byte idempotence, total decoding), checked over random
+// inputs including non-finite values, plus fuzz over the coded wire frames.
+// ---------------------------------------------------------------------------
+
+/// The codec matrix with randomized parameters, rebuilt per case.
+fn random_codecs(rng: &mut Rng) -> Vec<Box<dyn fda::comm::Codec>> {
+    vec![
+        Box::new(fda::comm::Dense32),
+        Box::new(fda::comm::Uniform8Bit::new(
+            1 + (rng.next_u64() % 96) as usize,
+        )),
+        Box::new(fda::comm::TopK::new(1 + (rng.next_u64() % 24) as usize)),
+        Box::new(fda::comm::DriftMask::new(rng.uniform_f32() * 2.0)),
+    ]
+}
+
+/// A random payload vector; some cases carry NaN (varied bit patterns),
+/// ±inf and −0.0 — a codec must survive all of them.
+fn random_payload(rng: &mut Rng) -> Vec<f32> {
+    let n = (rng.next_u64() % 160) as usize; // includes 0
+    let mut v = vec![0.0f32; n];
+    rng.fill_uniform(&mut v, -4.0, 4.0);
+    if rng.next_u64().is_multiple_of(3) {
+        for x in v.iter_mut() {
+            match rng.next_u64() % 8 {
+                0 => *x = f32::from_bits(0x7FC1_2345), // payload-carrying NaN
+                1 => *x = f32::from_bits(0xFFC0_0042), // negative NaN
+                2 => *x = f32::INFINITY,
+                3 => *x = f32::NEG_INFINITY,
+                4 => *x = -0.0,
+                _ => {}
+            }
+        }
+    }
+    v
+}
+
+/// Contract 1 + 2 for every codec: `encoded_bytes` equals the emitted
+/// length exactly, decode of own output succeeds, and
+/// `encode(decode(encode(v)))` is byte-identical to `encode(v)` — the
+/// fixed-point property that makes sim charging equal socket measurement.
+#[test]
+fn codec_encode_decode_encode_byte_identity() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xD2_0000 + case);
+        let v = random_payload(&mut rng);
+        for codec in random_codecs(&mut rng) {
+            let name = codec.name();
+            let enc = codec.encode(&v);
+            assert_eq!(
+                codec.encoded_bytes(&v),
+                enc.len() as u64,
+                "case {case} {name}: encoded_bytes != emitted length"
+            );
+            let dec = codec
+                .decode(&enc, v.len())
+                .unwrap_or_else(|e| panic!("case {case} {name}: decode own output: {e}"));
+            assert_eq!(dec.len(), v.len(), "case {case} {name}: length changed");
+            let enc2 = codec.encode(&dec);
+            assert_eq!(
+                enc2, enc,
+                "case {case} {name}: encode∘decode∘encode not byte-identical"
+            );
+            // `roundtrip` is decode∘encode by definition — same bits.
+            let rt = codec.roundtrip(&v);
+            assert_eq!(
+                rt.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                dec.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "case {case} {name}: roundtrip != decode(encode(v))"
+            );
+        }
+    }
+}
+
+/// Contract 3: decoders are total. Byte soup, strict truncations of valid
+/// encodings, and random single-byte mutations must return `Ok`/`Err` —
+/// never panic, never allocate past what the claimed `n` backs.
+#[test]
+fn codec_decoders_are_total_under_fuzz() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xE2_0000 + case);
+        let v = random_payload(&mut rng);
+        for codec in random_codecs(&mut rng) {
+            let enc = codec.encode(&v);
+            // Strict truncations at every boundary.
+            for cut in 0..enc.len() {
+                let _ = codec.decode(&enc[..cut], v.len());
+            }
+            // Mutations: byte flips, trailing garbage, hostile n claims.
+            for _ in 0..8 {
+                let mut buf = enc.clone();
+                match rng.next_u64() % 3 {
+                    0 if !buf.is_empty() => {
+                        let i = (rng.next_u64() as usize) % buf.len();
+                        buf[i] ^= (rng.next_u64() % 255 + 1) as u8;
+                    }
+                    1 => buf.extend_from_slice(&[0xAB; 7]),
+                    _ => {}
+                }
+                let _ = codec.decode(&buf, v.len());
+                let _ = codec.decode(&buf, v.len().wrapping_add(1));
+                // `n` is caller knowledge (trusted), but a wildly wrong
+                // claim must still fail cleanly, never read out of bounds.
+                let _ = codec.decode(&buf, 1 << 20);
+            }
+            // Pure soup.
+            let len = (rng.next_u64() % 64) as usize;
+            let soup: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 0xFF) as u8).collect();
+            let _ = codec.decode(&soup, v.len());
+        }
+    }
+}
+
+/// The coded wire frames share the contracts: a coded state/vector frame
+/// re-encodes byte-identically after decoding, rejects truncation as far
+/// as the format can detect it (every strict cut for the self-delimiting
+/// codecs; canonical-form idempotence on the cuts a sparse pair run
+/// cannot distinguish from short valid runs), and the coded decoders are
+/// total under mutation — with the expected-shape validation (`n` is
+/// caller knowledge) doing the pre-allocation bounding.
+#[test]
+fn coded_wire_frames_roundtrip_and_are_total() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xF2_0000 + case);
+        let state = random_state(&mut rng);
+        let mut v = vec![0.0f32; (rng.next_u64() % 120) as usize];
+        rng.fill_uniform(&mut v, -3.0, 3.0);
+        for codec in random_codecs(&mut rng) {
+            let name = codec.name();
+            let sbytes = wire::encode_state_coded(&state, codec.as_ref());
+            let sback = wire::decode_state_coded(&sbytes, &state, codec.as_ref())
+                .unwrap_or_else(|e| panic!("case {case} {name}: state decode: {e}"));
+            assert_eq!(
+                wire::encode_state_coded(&sback, codec.as_ref()),
+                sbytes,
+                "case {case} {name}: coded state re-encode not byte-identical"
+            );
+            // Dense and uniform-8bit payloads are self-delimiting (their
+            // byte length is a function of the vector length), so every
+            // strict truncation must be rejected. The sparse pair format
+            // is not: a run cut at a pair boundary is itself a valid,
+            // shorter encoding. There the contract is weaker but still
+            // sharp — any cut that decodes must be the canonical encoding
+            // of what it decoded to (byte idempotence survives cutting).
+            let self_delimiting = matches!(name, "dense-f32" | "uniform-8bit");
+            for cut in 0..sbytes.len() {
+                match wire::decode_state_coded(&sbytes[..cut], &state, codec.as_ref()) {
+                    Err(_) => {}
+                    Ok(_) if self_delimiting => {
+                        panic!("case {case} {name}: state cut at {cut} decoded")
+                    }
+                    Ok(got) => assert_eq!(
+                        wire::encode_state_coded(&got, codec.as_ref()),
+                        sbytes[..cut].to_vec(),
+                        "case {case} {name}: state cut at {cut} decoded non-canonically"
+                    ),
+                }
+            }
+            let vbytes = wire::encode_vector_coded(&v, codec.as_ref());
+            let vback = wire::decode_vector_coded(&vbytes, v.len(), codec.as_ref())
+                .unwrap_or_else(|e| panic!("case {case} {name}: vector decode: {e}"));
+            assert_eq!(
+                wire::encode_vector_coded(&vback, codec.as_ref()),
+                vbytes,
+                "case {case} {name}: coded vector re-encode not byte-identical"
+            );
+            for cut in 0..vbytes.len() {
+                match wire::decode_vector_coded(&vbytes[..cut], v.len(), codec.as_ref()) {
+                    Err(_) => {}
+                    Ok(_) if self_delimiting => {
+                        panic!("case {case} {name}: vector cut at {cut} decoded")
+                    }
+                    Ok(got) => assert_eq!(
+                        wire::encode_vector_coded(&got, codec.as_ref()),
+                        vbytes[..cut].to_vec(),
+                        "case {case} {name}: vector cut at {cut} decoded non-canonically"
+                    ),
+                }
+            }
+            // Mutations stay total (Ok or Err, never panic or huge alloc).
+            for _ in 0..6 {
+                let mut buf = sbytes.clone();
+                if !buf.is_empty() {
+                    let i = (rng.next_u64() as usize) % buf.len();
+                    buf[i] ^= 0x40;
+                }
+                let _ = wire::decode_state_coded(&buf, &state, codec.as_ref());
+                let mut buf = vbytes.clone();
+                if !buf.is_empty() {
+                    let i = (rng.next_u64() as usize) % buf.len();
+                    buf[i] ^= 0x40;
+                }
+                let _ = wire::decode_vector_coded(&buf, v.len(), codec.as_ref());
+                let _ = wire::decode_vector_coded(&buf, v.len() + 1, codec.as_ref());
+            }
+        }
     }
 }
