@@ -255,7 +255,7 @@ pub fn run_scaling_figure(
         ks: ks.to_vec(),
         thetas: vec![fixed_theta],
         algos: algos.to_vec(),
-        run,
+        run: run.clone(),
         seed: 0xF168,
         parallel: true,
     };

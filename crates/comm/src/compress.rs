@@ -533,6 +533,35 @@ impl Codec for DriftMask {
     }
 }
 
+/// Telemetry decorator every [`CodecSpec::build`] result is wrapped in:
+/// spans around encode/decode plus byte counters, delegating the codec
+/// arithmetic untouched — reconstructions (and therefore trajectories)
+/// are bit-identical with telemetry on or off.
+struct Instrumented(Box<dyn Codec>);
+
+impl Codec for Instrumented {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    fn encode(&self, v: &[f32]) -> Vec<u8> {
+        let _span = fda_obs::histogram!("codec_encode_us").span();
+        let out = self.0.encode(v);
+        fda_obs::counter!("codec_encoded_bytes").add(out.len() as u64);
+        out
+    }
+
+    fn decode(&self, buf: &[u8], n: usize) -> Result<Vec<f32>, CodecError> {
+        let _span = fda_obs::histogram!("codec_decode_us").span();
+        fda_obs::counter!("codec_decoded_bytes").add(buf.len() as u64);
+        self.0.decode(buf, n)
+    }
+
+    fn encoded_bytes(&self, v: &[f32]) -> u64 {
+        self.0.encoded_bytes(v)
+    }
+}
+
 /// Wire-encodable codec selection: which codec a job runs and its
 /// parameters. Carried in the `JobSpec` config frame so every process of
 /// a run builds the identical codec, and in the simulator so both sides
@@ -590,12 +619,13 @@ impl CodecSpec {
     /// validate before building, so this is a caller bug.
     pub fn build(&self) -> Box<dyn Codec> {
         self.validate().expect("valid codec spec");
-        match *self {
+        let codec: Box<dyn Codec> = match *self {
             CodecSpec::Dense => Box::new(Dense32),
             CodecSpec::Uniform8 { chunk } => Box::new(Uniform8Bit::new(chunk as usize)),
             CodecSpec::TopK { k } => Box::new(TopK::new(k as usize)),
             CodecSpec::DriftMask { threshold } => Box::new(DriftMask::new(threshold)),
-        }
+        };
+        Box::new(Instrumented(codec))
     }
 
     /// Parses a CLI spec: `dense`, `uniform8[:chunk]`, `topk:<k>`,

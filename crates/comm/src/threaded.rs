@@ -169,6 +169,9 @@ impl ThreadedReducer {
     }
 
     fn allreduce_impl(&self, id: Option<usize>, buf: &mut [f32]) {
+        // Per-participant wall time of the whole rendezvous (join + deposit
+        // + wait-for-result), the wait being the straggler signal.
+        let _span = fda_obs::histogram!("reduce_rendezvous_us").span();
         let core = &*self.core;
 
         // ---- join the round ----------------------------------------

@@ -19,9 +19,9 @@ use crate::pool::SendPtr;
 use crate::strategy::{StepOutcome, Strategy};
 use fda_comm::{Codec, CodecSpec};
 use fda_data::TaskData;
+use fda_obs::{JsonlWriter, MembershipRecord, RoundEvent, RunEvent};
 use fda_sketch::SketchConfig;
 use fda_tensor::vector;
-use std::time::{Duration, Instant};
 
 /// Summary payloads below this length are averaged on the dispatching
 /// thread even in pooled mode: a rendezvous costs more than a few hundred
@@ -29,17 +29,22 @@ use std::time::{Duration, Instant};
 /// bit-identical results, so the cutoff affects speed only.
 const POOLED_STATE_REDUCE_MIN: usize = 256;
 
-/// Wall-clock split of one [`Fda::step`] (see [`Fda::step_instrumented`]).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct StepPhases {
-    /// Phase 1: local training on every worker.
-    pub local_step: Duration,
-    /// Phases 2–3: drift + local-state construction, state reduction and
-    /// the `H(S̄)` estimate.
-    pub monitor: Duration,
-    /// Phase 4: the conditional full-model AllReduce (zero when the Round
-    /// Invariant held and no synchronization happened).
-    pub allreduce: Duration,
+/// Registry histogram fed by phase 1 of every [`Fda::step`] (local
+/// training), in microseconds. The bench reads phase splits from these
+/// instead of a bespoke struct-return path.
+pub const HIST_LOCAL_STEP_US: &str = "fda_step_local_us";
+/// Registry histogram fed by phases 2–3 (drift + state build, state
+/// reduction, the `H(S̄)` estimate), in microseconds.
+pub const HIST_MONITOR_US: &str = "fda_step_monitor_us";
+/// Registry histogram fed by phase 4 (the conditional model AllReduce;
+/// ~0 µs samples on rounds where the Round Invariant held).
+pub const HIST_ALLREDUCE_US: &str = "fda_step_allreduce_us";
+
+/// Per-round telemetry attached via [`Strategy::set_telemetry`].
+struct TelemetrySession {
+    writer: JsonlWriter,
+    rounds: u32,
+    decisions: String,
 }
 
 /// Which FDA variant to run.
@@ -139,6 +144,8 @@ pub struct Fda {
     /// Built codec — `None` on the dense path, which keeps its historical
     /// byte-for-byte behaviour (pooled reductions, `charge_allreduce`).
     codec_impl: Option<Box<dyn Codec>>,
+    /// Per-round JSONL telemetry, `None` unless attached.
+    telemetry: Option<TelemetrySession>,
 }
 
 impl Fda {
@@ -171,6 +178,7 @@ impl Fda {
             avg_state: None,
             codec: CodecSpec::Dense,
             codec_impl: None,
+            telemetry: None,
         }
     }
 
@@ -191,6 +199,7 @@ impl Fda {
             avg_state: None,
             codec: CodecSpec::Dense,
             codec_impl: None,
+            telemetry: None,
         }
     }
 
@@ -316,68 +325,73 @@ impl Fda {
         }
     }
 
-    /// [`Strategy::step`] with a wall-clock phase split — the probe behind
-    /// the `step_phases` entries of the perf-trajectory bench.
-    pub fn step_instrumented(&mut self) -> (StepOutcome, StepPhases) {
-        // (1) Local training on every worker.
-        let t0 = Instant::now();
-        let stats = self.cluster.local_step();
-        let t1 = Instant::now();
-
-        // (2) Local states from drifts.
-        self.compute_states();
-
-        // (3) AllReduce of the states — charged at the monitor's state
-        //     size. The arithmetic is the component-wise average; the
-        //     estimate `H(S̄_t)` comes straight off the averaged state.
-        if let Some(codec) = &self.codec_impl {
-            // Coded uplink: roundtrip every worker's summary through the
-            // codec — what a coordinator reconstructs from an encoded
-            // deposit — and charge exactly the emitted bytes plus the raw
-            // 4-byte drift scalar (the codec covers the summary only).
-            let mut payloads = Vec::with_capacity(self.states.len());
-            for s in &mut self.states {
-                let enc = codec.encode(s.summary_slice());
-                payloads.push(4 + enc.len() as u64);
-                let dec = codec
-                    .decode(&enc, s.summary_slice().len())
-                    .expect("codec decodes own output");
-                s.summary_slice_mut().copy_from_slice(&dec);
-            }
-            self.cluster.net_mut().charge_per_worker(&payloads);
-        } else {
-            let state_bytes = self.monitor.state_bytes();
-            self.cluster.net_mut().charge_allreduce(state_bytes);
-        }
-        let estimate = self.averaged_estimate();
-        let t2 = Instant::now();
-
-        // (4) The conditional synchronization.
-        let mut synced = false;
-        if estimate > self.theta {
-            let w_prev = std::mem::take(&mut self.w_sync);
-            let w_new = match &self.codec_impl {
-                Some(codec) => self.cluster.allreduce_models_coded(codec.as_ref()),
-                None => self.cluster.allreduce_models(),
+    /// Writes this round's telemetry event. `charged_before`/`charged_mid`
+    /// bracket the state charge, so byte deltas are exact per frame kind;
+    /// the simulator's measured total *is* its charged total (there is no
+    /// socket to measure).
+    fn emit_round_event(
+        &mut self,
+        charged_before: u64,
+        charged_mid: u64,
+        synced: bool,
+        estimate: f32,
+    ) {
+        let alive = self.cluster.workers() as u32;
+        let theta = self.theta;
+        let codec = self.codec.name().to_string();
+        let charged_total = self.cluster.comm_bytes();
+        if let Some(sess) = &mut self.telemetry {
+            sess.rounds += 1;
+            sess.decisions.push(if synced { '1' } else { '0' });
+            let event = RoundEvent {
+                source: "sim".into(),
+                round: sess.rounds,
+                epoch: 1,
+                alive,
+                decision: synced,
+                estimate,
+                theta,
+                codec,
+                state_bytes: charged_mid - charged_before,
+                model_bytes: charged_total - charged_mid,
+                charged_bytes: charged_total,
+                measured_bytes: charged_total,
+                deposit_us: Vec::new(),
+                drops: Vec::new(),
             };
-            self.monitor.on_sync(&w_new, &w_prev);
-            self.w_sync = w_new;
-            self.syncs += 1;
-            synced = true;
+            let _ = sess.writer.write(&event.to_json());
         }
-        let t3 = Instant::now();
-        (
-            StepOutcome {
-                stats,
-                synced,
-                variance_estimate: Some(estimate),
-            },
-            StepPhases {
-                local_step: t1 - t0,
-                monitor: t2 - t1,
-                allreduce: t3 - t2,
-            },
-        )
+    }
+
+    /// Writes the end-of-run summary and closes the stream (called when
+    /// telemetry is detached).
+    fn emit_run_event(&mut self, mut sess: TelemetrySession) {
+        let charged = self.cluster.comm_bytes();
+        let workers = self.cluster.workers() as u32;
+        let event = RunEvent {
+            source: "sim".into(),
+            workers,
+            variant: self.variant_name.to_string(),
+            theta: self.theta,
+            steps: sess.rounds,
+            syncs: self.syncs,
+            decisions: std::mem::take(&mut sess.decisions),
+            codec: self.codec.name().to_string(),
+            charged_bytes: charged,
+            measured_payload_bytes: charged,
+            raw_tx_bytes: 0,
+            raw_rx_bytes: 0,
+            survivors: (0..workers).collect(),
+            membership: (0..workers)
+                .map(|w| MembershipRecord {
+                    round: 0,
+                    worker: w,
+                    event: "join".into(),
+                })
+                .collect(),
+        };
+        let _ = sess.writer.write(&event.to_json());
+        let _ = sess.writer.flush();
     }
 }
 
@@ -387,7 +401,89 @@ impl Strategy for Fda {
     }
 
     fn step(&mut self) -> StepOutcome {
-        self.step_instrumented().0
+        let charged_before = self.cluster.comm_bytes();
+
+        // (1) Local training on every worker.
+        let stats = {
+            let _span = fda_obs::histogram!(HIST_LOCAL_STEP_US).span();
+            self.cluster.local_step()
+        };
+
+        // (2)–(3) Local states from drifts, then the AllReduce of the
+        //     states — charged at the monitor's state size. The arithmetic
+        //     is the component-wise average; the estimate `H(S̄_t)` comes
+        //     straight off the averaged state.
+        let estimate = {
+            let _span = fda_obs::histogram!(HIST_MONITOR_US).span();
+            self.compute_states();
+            if let Some(codec) = &self.codec_impl {
+                // Coded uplink: roundtrip every worker's summary through
+                // the codec — what a coordinator reconstructs from an
+                // encoded deposit — and charge exactly the emitted bytes
+                // plus the raw 4-byte drift scalar (the codec covers the
+                // summary only).
+                let mut payloads = Vec::with_capacity(self.states.len());
+                for s in &mut self.states {
+                    let enc = codec.encode(s.summary_slice());
+                    payloads.push(4 + enc.len() as u64);
+                    let dec = codec
+                        .decode(&enc, s.summary_slice().len())
+                        .expect("codec decodes own output");
+                    s.summary_slice_mut().copy_from_slice(&dec);
+                }
+                self.cluster.net_mut().charge_per_worker(&payloads);
+            } else {
+                let state_bytes = self.monitor.state_bytes();
+                self.cluster.net_mut().charge_allreduce(state_bytes);
+            }
+            self.averaged_estimate()
+        };
+        let charged_mid = self.cluster.comm_bytes();
+
+        // (4) The conditional synchronization.
+        let mut synced = false;
+        {
+            let _span = fda_obs::histogram!(HIST_ALLREDUCE_US).span();
+            if estimate > self.theta {
+                let w_prev = std::mem::take(&mut self.w_sync);
+                let w_new = match &self.codec_impl {
+                    Some(codec) => self.cluster.allreduce_models_coded(codec.as_ref()),
+                    None => self.cluster.allreduce_models(),
+                };
+                self.monitor.on_sync(&w_new, &w_prev);
+                self.w_sync = w_new;
+                self.syncs += 1;
+                synced = true;
+            }
+        }
+
+        if self.telemetry.is_some() {
+            self.emit_round_event(charged_before, charged_mid, synced, estimate);
+        }
+
+        StepOutcome {
+            stats,
+            synced,
+            variance_estimate: Some(estimate),
+        }
+    }
+
+    fn set_telemetry(&mut self, sink: Option<JsonlWriter>) -> bool {
+        match sink {
+            Some(writer) => {
+                self.telemetry = Some(TelemetrySession {
+                    writer,
+                    rounds: 0,
+                    decisions: String::new(),
+                });
+            }
+            None => {
+                if let Some(sess) = self.telemetry.take() {
+                    self.emit_run_event(sess);
+                }
+            }
+        }
+        true
     }
 
     fn cluster(&self) -> &Cluster {

@@ -14,9 +14,10 @@
 use crate::strategy::Strategy;
 use fda_data::TaskData;
 use fda_nn::Sequential;
+use std::path::PathBuf;
 
 /// Stop conditions and evaluation cadence for a run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RunConfig {
     /// The test-accuracy target that ends the run ("Accuracy Target").
     pub accuracy_target: f32,
@@ -29,6 +30,9 @@ pub struct RunConfig {
     /// Cap on train-split samples used for the train-accuracy trace
     /// (Figure 7); `0` disables train-accuracy tracking.
     pub train_eval_samples: usize,
+    /// Per-round telemetry JSONL sink (see `fda_obs::event`); `None`
+    /// disables telemetry. Strategies that don't emit telemetry ignore it.
+    pub telemetry: Option<PathBuf>,
 }
 
 impl RunConfig {
@@ -40,12 +44,19 @@ impl RunConfig {
             eval_every: 10,
             eval_batch: 256,
             train_eval_samples: 0,
+            telemetry: None,
         }
     }
 
     /// Enables the Figure-7 style train-accuracy trace.
     pub fn with_train_trace(mut self, samples: usize) -> RunConfig {
         self.train_eval_samples = samples;
+        self
+    }
+
+    /// Streams per-round telemetry events to `path` as versioned JSONL.
+    pub fn with_telemetry(mut self, path: impl Into<PathBuf>) -> RunConfig {
+        self.telemetry = Some(path.into());
         self
     }
 }
@@ -115,6 +126,15 @@ pub fn run_to_target(strategy: &mut dyn Strategy, task: &TaskData, cfg: &RunConf
     let mut trace = Vec::new();
     let mut reached = false;
 
+    let telemetry_attached = match &cfg.telemetry {
+        Some(path) => {
+            let writer = fda_obs::JsonlWriter::create(path)
+                .unwrap_or_else(|e| panic!("run: cannot create telemetry file {path:?}: {e}"));
+            strategy.set_telemetry(Some(writer))
+        }
+        None => false,
+    };
+
     // Evaluate the untrained global model once so every trace starts at
     // step zero (useful for Figure-7 style plots).
     let p0 = evaluate(strategy, task, cfg, &mut eval_model);
@@ -133,6 +153,10 @@ pub fn run_to_target(strategy: &mut dyn Strategy, task: &TaskData, cfg: &RunConf
         best_test = best_test.max(point.test_acc);
         reached |= point.test_acc >= cfg.accuracy_target;
         trace.push(point);
+    }
+
+    if telemetry_attached {
+        strategy.set_telemetry(None);
     }
 
     RunResult {

@@ -54,7 +54,7 @@ pub mod threaded;
 pub mod wire;
 
 pub use cluster::{Cluster, ClusterConfig};
-pub use fda::{Fda, FdaConfig, FdaVariant, StepPhases};
+pub use fda::{Fda, FdaConfig, FdaVariant};
 pub use harness::{RunConfig, RunResult};
 pub use monitor::{ExactMonitor, LinearMonitor, SketchMonitor, VarianceMonitor};
 pub use pool::WorkerPool;

@@ -191,6 +191,7 @@ impl VarianceMonitor for SketchMonitor {
     }
 
     fn local_state_into(&self, drift: &[f32], out: &mut LocalState) {
+        let _span = fda_obs::histogram!("fda_sketch_us").span();
         out.drift_sq_norm = vector::norm_sq(drift);
         match &mut out.summary {
             StateSummary::Sketch(sk)

@@ -40,6 +40,15 @@ pub trait Strategy {
     /// Number of model synchronizations so far.
     fn syncs(&self) -> u64;
 
+    /// Attaches (`Some`) or finishes (`None`) a per-round JSONL telemetry
+    /// stream (see `fda_obs::event`). Detaching writes the end-of-run
+    /// summary and flushes. Returns whether this strategy emits telemetry;
+    /// the default implementation drops the sink and reports `false`.
+    fn set_telemetry(&mut self, sink: Option<fda_obs::JsonlWriter>) -> bool {
+        drop(sink);
+        false
+    }
+
     /// Total bytes transmitted by all workers so far.
     fn comm_bytes(&self) -> u64 {
         self.cluster().comm_bytes()

@@ -45,9 +45,11 @@ use fda_core::wire::{
     decode_state_coded, decode_vector_coded, encode_state, encode_vector, state_frame_overhead,
     JobSpec,
 };
+use fda_obs::{DropRecord, JsonlWriter, MembershipRecord, RoundEvent, RunEvent};
 use fda_tensor::vector;
 use std::io::Write as _;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Why the coordinator dropped a worker from the run.
@@ -170,6 +172,7 @@ pub struct Coordinator {
     accept_timeout: Duration,
     read_timeout: Duration,
     policy: RoundPolicy,
+    telemetry: Option<PathBuf>,
 }
 
 /// One accepted worker connection.
@@ -235,6 +238,7 @@ impl Coordinator {
             accept_timeout: Duration::from_secs(30),
             read_timeout: Duration::from_secs(60),
             policy: RoundPolicy::default(),
+            telemetry: None,
         })
     }
 
@@ -258,6 +262,16 @@ impl Coordinator {
     /// admission schedule).
     pub fn set_policy(&mut self, policy: RoundPolicy) {
         self.policy = policy;
+    }
+
+    /// Streams the versioned round-event JSONL ([`fda_obs`] schema) to
+    /// `path`: one `"round"` record per FDA round — decision, estimate,
+    /// per-worker deposit latency, drops, and the byte ledger — and one
+    /// `"run"` summary record at the end. The stream is schema-identical
+    /// to the simulator's (`RunConfig::with_telemetry`); only the
+    /// `source` field differs.
+    pub fn set_telemetry(&mut self, path: impl Into<PathBuf>) {
+        self.telemetry = Some(path.into());
     }
 
     /// Accepts one connection and completes the hello handshake, returning
@@ -395,6 +409,10 @@ impl Coordinator {
         let codec = spec.codec.build();
         let coded = !spec.codec.is_dense();
         let state_overhead = state_frame_overhead(&state_shape);
+        let mut tele: Option<JsonlWriter> = match &self.telemetry {
+            Some(path) => Some(JsonlWriter::create(path)?),
+            None => None,
+        };
 
         // Formation: accept all K, then the uniform join handshake —
         // Config followed by the versioned handoff. At formation the
@@ -469,6 +487,12 @@ impl Coordinator {
         };
 
         for step in 0..spec.steps {
+            // Telemetry bookkeeping: membership events and measured bytes
+            // appended past these marks belong to this round.
+            let events_mark = events.len();
+            let measured_before = measured_payload;
+            let mut deposit_us: Vec<(u32, u64)> = Vec::new();
+
             // (0) Scheduled re-admissions: wait for each worker due this
             // round, then replay the join handshake at the bumped epoch
             // with the current consensus state.
@@ -527,6 +551,7 @@ impl Coordinator {
                     .saturating_duration_since(Instant::now())
                     .max(Duration::from_millis(1));
                 conn.set_read_timeout(remaining)?;
+                let t0 = tele.as_ref().map(|_| Instant::now());
                 match conn.recv_frame_current() {
                     // The coded decoder validates tag, dims and payload
                     // totality against the expected template before any
@@ -535,6 +560,9 @@ impl Coordinator {
                     Ok((FrameKind::State, payload)) => {
                         match decode_state_coded(&payload, &state_shape, codec.as_ref()) {
                             Ok(s) => {
+                                if let Some(t0) = t0 {
+                                    deposit_us.push((id as u32, t0.elapsed().as_micros() as u64));
+                                }
                                 states[id] = Some(s);
                                 state_bytes[id] = payload.len() as u64 - state_overhead;
                             }
@@ -576,6 +604,8 @@ impl Coordinator {
             for &id in &alive {
                 measured_payload += mode.per_worker_bytes(state_bytes[id], alive.len());
             }
+            let round_alive = alive.len() as u32;
+            let measured_after_state = measured_payload;
 
             // (2) Reduce over the survivor set in worker-id order + the
             // decision.
@@ -682,6 +712,36 @@ impl Coordinator {
                 resume_prev = Some(std::mem::replace(&mut resume_model, bufs.swap_remove(0)));
                 syncs += 1;
             }
+
+            if let Some(w) = tele.as_mut() {
+                let drops: Vec<DropRecord> = events[events_mark..]
+                    .iter()
+                    .filter_map(|e| match e.event {
+                        MemberEvent::Dropped(r) => Some(DropRecord {
+                            worker: e.worker,
+                            reason: r.as_str().to_string(),
+                        }),
+                        MemberEvent::Joined { .. } => None,
+                    })
+                    .collect();
+                let ev = RoundEvent {
+                    source: "net".into(),
+                    round: step + 1,
+                    epoch,
+                    alive: round_alive,
+                    decision: sync,
+                    estimate,
+                    theta: spec.fda.theta,
+                    codec: spec.codec.name().into(),
+                    state_bytes: measured_after_state - measured_before,
+                    model_bytes: measured_payload - measured_after_state,
+                    charged_bytes: charged_banked + net.total_bytes(),
+                    measured_bytes: measured_payload,
+                    deposit_us,
+                    drops,
+                };
+                w.write(&ev.to_json())?;
+            }
         }
 
         // Final collection (uncharged, like `Cluster::average_params`).
@@ -720,7 +780,7 @@ impl Coordinator {
         let live_rx: u64 = conns.iter().flatten().map(|c| c.stream.rx_bytes()).sum();
         let parked_tx: u64 = pending.iter().map(|(_, c)| c.stream.tx_bytes()).sum();
         let parked_rx: u64 = pending.iter().map(|(_, c)| c.stream.rx_bytes()).sum();
-        Ok(NetReport {
+        let report = NetReport {
             syncs,
             decisions,
             estimates,
@@ -732,7 +792,55 @@ impl Coordinator {
             final_params,
             survivors,
             events,
+        };
+        if let Some(mut w) = tele {
+            w.write(&run_event(&report, spec).to_json())?;
+            w.flush()?;
+        }
+        Ok(report)
+    }
+}
+
+/// Builds the schema'd end-of-run summary record from a finished run — the
+/// record `fda_node` prints as its run report and every telemetry stream
+/// ends with. Membership events serialize as `"join"`, `"rejoin"`, or
+/// `"drop-<reason>"`.
+pub fn run_event(report: &NetReport, spec: &JobSpec) -> RunEvent {
+    let membership = report
+        .events
+        .iter()
+        .map(|e| {
+            let event = match e.event {
+                MemberEvent::Joined { rejoin: false } => "join".to_string(),
+                MemberEvent::Joined { rejoin: true } => "rejoin".to_string(),
+                MemberEvent::Dropped(r) => format!("drop-{}", r.as_str()),
+            };
+            MembershipRecord {
+                round: e.round,
+                worker: e.worker,
+                event,
+            }
         })
+        .collect();
+    RunEvent {
+        source: "net".into(),
+        workers: spec.cluster.workers as u32,
+        variant: spec.fda.variant.name().into(),
+        theta: spec.fda.theta,
+        steps: spec.steps,
+        syncs: report.syncs,
+        decisions: report
+            .decisions
+            .iter()
+            .map(|&d| if d { '1' } else { '0' })
+            .collect(),
+        codec: spec.codec.name().into(),
+        charged_bytes: report.charged_bytes,
+        measured_payload_bytes: report.measured_payload_bytes,
+        raw_tx_bytes: report.raw_tx_bytes,
+        raw_rx_bytes: report.raw_rx_bytes,
+        survivors: report.survivors.clone(),
+        membership,
     }
 }
 

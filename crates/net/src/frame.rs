@@ -92,6 +92,52 @@ pub enum FrameKind {
 }
 
 impl FrameKind {
+    /// Lowercase label for metrics and event records.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FrameKind::Hello => "hello",
+            FrameKind::Config => "config",
+            FrameKind::State => "state",
+            FrameKind::AvgState => "avg_state",
+            FrameKind::Model => "model",
+            FrameKind::AvgModel => "avg_model",
+            FrameKind::FinalModel => "final_model",
+            FrameKind::Shutdown => "shutdown",
+            FrameKind::Resume => "resume",
+        }
+    }
+
+    /// Per-kind transmit byte counter name (frame image bytes, framing
+    /// included) — fed by [`write_frame`].
+    fn tx_counter(&self) -> &'static str {
+        match self {
+            FrameKind::Hello => "net_tx_bytes_hello",
+            FrameKind::Config => "net_tx_bytes_config",
+            FrameKind::State => "net_tx_bytes_state",
+            FrameKind::AvgState => "net_tx_bytes_avg_state",
+            FrameKind::Model => "net_tx_bytes_model",
+            FrameKind::AvgModel => "net_tx_bytes_avg_model",
+            FrameKind::FinalModel => "net_tx_bytes_final_model",
+            FrameKind::Shutdown => "net_tx_bytes_shutdown",
+            FrameKind::Resume => "net_tx_bytes_resume",
+        }
+    }
+
+    /// Per-kind receive byte counter name — fed by [`read_frame`].
+    fn rx_counter(&self) -> &'static str {
+        match self {
+            FrameKind::Hello => "net_rx_bytes_hello",
+            FrameKind::Config => "net_rx_bytes_config",
+            FrameKind::State => "net_rx_bytes_state",
+            FrameKind::AvgState => "net_rx_bytes_avg_state",
+            FrameKind::Model => "net_rx_bytes_model",
+            FrameKind::AvgModel => "net_rx_bytes_avg_model",
+            FrameKind::FinalModel => "net_rx_bytes_final_model",
+            FrameKind::Shutdown => "net_rx_bytes_shutdown",
+            FrameKind::Resume => "net_rx_bytes_resume",
+        }
+    }
+
     fn from_u8(b: u8) -> Option<FrameKind> {
         match b {
             1 => Some(FrameKind::Hello),
@@ -290,9 +336,20 @@ pub fn write_frame<W: Write>(
     kind: FrameKind,
     payload: &[u8],
 ) -> Result<(), NetError> {
-    let buf = encode_frame(epoch, kind, payload);
-    w.write_all(&buf)?;
-    w.flush()?;
+    let buf = {
+        let _span = fda_obs::histogram!("net_frame_encode_us").span();
+        encode_frame(epoch, kind, payload)
+    };
+    {
+        let _span = fda_obs::histogram!("net_socket_write_us").span();
+        w.write_all(&buf)?;
+        w.flush()?;
+    }
+    if fda_obs::enabled() {
+        fda_obs::registry()
+            .counter(kind.tx_counter())
+            .add(buf.len() as u64);
+    }
     Ok(())
 }
 
@@ -302,18 +359,23 @@ pub fn write_frame<W: Write>(
 /// frame's kind, its membership epoch stamp, and the payload.
 pub fn read_frame<R: Read>(r: &mut R) -> Result<(FrameKind, u32, Vec<u8>), NetError> {
     let mut header = [0u8; 12];
-    r.read_exact(&mut header)?;
-    let len = u32::from_le_bytes(header[0..4].try_into().expect("len 4"));
+    let mut body;
+    {
+        let _span = fda_obs::histogram!("net_socket_read_us").span();
+        r.read_exact(&mut header)?;
+        let len = u32::from_le_bytes(header[0..4].try_into().expect("len 4"));
+        if len == 0 || len > MAX_FRAME_BYTES {
+            return Err(NetError::Protocol(format!(
+                "frame length {len} outside (0, {MAX_FRAME_BYTES}]"
+            )));
+        }
+        body = vec![0u8; len as usize];
+        r.read_exact(&mut body)?;
+    }
+    let _span = fda_obs::histogram!("net_frame_decode_us").span();
     let epoch_bytes: [u8; 4] = header[4..8].try_into().expect("len 4");
     let epoch = u32::from_le_bytes(epoch_bytes);
     let crc = u32::from_le_bytes(header[8..12].try_into().expect("len 4"));
-    if len == 0 || len > MAX_FRAME_BYTES {
-        return Err(NetError::Protocol(format!(
-            "frame length {len} outside (0, {MAX_FRAME_BYTES}]"
-        )));
-    }
-    let mut body = vec![0u8; len as usize];
-    r.read_exact(&mut body)?;
     let (kind_byte, payload) = body.split_first().expect("len >= 1");
     let actual = fnv1a_32(&[&epoch_bytes, &[*kind_byte], payload]);
     if actual != crc {
@@ -324,6 +386,11 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<(FrameKind, u32, Vec<u8>), NetEr
     let kind = FrameKind::from_u8(*kind_byte)
         .ok_or_else(|| NetError::Protocol(format!("unknown frame kind {kind_byte}")))?;
     let payload = payload.to_vec();
+    if fda_obs::enabled() {
+        fda_obs::registry()
+            .counter(kind.rx_counter())
+            .add(12 + body.len() as u64);
+    }
     Ok((kind, epoch, payload))
 }
 

@@ -38,7 +38,22 @@ const REAP_TIMEOUT: Duration = Duration::from_secs(10);
 /// # Panics
 /// Panics if a worker thread panics.
 pub fn run_with_thread_workers(spec: &JobSpec) -> Result<NetReport, NetError> {
-    let coordinator = Coordinator::bind("127.0.0.1:0")?;
+    run_with_thread_workers_telemetry(spec, None)
+}
+
+/// [`run_with_thread_workers`] with an optional round-event JSONL sink
+/// (the [`fda_obs`] schema, streamed by the coordinator).
+///
+/// # Panics
+/// Panics if a worker thread panics.
+pub fn run_with_thread_workers_telemetry(
+    spec: &JobSpec,
+    telemetry: Option<&Path>,
+) -> Result<NetReport, NetError> {
+    let mut coordinator = Coordinator::bind("127.0.0.1:0")?;
+    if let Some(path) = telemetry {
+        coordinator.set_telemetry(path);
+    }
     let addr = coordinator.local_addr()?;
     let k = spec.cluster.workers;
     std::thread::scope(|scope| {
@@ -221,6 +236,33 @@ pub fn run_with_spawned_workers(spec: &JobSpec, node_bin: &Path) -> Result<NetRe
     Ok(report)
 }
 
+/// [`run_chaos_with_spawned_workers`] with an optional round-event JSONL
+/// sink (the [`fda_obs`] schema, streamed by the coordinator).
+pub fn run_chaos_with_spawned_workers_telemetry(
+    spec: &JobSpec,
+    node_bin: &Path,
+    plan: &FaultPlan,
+    policy: RoundPolicy,
+    io_timeout: Duration,
+    telemetry: Option<&Path>,
+) -> Result<NetReport, NetError> {
+    let mut coordinator = Coordinator::bind("127.0.0.1:0")?;
+    if let Some(path) = telemetry {
+        coordinator.set_telemetry(path);
+    }
+    let addr = coordinator.local_addr()?;
+    coordinator.set_timeouts(CONNECT_TIMEOUT, io_timeout);
+    coordinator.set_policy(policy);
+    let guard = spawn_workers(spec, node_bin, &addr.to_string(), plan)?;
+    let report = coordinator.run(spec);
+    drop(coordinator);
+    let fault_expected: Vec<bool> = (0..spec.cluster.workers)
+        .map(|id| plan.has_fault(id as u32) || report.is_err())
+        .collect();
+    guard.reap(&fault_expected)?;
+    report
+}
+
 /// Runs `spec` with spawned worker processes under a scripted fault plan:
 /// the multi-process chaos driver. Workers the plan targets are passed
 /// their `--fault` scripts on the command line and may exit with any
@@ -234,18 +276,7 @@ pub fn run_chaos_with_spawned_workers(
     policy: RoundPolicy,
     io_timeout: Duration,
 ) -> Result<NetReport, NetError> {
-    let mut coordinator = Coordinator::bind("127.0.0.1:0")?;
-    let addr = coordinator.local_addr()?;
-    coordinator.set_timeouts(CONNECT_TIMEOUT, io_timeout);
-    coordinator.set_policy(policy);
-    let guard = spawn_workers(spec, node_bin, &addr.to_string(), plan)?;
-    let report = coordinator.run(spec);
-    drop(coordinator);
-    let fault_expected: Vec<bool> = (0..spec.cluster.workers)
-        .map(|id| plan.has_fault(id as u32) || report.is_err())
-        .collect();
-    guard.reap(&fault_expected)?;
-    report
+    run_chaos_with_spawned_workers_telemetry(spec, node_bin, plan, policy, io_timeout, None)
 }
 
 #[cfg(test)]

@@ -60,13 +60,14 @@ pub mod protocol;
 pub mod worker;
 
 pub use coordinator::{
-    Coordinator, DropReason, MemberEvent, MembershipEvent, NetReport, RoundPolicy,
+    run_event, Coordinator, DropReason, MemberEvent, MembershipEvent, NetReport, RoundPolicy,
 };
 pub use fault::{Backoff, FaultAction, FaultPlan, RejoinPolicy, FAULT_EXIT_CODE};
 pub use frame::{FrameKind, NetError, PROTOCOL_VERSION};
 pub use harness::{
-    run_chaos_with_spawned_workers, run_chaos_with_thread_workers, run_with_spawned_workers,
-    run_with_thread_workers,
+    run_chaos_with_spawned_workers, run_chaos_with_spawned_workers_telemetry,
+    run_chaos_with_thread_workers, run_with_spawned_workers, run_with_thread_workers,
+    run_with_thread_workers_telemetry,
 };
 pub use protocol::{recv_at_epoch, Msg, MAX_STALE_FRAMES};
 pub use worker::{run_worker, WorkerOptions, WorkerOutcome, WorkerSummary};

@@ -1,0 +1,40 @@
+//! RAII span timing: a guard that records elapsed microseconds into a
+//! histogram when dropped. Disabled telemetry yields an inert guard that
+//! never reads the clock.
+
+use crate::clock::Clock;
+use crate::metrics::Histogram;
+
+pub struct Span<'c> {
+    active: Option<(&'static Histogram, &'c dyn Clock, u64)>,
+}
+
+impl<'c> Span<'c> {
+    pub(crate) fn start(hist: &'static Histogram, clock: &'c dyn Clock) -> Self {
+        if crate::enabled() {
+            let t0 = clock.now_ns();
+            Span {
+                active: Some((hist, clock, t0)),
+            }
+        } else {
+            Span { active: None }
+        }
+    }
+
+    /// Elapsed nanoseconds so far (0 when telemetry is disabled).
+    pub fn elapsed_ns(&self) -> u64 {
+        match self.active {
+            Some((_, clock, t0)) => clock.now_ns().saturating_sub(t0),
+            None => 0,
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some((hist, clock, t0)) = self.active.take() {
+            let elapsed_us = clock.now_ns().saturating_sub(t0) / 1_000;
+            hist.record(elapsed_us);
+        }
+    }
+}

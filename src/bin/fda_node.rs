@@ -20,6 +20,12 @@
 //! sketch|linear|exact`, `--theta <f32>`, `--steps <n>`, `--seed <n>`,
 //! `--batch <n>`, `--train <n>`, `--test <n>`, `--listen <addr>`,
 //! `--min-workers <n>`, `--deposit-timeout-ms <ms>`.
+//!
+//! Observability (coordinator/demo): `--telemetry <path>` streams the
+//! versioned round-event JSONL (`fda_obs` schema) to `path`;
+//! `--metrics-addr <addr>` enables the metrics registry and serves
+//! Prometheus text exposition over HTTP at `addr`. The run report printed
+//! on stdout is the schema's one-line `"run"` record.
 
 use fda::core::cluster::ClusterConfig;
 use fda::core::fda::{FdaConfig, FdaVariant};
@@ -27,11 +33,12 @@ use fda::core::wire::JobSpec;
 use fda::data::synth::SynthSpec;
 use fda::data::Partition;
 use fda::net::{
-    run_chaos_with_spawned_workers, run_worker, Coordinator, FaultAction, FaultPlan, MemberEvent,
-    NetReport, RejoinPolicy, RoundPolicy, WorkerOptions, WorkerOutcome, FAULT_EXIT_CODE,
+    run_chaos_with_spawned_workers_telemetry, run_event, run_worker, Coordinator, FaultAction,
+    FaultPlan, NetReport, RejoinPolicy, RoundPolicy, WorkerOptions, WorkerOutcome, FAULT_EXIT_CODE,
 };
 use fda::nn::zoo::ModelId;
 use fda::optim::OptimizerKind;
+use std::path::PathBuf;
 use std::time::Duration;
 
 fn usage() -> ! {
@@ -44,7 +51,8 @@ fn usage() -> ! {
          --variant sketch|linear|exact  --theta <f32>  --steps <n>\n               \
          --seed <n>  --batch <n>  --train <n>  --test <n>\n               \
          --codec dense|uniform8[:chunk]|topk:<k>|driftmask:<t>\n               \
-         --min-workers <n>  --deposit-timeout-ms <ms>\n\n\
+         --min-workers <n>  --deposit-timeout-ms <ms>\n               \
+         --telemetry <path>  --metrics-addr <addr>\n\n\
          fault specs: kill@N  exit@N  stall@N:<ms>  flip@N:<bit>  trunc@N:<keep>"
     );
     std::process::exit(2);
@@ -138,44 +146,31 @@ fn round_policy_from_args(args: &[String]) -> RoundPolicy {
     }
 }
 
+/// Prints the run report: the telemetry schema's `"run"` record, one line
+/// of versioned JSON (`fda_obs` SCHEMA_VERSION) — parse it, don't regex it.
 fn print_report(report: &NetReport, spec: &JobSpec) {
-    let decisions: Vec<String> = report
-        .decisions
-        .iter()
-        .map(|d| if *d { "1" } else { "0" }.to_string())
-        .collect();
-    let survivors: Vec<String> = report.survivors.iter().map(|w| w.to_string()).collect();
-    let events: Vec<String> = report
-        .events
-        .iter()
-        .map(|e| {
-            let what = match e.event {
-                MemberEvent::Joined { rejoin: false } => "join".to_string(),
-                MemberEvent::Joined { rejoin: true } => "rejoin".to_string(),
-                MemberEvent::Dropped(reason) => format!("drop-{}", reason.as_str()),
-            };
-            format!("\"r{}:w{}:{}\"", e.round, e.worker, what)
-        })
-        .collect();
-    println!(
-        "{{\n  \"workers\": {},\n  \"variant\": \"{}\",\n  \"theta\": {},\n  \"steps\": {},\n  \
-         \"syncs\": {},\n  \"decisions\": \"{}\",\n  \"charged_bytes\": {},\n  \
-         \"measured_payload_bytes\": {},\n  \"raw_tx_bytes\": {},\n  \"raw_rx_bytes\": {},\n  \
-         \"measured_equals_charged\": {},\n  \"survivors\": [{}],\n  \"membership\": [{}]\n}}",
-        spec.cluster.workers,
-        spec.fda.variant.name(),
-        spec.fda.theta,
-        spec.steps,
-        report.syncs,
-        decisions.join(""),
-        report.charged_bytes,
-        report.measured_payload_bytes,
-        report.raw_tx_bytes,
-        report.raw_rx_bytes,
-        report.measured_payload_bytes == report.charged_bytes,
-        survivors.join(", "),
-        events.join(", "),
-    );
+    println!("{}", run_event(report, spec).to_json());
+}
+
+/// Handles `--telemetry` / `--metrics-addr`: returns the telemetry sink
+/// path (threaded to the coordinator) and, when scraping is requested,
+/// the live metrics server (kept alive for the whole run) after globally
+/// enabling the registry.
+fn obs_from_args(args: &[String]) -> (Option<PathBuf>, Option<fda::obs::MetricsServer>) {
+    let telemetry = opt_value(args, "--telemetry").map(PathBuf::from);
+    let server = opt_value(args, "--metrics-addr").map(|addr| {
+        let server = fda::obs::MetricsServer::bind(addr.as_str()).unwrap_or_else(|e| {
+            eprintln!("fda_node: metrics bind {addr} failed: {e}");
+            std::process::exit(1);
+        });
+        fda::obs::set_enabled(true);
+        eprintln!(
+            "fda_node: serving metrics on http://{}/metrics",
+            server.addr()
+        );
+        server
+    });
+    (telemetry, server)
 }
 
 fn main() {
@@ -234,12 +229,16 @@ fn main() {
         }
         Some("coordinator") => {
             let spec = job_from_args(&args);
+            let (telemetry, _metrics) = obs_from_args(&args);
             let listen = opt_value(&args, "--listen").unwrap_or("127.0.0.1:0".to_string());
             let mut coordinator = Coordinator::bind(listen.as_str()).unwrap_or_else(|e| {
                 eprintln!("fda_node coordinator: bind failed: {e}");
                 std::process::exit(1);
             });
             coordinator.set_policy(round_policy_from_args(&args));
+            if let Some(path) = telemetry {
+                coordinator.set_telemetry(path);
+            }
             eprintln!(
                 "fda_node coordinator: waiting for {} workers on {}",
                 spec.cluster.workers,
@@ -276,12 +275,14 @@ fn main() {
             }
             let node_bin = std::env::current_exe().expect("own binary path");
             let policy = round_policy_from_args(&args);
-            match run_chaos_with_spawned_workers(
+            let (telemetry, _metrics) = obs_from_args(&args);
+            match run_chaos_with_spawned_workers_telemetry(
                 &spec,
                 &node_bin,
                 &plan,
                 policy,
                 Duration::from_secs(60),
+                telemetry.as_deref(),
             ) {
                 Ok(report) => print_report(&report, &spec),
                 Err(e) => {

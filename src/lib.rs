@@ -9,6 +9,8 @@
 //! * [`net`] (`fda-net`) — the TCP coordinator/worker transport running
 //!   the FDA loop across OS processes, bit-identical to the simulator
 //!   (drive it with the `fda_node` binary).
+//! * [`obs`] (`fda-obs`) — zero-dependency telemetry: metrics registry,
+//!   spans, round-event JSONL schema, Prometheus scrape endpoint.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -17,6 +19,7 @@ pub use fda_core as core;
 pub use fda_data as data;
 pub use fda_net as net;
 pub use fda_nn as nn;
+pub use fda_obs as obs;
 pub use fda_optim as optim;
 pub use fda_sketch as sketch;
 pub use fda_tensor as tensor;
