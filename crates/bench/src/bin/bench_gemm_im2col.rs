@@ -35,8 +35,41 @@ use fda_nn::layer::Layer as _;
 use fda_nn::zoo::ModelId;
 use fda_nn::Shape3;
 use fda_tensor::{matrix, Matrix, Rng};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
+
+/// Thread-local allocation counter behind the global allocator, for
+/// `net_alloc_per_round`: `run_with_thread_workers` runs the coordinator
+/// on the calling thread and the workers on their own threads, so the
+/// calling thread's count is exactly the coordinator's.
+struct ThreadCountingAlloc;
+
+thread_local! {
+    // Const-init `Cell<u64>`: no destructor, no lazy initialization, so
+    // the allocator can touch it without recursing.
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for ThreadCountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: ThreadCountingAlloc = ThreadCountingAlloc;
 
 /// Best-of-`reps` wall time for `f`, each rep averaging `iters` calls.
 fn best_time<F: FnMut()>(reps: usize, iters: u32, mut f: F) -> Duration {
@@ -270,6 +303,11 @@ struct NetBenchResult {
     measured_payload_bytes: u64,
     /// Same run's raw socket bytes (framing + control plane included).
     raw_socket_bytes: u64,
+    /// Same run's consensus-downlink frame bytes (uncharged broadcasts).
+    downlink_bytes: u64,
+    /// Coordinator-thread marginal heap allocations per steady-state
+    /// round (Θ = ∞ state rendezvous, differenced over two run lengths).
+    alloc_per_round: f64,
 }
 
 /// Loopback TCP round-trip cost of the real socket transport vs the
@@ -280,7 +318,20 @@ struct NetBenchResult {
 fn bench_net(k: usize, steps: u32, reps: usize) -> NetBenchResult {
     use fda_core::wire::JobSpec;
     use fda_data::synth::SynthSpec;
-    let spec = |theta: f32| JobSpec {
+    // The Θ = 0 job runs the delta-coded downlink (`delta:uniform8:256`,
+    // simulator mirrored via `Fda::set_downlink`): every round pays a
+    // model AllReduce, so the consensus broadcast dominates raw tx and the
+    // coded delta is what keeps raw_over_charged low.
+    let downlink_for = |theta: f32| {
+        if theta == 0.0 {
+            fda_comm::DownlinkSpec::Delta {
+                codec: fda_comm::CodecSpec::Uniform8 { chunk: 256 },
+            }
+        } else {
+            fda_comm::DownlinkSpec::Dense
+        }
+    };
+    let spec = |theta: f32, steps: u32| JobSpec {
         cluster: ClusterConfig {
             model: ModelId::Lenet5,
             workers: k,
@@ -292,6 +343,7 @@ fn bench_net(k: usize, steps: u32, reps: usize) -> NetBenchResult {
         },
         fda: FdaConfig::sketch_auto(theta),
         codec: fda_comm::CodecSpec::Dense,
+        downlink: downlink_for(theta),
         steps,
         synth: SynthSpec {
             n_train: 240,
@@ -305,19 +357,21 @@ fn bench_net(k: usize, steps: u32, reps: usize) -> NetBenchResult {
         let mut last = None;
         for _ in 0..reps {
             let t = Instant::now();
-            let report = fda_net::run_with_thread_workers(&spec(theta)).expect("net bench run");
+            let report =
+                fda_net::run_with_thread_workers(&spec(theta, steps)).expect("net bench run");
             best = best.min(t.elapsed().as_secs_f64() / steps as f64 * 1e6);
             last = Some(report);
         }
         (best, last.expect("reps >= 1"))
     };
     let sim_round = |theta: f32| -> f64 {
-        let job = spec(theta);
+        let job = spec(theta, steps);
         let task = job.synth.generate(&job.task_name);
         let mut best = f64::MAX;
         for _ in 0..reps {
             let t = Instant::now();
             let mut fda = Fda::new(job.fda, job.cluster.clone(), &task);
+            fda.set_downlink(job.downlink);
             for _ in 0..steps {
                 fda.step();
             }
@@ -325,6 +379,18 @@ fn bench_net(k: usize, steps: u32, reps: usize) -> NetBenchResult {
         }
         best
     };
+    // Coordinator-thread allocations per steady-state round: run the
+    // Θ = ∞ job at two lengths and difference, so per-run setup
+    // (listener, handshakes, config/resume frames) cancels out.
+    let coordinator_allocs = |steps: u32| -> u64 {
+        let before = THREAD_ALLOCS.with(Cell::get);
+        fda_net::run_with_thread_workers(&spec(f32::MAX, steps)).expect("alloc probe run");
+        THREAD_ALLOCS.with(Cell::get) - before
+    };
+    let _ = coordinator_allocs(3); // warm-up: metric registration etc.
+    let (n1, n2) = (3u32, 27u32);
+    let alloc_per_round =
+        (coordinator_allocs(n2).saturating_sub(coordinator_allocs(n1))) as f64 / (n2 - n1) as f64;
     let (tcp_state_round_us, _) = tcp_round(f32::MAX);
     let (tcp_sync_round_us, sync_report) = tcp_round(0.0);
     assert_eq!(
@@ -339,6 +405,8 @@ fn bench_net(k: usize, steps: u32, reps: usize) -> NetBenchResult {
         charged_bytes: sync_report.charged_bytes,
         measured_payload_bytes: sync_report.measured_payload_bytes,
         raw_socket_bytes: sync_report.raw_tx_bytes + sync_report.raw_rx_bytes,
+        downlink_bytes: sync_report.downlink_model_bytes,
+        alloc_per_round,
     }
 }
 
@@ -381,6 +449,7 @@ fn bench_codecs(k: usize, steps: u32, reps: usize) -> Vec<CodecBenchResult> {
                 },
                 fda: FdaConfig::sketch_auto(f32::MAX),
                 codec,
+                downlink: fda_comm::DownlinkSpec::Dense,
                 steps,
                 synth: SynthSpec {
                     n_train: 240,
@@ -545,7 +614,7 @@ fn main() {
     ];
     let (scoped_us, pool_us) = bench_rendezvous(4, if smoke { 20 } else { 200 });
     let telemetry = bench_telemetry_overhead(if smoke { 1 } else { 5 }, if smoke { 3 } else { 30 });
-    let net = bench_net(4, if smoke { 3 } else { 30 }, if smoke { 1 } else { 3 });
+    let net = bench_net(4, if smoke { 3 } else { 30 }, if smoke { 1 } else { 7 });
     let codec_runs = bench_codecs(4, if smoke { 3 } else { 30 }, if smoke { 1 } else { 3 });
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
@@ -642,16 +711,19 @@ fn main() {
         "  \"net_rendezvous_us\": {{\"k\": 4, \
          \"state_only\": {{\"tcp_round_us\": {:.1}, \"sim_round_us\": {:.1}, \"transport_overhead_us\": {:.1}}}, \
          \"full_sync\": {{\"tcp_round_us\": {:.1}, \"sim_round_us\": {:.1}, \"transport_overhead_us\": {:.1}}}, \
-         \"bytes\": {{\"charged\": {}, \"measured_payload\": {}, \"raw_socket\": {}, \"raw_over_charged\": {:.2}}}}},",
+         \"net_alloc_per_round\": {:.1}, \
+         \"bytes\": {{\"charged\": {}, \"measured_payload\": {}, \"raw_socket\": {}, \"downlink_bytes\": {}, \"raw_over_charged\": {:.2}}}}},",
         net.tcp_state_round_us,
         net.sim_state_round_us,
         net.tcp_state_round_us - net.sim_state_round_us,
         net.tcp_sync_round_us,
         net.sim_sync_round_us,
         net.tcp_sync_round_us - net.sim_sync_round_us,
+        net.alloc_per_round,
         net.charged_bytes,
         net.measured_payload_bytes,
         net.raw_socket_bytes,
+        net.downlink_bytes,
         net.raw_socket_bytes as f64 / net.charged_bytes as f64,
     );
     json.push_str("  \"codec_state_bytes\": [\n");
@@ -679,7 +751,7 @@ fn main() {
     let _ = writeln!(json, "  \"host_cores\": {host_cores},");
     let _ = writeln!(
         json,
-        "  \"note\": \"naive-vs-blocked measured back-to-back in one process; seed-era all-naive LeNet local_step was ~6.3ms (159 steps/sec) on this host. gemm_us.blocked_us runs the runtime-dispatched SIMD kernel layer (kernel_dispatch.selected; override with FDA_FORCE_KERNEL); the PR 4 autovectorized-blocked baseline on this host was lenet_conv2 32.9, lenet_conv1 17.1, vgg16_conv 17542.0, dense_square 620.8 us. conv_layer_us: Conv2d forward/backward on channel-major activations, input clone included; the PR 2 sample-major baseline on this host was lenet_conv1 43.1/90.7, lenet_conv2 65.9/124.8, vgg_conv2b 213.0/411.5 us (fwd/bwd). step_phases: Fda::step at theta=0 (sync every step), SketchAuto monitor, K=4; 'pooled' = persistent WorkerPool (ClusterConfig::parallel), 'seq' = single-thread reference. rendezvous_us compares one pool dispatch against the K scoped thread spawns PR 1 paid per step. net_rendezvous_us: the real TCP loopback transport (fda_net, thread workers speaking the socket protocol, K=4 LeNet) vs the sequential simulator on the same job; state_only = theta inf (state rendezvous every round), full_sync = theta 0 (plus a model AllReduce every round); transport_overhead_us is the per-round cost of serialization + framing + syscalls on this host. bytes.charged is the simulator convention, bytes.measured_payload the same convention measured frame-by-frame on the socket (asserted equal), bytes.raw_socket counts every byte both directions including framing, control plane and coordinator broadcasts (which the per-worker-payload convention does not charge) — hence raw_over_charged > 2. Parallel speedups require host_cores > 1; on a single-core host the pooled numbers measure pure rendezvous overhead. codec_state_bytes: the same K=4 LeNet TCP job at theta inf (state rendezvous every round, no model AllReduce) under each uplink codec; charged_bytes is the horizon's accounted state payload (measured==charged asserted), dense_over_codec the compression ratio vs the dense baseline. step_phases timings come from the fda_obs registry histograms Fda::step feeds (microsecond sum deltas per pass). telemetry_overhead: the theta=0 K=4 LeNet job with telemetry globally disabled vs fully enabled (registry spans + per-round JSONL to a temp file); overhead_pct is the enabled-path per-step cost, budgeted < 2%.\""
+        "  \"note\": \"naive-vs-blocked measured back-to-back in one process; seed-era all-naive LeNet local_step was ~6.3ms (159 steps/sec) on this host. gemm_us.blocked_us runs the runtime-dispatched SIMD kernel layer (kernel_dispatch.selected; override with FDA_FORCE_KERNEL); the PR 4 autovectorized-blocked baseline on this host was lenet_conv2 32.9, lenet_conv1 17.1, vgg16_conv 17542.0, dense_square 620.8 us. conv_layer_us: Conv2d forward/backward on channel-major activations, input clone included; the PR 2 sample-major baseline on this host was lenet_conv1 43.1/90.7, lenet_conv2 65.9/124.8, vgg_conv2b 213.0/411.5 us (fwd/bwd). step_phases: Fda::step at theta=0 (sync every step), SketchAuto monitor, K=4; 'pooled' = persistent WorkerPool (ClusterConfig::parallel), 'seq' = single-thread reference. rendezvous_us compares one pool dispatch against the K scoped thread spawns PR 1 paid per step. net_rendezvous_us: the real TCP loopback transport (fda_net, thread workers speaking the socket protocol, K=4 LeNet) vs the sequential simulator on the same job; state_only = theta inf (state rendezvous every round, dense downlink), full_sync = theta 0 (plus a model AllReduce every round) running the delta-coded downlink delta:uniform8:256 with the simulator mirrored via Fda::set_downlink; transport_overhead_us is the per-round cost of serialization + framing + syscalls on this host. net_alloc_per_round is the coordinator thread's marginal heap allocations per steady-state round (theta inf, differenced over two run lengths; the alloc_regression test fences it). bytes.charged is the simulator convention, bytes.measured_payload the same convention measured frame-by-frame on the socket (asserted equal), bytes.raw_socket counts every byte both directions including framing, control plane and coordinator broadcasts, bytes.downlink_bytes the uncharged consensus-downlink frames inside it; the dense-downlink seed-era baseline was raw_over_charged 2.07 — the coded delta is what holds it under 1.5. Parallel speedups require host_cores > 1; on a single-core host the pooled numbers measure pure rendezvous overhead. codec_state_bytes: the same K=4 LeNet TCP job at theta inf (state rendezvous every round, no model AllReduce) under each uplink codec; charged_bytes is the horizon's accounted state payload (measured==charged asserted), dense_over_codec the compression ratio vs the dense baseline. step_phases timings come from the fda_obs registry histograms Fda::step feeds (microsecond sum deltas per pass). telemetry_overhead: the theta=0 K=4 LeNet job with telemetry globally disabled vs fully enabled (registry spans + per-round JSONL to a temp file); overhead_pct is the enabled-path per-step cost, budgeted < 2%.\""
     );
     json.push('}');
 

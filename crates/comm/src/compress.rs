@@ -73,6 +73,14 @@ pub trait Codec: Send {
     /// Encodes `v` into the codec's wire payload.
     fn encode(&self, v: &[f32]) -> Vec<u8>;
 
+    /// Appends the encoding of `v` to `out` — the allocation-free variant
+    /// for round-persistent scratch buffers. Byte-identical to
+    /// [`Codec::encode`]; codecs whose hot path matters override the
+    /// default (which still allocates an intermediate).
+    fn encode_into(&self, v: &[f32], out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.encode(v));
+    }
+
     /// Decodes a payload back into a length-`n` vector. Total: any byte
     /// buffer either decodes or returns an error, and nothing larger than
     /// `n` elements is ever allocated. `n` is caller knowledge (the
@@ -112,10 +120,15 @@ impl Codec for Dense32 {
 
     fn encode(&self, v: &[f32]) -> Vec<u8> {
         let mut out = Vec::with_capacity(v.len() * 4);
+        self.encode_into(v, &mut out);
+        out
+    }
+
+    fn encode_into(&self, v: &[f32], out: &mut Vec<u8>) {
+        out.reserve(v.len() * 4);
         for &x in v {
             out.extend_from_slice(&x.to_le_bytes());
         }
-        out
     }
 
     fn decode(&self, buf: &[u8], n: usize) -> Result<Vec<f32>, CodecError> {
@@ -551,6 +564,13 @@ impl Codec for Instrumented {
         out
     }
 
+    fn encode_into(&self, v: &[f32], out: &mut Vec<u8>) {
+        let _span = fda_obs::histogram!("codec_encode_us").span();
+        let before = out.len();
+        self.0.encode_into(v, out);
+        fda_obs::counter!("codec_encoded_bytes").add((out.len() - before) as u64);
+    }
+
     fn decode(&self, buf: &[u8], n: usize) -> Result<Vec<f32>, CodecError> {
         let _span = fda_obs::histogram!("codec_decode_us").span();
         fda_obs::counter!("codec_decoded_bytes").add(buf.len() as u64);
@@ -654,6 +674,108 @@ impl CodecSpec {
         spec.validate().map_err(String::from)?;
         Ok(spec)
     }
+}
+
+/// Wire-encodable downlink selection: how the coordinator broadcasts the
+/// post-AllReduce consensus model. Carried in the `JobSpec` config frame
+/// (wire v3) so every process — and the simulator mirror — applies the
+/// identical reconstruction.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum DownlinkSpec {
+    /// Broadcast the dense AllReduce mean (the default; byte- and
+    /// trajectory-identical to the pre-delta wire layout).
+    #[default]
+    Dense,
+    /// Broadcast only the consensus *delta* against the previous
+    /// broadcast, encoded with its own codec (independent of the uplink
+    /// codec). The authoritative consensus becomes the receiver-side
+    /// reconstruction `prev + decode(encode(mean − prev))` — see
+    /// [`delta_downlink`] — so even `Delta { codec: Dense }` is a
+    /// different (float-rounded) trajectory from [`DownlinkSpec::Dense`].
+    Delta {
+        /// Codec for the delta payload.
+        codec: CodecSpec,
+    },
+}
+
+impl DownlinkSpec {
+    /// Downlink mode name for reports: `"dense"` or `"delta-<codec>"`.
+    pub fn name(&self) -> String {
+        match self {
+            DownlinkSpec::Dense => "dense".to_string(),
+            DownlinkSpec::Delta { codec } => format!("delta-{}", codec.name()),
+        }
+    }
+
+    /// Whether this is the historical dense broadcast (callers keep the
+    /// byte-identical `AvgModel` path when it is).
+    pub fn is_dense(&self) -> bool {
+        matches!(self, DownlinkSpec::Dense)
+    }
+
+    /// Validates the parameters (a wire-decoded spec is untrusted).
+    pub fn validate(&self) -> Result<(), &'static str> {
+        match self {
+            DownlinkSpec::Dense => Ok(()),
+            DownlinkSpec::Delta { codec } => codec.validate(),
+        }
+    }
+
+    /// Builds the delta codec, or `None` in dense mode.
+    pub fn build(&self) -> Option<Box<dyn Codec>> {
+        match self {
+            DownlinkSpec::Dense => None,
+            DownlinkSpec::Delta { codec } => Some(codec.build()),
+        }
+    }
+
+    /// Parses a CLI spec: `dense` or `delta:<codec spec>` (e.g.
+    /// `delta:uniform8:256`).
+    pub fn parse(s: &str) -> Result<DownlinkSpec, String> {
+        match s {
+            "dense" => Ok(DownlinkSpec::Dense),
+            _ => match s.strip_prefix("delta:") {
+                Some(rest) => Ok(DownlinkSpec::Delta {
+                    codec: CodecSpec::parse(rest)?,
+                }),
+                None => Err(format!("unknown downlink spec '{s}'")),
+            },
+        }
+    }
+}
+
+/// Produces one delta downlink: the wire payload for the broadcast and the
+/// authoritative reconstruction every receiver will hold afterwards.
+///
+/// The payload encodes `mean − prev` through `codec`; the returned model
+/// is computed by running the payload through [`apply_delta_downlink`] —
+/// the *receiver's* code path — so the sender's bookkeeping copy is
+/// bit-identical to every worker's and the simulator mirror's by
+/// construction (never by a parallel reimplementation of the float math).
+///
+/// # Panics
+/// Panics only if the codec fails to decode its own encoding — an
+/// internal bug, not an input condition.
+pub fn delta_downlink(prev: &[f32], mean: &[f32], codec: &dyn Codec) -> (Vec<u8>, Vec<f32>) {
+    assert_eq!(prev.len(), mean.len(), "delta downlink length mismatch");
+    let delta: Vec<f32> = prev.iter().zip(mean).map(|(p, m)| m - p).collect();
+    let payload = codec.encode(&delta);
+    let recon =
+        apply_delta_downlink(prev, &payload, codec).expect("codec decodes its own encoding");
+    (payload, recon)
+}
+
+/// Reconstructs the consensus model from a delta-downlink payload:
+/// `prev[i] + decode(payload)[i]`. Total over hostile payloads (the codec
+/// decoder validates), and the single shared float path for coordinator
+/// bookkeeping, worker receive, and the simulator mirror.
+pub fn apply_delta_downlink(
+    prev: &[f32],
+    payload: &[u8],
+    codec: &dyn Codec,
+) -> Result<Vec<f32>, CodecError> {
+    let delta = codec.decode(payload, prev.len())?;
+    Ok(prev.iter().zip(&delta).map(|(p, d)| p + d).collect())
 }
 
 #[cfg(test)]
@@ -948,6 +1070,77 @@ mod tests {
             Uniform8Bit::new(1).decode(&[], usize::MAX),
             Err(CodecError::Truncated)
         );
+    }
+
+    /// The delta-downlink contract: the sender's bookkeeping copy is the
+    /// receiver's reconstruction, byte for byte, for every codec — because
+    /// they are literally the same code path.
+    #[test]
+    fn delta_downlink_sender_copy_equals_receiver_reconstruction() {
+        let prev = sample(300, 11);
+        let mean = sample(300, 12);
+        for codec in all_codecs() {
+            let (payload, recon) = delta_downlink(&prev, &mean, codec.as_ref());
+            let applied =
+                apply_delta_downlink(&prev, &payload, codec.as_ref()).expect("own payload decodes");
+            for (i, (a, b)) in recon.iter().zip(&applied).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "element {i} diverged");
+            }
+        }
+    }
+
+    /// With a lossless delta codec the reconstruction equals the float sum
+    /// `prev + (mean − prev)` — close to, but deliberately not defined as,
+    /// `mean`.
+    #[test]
+    fn delta_downlink_dense_is_the_float_sum() {
+        let prev = sample(64, 21);
+        let mean = sample(64, 22);
+        let (_, recon) = delta_downlink(&prev, &mean, &Dense32);
+        for i in 0..64 {
+            assert_eq!(
+                recon[i].to_bits(),
+                (prev[i] + (mean[i] - prev[i])).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "delta downlink length mismatch")]
+    fn delta_downlink_rejects_mismatched_lengths() {
+        delta_downlink(&[0.0; 3], &[0.0; 4], &Dense32);
+    }
+
+    #[test]
+    fn apply_delta_downlink_rejects_hostile_payloads() {
+        let prev = vec![0.0f32; 16];
+        assert!(apply_delta_downlink(&prev, &[0u8; 7], &Dense32).is_err());
+        assert!(apply_delta_downlink(&prev, &[0u8; 3], &Uniform8Bit::new(8)).is_err());
+    }
+
+    #[test]
+    fn downlink_spec_parses_names_and_validates() {
+        assert_eq!(DownlinkSpec::parse("dense"), Ok(DownlinkSpec::Dense));
+        assert_eq!(
+            DownlinkSpec::parse("delta:uniform8:256"),
+            Ok(DownlinkSpec::Delta {
+                codec: CodecSpec::Uniform8 { chunk: 256 }
+            })
+        );
+        assert_eq!(
+            DownlinkSpec::parse("delta:dense"),
+            Ok(DownlinkSpec::Delta {
+                codec: CodecSpec::Dense
+            })
+        );
+        assert!(DownlinkSpec::parse("delta:uniform8:0").is_err());
+        assert!(DownlinkSpec::parse("zstd").is_err());
+        assert_eq!(DownlinkSpec::default(), DownlinkSpec::Dense);
+        assert!(DownlinkSpec::Dense.is_dense());
+        assert!(DownlinkSpec::Dense.build().is_none());
+        let delta = DownlinkSpec::parse("delta:topk:4").unwrap();
+        assert_eq!(delta.name(), "delta-top-k");
+        assert!(delta.build().is_some());
     }
 
     #[test]

@@ -23,7 +23,10 @@ pub mod cost;
 pub mod sim;
 pub mod threaded;
 
-pub use compress::{Codec, CodecError, CodecSpec, Dense32, DriftMask, TopK, Uniform8Bit};
+pub use compress::{
+    apply_delta_downlink, delta_downlink, Codec, CodecError, CodecSpec, Dense32, DownlinkSpec,
+    DriftMask, TopK, Uniform8Bit,
+};
 pub use cost::{AccountingMode, Environment};
 pub use sim::SimNetwork;
 pub use threaded::ThreadedReducer;

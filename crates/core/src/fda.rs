@@ -17,7 +17,7 @@ use crate::cluster::{Cluster, ClusterConfig};
 use crate::monitor::{ExactMonitor, LinearMonitor, LocalState, SketchMonitor, VarianceMonitor};
 use crate::pool::SendPtr;
 use crate::strategy::{StepOutcome, Strategy};
-use fda_comm::{Codec, CodecSpec};
+use fda_comm::{Codec, CodecSpec, DownlinkSpec};
 use fda_data::TaskData;
 use fda_obs::{JsonlWriter, MembershipRecord, RoundEvent, RunEvent};
 use fda_sketch::SketchConfig;
@@ -144,6 +144,11 @@ pub struct Fda {
     /// Built codec — `None` on the dense path, which keeps its historical
     /// byte-for-byte behaviour (pooled reductions, `charge_allreduce`).
     codec_impl: Option<Box<dyn Codec>>,
+    /// The downlink mode. [`DownlinkSpec::Dense`] by default.
+    downlink: DownlinkSpec,
+    /// Built downlink delta codec — `None` on the dense downlink, which
+    /// broadcasts the AllReduce mean bit-exactly as it always did.
+    downlink_impl: Option<Box<dyn Codec>>,
     /// Per-round JSONL telemetry, `None` unless attached.
     telemetry: Option<TelemetrySession>,
 }
@@ -178,6 +183,8 @@ impl Fda {
             avg_state: None,
             codec: CodecSpec::Dense,
             codec_impl: None,
+            downlink: DownlinkSpec::Dense,
+            downlink_impl: None,
             telemetry: None,
         }
     }
@@ -199,6 +206,8 @@ impl Fda {
             avg_state: None,
             codec: CodecSpec::Dense,
             codec_impl: None,
+            downlink: DownlinkSpec::Dense,
+            downlink_impl: None,
             telemetry: None,
         }
     }
@@ -221,6 +230,28 @@ impl Fda {
     /// The configured uplink codec.
     pub fn codec_spec(&self) -> CodecSpec {
         self.codec
+    }
+
+    /// Selects the downlink mode — the simulator mirror of the
+    /// coordinator's consensus broadcast. Under
+    /// [`DownlinkSpec::Delta`] the post-sync consensus becomes the
+    /// shared lossy reconstruction `prev + decode(encode(mean − prev))`
+    /// ([`fda_comm::compress::delta_downlink`]), loaded into every worker
+    /// uncharged (downlink bytes are outside the paper's convention, like
+    /// the dense broadcast before it). [`DownlinkSpec::Dense`] restores
+    /// the historical bitwise behaviour.
+    ///
+    /// # Panics
+    /// Panics if the spec fails [`DownlinkSpec::validate`].
+    pub fn set_downlink(&mut self, spec: DownlinkSpec) {
+        spec.validate().expect("fda: invalid downlink spec");
+        self.downlink_impl = spec.build();
+        self.downlink = spec;
+    }
+
+    /// The configured downlink mode.
+    pub fn downlink_spec(&self) -> DownlinkSpec {
+        self.downlink
     }
 
     /// The variance threshold Θ.
@@ -446,10 +477,20 @@ impl Strategy for Fda {
             let _span = fda_obs::histogram!(HIST_ALLREDUCE_US).span();
             if estimate > self.theta {
                 let w_prev = std::mem::take(&mut self.w_sync);
-                let w_new = match &self.codec_impl {
+                let mut w_new = match &self.codec_impl {
                     Some(codec) => self.cluster.allreduce_models_coded(codec.as_ref()),
                     None => self.cluster.allreduce_models(),
                 };
+                if let Some(delta_codec) = &self.downlink_impl {
+                    // Delta downlink mirror: the consensus every worker
+                    // ends the round with is the reconstruction of the
+                    // coded delta against the previous consensus — load
+                    // it uncharged, exactly like the transport does.
+                    let (_, recon) =
+                        fda_comm::compress::delta_downlink(&w_prev, &w_new, delta_codec.as_ref());
+                    self.cluster.load_global(&recon);
+                    w_new = recon;
+                }
                 self.monitor.on_sync(&w_new, &w_prev);
                 self.w_sync = w_new;
                 self.syncs += 1;

@@ -26,7 +26,7 @@
 use crate::cluster::ClusterConfig;
 use crate::fda::{FdaConfig, FdaVariant};
 use crate::monitor::{LocalState, StateSummary};
-use fda_comm::compress::{Codec, CodecError, CodecSpec};
+use fda_comm::compress::{Codec, CodecError, CodecSpec, DownlinkSpec};
 use fda_data::synth::SynthSpec;
 use fda_data::Partition;
 use fda_nn::zoo::ModelId;
@@ -37,7 +37,10 @@ use fda_sketch::{AmsSketch, SketchConfig};
 ///
 /// v2: the job carries its payload codec ([`CodecSpec`]) so every process
 /// of a run encodes and decodes sync payloads identically.
-pub const JOB_WIRE_VERSION: u8 = 2;
+///
+/// v3: the job carries its downlink spec ([`DownlinkSpec`]) so delta-coded
+/// model broadcasts reconstruct identically on every process.
+pub const JOB_WIRE_VERSION: u8 = 3;
 
 /// Errors produced when decoding a wire buffer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -277,9 +280,22 @@ pub fn state_frame_overhead(state: &LocalState) -> u64 {
 /// the pre-codec layout.
 pub fn encode_state_coded(state: &LocalState, codec: &dyn Codec) -> Vec<u8> {
     let mut out = Vec::with_capacity(16);
-    put_state_header(&mut out, state);
-    out.extend_from_slice(&codec.encode(state.summary_slice()));
+    encode_state_coded_into(state, codec, &mut out);
     out
+}
+
+/// [`encode_state_coded`] appending into a caller-owned buffer — the
+/// round loops reuse one scratch buffer per direction, so steady-state
+/// serialization allocates nothing. Append semantics (callers clear), so
+/// payloads with a prefix (the avg-state sync byte) compose in place.
+pub fn encode_state_coded_into(state: &LocalState, codec: &dyn Codec, out: &mut Vec<u8>) {
+    put_state_header(out, state);
+    codec.encode_into(state.summary_slice(), out);
+}
+
+/// [`encode_state`] appending into a caller-owned buffer.
+pub fn encode_state_into(state: &LocalState, out: &mut Vec<u8>) {
+    encode_state_coded_into(state, &fda_comm::compress::Dense32, out);
 }
 
 /// Decodes a coded state frame against an `expected` shape template
@@ -334,12 +350,25 @@ pub fn decode_state_coded(
 /// # Panics
 /// Panics if `v.len()` exceeds `u32::MAX`.
 pub fn encode_vector_coded(v: &[f32], codec: &dyn Codec) -> Vec<u8> {
-    assert!(v.len() <= u32::MAX as usize, "vector too long for the wire");
-    let payload = codec.encode(v);
-    let mut out = Vec::with_capacity(4 + payload.len());
-    put_u32(&mut out, v.len() as u32);
-    out.extend_from_slice(&payload);
+    let mut out = Vec::with_capacity(4 + v.len() * 4);
+    encode_vector_coded_into(v, codec, &mut out);
     out
+}
+
+/// [`encode_vector_coded`] appending into a caller-owned buffer (see
+/// [`encode_state_coded_into`] for the reuse discipline).
+///
+/// # Panics
+/// Panics if `v.len()` exceeds `u32::MAX`.
+pub fn encode_vector_coded_into(v: &[f32], codec: &dyn Codec, out: &mut Vec<u8>) {
+    assert!(v.len() <= u32::MAX as usize, "vector too long for the wire");
+    put_u32(out, v.len() as u32);
+    codec.encode_into(v, out);
+}
+
+/// [`encode_vector`] appending into a caller-owned buffer.
+pub fn encode_vector_into(v: &[f32], out: &mut Vec<u8>) {
+    encode_vector_coded_into(v, &fda_comm::compress::Dense32, out);
 }
 
 /// Decodes a coded vector frame against the receiver's `expected_len`
@@ -374,9 +403,14 @@ pub struct JobSpec {
     /// FDA variant and variance threshold Θ.
     pub fda: FdaConfig,
     /// Payload codec for worker-uplink sync traffic (state deposits and
-    /// model uploads). Downlink broadcasts stay dense so every worker
-    /// receives the consensus bit-exactly.
+    /// model uploads).
     pub codec: CodecSpec,
+    /// Downlink mode for the consensus-model broadcast: dense (the
+    /// historical byte-exact `AvgModel`) or a delta against the previous
+    /// broadcast through its own codec. Every receiver applies the same
+    /// reconstruction, so the consensus stays bit-identical across
+    /// workers and the simulator either way.
+    pub downlink: DownlinkSpec,
     /// Steps every worker performs.
     pub steps: u32,
     /// Synthetic task generator.
@@ -517,6 +551,28 @@ fn get_codec(buf: &[u8], off: &mut usize) -> Result<CodecSpec, DecodeError> {
     Ok(spec)
 }
 
+fn put_downlink(out: &mut Vec<u8>, d: DownlinkSpec) {
+    match d {
+        DownlinkSpec::Dense => out.push(0),
+        DownlinkSpec::Delta { codec } => {
+            out.push(1);
+            put_codec(out, codec);
+        }
+    }
+}
+
+fn get_downlink(buf: &[u8], off: &mut usize) -> Result<DownlinkSpec, DecodeError> {
+    let spec = match get_u8(buf, off)? {
+        0 => DownlinkSpec::Dense,
+        1 => DownlinkSpec::Delta {
+            codec: get_codec(buf, off)?,
+        },
+        t => return Err(DecodeError::BadTag(t)),
+    };
+    spec.validate().map_err(DecodeError::Malformed)?;
+    Ok(spec)
+}
+
 fn put_variant(out: &mut Vec<u8>, v: FdaVariant) {
     match v {
         FdaVariant::Sketch(sk) => {
@@ -579,6 +635,7 @@ pub fn encode_job(job: &JobSpec) -> Vec<u8> {
     put_variant(&mut out, job.fda.variant);
     put_f32(&mut out, job.fda.theta);
     put_codec(&mut out, job.codec);
+    put_downlink(&mut out, job.downlink);
     put_u32(&mut out, job.steps);
     let s = &job.synth;
     put_u32(&mut out, s.classes as u32);
@@ -627,6 +684,7 @@ pub fn decode_job(buf: &[u8]) -> Result<JobSpec, DecodeError> {
         theta: get_f32(buf, &mut off)?,
     };
     let codec = get_codec(buf, &mut off)?;
+    let downlink = get_downlink(buf, &mut off)?;
     let steps = get_u32(buf, &mut off)?;
     let classes = get_u32(buf, &mut off)? as usize;
     let modes_per_class = get_u32(buf, &mut off)? as usize;
@@ -667,6 +725,7 @@ pub fn decode_job(buf: &[u8]) -> Result<JobSpec, DecodeError> {
         cluster,
         fda,
         codec,
+        downlink,
         steps,
         synth,
         task_name,
@@ -811,6 +870,7 @@ mod tests {
             cluster: crate::cluster::ClusterConfig::small_test(4),
             fda: crate::fda::FdaConfig::sketch_auto(0.02),
             codec: CodecSpec::Dense,
+            downlink: DownlinkSpec::Dense,
             steps: 12,
             synth: SynthSpec {
                 n_train: 240,

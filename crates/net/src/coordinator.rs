@@ -38,12 +38,12 @@
 //! full argument lives in DESIGN.md § "Failure model".
 
 use crate::frame::{write_frame, CountingStream, FrameKind, NetError, PROTOCOL_VERSION};
-use crate::protocol::{recv_at_epoch, recv_frame_at_epoch, Msg};
-use fda_comm::{AccountingMode, SimNetwork};
+use crate::protocol::{recv_at_epoch, recv_frame_at_epoch_into, Msg};
+use fda_comm::{delta_downlink, AccountingMode, SimNetwork};
 use fda_core::monitor::LocalState;
 use fda_core::wire::{
-    decode_state_coded, decode_vector_coded, encode_state, encode_vector, state_frame_overhead,
-    JobSpec,
+    decode_state_coded, decode_vector_coded, encode_state_into, encode_vector, encode_vector_into,
+    state_frame_overhead, JobSpec,
 };
 use fda_obs::{DropRecord, JsonlWriter, MembershipRecord, RoundEvent, RunEvent};
 use fda_tensor::vector;
@@ -153,6 +153,11 @@ pub struct NetReport {
     pub raw_tx_bytes: u64,
     /// Raw bytes the coordinator received.
     pub raw_rx_bytes: u64,
+    /// Frame-payload bytes of the consensus-model downlink broadcasts
+    /// (`AvgModel`/`AvgModelDelta`), summed over workers and syncs —
+    /// uncharged control-plane traffic, reported so delta downlinks can be
+    /// audited against the dense baseline.
+    pub downlink_model_bytes: u64,
     /// Final replica parameters of each worker that finished the run, in
     /// [`NetReport::survivors`] order (== worker-id order). On a fault-free
     /// run this is every worker, indexed by id.
@@ -185,6 +190,11 @@ pub struct Coordinator {
 struct Conn {
     stream: CountingStream<TcpStream>,
     epoch: u32,
+    /// Round-persistent receive buffer: [`Conn::recv_frame_current`]
+    /// leaves the frame body here (kind byte + payload, so the payload is
+    /// `rbuf[1..]`), and steady-state deposits never allocate per frame —
+    /// the buffer only grows to the largest frame this peer ever sends.
+    rbuf: Vec<u8>,
 }
 
 impl Conn {
@@ -198,9 +208,10 @@ impl Conn {
     }
 
     /// Current-epoch receive at the frame layer — for uplink payloads
-    /// whose decoding needs the job's codec and an expected shape.
-    fn recv_frame_current(&mut self) -> Result<(FrameKind, Vec<u8>), NetError> {
-        recv_frame_at_epoch(&mut self.stream, self.epoch)
+    /// whose decoding needs the job's codec and an expected shape. The
+    /// payload lands in `self.rbuf` (at `rbuf[1..]`).
+    fn recv_frame_current(&mut self) -> Result<FrameKind, NetError> {
+        recv_frame_at_epoch_into(&mut self.stream, self.epoch, &mut self.rbuf)
     }
 
     fn set_read_timeout(&self, t: Duration) -> Result<(), NetError> {
@@ -284,6 +295,7 @@ impl Coordinator {
         let mut conn = Conn {
             stream: CountingStream::new(stream),
             epoch: 0,
+            rbuf: Vec::new(),
         };
         let (version, id, last_epoch) = match Msg::recv(&mut conn.stream)? {
             (
@@ -408,6 +420,12 @@ impl Coordinator {
         // payload (minus the 4-byte length header).
         let codec = spec.codec.build();
         let coded = !spec.codec.is_dense();
+        // The job's downlink mode: `Some(codec)` switches the consensus
+        // broadcast to `AvgModelDelta` frames and makes the shared lossy
+        // reconstruction the authoritative consensus (see
+        // `fda_comm::delta_downlink`); `None` keeps the historical dense
+        // `AvgModel` broadcast bit-for-bit.
+        let downlink_codec = spec.downlink.build();
         let state_overhead = state_frame_overhead(&state_shape);
         let mut tele: Option<JsonlWriter> = match &self.telemetry {
             Some(path) => Some(JsonlWriter::create(path)?),
@@ -450,6 +468,19 @@ impl Coordinator {
         let mut decisions = Vec::with_capacity(spec.steps as usize);
         let mut estimates = Vec::with_capacity(spec.steps as usize);
         let mut syncs = 0u64;
+        let mut downlink_model_bytes = 0u64;
+
+        // Round-persistent scratch: the broadcast payload is encoded once
+        // per round into `bcast` and fanned out as a borrowed slice to
+        // every worker (the frame layer stamps each header separately and
+        // never copies the payload), and the per-worker deposit slots are
+        // reset in place — the steady-state round loop performs a small
+        // constant number of allocations.
+        let mut bcast: Vec<u8> = Vec::new();
+        let mut states: Vec<Option<LocalState>> = (0..k).map(|_| None).collect();
+        let mut state_bytes: Vec<u64> = vec![0; k];
+        let mut models: Vec<Option<Vec<f32>>> = (0..k).map(|_| None).collect();
+        let mut model_bytes: Vec<u64> = vec![0; k];
 
         // Applies a batch of drops: close, log, bump the epoch once.
         let apply_drops = |drops: &[(usize, DropReason)],
@@ -540,8 +571,8 @@ impl Coordinator {
             // (1) Deposit: one state frame per live worker, read in id
             // order under the round's deadline.
             let deposit_deadline = Instant::now() + self.policy.deposit_timeout;
-            let mut states: Vec<Option<LocalState>> = (0..k).map(|_| None).collect();
-            let mut state_bytes: Vec<u64> = vec![0; k];
+            states.fill(None);
+            state_bytes.fill(0);
             let mut drops: Vec<(usize, DropReason)> = Vec::new();
             for id in 0..k {
                 let Some(conn) = conns[id].as_mut() else {
@@ -557,14 +588,14 @@ impl Coordinator {
                     // totality against the expected template before any
                     // allocation; a mismatch is the same protocol drop a
                     // wrong-shaped dense deposit always was.
-                    Ok((FrameKind::State, payload)) => {
-                        match decode_state_coded(&payload, &state_shape, codec.as_ref()) {
+                    Ok(FrameKind::State) => {
+                        match decode_state_coded(&conn.rbuf[1..], &state_shape, codec.as_ref()) {
                             Ok(s) => {
                                 if let Some(t0) = t0 {
                                     deposit_us.push((id as u32, t0.elapsed().as_micros() as u64));
                                 }
                                 states[id] = Some(s);
-                                state_bytes[id] = payload.len() as u64 - state_overhead;
+                                state_bytes[id] = conn.rbuf.len() as u64 - 1 - state_overhead;
                             }
                             Err(_) => drops.push((id, DropReason::Protocol)),
                         }
@@ -619,14 +650,16 @@ impl Coordinator {
             estimates.push(estimate);
             decisions.push(sync);
 
-            // (3) Broadcast the averaged state + decision; a failed write
-            // is a drop, not a run abort.
-            let mut payload = vec![sync as u8];
-            payload.extend_from_slice(&encode_state(&avg));
+            // (3) Broadcast the averaged state + decision — encoded once
+            // into the round scratch, fanned out as a borrowed slice; a
+            // failed write is a drop, not a run abort.
+            bcast.clear();
+            bcast.push(sync as u8);
+            encode_state_into(&avg, &mut bcast);
             let mut drops: Vec<(usize, DropReason)> = Vec::new();
             for &id in &alive {
                 let conn = conns[id].as_mut().expect("alive");
-                if let Err(e) = conn.send_raw(epoch, FrameKind::AvgState, &payload) {
+                if let Err(e) = conn.send_raw(epoch, FrameKind::AvgState, &bcast) {
                     drops.push((id, drop_reason(&e)));
                 }
             }
@@ -643,19 +676,19 @@ impl Coordinator {
 
             // (4) Conditional model AllReduce through the SimNetwork.
             if sync {
-                let mut models: Vec<Option<Vec<f32>>> = (0..k).map(|_| None).collect();
-                let mut model_bytes: Vec<u64> = vec![0; k];
+                models.fill(None);
+                model_bytes.fill(0);
                 let mut drops: Vec<(usize, DropReason)> = Vec::new();
                 for &id in &alive {
                     let conn = conns[id].as_mut().expect("alive");
                     match conn.recv_frame_current() {
-                        Ok((FrameKind::Model, payload)) => {
-                            match decode_vector_coded(&payload, dim, codec.as_ref()) {
+                        Ok(FrameKind::Model) => {
+                            match decode_vector_coded(&conn.rbuf[1..], dim, codec.as_ref()) {
                                 Ok(v) => {
                                     models[id] = Some(v);
                                     // Charge the encoded payload; the
                                     // 4-byte length header is framing.
-                                    model_bytes[id] = payload.len() as u64 - 4;
+                                    model_bytes[id] = conn.rbuf.len() as u64 - 1 - 4;
                                 }
                                 Err(_) => drops.push((id, DropReason::Protocol)),
                             }
@@ -690,12 +723,31 @@ impl Coordinator {
                     measured_payload += mode.per_worker_bytes(model_bytes[id], alive.len());
                 }
 
-                let payload = encode_vector(&bufs[0]);
+                // Downlink: encode the consensus once into the round
+                // scratch — dense `AvgModel`, or the delta against the
+                // previous broadcast under delta mode, in which case the
+                // authoritative consensus becomes the shared lossy
+                // reconstruction (what every worker will compute).
+                let mean = bufs.swap_remove(0);
+                bcast.clear();
+                let (kind, consensus) = match &downlink_codec {
+                    Some(dc) => {
+                        let (payload, recon) = delta_downlink(&resume_model, &mean, dc.as_ref());
+                        bcast.extend_from_slice(&(dim as u32).to_le_bytes());
+                        bcast.extend_from_slice(&payload);
+                        (FrameKind::AvgModelDelta, recon)
+                    }
+                    None => {
+                        encode_vector_into(&mean, &mut bcast);
+                        (FrameKind::AvgModel, mean)
+                    }
+                };
                 let mut drops: Vec<(usize, DropReason)> = Vec::new();
                 for &id in &alive {
                     let conn = conns[id].as_mut().expect("alive");
-                    if let Err(e) = conn.send_raw(epoch, FrameKind::AvgModel, &payload) {
-                        drops.push((id, drop_reason(&e)));
+                    match conn.send_raw(epoch, kind, &bcast) {
+                        Ok(()) => downlink_model_bytes += bcast.len() as u64,
+                        Err(e) => drops.push((id, drop_reason(&e))),
                     }
                 }
                 apply_drops(
@@ -708,8 +760,11 @@ impl Coordinator {
                 );
                 quorum(alive_ids(&conns).len(), step)?;
 
-                // The versioned handoff advances with the consensus.
-                resume_prev = Some(std::mem::replace(&mut resume_model, bufs.swap_remove(0)));
+                // The versioned handoff advances with the consensus (the
+                // reconstruction, under delta mode — a rejoin's dense
+                // `Resume` must hand over exactly what the survivors
+                // hold).
+                resume_prev = Some(std::mem::replace(&mut resume_model, consensus));
                 syncs += 1;
             }
 
@@ -788,6 +843,7 @@ impl Coordinator {
             measured_payload_bytes: measured_payload,
             raw_tx_bytes: raw_retired.0 + live_tx + parked_tx,
             raw_rx_bytes: raw_retired.1 + live_rx + parked_rx,
+            downlink_model_bytes,
             worker_params,
             final_params,
             survivors,

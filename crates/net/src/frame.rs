@@ -37,7 +37,12 @@ use std::io::{Read, Write};
 /// v2), and `State`/`Model` uplink payloads are codec-encoded — dense
 /// runs stay byte-identical to v2, but a v2 peer cannot decode a
 /// non-dense upload, so the version gates the pairing.
-pub const PROTOCOL_VERSION: u16 = 3;
+///
+/// v4: the config frame carries the downlink spec (`JobSpec` wire v3)
+/// and delta-mode jobs broadcast `AvgModelDelta` frames instead of
+/// `AvgModel`. Dense-downlink runs stay byte-identical to v3, but a v3
+/// peer cannot decode a delta downlink, so the version gates the pairing.
+pub const PROTOCOL_VERSION: u16 = 4;
 
 /// Upper bound on one frame's `len` field (kind byte + payload).
 ///
@@ -89,6 +94,11 @@ pub enum FrameKind {
     /// round to resume from, the consensus model, and (when a sync has
     /// happened) the previous consensus for monitor reconstruction.
     Resume = 9,
+    /// Coordinator → worker: the downlink-codec-encoded delta between the
+    /// previous consensus model and the round's AllReduce mean. Only sent
+    /// when the job's `DownlinkSpec` is delta mode; rejoins still receive
+    /// a dense `Resume`, so the handoff stays bitwise-exact.
+    AvgModelDelta = 10,
 }
 
 impl FrameKind {
@@ -104,6 +114,7 @@ impl FrameKind {
             FrameKind::FinalModel => "final_model",
             FrameKind::Shutdown => "shutdown",
             FrameKind::Resume => "resume",
+            FrameKind::AvgModelDelta => "avg_model_delta",
         }
     }
 
@@ -120,6 +131,7 @@ impl FrameKind {
             FrameKind::FinalModel => "net_tx_bytes_final_model",
             FrameKind::Shutdown => "net_tx_bytes_shutdown",
             FrameKind::Resume => "net_tx_bytes_resume",
+            FrameKind::AvgModelDelta => "net_tx_bytes_avg_model_delta",
         }
     }
 
@@ -135,6 +147,7 @@ impl FrameKind {
             FrameKind::FinalModel => "net_rx_bytes_final_model",
             FrameKind::Shutdown => "net_rx_bytes_shutdown",
             FrameKind::Resume => "net_rx_bytes_resume",
+            FrameKind::AvgModelDelta => "net_rx_bytes_avg_model_delta",
         }
     }
 
@@ -149,6 +162,7 @@ impl FrameKind {
             7 => Some(FrameKind::FinalModel),
             8 => Some(FrameKind::Shutdown),
             9 => Some(FrameKind::Resume),
+            10 => Some(FrameKind::AvgModelDelta),
             _ => None,
         }
     }
@@ -296,6 +310,15 @@ impl<S: Write> Write for CountingStream<S> {
         Ok(n)
     }
 
+    // Must delegate explicitly: the `Write` default forwards only the
+    // first non-empty buffer, which would silently split every vectored
+    // frame write into two syscalls.
+    fn write_vectored(&mut self, bufs: &[std::io::IoSlice<'_>]) -> std::io::Result<usize> {
+        let n = self.inner.write_vectored(bufs)?;
+        self.tx += n as u64;
+        Ok(n)
+    }
+
     fn flush(&mut self) -> std::io::Result<()> {
         self.inner.flush()
     }
@@ -325,8 +348,34 @@ pub fn encode_frame(epoch: u32, kind: FrameKind, payload: &[u8]) -> Vec<u8> {
     buf
 }
 
-/// Writes one frame as a single `write_all` (header and payload composed
-/// first, so small frames cost one syscall and never interleave).
+/// Composes one frame's 13-byte head — `[len][epoch][crc][kind]` — on the
+/// stack. The checksum covers the payload via the chunked FNV, so the
+/// payload bytes are never copied.
+///
+/// # Panics
+/// Panics if the payload exceeds [`MAX_FRAME_BYTES`] — a sender-side bug,
+/// not a peer-controlled condition.
+fn frame_head(epoch: u32, kind: FrameKind, payload: &[u8]) -> [u8; 13] {
+    let len = payload
+        .len()
+        .checked_add(1)
+        .filter(|&l| l <= MAX_FRAME_BYTES as usize)
+        .expect("frame payload exceeds MAX_FRAME_BYTES");
+    let epoch_bytes = epoch.to_le_bytes();
+    let crc = fnv1a_32(&[&epoch_bytes, &[kind as u8], payload]);
+    let mut head = [0u8; 13];
+    head[0..4].copy_from_slice(&(len as u32).to_le_bytes());
+    head[4..8].copy_from_slice(&epoch_bytes);
+    head[8..12].copy_from_slice(&crc.to_le_bytes());
+    head[12] = kind as u8;
+    head
+}
+
+/// Writes one frame zero-copy: the 13-byte head lives on the stack and the
+/// payload is handed to the socket as a borrowed [`IoSlice`], so the write
+/// path allocates nothing and still lands in one syscall on streams with
+/// real scatter-gather support. Byte-for-byte identical on the wire to
+/// [`encode_frame`] (pinned by the equivalence test below).
 ///
 /// # Panics
 /// Panics if the payload exceeds [`MAX_FRAME_BYTES`].
@@ -336,30 +385,60 @@ pub fn write_frame<W: Write>(
     kind: FrameKind,
     payload: &[u8],
 ) -> Result<(), NetError> {
-    let buf = {
+    let head = {
         let _span = fda_obs::histogram!("net_frame_encode_us").span();
-        encode_frame(epoch, kind, payload)
+        frame_head(epoch, kind, payload)
     };
     {
         let _span = fda_obs::histogram!("net_socket_write_us").span();
-        w.write_all(&buf)?;
+        // Manual gather loop: `write_vectored` has no `write_all`
+        // counterpart, so advance through partial writes by hand. While
+        // any head bytes remain, offer both slices; after that, finish
+        // the payload with plain writes.
+        let total = head.len() + payload.len();
+        let mut pos = 0usize;
+        while pos < total {
+            let n = if pos < head.len() {
+                w.write_vectored(&[
+                    std::io::IoSlice::new(&head[pos..]),
+                    std::io::IoSlice::new(payload),
+                ])?
+            } else {
+                w.write(&payload[pos - head.len()..])?
+            };
+            if n == 0 {
+                return Err(NetError::from_io(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "wrote 0 bytes mid-frame",
+                )));
+            }
+            pos += n;
+        }
         w.flush()?;
     }
     if fda_obs::enabled() {
-        fda_obs::registry()
-            .counter(kind.tx_counter())
-            .add(buf.len() as u64);
+        let reg = fda_obs::registry();
+        let bytes = 13 + payload.len() as u64;
+        reg.counter(kind.tx_counter()).add(bytes);
+        reg.counter("net_tx_vectored_bytes").add(bytes);
     }
     Ok(())
 }
 
-/// Reads one frame, validating the length header against
-/// [`MAX_FRAME_BYTES`] before allocating the payload buffer and verifying
-/// the checksum before handing the payload to any decoder. Returns the
-/// frame's kind, its membership epoch stamp, and the payload.
-pub fn read_frame<R: Read>(r: &mut R) -> Result<(FrameKind, u32, Vec<u8>), NetError> {
+/// Reads one frame into a caller-owned buffer, validating the length
+/// header against [`MAX_FRAME_BYTES`] before growing the buffer and
+/// verifying the checksum before handing the payload to any decoder.
+///
+/// On success `buf` holds the frame body — the kind byte followed by the
+/// payload, i.e. the payload is `&buf[1..]` — and the frame's kind and
+/// membership epoch stamp are returned. Reusing one buffer per connection
+/// turns the read path's per-frame allocation into an amortized no-op
+/// (the buffer only grows to the largest frame seen).
+pub fn read_frame_into<R: Read>(
+    r: &mut R,
+    buf: &mut Vec<u8>,
+) -> Result<(FrameKind, u32), NetError> {
     let mut header = [0u8; 12];
-    let mut body;
     {
         let _span = fda_obs::histogram!("net_socket_read_us").span();
         r.read_exact(&mut header)?;
@@ -369,14 +448,15 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<(FrameKind, u32, Vec<u8>), NetEr
                 "frame length {len} outside (0, {MAX_FRAME_BYTES}]"
             )));
         }
-        body = vec![0u8; len as usize];
-        r.read_exact(&mut body)?;
+        buf.clear();
+        buf.resize(len as usize, 0);
+        r.read_exact(buf)?;
     }
     let _span = fda_obs::histogram!("net_frame_decode_us").span();
     let epoch_bytes: [u8; 4] = header[4..8].try_into().expect("len 4");
     let epoch = u32::from_le_bytes(epoch_bytes);
     let crc = u32::from_le_bytes(header[8..12].try_into().expect("len 4"));
-    let (kind_byte, payload) = body.split_first().expect("len >= 1");
+    let (kind_byte, payload) = buf.split_first().expect("len >= 1");
     let actual = fnv1a_32(&[&epoch_bytes, &[*kind_byte], payload]);
     if actual != crc {
         return Err(NetError::Protocol(format!(
@@ -385,13 +465,23 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<(FrameKind, u32, Vec<u8>), NetEr
     }
     let kind = FrameKind::from_u8(*kind_byte)
         .ok_or_else(|| NetError::Protocol(format!("unknown frame kind {kind_byte}")))?;
-    let payload = payload.to_vec();
     if fda_obs::enabled() {
         fda_obs::registry()
             .counter(kind.rx_counter())
-            .add(12 + body.len() as u64);
+            .add(12 + buf.len() as u64);
     }
-    Ok((kind, epoch, payload))
+    Ok((kind, epoch))
+}
+
+/// Reads one frame, returning an owned payload. Allocating convenience
+/// wrapper over [`read_frame_into`] for handshake paths and tests; the
+/// round loop holds a per-connection buffer and calls the `_into` form.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<(FrameKind, u32, Vec<u8>), NetError> {
+    let mut buf = Vec::new();
+    let (kind, epoch) = read_frame_into(r, &mut buf)?;
+    buf.copy_within(1.., 0);
+    buf.truncate(buf.len() - 1);
+    Ok((kind, epoch, buf))
 }
 
 #[cfg(test)]
@@ -530,6 +620,106 @@ mod tests {
         cs.read_exact(&mut sink).unwrap();
         assert_eq!(cs.tx_bytes(), 3);
         assert_eq!(cs.rx_bytes(), 5);
+    }
+
+    /// The zero-copy invariant: the vectored write path must emit the
+    /// exact octets of [`encode_frame`] for every kind, from the empty
+    /// payload up through a model-sized one ("max-size" here means the
+    /// largest CI-tractable image — 1 MiB; the 256 MiB cap itself is
+    /// exercised by the oversize panic tests, which would need half a
+    /// gigabyte of buffers to hit byte-for-byte).
+    #[test]
+    fn vectored_write_matches_encode_frame_for_every_kind() {
+        let kinds = [
+            FrameKind::Hello,
+            FrameKind::Config,
+            FrameKind::State,
+            FrameKind::AvgState,
+            FrameKind::Model,
+            FrameKind::AvgModel,
+            FrameKind::FinalModel,
+            FrameKind::Shutdown,
+            FrameKind::Resume,
+            FrameKind::AvgModelDelta,
+        ];
+        for kind in kinds {
+            for len in [0usize, 1, 12, 13, 4096, 1 << 20] {
+                let payload: Vec<u8> = (0..len).map(|i| (i * 31 + kind as usize) as u8).collect();
+                let reference = encode_frame(9_000 + len as u32, kind, &payload);
+                // `Vec<u8>`'s `write_vectored` appends every buffer.
+                let mut vectored: Vec<u8> = Vec::new();
+                write_frame(&mut vectored, 9_000 + len as u32, kind, &payload).unwrap();
+                assert_eq!(
+                    vectored, reference,
+                    "vectored bytes diverge for {kind:?} len {len}"
+                );
+            }
+        }
+    }
+
+    /// A sink that accepts one byte per call and only implements `write`
+    /// (so `write_vectored` falls back to the first-buffer default):
+    /// drives the gather loop through every partial-write offset, inside
+    /// the head and inside the payload.
+    struct Trickle(Vec<u8>);
+    impl Write for Trickle {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if buf.is_empty() {
+                return Ok(0);
+            }
+            self.0.push(buf[0]);
+            Ok(1)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn vectored_write_survives_partial_writes() {
+        let payload: Vec<u8> = (0..257).map(|i| i as u8).collect();
+        let mut sink = Trickle(Vec::new());
+        write_frame(&mut sink, 77, FrameKind::Model, &payload).unwrap();
+        assert_eq!(sink.0, encode_frame(77, FrameKind::Model, &payload));
+    }
+
+    #[test]
+    #[should_panic(expected = "frame payload exceeds MAX_FRAME_BYTES")]
+    fn vectored_write_rejects_oversized_payload() {
+        let huge = vec![0u8; MAX_FRAME_BYTES as usize];
+        let _ = write_frame(&mut Vec::new(), 0, FrameKind::Model, &huge);
+    }
+
+    #[test]
+    fn read_frame_into_reuses_the_buffer() {
+        let mut wire: Vec<u8> = Vec::new();
+        write_frame(&mut wire, 2, FrameKind::Model, &[5u8; 128]).unwrap();
+        write_frame(&mut wire, 2, FrameKind::State, &[9u8; 16]).unwrap();
+        let mut cursor = std::io::Cursor::new(wire);
+        let mut buf = Vec::new();
+        let (k1, e1) = read_frame_into(&mut cursor, &mut buf).unwrap();
+        assert_eq!((k1, e1), (FrameKind::Model, 2));
+        assert_eq!(&buf[1..], &[5u8; 128][..]);
+        let cap = buf.capacity();
+        let (k2, _) = read_frame_into(&mut cursor, &mut buf).unwrap();
+        assert_eq!(k2, FrameKind::State);
+        assert_eq!(&buf[1..], &[9u8; 16][..]);
+        assert_eq!(buf.capacity(), cap, "smaller frame must not reallocate");
+    }
+
+    #[test]
+    fn counting_stream_counts_vectored_writes() {
+        let mut inner: Vec<u8> = Vec::new();
+        let mut cs = CountingStream::new(&mut inner);
+        let n = cs
+            .write_vectored(&[
+                std::io::IoSlice::new(&[1, 2, 3]),
+                std::io::IoSlice::new(&[4, 5]),
+            ])
+            .unwrap();
+        assert_eq!(n, 5);
+        assert_eq!(cs.tx_bytes(), 5);
+        assert_eq!(inner, vec![1, 2, 3, 4, 5]);
     }
 
     #[test]

@@ -295,6 +295,7 @@ mod tests {
             },
             fda,
             codec: fda_comm::CodecSpec::Dense,
+            downlink: fda_comm::DownlinkSpec::Dense,
             steps,
             synth: SynthSpec {
                 n_train: 240,

@@ -14,7 +14,9 @@
 //! rejoin) instead of averaging them, and rejects frames claiming a future
 //! epoch as protocol violations.
 
-use crate::frame::{read_frame, write_frame, FrameKind, NetError, PROTOCOL_VERSION};
+use crate::frame::{
+    read_frame, read_frame_into, write_frame, FrameKind, NetError, PROTOCOL_VERSION,
+};
 use fda_core::monitor::LocalState;
 use fda_core::wire::{
     decode_job, decode_state, decode_vector, decode_vector_at, encode_job, encode_state,
@@ -42,8 +44,10 @@ pub enum Msg {
         /// coordinator can tell a rejoin from a restart).
         last_epoch: u32,
     },
-    /// Coordinator → worker: the job.
-    Config(JobSpec),
+    /// Coordinator → worker: the job (boxed: a `JobSpec` dwarfs every
+    /// other variant, and `Msg` values travel through `Result`s and
+    /// matches where the large-variant footprint would tax all of them).
+    Config(Box<JobSpec>),
     /// Worker → coordinator: this round's local state.
     State(LocalState),
     /// Coordinator → worker: the averaged state and the round's decision.
@@ -164,7 +168,7 @@ impl Msg {
                     last_epoch: u32::from_le_bytes(payload[6..10].try_into().expect("len 4")),
                 }
             }
-            FrameKind::Config => Msg::Config(decode_job(payload)?),
+            FrameKind::Config => Msg::Config(Box::new(decode_job(payload)?)),
             FrameKind::State => Msg::State(decode_state(payload)?),
             FrameKind::AvgState => {
                 let (&sync_byte, state_bytes) = payload
@@ -223,6 +227,16 @@ impl Msg {
                 }
                 Msg::Shutdown
             }
+            // A delta downlink is only decodable with the job's downlink
+            // codec and model dimension in hand — delta-mode receivers use
+            // the frame-layer path (`recv_frame_at_epoch_into`), never the
+            // typed one, so reaching here means the peer sent a delta to a
+            // dense-mode receiver.
+            FrameKind::AvgModelDelta => {
+                return Err(NetError::Protocol(
+                    "avg-model-delta frame outside a delta-downlink job".to_string(),
+                ));
+            }
         })
     }
 
@@ -271,11 +285,28 @@ pub fn recv_frame_at_epoch<R: Read>(
     r: &mut R,
     epoch: u32,
 ) -> Result<(FrameKind, Vec<u8>), NetError> {
+    let mut buf = Vec::new();
+    let kind = recv_frame_at_epoch_into(r, epoch, &mut buf)?;
+    buf.copy_within(1.., 0);
+    buf.truncate(buf.len() - 1);
+    Ok((kind, buf))
+}
+
+/// [`recv_frame_at_epoch`] into a caller-owned buffer: on success `buf`
+/// holds the frame body (kind byte + payload, so the payload is
+/// `&buf[1..]`, as with [`read_frame_into`]). The round loops hold one
+/// buffer per connection and call this, so steady-state receives allocate
+/// nothing.
+pub fn recv_frame_at_epoch_into<R: Read>(
+    r: &mut R,
+    epoch: u32,
+    buf: &mut Vec<u8>,
+) -> Result<FrameKind, NetError> {
     let mut stale = 0u32;
     loop {
-        let (kind, frame_epoch, payload) = read_frame(r)?;
+        let (kind, frame_epoch) = read_frame_into(r, buf)?;
         if frame_epoch == epoch {
-            return Ok((kind, payload));
+            return Ok(kind);
         }
         if frame_epoch > epoch {
             return Err(NetError::Protocol(format!(

@@ -26,10 +26,13 @@
 //! of the dropped session's local trajectory.
 
 use crate::fault::{Backoff, FaultAction, RejoinPolicy, FAULT_EXIT_CODE};
-use crate::frame::{encode_frame, write_frame, CountingStream, FrameKind, NetError};
+use crate::frame::{
+    encode_frame, read_frame_into, write_frame, CountingStream, FrameKind, NetError,
+};
 use crate::protocol::Msg;
+use fda_comm::apply_delta_downlink;
 use fda_core::cluster::Worker;
-use fda_core::wire::{encode_state_coded, encode_vector_coded, JobSpec};
+use fda_core::wire::{encode_state_coded_into, encode_vector_coded_into, JobSpec};
 use fda_tensor::vector;
 use std::io::Write as _;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -106,13 +109,18 @@ struct Session {
     /// session sends, so the coordinator can tell live deposits from a
     /// zombie's.
     epoch: u32,
+    /// Round-persistent receive buffer (frame bodies land here; the
+    /// payload of the last received frame is `rbuf[1..]`).
+    rbuf: Vec<u8>,
 }
 
 impl Session {
     /// Connects with exponential backoff + jitter under the
-    /// `connect_timeout` deadline, then sends the extended hello.
-    fn connect<A: ToSocketAddrs + Clone>(
-        addr: A,
+    /// `connect_timeout` deadline, then sends the extended hello. The
+    /// address is borrowed through the backoff loop — retries never clone
+    /// it.
+    fn connect<A: ToSocketAddrs + ?Sized>(
+        addr: &A,
         id: u32,
         last_epoch: u32,
         opts: &WorkerOptions,
@@ -120,7 +128,7 @@ impl Session {
     ) -> Result<Session, NetError> {
         let deadline = Instant::now() + opts.connect_timeout;
         let stream = loop {
-            match TcpStream::connect(addr.clone()) {
+            match TcpStream::connect(addr) {
                 Ok(s) => break s,
                 Err(e) => {
                     let now = Instant::now();
@@ -144,13 +152,22 @@ impl Session {
             stream,
             id,
             epoch: last_epoch,
+            rbuf: Vec::new(),
         })
     }
 
     fn recv(&mut self) -> Result<Msg, NetError> {
-        let (msg, epoch) = Msg::recv(&mut self.stream)?;
+        let kind = self.recv_frame()?;
+        Msg::decode(kind, &self.rbuf[1..])
+    }
+
+    /// Receives one frame into the session buffer without interpreting
+    /// the payload (it lands at `self.rbuf[1..]`) — the downlink path for
+    /// payloads whose decoding needs the job's downlink codec.
+    fn recv_frame(&mut self) -> Result<FrameKind, NetError> {
+        let (kind, epoch) = read_frame_into(&mut self.stream, &mut self.rbuf)?;
         self.epoch = epoch;
-        Ok(msg)
+        Ok(kind)
     }
 
     fn send(&mut self, msg: &Msg) -> Result<(), NetError> {
@@ -187,7 +204,7 @@ enum SessionEnd {
 /// Runs one worker to completion, surviving session loss when a
 /// [`RejoinPolicy`] is configured. This is the entry point for both
 /// in-process (thread) workers and the `fda_node worker` binary.
-pub fn run_worker<A: ToSocketAddrs + Clone>(
+pub fn run_worker<A: ToSocketAddrs>(
     addr: A,
     id: u32,
     opts: &WorkerOptions,
@@ -204,7 +221,7 @@ pub fn run_worker<A: ToSocketAddrs + Clone>(
     let mut syncs = 0u64;
 
     loop {
-        let mut session = Session::connect(addr.clone(), id, last_epoch, opts, &mut backoff)?;
+        let mut session = Session::connect(&addr, id, last_epoch, opts, &mut backoff)?;
         match run_session(&mut session, opts, &mut syncs) {
             Ok(SessionEnd::Completed { steps }) => {
                 return Ok(WorkerOutcome::Completed(WorkerSummary {
@@ -238,7 +255,7 @@ fn run_session(
     syncs: &mut u64,
 ) -> Result<SessionEnd, NetError> {
     let spec: JobSpec = match session.recv()? {
-        Msg::Config(job) => job,
+        Msg::Config(job) => *job,
         other => return Err(session.protocol_err("config", &other)),
     };
     let (start_round, resume_model, resume_prev) = match session.recv()? {
@@ -259,6 +276,11 @@ fn run_session(
     // layouts, so dense runs are bitwise indistinguishable from pre-codec
     // peers.
     let codec = spec.codec.build();
+    // The job's downlink spec: under a delta downlink the consensus model
+    // arrives as an `AvgModelDelta` frame coded against the last synced
+    // model, not a dense `AvgModel` broadcast. Rejoin handoffs (`Resume`)
+    // stay dense either way.
+    let downlink_codec = spec.downlink.build();
     if resume_model.len() != dim {
         return Err(NetError::Protocol(format!(
             "worker {}: resume model has {} params, replica has {dim}",
@@ -286,6 +308,10 @@ fn run_session(
     let mut w_sync = resume_model;
     let mut params = vec![0.0f32; dim];
     let mut drift = vec![0.0f32; dim];
+    // Round-persistent uplink scratch: every State/Model payload is
+    // encoded into this buffer in place, so steady-state rounds don't
+    // allocate on the send path.
+    let mut ubuf: Vec<u8> = Vec::new();
 
     for step in start_round..spec.steps {
         // (1) Local training — the simulator's exact code path.
@@ -295,8 +321,9 @@ fn run_session(
         // (2) Local state from the drift — the point scripted faults hit.
         vector::sub_into(&params, &w_sync, &mut drift);
         let state = monitor.local_state(&drift);
-        let state_payload = encode_state_coded(&state, codec.as_ref());
-        match apply_faults(session, step, opts, &state_payload)? {
+        ubuf.clear();
+        encode_state_coded_into(&state, codec.as_ref(), &mut ubuf);
+        match apply_faults(session, step, opts, &ubuf)? {
             FaultOutcome::Sent => {}
             FaultOutcome::Terminal(action) => {
                 return Ok(SessionEnd::Faulted { step, action });
@@ -324,20 +351,54 @@ fn run_session(
 
         // (4) Conditional model AllReduce.
         if sync {
-            session.send_frame(
-                FrameKind::Model,
-                &encode_vector_coded(&params, codec.as_ref()),
-            )?;
-            let avg = match session.recv()? {
-                Msg::AvgModel(v) if v.len() == dim => v,
-                Msg::AvgModel(v) => {
-                    return Err(NetError::Protocol(format!(
-                        "worker {}: consensus model has {} params, expected {dim}",
-                        session.id,
-                        v.len()
-                    )));
+            ubuf.clear();
+            encode_vector_coded_into(&params, codec.as_ref(), &mut ubuf);
+            session.send_frame(FrameKind::Model, &ubuf)?;
+            let avg: Vec<f32> = match &downlink_codec {
+                Some(dc) => {
+                    let kind = session.recv_frame()?;
+                    if kind != FrameKind::AvgModelDelta {
+                        return Err(NetError::Protocol(format!(
+                            "worker {}: expected avg-model-delta, got {}",
+                            session.id,
+                            kind.label()
+                        )));
+                    }
+                    let payload = &session.rbuf[1..];
+                    if payload.len() < 4 {
+                        return Err(NetError::Protocol(format!(
+                            "worker {}: avg-model-delta frame too short ({} bytes)",
+                            session.id,
+                            payload.len()
+                        )));
+                    }
+                    let sent_dim =
+                        u32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]])
+                            as usize;
+                    if sent_dim != dim {
+                        return Err(NetError::Protocol(format!(
+                            "worker {}: delta consensus has {sent_dim} params, expected {dim}",
+                            session.id
+                        )));
+                    }
+                    apply_delta_downlink(&w_sync, &payload[4..], dc.as_ref()).map_err(|e| {
+                        NetError::Protocol(format!(
+                            "worker {}: undecodable delta downlink: {e}",
+                            session.id
+                        ))
+                    })?
                 }
-                other => return Err(session.protocol_err("avg-model", &other)),
+                None => match session.recv()? {
+                    Msg::AvgModel(v) if v.len() == dim => v,
+                    Msg::AvgModel(v) => {
+                        return Err(NetError::Protocol(format!(
+                            "worker {}: consensus model has {} params, expected {dim}",
+                            session.id,
+                            v.len()
+                        )));
+                    }
+                    other => return Err(session.protocol_err("avg-model", &other)),
+                },
             };
             worker.model_mut().load_params(&avg);
             monitor.on_sync(&avg, &w_sync);

@@ -21,6 +21,7 @@ fn main() {
         cluster: ClusterConfig::small_test(4),
         fda: FdaConfig::sketch_auto(0.02),
         codec: fda::comm::CodecSpec::Dense,
+        downlink: fda::comm::DownlinkSpec::Dense,
         steps: 12,
         synth: SynthSpec {
             n_train: 480,

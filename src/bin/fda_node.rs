@@ -113,6 +113,13 @@ fn job_from_args(args: &[String]) -> JobSpec {
             std::process::exit(2);
         }),
     };
+    let downlink = match opt_value(args, "--downlink") {
+        None => fda::comm::DownlinkSpec::Dense,
+        Some(v) => fda::comm::DownlinkSpec::parse(&v).unwrap_or_else(|e| {
+            eprintln!("fda_node: bad --downlink {v}: {e}");
+            std::process::exit(2);
+        }),
+    };
     JobSpec {
         cluster: ClusterConfig {
             model,
@@ -128,6 +135,7 @@ fn job_from_args(args: &[String]) -> JobSpec {
             theta: parse(args, "--theta", 0.02f32),
         },
         codec,
+        downlink,
         steps: parse(args, "--steps", 20u32),
         synth: SynthSpec {
             n_train: parse(args, "--train", 960),

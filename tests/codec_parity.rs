@@ -36,6 +36,7 @@ fn spec(k: usize, codec: CodecSpec) -> JobSpec {
         // coded model path is exercised too.
         fda: FdaConfig::sketch_auto(0.01),
         codec,
+        downlink: fda::comm::DownlinkSpec::Dense,
         steps: STEPS,
         synth: SynthSpec {
             n_train: 240,

@@ -35,6 +35,7 @@ fn spec(k: usize, steps: u32) -> JobSpec {
         },
         fda: FdaConfig::linear(0.01),
         codec: fda::comm::CodecSpec::Dense,
+        downlink: fda::comm::DownlinkSpec::Dense,
         steps,
         synth: SynthSpec {
             n_train: 240,
@@ -290,6 +291,65 @@ fn truncated_worker_rejoins_at_scheduled_round_bit_identically() {
         other => panic!("rejoined worker should complete: {other:?}"),
     }
     assert_bit_identical(&a, &b, "truncate + rejoin");
+}
+
+/// The elastic loop under a delta-coded downlink: worker 3 is truncated
+/// off the run at round 2 and re-admitted at round 5. Steady-state
+/// consensus rides `AvgModelDelta` frames, but the `Resume` handoff stays
+/// a dense snapshot — so the rejoining replica lands on the exact
+/// reconstruction consensus and the whole churn trajectory, delta frames
+/// and all, replays bit for bit.
+#[test]
+fn truncated_worker_rejoins_under_delta_downlink_bit_identically() {
+    let mut spec = spec(4, 9);
+    // Θ = 0 keeps a model AllReduce — and therefore a delta downlink — in
+    // every round, including the rejoin round.
+    spec.fda = FdaConfig::linear(0.0);
+    spec.downlink = fda::comm::DownlinkSpec::Delta {
+        codec: fda::comm::CodecSpec::Uniform8 { chunk: 256 },
+    };
+    let plan = FaultPlan::new()
+        .fault(3, FaultAction::TruncateState { step: 2, keep: 9 })
+        .admit(5, 3);
+    let policy = RoundPolicy {
+        min_workers: 1,
+        deposit_timeout: Duration::from_secs(10),
+        admissions: plan.admissions.clone(),
+    };
+    let rejoin = RejoinPolicy {
+        max_attempts: 4,
+        base_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(50),
+    };
+
+    let run =
+        || run_chaos_with_thread_workers(&spec, &plan, policy.clone(), Some(rejoin), IO_TIMEOUT);
+    let (a, workers_a) = run();
+    let (b, _) = run();
+    let a = a.expect("elastic delta run completes");
+    let b = b.expect("elastic delta run completes");
+
+    assert_eq!(a.survivors, vec![0, 1, 2, 3], "everyone finishes");
+    assert!(a.decisions.iter().all(|&d| d), "Θ = 0 syncs every round");
+    assert!(
+        a.downlink_model_bytes > 0,
+        "delta downlinks actually went out"
+    );
+    match &workers_a[3] {
+        Ok(WorkerOutcome::Completed(summary)) => {
+            assert_eq!(summary.rejoins, 1, "exactly one reconnect");
+        }
+        other => panic!("rejoined worker should complete: {other:?}"),
+    }
+    assert_eq!(
+        a.measured_payload_bytes, a.charged_bytes,
+        "measured == charged holds under churn + delta downlink"
+    );
+    assert_eq!(
+        a.downlink_model_bytes, b.downlink_model_bytes,
+        "delta frame bytes replay"
+    );
+    assert_bit_identical(&a, &b, "truncate + rejoin under delta downlink");
 }
 
 /// The zero-fault chaos path is the plain path: an empty plan through the

@@ -20,7 +20,7 @@ use fda::core::fda::{Fda, FdaConfig, FdaVariant};
 use fda::core::strategy::Strategy;
 use fda::core::wire::JobSpec;
 use fda::data::synth::SynthSpec;
-use fda::net::run_with_spawned_workers;
+use fda::net::{run_with_spawned_workers, NetReport};
 use std::path::Path;
 
 const STEPS: u32 = 8;
@@ -33,6 +33,7 @@ fn spec(k: usize, fda: FdaConfig) -> JobSpec {
         },
         fda,
         codec: fda::comm::CodecSpec::Dense,
+        downlink: fda::comm::DownlinkSpec::Dense,
         steps: STEPS,
         synth: SynthSpec {
             n_train: 240,
@@ -118,6 +119,115 @@ fn assert_parity(k: usize, tag: &str, fda: FdaConfig) {
             "{case}: raw socket traffic must exceed the payload convention"
         );
     }
+}
+
+/// Runs a Θ = 0 job (every round is a model AllReduce, so dense and
+/// delta runs share one frame schedule and their wire traffic is directly
+/// comparable) under the given downlink spec, against a simulator with
+/// the downlink mirrored via [`Fda::set_downlink`]. Asserts bit-identity
+/// and measured == charged, then returns the report for cross-run byte
+/// comparisons.
+fn assert_downlink_parity(k: usize, tag: &str, downlink: fda::comm::DownlinkSpec) -> NetReport {
+    let mut spec = spec(k, FdaConfig::linear(0.0));
+    spec.downlink = downlink;
+    let node_bin = Path::new(env!("CARGO_BIN_EXE_fda_node"));
+    let report =
+        run_with_spawned_workers(&spec, node_bin).unwrap_or_else(|e| panic!("k={k} {tag}: {e}"));
+
+    let task = spec.synth.generate(&spec.task_name);
+    let mut sim = Fda::new(spec.fda, spec.cluster.clone(), &task);
+    sim.set_downlink(spec.downlink);
+    let mut decisions = Vec::new();
+    let mut estimates = Vec::new();
+    for _ in 0..STEPS {
+        let out = sim.step();
+        decisions.push(out.synced);
+        estimates.push(out.variance_estimate.expect("fda reports estimates"));
+    }
+
+    let case = format!("k={k} downlink={tag}");
+    assert!(
+        report.decisions.iter().all(|&d| d),
+        "{case}: Θ = 0 must sync every round"
+    );
+    assert_eq!(
+        report.decisions, decisions,
+        "{case}: sync schedule diverged"
+    );
+    for (step, (a, b)) in report.estimates.iter().zip(&estimates).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{case}: estimate diverged at step {step}"
+        );
+    }
+    for w in 0..k {
+        assert_eq!(
+            report.worker_params[w],
+            sim.cluster().worker(w).params(),
+            "{case}: worker {w} final replica diverged"
+        );
+    }
+    assert_eq!(
+        report.charged_bytes,
+        sim.comm_bytes(),
+        "{case}: TCP charged accounting != simulator"
+    );
+    assert_eq!(
+        report.measured_payload_bytes, report.charged_bytes,
+        "{case}: bytes measured on the socket != bytes charged"
+    );
+    report
+}
+
+/// The delta-downlink acceptance matrix: for K ∈ {2, 4}, a lossily coded
+/// downlink reconstructs the same consensus as the simulator mirror bit
+/// for bit, charges exactly the same (worker-uplink) bytes as dense, and
+/// puts strictly fewer downlink and raw-transmit bytes on the wire.
+#[test]
+fn delta_downlink_matches_simulator_and_beats_dense_on_the_wire() {
+    use fda::comm::{CodecSpec, DownlinkSpec};
+    for k in [2usize, 4] {
+        let dense = assert_downlink_parity(k, "dense", DownlinkSpec::Dense);
+        let delta = assert_downlink_parity(
+            k,
+            "delta-uniform8",
+            DownlinkSpec::Delta {
+                codec: CodecSpec::Uniform8 { chunk: 256 },
+            },
+        );
+        assert_eq!(
+            delta.charged_bytes, dense.charged_bytes,
+            "k={k}: downlink coding must not change the charged (uplink) bytes"
+        );
+        assert!(
+            delta.downlink_model_bytes < dense.downlink_model_bytes,
+            "k={k}: coded downlink ({}) must undercut the dense broadcast ({})",
+            delta.downlink_model_bytes,
+            dense.downlink_model_bytes
+        );
+        assert!(
+            delta.raw_tx_bytes < dense.raw_tx_bytes,
+            "k={k}: coded downlink must shrink raw coordinator tx ({} vs {})",
+            delta.raw_tx_bytes,
+            dense.raw_tx_bytes
+        );
+    }
+}
+
+/// `Delta { codec: Dense }` takes the delta wire path (AvgModelDelta
+/// frames, reconstruction at the worker) and must still agree with its
+/// simulator mirror bit for bit.
+#[test]
+fn delta_dense_downlink_is_bit_identical_to_its_mirror() {
+    use fda::comm::{CodecSpec, DownlinkSpec};
+    assert_downlink_parity(
+        2,
+        "delta-dense",
+        DownlinkSpec::Delta {
+            codec: CodecSpec::Dense,
+        },
+    );
 }
 
 /// The acceptance matrix: K = 4 processes for every monitor variant.

@@ -34,6 +34,7 @@ fn spec(k: usize, steps: u32) -> JobSpec {
         },
         fda: FdaConfig::linear(0.01),
         codec: fda::comm::CodecSpec::Dense,
+        downlink: fda::comm::DownlinkSpec::Dense,
         steps,
         synth: SynthSpec {
             n_train: 240,

@@ -426,6 +426,7 @@ fn wire_decoders_are_total_under_fuzz() {
         cluster: fda::core::cluster::ClusterConfig::small_test(3),
         fda: fda::core::fda::FdaConfig::sketch_auto(0.01),
         codec: fda::comm::CodecSpec::Dense,
+        downlink: fda::comm::DownlinkSpec::Dense,
         steps: 9,
         synth: fda::data::synth::SynthSpec::synth_mnist(),
         task_name: "fuzz".to_string(),
